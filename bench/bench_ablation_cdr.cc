@@ -1,0 +1,79 @@
+// Ablation: CDR design choices — oversampling factor and the paper's
+// glitch/jitter correction scan knobs, measured as link error rate under a
+// stressed channel.
+#include <cstdio>
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/link.h"
+#include "util/table.h"
+
+namespace {
+
+serdes::core::LinkResult run_with(const serdes::core::LinkConfig& cfg,
+                                  double loss_db, std::size_t bits) {
+  using namespace serdes;
+  core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
+                                 util::decibels(loss_db)));
+  return link.run_prbs(bits);
+}
+
+}  // namespace
+
+int main() {
+  using namespace serdes;
+  constexpr std::size_t kBits = 6000;
+  constexpr double kLoss = 40.0;  // stressed operating point
+
+  // Stress: extra noise + fast sinusoidal jitter.
+  core::LinkConfig stressed = core::LinkConfig::paper_default();
+  stressed.channel_noise_rms = 0.003;
+  stressed.rx_sinusoidal_jitter =
+      util::seconds(0.08 * stressed.unit_interval().value());
+
+  util::TextTable os_table("Ablation A1 - CDR oversampling factor");
+  os_table.set_header({"oversampling", "aligned", "bit_errors", "ber"});
+  for (int os : {2, 3, 4, 5, 7}) {
+    core::LinkConfig cfg = stressed;
+    cfg.cdr.oversampling = os;
+    cfg.cdr.glitch_filter_radius = os >= 3 ? 1 : 0;
+    const auto r = run_with(cfg, kLoss, kBits);
+    os_table.add_row({std::to_string(os), r.aligned ? "yes" : "no",
+                      std::to_string(r.bit_errors), util::num(r.ber)});
+  }
+  os_table.print();
+
+  util::TextTable scan_table(
+      "Ablation A2 - glitch/jitter correction scan bits");
+  scan_table.set_header(
+      {"glitch_radius", "jitter_hysteresis", "aligned", "bit_errors"});
+  for (int g : {0, 1, 2}) {
+    for (int j : {1, 2, 4}) {
+      core::LinkConfig cfg = stressed;
+      cfg.cdr.glitch_filter_radius = g;
+      cfg.cdr.jitter_hysteresis = j;
+      const auto r = run_with(cfg, kLoss, kBits);
+      scan_table.add_row({std::to_string(g), std::to_string(j),
+                          r.aligned ? "yes" : "no",
+                          std::to_string(r.bit_errors)});
+    }
+  }
+  scan_table.print();
+
+  util::TextTable win_table("Ablation A3 - boundary vote window");
+  win_table.set_header({"window_uis", "aligned", "bit_errors"});
+  for (int w : {4, 8, 16, 32, 64}) {
+    core::LinkConfig cfg = stressed;
+    cfg.cdr.window_uis = w;
+    const auto r = run_with(cfg, kLoss, kBits);
+    win_table.add_row({std::to_string(w), r.aligned ? "yes" : "no",
+                       std::to_string(r.bit_errors)});
+  }
+  win_table.print();
+
+  std::printf(
+      "\nexpected: higher oversampling and enabled glitch filtering reduce\n"
+      "errors under stress; very short vote windows track jitter but lose\n"
+      "averaging, very long windows lag.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: transmit-driver design space — stage count and taper vs edge
+// rate, delay and power into the 2 pF termination (the paper's "sized
+// appropriately to obtain area and power optimal design").
+#include <cstdio>
+
+#include "analog/driver.h"
+#include "core/config.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const util::Hertz rate = util::gigahertz(2.0);
+
+  util::TextTable stages("Ablation B1 - driver stage count (taper 3.4)");
+  stages.set_header({"stages", "rise_20_80_ps", "delay_ps", "power_mW",
+                     "width_um"});
+  for (int s : {1, 2, 3, 4, 5}) {
+    analog::DriverDesign d;
+    d.stages = s;
+    d.taper = 3.4;
+    const analog::InverterChainDriver driver(d);
+    stages.add_row_numeric({static_cast<double>(s),
+                            driver.output_rise_time().value() * 1e12,
+                            driver.total_delay().value() * 1e12,
+                            driver.dynamic_power(rate, 0.25).value() * 1e3,
+                            driver.total_width_um()});
+  }
+  stages.print();
+
+  util::TextTable taper("Ablation B2 - taper factor (3 stages)");
+  taper.set_header({"taper", "rise_20_80_ps", "delay_ps", "power_mW",
+                    "width_um"});
+  for (double t : {2.0, 3.0, 3.4, 4.0, 5.0, 6.0}) {
+    analog::DriverDesign d;
+    d.taper = t;
+    const analog::InverterChainDriver driver(d);
+    taper.add_row_numeric({t, driver.output_rise_time().value() * 1e12,
+                           driver.total_delay().value() * 1e12,
+                           driver.dynamic_power(rate, 0.25).value() * 1e3,
+                           driver.total_width_um()});
+  }
+  taper.print();
+
+  util::TextTable load("Ablation B3 - termination load (3 stages, taper 3.4)");
+  load.set_header({"load_pF", "rise_20_80_ps", "power_mW"});
+  for (double c_pf : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    analog::DriverDesign d;
+    d.taper = 3.4;
+    d.load = util::picofarads(c_pf);
+    const analog::InverterChainDriver driver(d);
+    load.add_row_numeric({c_pf, driver.output_rise_time().value() * 1e12,
+                          driver.dynamic_power(rate, 0.25).value() * 1e3});
+  }
+  load.print();
+
+  std::printf(
+      "\nexpected: more stages / stronger taper buy edge rate at the cost of\n"
+      "power and area; the 2 pF termination dominates the power budget.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension bench: eye diagram metrics vs channel loss, and a BER waterfall
+// vs received swing — the signal-integrity view behind Figs 8/9.
+#include <cstdio>
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/ber.h"
+#include "core/eye.h"
+#include "core/link.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+
+  util::TextTable eye_table("Eye metrics vs channel loss @ 2 Gbps");
+  eye_table.set_header({"loss_dB", "rx_swing_mV", "eye_height_V",
+                        "eye_width_UI", "bit_errors"});
+  for (double loss : {10.0, 20.0, 30.0, 34.0, 40.0, 46.0, 52.0, 58.0}) {
+    core::SerDesLink link(
+        cfg, std::make_unique<channel::FlatChannel>(util::decibels(loss)));
+    const auto r = link.run_prbs(4000);
+    core::EyeAnalyzer eye(cfg.bit_rate);
+    const auto m =
+        eye.analyze(r.rx.restored, 0.9);
+    eye_table.add_row_numeric({loss, r.channel_out.peak_to_peak() * 1e3,
+                               m.eye_height, m.eye_width_ui,
+                               static_cast<double>(
+                                   r.aligned ? r.bit_errors : 4000)});
+  }
+  eye_table.print();
+
+  util::TextTable waterfall("BER waterfall vs received swing @ 2 Gbps");
+  waterfall.set_header({"swing_mV", "bits", "errors", "ber", "ber_95_bound"});
+  for (double swing_mv : {6.0, 8.0, 10.0, 14.0, 20.0, 30.0, 45.0}) {
+    const double loss_db = 20.0 * std::log10(1.8 / (swing_mv * 1e-3));
+    core::SerDesLink link(
+        cfg, std::make_unique<channel::FlatChannel>(util::decibels(loss_db)));
+    const auto m = core::measure_ber(link, 20000, 4000);
+    waterfall.add_row({util::num(swing_mv), std::to_string(m.bits),
+                       std::to_string(m.errors), util::num(m.ber),
+                       util::num(m.ber_upper_bound)});
+  }
+  waterfall.print();
+
+  std::printf(
+      "\nexpected: the eye closes monotonically with loss; the waterfall\n"
+      "turns error-free in the tens-of-mV swing region (the paper's 32 mV\n"
+      "sensitivity regime).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig 10: power budget and per-cell area breakdown of the serial link,
+// regenerated through the analog models plus the netlist flow.
+#include <cstdio>
+
+#include "core/power_model.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const auto budget = core::compute_link_budget(cfg);
+
+  util::TextTable power("Fig 10a - Power budget @ 2 Gbps, 1.8 V");
+  power.set_header({"block", "measured_mW", "paper_mW"});
+  power.add_row({"cmos_driver", util::num(budget.driver_power.value() * 1e3),
+                 "4.5"});
+  power.add_row({"rx_frontend_rfi",
+                 util::num(budget.rfi_power.value() * 1e3), "6.7"});
+  power.add_row({"static_inverter",
+                 util::num(budget.restoring_power.value() * 1e3), "1.4"});
+  power.add_row({"sampling_dff",
+                 util::num(budget.sampler_dff_power.value() * 1e3), "3.1"});
+  power.add_row({"serializer",
+                 util::num(budget.serializer_power.value() * 1e3), "235"});
+  power.add_row({"deserializer",
+                 util::num(budget.deserializer_power.value() * 1e3), "128"});
+  power.add_row({"cdr", util::num(budget.cdr_power.value() * 1e3), "59"});
+  power.add_row({"TOTAL", util::num(budget.total_power().value() * 1e3),
+                 "437.7"});
+  power.print();
+
+  std::printf("\nTX power        : %s (paper 4.5 mW)\n",
+              util::to_string(budget.tx_power()).c_str());
+  std::printf("RX front end    : %s (paper 11.2 mW)\n",
+              util::to_string(budget.rx_frontend_power()).c_str());
+  std::printf("energy per bit  : %s (paper 219 pJ/bit)\n",
+              util::to_string(budget.energy_per_bit(cfg.bit_rate)).c_str());
+
+  util::TextTable area("Fig 10b - Area breakdown (log-scale bars in paper)");
+  area.set_header({"block", "area_um2"});
+  area.add_row({"cmos_driver", util::num(budget.driver_area.value())});
+  area.add_row({"resistive_feedback_inverter",
+                util::num(budget.rfi_area.value())});
+  area.add_row({"static_cmos_inverter",
+                util::num(budget.restoring_area.value())});
+  area.add_row({"d_flipflop", util::num(budget.dff_area.value())});
+  area.add_row({"serializer", util::num(budget.serializer_area.value())});
+  area.add_row({"deserializer", util::num(budget.deserializer_area.value())});
+  area.add_row({"cdr", util::num(budget.cdr_area.value())});
+  area.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 11: the generated SerDes layout — floorplan the five blocks, report
+// area percentages, and export GDSII + SVG like the paper's flow does.
+#include <cstdio>
+
+#include "core/power_model.h"
+#include "flow/gds.h"
+#include "flow/place.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const auto budget = core::compute_link_budget(cfg);
+
+  std::vector<flow::FloorplanBlock> blocks(5);
+  blocks[0] = {"deserializer", budget.deserializer_area};
+  blocks[1] = {"serializer", budget.serializer_area};
+  blocks[2] = {"cdr", budget.cdr_area};
+  blocks[3] = {"rx_front_end", budget.rfi_area + budget.restoring_area +
+                                   budget.dff_area};
+  blocks[4] = {"cmos_driver", budget.driver_area};
+  const auto plan = flow::floorplan(blocks, 0.12);
+
+  util::TextTable table("Fig 11 - SerDes layout (die plan)");
+  table.set_header({"block", "x_um", "y_um", "w_um", "h_um", "area_um2",
+                    "share_%"});
+  const double die = plan.die_area().value();
+  for (const auto& b : plan.blocks) {
+    table.add_row({b.name, util::num(b.x_um), util::num(b.y_um),
+                   util::num(b.width_um), util::num(b.height_um),
+                   util::num(b.area.value()),
+                   util::num(100.0 * b.area.value() / die)});
+  }
+  table.print();
+
+  std::printf("\ndie: %.0f x %.0f um = %.3f mm^2  (paper: 0.24 mm^2)\n",
+              plan.die_width_um, plan.die_height_um, die * 1e-6);
+  std::printf("paper shares: deserializer 60%%, driver 0.2%%, RX FE 1.1%%\n");
+
+  flow::GdsWriter::write("serdes_layout.gds", "openserdes",
+                         flow::rects_from_floorplan(plan));
+  flow::SvgWriter::write("serdes_layout.svg",
+                         flow::rects_from_floorplan(plan));
+  std::printf("wrote serdes_layout.gds (GDSII stream) and serdes_layout.svg\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 4b: transistor-level transient of the 3-stage CMOS driver into the
+// 2 pF termination at 2 Gbps (input and output waveform samples).
+#include <cstdio>
+
+#include "analog/driver.h"
+#include "core/config.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const analog::InverterChainDriver driver(cfg.driver);
+
+  // The paper's Fig 4b window: 20 ns of alternating data at 2 Gbps.
+  const std::vector<std::uint8_t> bits = {0, 1, 0, 1, 1, 0, 0, 1,
+                                          0, 1, 0, 1, 0, 1, 1, 0,
+                                          1, 0, 1, 0, 0, 1, 0, 1,
+                                          1, 0, 1, 0, 1, 0, 0, 1,
+                                          0, 1, 1, 0, 1, 0, 1, 0};
+  auto input = analog::Waveform::nrz(bits, cfg.unit_interval(), 32, 0.0,
+                                     cfg.driver.vdd.value(),
+                                     util::picoseconds(40.0));
+  const auto output = driver.transient(input, util::picoseconds(4.0));
+
+  util::TextTable table("Fig 4b - CMOS driver input/output @ 2 Gbps, 2 pF");
+  table.set_header({"time_ns", "vin_V", "vout_V"});
+  for (double t_ns = 0.0; t_ns <= 20.0; t_ns += 0.25) {
+    const auto t = util::nanoseconds(t_ns);
+    table.add_row_numeric({t_ns, input.value_at(t), output.value_at(t)});
+  }
+  table.print();
+
+  std::printf("\noutput 20-80%% rise time : %s (RC model %s)\n",
+              util::to_string(output.rise_time_20_80(util::nanoseconds(2.0)))
+                  .c_str(),
+              util::to_string(driver.output_rise_time()).c_str());
+  std::printf("output swing            : %.3f V (rail-to-rail = 1.8 V)\n",
+              output.peak_to_peak());
+  std::printf("chain delay             : %s\n",
+              util::to_string(driver.total_delay()).c_str());
+  std::printf("driver power @ 2 Gbps   : %s (paper: 4.5 mW)\n",
+              util::to_string(driver.dynamic_power(cfg.bit_rate, 0.25) * 1.15)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 9: receiver sensitivity and maximum channel loss vs operating
+// frequency (1 MHz .. 2 GHz sweep).
+#include <cstdio>
+
+#include "core/sensitivity.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  core::SensitivitySweepConfig sweep;
+  sweep.bits_per_trial = 2000;
+
+  const std::vector<util::Hertz> rates = {
+      util::megahertz(1.0),   util::megahertz(3.0),  util::megahertz(10.0),
+      util::megahertz(30.0),  util::megahertz(100.0), util::megahertz(300.0),
+      util::gigahertz(1.0),   util::gigahertz(1.5),  util::gigahertz(2.0)};
+
+  const auto points = core::sensitivity_sweep(cfg, rates, sweep);
+
+  util::TextTable table(
+      "Fig 9 - Sensitivity & max channel loss vs frequency");
+  table.set_header(
+      {"freq_Hz", "sensitivity_mV", "max_channel_loss_dB"});
+  for (const auto& p : points) {
+    table.add_row({util::num(p.bit_rate.value()),
+                   util::num(p.sensitivity_v * 1e3),
+                   util::num(-p.max_channel_loss_db)});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper shape: sensitivity worsens (15 -> ~35 mV) toward GHz rates;\n"
+      "max tolerable loss shrinks (-50 -> -35 dB).  Criteria: sensitivity =\n"
+      "min error-free swing under jitter+noise stress; max loss = largest\n"
+      "dispersive-line + attenuator budget with zero observed errors\n"
+      "(loss quoted at the data's Nyquist frequency).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Extension bench: sinusoidal jitter tolerance mask of the oversampling
+// CDR — the acceptance view of the paper's jitter-correction scan logic.
+#include <cstdio>
+
+#include "core/jitter_tolerance.h"
+#include "util/table.h"
+
+int main() {
+  using namespace serdes;
+  const core::LinkConfig base = core::LinkConfig::paper_default();
+  core::JitterToleranceConfig cfg;
+  cfg.bits_per_trial = 2500;
+
+  const std::vector<double> ratios = {0.0002, 0.001, 0.005, 0.02,
+                                      0.05,   0.1,   0.2};
+
+  util::TextTable table("Jitter tolerance mask @ 2 Gbps, 20 dB loss");
+  table.set_header({"sj_freq/bit_rate", "sj_freq_MHz", "tolerance_UI"});
+  for (const auto& p : core::jitter_tolerance_sweep(base, ratios, cfg)) {
+    table.add_row({util::num(p.sj_freq_ratio),
+                   util::num(p.sj_freq_ratio * base.bit_rate.value() * 1e-6),
+                   util::num(p.tolerance_ui)});
+  }
+  table.print();
+
+  // The jitter-correction scan knob's effect on the mask's fast corner.
+  util::TextTable scan("Fast-jitter tolerance vs jitter-correction setting");
+  scan.set_header({"jitter_hysteresis", "tolerance_UI_at_0.05"});
+  for (int j : {1, 2, 4}) {
+    core::LinkConfig c = base;
+    c.cdr.jitter_hysteresis = j;
+    scan.add_row({std::to_string(j),
+                  util::num(core::measure_jitter_tolerance(c, 0.05, cfg))});
+  }
+  scan.print();
+
+  std::printf(
+      "\nexpected: slow jitter is tracked by CDR phase updates (high\n"
+      "tolerance); jitter faster than the vote window rides on raw eye\n"
+      "margin (floor around a tenth of a UI).\n");
+  return 0;
+}

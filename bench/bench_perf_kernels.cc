@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the simulation kernels: how fast the
+// library itself runs (not a paper figure — engineering data for users).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analog/rfi.h"
+#include "analog/transient.h"
+#include "channel/channel.h"
+#include "core/link.h"
+#include "digital/cdr.h"
+#include "flow/place.h"
+#include "flow/power.h"
+#include "flow/rtlgen.h"
+#include "flow/sta.h"
+#include "util/prbs.h"
+
+namespace {
+
+using namespace serdes;
+
+void BM_PrbsGeneration(benchmark::State& state) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prbs.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrbsGeneration);
+
+void BM_CdrRecovery(benchmark::State& state) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto bits = prbs.next_bits(4096);
+  std::vector<std::uint8_t> samples;
+  samples.reserve(bits.size() * 5);
+  for (auto b : bits) {
+    for (int p = 0; p < 5; ++p) samples.push_back(b);
+  }
+  for (auto _ : state) {
+    digital::OversamplingCdr cdr(digital::CdrConfig{});
+    benchmark::DoNotOptimize(cdr.recover(samples));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_CdrRecovery);
+
+void BM_TransientRfiStep(benchmark::State& state) {
+  const analog::RfiCircuit rfi;
+  const std::vector<std::uint8_t> bits = {0, 1, 1, 0, 1, 0, 0, 1};
+  auto input = analog::Waveform::nrz(bits, util::nanoseconds(0.5), 16,
+                                     -0.016, 0.016, util::picoseconds(60.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfi.transient(input, util::picoseconds(20.0)));
+  }
+}
+BENCHMARK(BM_TransientRfiStep);
+
+void BM_FullLinkRun(benchmark::State& state) {
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  for (auto _ : state) {
+    core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
+                                   util::decibels(34.0)));
+    benchmark::DoNotOptimize(link.run_prbs(1024));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FullLinkRun);
+
+void BM_NetlistGeneration(benchmark::State& state) {
+  flow::SerdesRtlConfig rtl;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::generate_serializer(rtl));
+  }
+}
+BENCHMARK(BM_NetlistGeneration);
+
+void BM_StaAnalysis(benchmark::State& state) {
+  flow::SerdesRtlConfig rtl;
+  flow::Netlist n = flow::generate_serializer(rtl);
+  flow::place(n);
+  for (auto _ : state) {
+    flow::StaEngine sta(n);
+    benchmark::DoNotOptimize(sta.analyze(util::picoseconds(500.0)));
+  }
+}
+BENCHMARK(BM_StaAnalysis);
+
+void BM_PowerAnalysis(benchmark::State& state) {
+  flow::SerdesRtlConfig rtl;
+  flow::Netlist n = flow::generate_deserializer(rtl);
+  flow::place(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow::analyze_power(n, {}));
+  }
+}
+BENCHMARK(BM_PowerAnalysis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

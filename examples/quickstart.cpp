@@ -1,0 +1,55 @@
+// Quickstart: bring up the OpenSerDes link at its paper operating point —
+// 2 Gbps PRBS-31 across a 34 dB channel — and print what the receiver saw.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/ber.h"
+#include "core/link.h"
+
+int main() {
+  using namespace serdes;
+
+  // 1. Configure the link exactly as the paper operates it.
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+
+  // 2. A 34 dB-loss channel (the paper's headline operating condition).
+  auto channel = std::make_unique<channel::FlatChannel>(util::decibels(34.0));
+
+  core::SerDesLink link(cfg, std::move(channel));
+
+  // 3. Inspect the receiver front end the way Fig 6 does.
+  const auto& rfi = link.receiver().rfi();
+  std::printf("receiver front end:\n");
+  std::printf("  RFI self-bias        : %.3f V   (paper: 0.83 V)\n",
+              rfi.self_bias());
+  std::printf("  RFI small-signal gain: %.1f x\n", rfi.gain_at_bias());
+  std::printf("  RFI bandwidth        : %s\n",
+              util::to_string(rfi.bandwidth()).c_str());
+  std::printf("  decision threshold   : %.3f V\n",
+              link.receiver().decision_threshold());
+
+  // 4. Send PRBS-31 payload and check it (Fig 8 conditions).
+  const core::LinkResult r = link.run_prbs(4096);
+  std::printf("\nlink run @ 2 Gbps, 34 dB loss, PRBS-31:\n");
+  std::printf("  aligned              : %s\n", r.aligned ? "yes" : "NO");
+  std::printf("  payload bits checked : %llu\n",
+              static_cast<unsigned long long>(r.payload_bits_compared));
+  std::printf("  bit errors           : %llu\n",
+              static_cast<unsigned long long>(r.bit_errors));
+  std::printf("  received swing       : %.1f mV\n",
+              r.channel_out.peak_to_peak() * 1e3);
+  std::printf("  CDR decision phase   : %d / %d\n", r.rx.cdr_decision_phase,
+              cfg.cdr.oversampling);
+
+  // 5. Quantify "zero BER" with a confidence bound.
+  core::SerDesLink link2(cfg, std::make_unique<channel::FlatChannel>(
+                                  util::decibels(34.0)));
+  const auto ber = core::measure_ber(link2, 50000);
+  std::printf("\nBER over %llu bits: %g (95%% upper bound %.2e)\n",
+              static_cast<unsigned long long>(ber.bits), ber.ber,
+              ber.ber_upper_bound);
+  return (r.error_free() && ber.error_free()) ? 0 : 1;
+}

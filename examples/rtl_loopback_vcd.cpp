@@ -1,0 +1,70 @@
+// Cycle-accurate RTL loopback on the event-driven kernel with VCD tracing:
+// the serializer FSM drives the deserializer FSM through a wire, and the
+// waveforms land in a GTKWave-compatible dump — the "RTL testbench" view of
+// the paper's digital blocks.
+//
+// Build & run:  ./build/examples/rtl_loopback_vcd && gtkwave loopback.vcd
+#include <cstdio>
+
+#include "digital/rtl_modules.h"
+#include "sim/clock.h"
+#include "sim/vcd.h"
+#include "util/random.h"
+
+int main() {
+  using namespace serdes;
+
+  sim::Kernel kernel;
+  sim::Wire tx_clk(kernel);
+  sim::Wire rx_clk(kernel);
+  sim::Wire serial(kernel);
+
+  digital::RtlSerializer serializer(kernel, tx_clk, serial);
+  digital::RtlDeserializer deserializer(kernel, rx_clk, serial);
+
+  // Three random frames.
+  util::Rng rng(2026);
+  std::vector<digital::ParallelFrame> frames(3);
+  for (auto& f : frames) {
+    for (auto& lane : f.lanes) {
+      lane = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    serializer.queue_frame(f);
+  }
+
+  // 2 GHz bit clocks; the receiver samples mid-eye (half-UI offset), the
+  // job the oversampling CDR does in the analog link.
+  sim::Clock::Config tx_cfg;
+  tx_cfg.period = sim::sim_ps(500);
+  sim::Clock tx_clock(kernel, tx_clk, tx_cfg);
+  sim::Clock::Config rx_cfg;
+  rx_cfg.period = sim::sim_ps(500);
+  rx_cfg.phase_offset = sim::sim_ps(250);
+  sim::Clock rx_clock(kernel, rx_clk, rx_cfg);
+
+  sim::VcdWriter vcd(kernel, "loopback.vcd");
+  vcd.trace(tx_clk, "tx_clk");
+  vcd.trace(rx_clk, "rx_clk");
+  vcd.trace(serial, "serial_data");
+  vcd.begin();
+
+  tx_clock.start();
+  rx_clock.start();
+  kernel.run_until(sim::sim_ns(3 * 128 + 20));
+  vcd.finish();
+
+  std::printf("simulated %s, %llu delta cycles\n",
+              kernel.now().to_string().c_str(),
+              static_cast<unsigned long long>(kernel.delta_cycles()));
+  std::printf("bits sent %llu, frames received %zu\n",
+              static_cast<unsigned long long>(serializer.bits_sent()),
+              deserializer.frames().size());
+
+  bool ok = deserializer.frames().size() >= frames.size();
+  for (std::size_t i = 0; ok && i < frames.size(); ++i) {
+    ok = deserializer.frames()[i] == frames[i];
+    std::printf("frame %zu: %s\n", i, ok ? "match" : "MISMATCH");
+  }
+  std::printf("wrote loopback.vcd\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,115 @@
+#include "analog/driver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace serdes::analog {
+
+InverterChainDriver::InverterChainDriver(const DriverDesign& design)
+    : design_(design) {
+  if (design.stages < 1 || design.stages > 12) {
+    throw std::invalid_argument("InverterChainDriver: 1..12 stages");
+  }
+  if (design.taper <= 1.0) {
+    throw std::invalid_argument("InverterChainDriver: taper must be > 1");
+  }
+  double wn = design.wn_first_um;
+  for (int i = 0; i < design.stages; ++i) {
+    stages_.emplace_back(wn, wn * design.beta, design.vdd);
+    wn *= design.taper;
+  }
+}
+
+util::Second InverterChainDriver::total_delay() const {
+  util::Second total{0.0};
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const util::Farad load = (i + 1 < stages_.size())
+                                 ? stages_[i + 1].input_cap()
+                                 : design_.load;
+    total += stages_[i].propagation_delay(load);
+  }
+  return total;
+}
+
+util::Second InverterChainDriver::output_rise_time() const {
+  const InverterCell& last = stages_.back();
+  const double r = 0.5 * (last.drive_resistance_n().value() +
+                          last.drive_resistance_p().value());
+  const double c = design_.load.value() + last.output_cap().value();
+  // 20-80% of an RC exponential: (ln(0.8/0.2)) * RC ≈ 1.386 RC.
+  return util::seconds(1.386 * r * c);
+}
+
+util::Watt InverterChainDriver::dynamic_power(util::Hertz bit_rate,
+                                              double activity) const {
+  double energy_per_transition = 0.0;  // joules
+  const double vdd = design_.vdd.value();
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    const util::Farad load = (i + 1 < stages_.size())
+                                 ? stages_[i + 1].input_cap()
+                                 : design_.load;
+    const double c = load.value() + stages_[i].output_cap().value();
+    energy_per_transition += c * vdd * vdd;
+  }
+  // First-stage input is charged by the serializer; include it for a total
+  // driver figure.
+  energy_per_transition += stages_.front().input_cap().value() * vdd * vdd;
+  return util::watts(activity * energy_per_transition * bit_rate.value());
+}
+
+double InverterChainDriver::total_width_um() const {
+  double w = 0.0;
+  for (const auto& s : stages_) {
+    w += s.nmos().width_um() + s.pmos().width_um();
+  }
+  return w;
+}
+
+Waveform InverterChainDriver::transient(const Waveform& input,
+                                        util::Second dt) const {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  ckt.drive_dc(vdd, design_.vdd);
+  ckt.drive(in, [&input](double t) {
+    return input.value_at(util::seconds(t));
+  });
+
+  NodeId prev = in;
+  NodeId out = in;
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    out = ckt.add_node("stage" + std::to_string(i));
+    const InverterCell& cell = stages_[i];
+    ckt.add_mosfet(cell.nmos(), out, prev, Circuit::kGround);
+    ckt.add_mosfet(cell.pmos(), out, prev, vdd);
+    // Node self-load plus the next stage's gate (or the channel load).
+    util::Farad cap = cell.output_cap();
+    if (i + 1 < stages_.size()) {
+      cap += stages_[i + 1].input_cap();
+    } else {
+      cap += design_.load;
+    }
+    ckt.add_capacitor(out, Circuit::kGround, cap);
+    prev = out;
+  }
+
+  const auto result =
+      solve_transient(ckt, input.end_time() - input.start_time(), dt);
+  return result.node_waveform(out);
+}
+
+Waveform InverterChainDriver::drive(const std::vector<std::uint8_t>& bits,
+                                    util::Hertz bit_rate,
+                                    int samples_per_ui) const {
+  const util::Second ui = util::period(bit_rate);
+  // Behavioural output: NRZ with the chain's output edge rate; an odd number
+  // of inverting stages inverts the data, which the link calibration undoes,
+  // so we keep the polarity of the bit stream here.
+  const util::Second edge = output_rise_time();
+  Waveform w = Waveform::nrz(bits, ui, samples_per_ui, 0.0,
+                             design_.vdd.value(), edge);
+  w.delay(total_delay());
+  return w;
+}
+
+}  // namespace serdes::analog

@@ -1,0 +1,69 @@
+// Voltage-mode CMOS transmit driver (paper Section IV-A, Fig 4).
+//
+// A three-stage tapered inverter chain sized to drive the 2 pF channel
+// termination rail-to-rail at 2 Gbps.  Voltage-mode inverter drivers burn
+// less power than current-mode differential drivers — the reason the paper
+// picks them — and are trivially synthesizable.
+#pragma once
+
+#include <vector>
+
+#include "analog/inverter.h"
+#include "analog/transient.h"
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+struct DriverDesign {
+  int stages = 3;
+  double taper = 4.0;        // width multiplication per stage
+  double wn_first_um = 2.0;  // first-stage NMOS width
+  double beta = 2.2;         // PMOS/NMOS width ratio per stage
+  util::Volt vdd = util::volts(1.8);
+  util::Farad load = util::picofarads(2.0);
+};
+
+class InverterChainDriver {
+ public:
+  explicit InverterChainDriver(const DriverDesign& design = DriverDesign{});
+
+  /// Per-stage inverter cells (first to last).
+  [[nodiscard]] const std::vector<InverterCell>& chain() const {
+    return stages_;
+  }
+
+  /// Total propagation delay through the chain into the load.
+  [[nodiscard]] util::Second total_delay() const;
+
+  /// Output 20-80% rise time into the load (RC switch model).
+  [[nodiscard]] util::Second output_rise_time() const;
+
+  /// Average dynamic power at the given toggle rate (activity = probability
+  /// of an output transition per bit; 0.5 for random NRZ data).
+  [[nodiscard]] util::Watt dynamic_power(util::Hertz bit_rate,
+                                         double activity = 0.5) const;
+
+  /// Total device width (um) — proxy for layout area.
+  [[nodiscard]] double total_width_um() const;
+
+  /// Transistor-level transient of the full chain driving the load
+  /// (regenerates Fig 4b).  `input` is the rail-referenced serial data.
+  /// Returns the voltage waveform at the load.
+  [[nodiscard]] Waveform transient(const Waveform& input,
+                                   util::Second dt) const;
+
+  /// Fast behavioural model for link simulation: maps the serial bit
+  /// stream to the load voltage with the chain's delay and slew applied.
+  [[nodiscard]] Waveform drive(const std::vector<std::uint8_t>& bits,
+                               util::Hertz bit_rate,
+                               int samples_per_ui) const;
+
+  [[nodiscard]] const DriverDesign& design() const { return design_; }
+
+ private:
+  DriverDesign design_;
+  std::vector<InverterCell> stages_;
+};
+
+}  // namespace serdes::analog

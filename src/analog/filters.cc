@@ -1,0 +1,148 @@
+#include "analog/filters.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace serdes::analog {
+
+Waveform& Filter::process(Waveform& w) {
+  for (double& s : w.samples()) s = step(s);
+  return w;
+}
+
+namespace {
+/// Validates and, if necessary, pulls the cutoff just below Nyquist.  A pole
+/// far above the simulation bandwidth is indistinguishable from "no pole",
+/// so clamping (rather than throwing) lets one filter design serve every
+/// bit rate the sweeps visit.
+util::Hertz check_rates(util::Hertz cutoff, util::Second dt, const char* who) {
+  if (cutoff.value() <= 0.0) {
+    throw std::invalid_argument(std::string(who) + ": cutoff must be > 0");
+  }
+  if (dt.value() <= 0.0) {
+    throw std::invalid_argument(std::string(who) +
+                                ": sample period must be > 0");
+  }
+  const double nyquist = 0.5 / dt.value();
+  if (cutoff.value() >= 0.98 * nyquist) {
+    return util::hertz(0.98 * nyquist);
+  }
+  return cutoff;
+}
+}  // namespace
+
+OnePoleLowPass::OnePoleLowPass(util::Hertz cutoff, util::Second sample_period)
+    : cutoff_(check_rates(cutoff, sample_period, "OnePoleLowPass")) {
+  // Bilinear: K = tan(pi*fc*T); y = (K(x+x1) + (1-K) y1) / (1+K)
+  const double k =
+      std::tan(std::numbers::pi * cutoff_.value() * sample_period.value());
+  b_ = k / (1.0 + k);
+  a_ = (1.0 - k) / (1.0 + k);
+}
+
+double OnePoleLowPass::step(double x) {
+  const double y = b_ * (x + x1_) + a_ * y1_;
+  x1_ = x;
+  y1_ = y;
+  return y;
+}
+
+void OnePoleLowPass::reset() { x1_ = y1_ = 0.0; }
+
+OnePoleHighPass::OnePoleHighPass(util::Hertz cutoff,
+                                 util::Second sample_period) {
+  const util::Hertz fc = check_rates(cutoff, sample_period, "OnePoleHighPass");
+  const double k =
+      std::tan(std::numbers::pi * fc.value() * sample_period.value());
+  b_ = 1.0 / (1.0 + k);
+  a_ = (1.0 - k) / (1.0 + k);
+}
+
+double OnePoleHighPass::step(double x) {
+  const double y = b_ * (x - x1_) + a_ * y1_;
+  x1_ = x;
+  y1_ = y;
+  return y;
+}
+
+void OnePoleHighPass::reset() { x1_ = y1_ = 0.0; }
+
+BiquadLowPass::BiquadLowPass(util::Hertz cutoff, double q,
+                             util::Second sample_period) {
+  const util::Hertz fc = check_rates(cutoff, sample_period, "BiquadLowPass");
+  if (q <= 0.0) throw std::invalid_argument("BiquadLowPass: Q must be > 0");
+  const double w0 =
+      2.0 * std::numbers::pi * fc.value() * sample_period.value();
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  b0_ = (1.0 - cw) / 2.0 / a0;
+  b1_ = (1.0 - cw) / a0;
+  b2_ = b0_;
+  a1_ = -2.0 * cw / a0;
+  a2_ = (1.0 - alpha) / a0;
+}
+
+double BiquadLowPass::step(double x) {
+  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+  x2_ = x1_;
+  x1_ = x;
+  y2_ = y1_;
+  y1_ = y;
+  return y;
+}
+
+void BiquadLowPass::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
+
+FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
+  if (taps_.empty()) throw std::invalid_argument("FirFilter: no taps");
+  history_.assign(taps_.size(), 0.0);
+}
+
+double FirFilter::step(double x) {
+  history_[pos_] = x;
+  double acc = 0.0;
+  std::size_t idx = pos_;
+  for (double tap : taps_) {
+    acc += tap * history_[idx];
+    idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+  }
+  pos_ = (pos_ + 1) % history_.size();
+  return acc;
+}
+
+void FirFilter::reset() {
+  history_.assign(taps_.size(), 0.0);
+  pos_ = 0;
+}
+
+double measure_gain(Filter& filter, util::Hertz freq,
+                    util::Second sample_period, int cycles) {
+  filter.reset();
+  const double w = 2.0 * std::numbers::pi * freq.value();
+  const auto samples_per_cycle =
+      static_cast<int>(1.0 / (freq.value() * sample_period.value()));
+  if (samples_per_cycle < 4) return 0.0;
+  const int n = samples_per_cycle * cycles;
+  // Run to steady state, then correlate the last half against quadrature
+  // references to extract the output amplitude.
+  double i_acc = 0.0;
+  double q_acc = 0.0;
+  int counted = 0;
+  for (int k = 0; k < n; ++k) {
+    const double t = k * sample_period.value();
+    const double y = filter.step(std::sin(w * t));
+    if (k >= n / 2) {
+      i_acc += y * std::sin(w * t);
+      q_acc += y * std::cos(w * t);
+      ++counted;
+    }
+  }
+  const double i_avg = i_acc / counted;
+  const double q_avg = q_acc / counted;
+  return 2.0 * std::sqrt(i_avg * i_avg + q_avg * q_avg);
+}
+
+}  // namespace serdes::analog

@@ -1,0 +1,90 @@
+// Discrete-time filters used for channel and front-end modelling.
+//
+// All filters expose a per-sample `step` and a whole-Waveform `process`.
+// The link uses one-pole sections for RC behaviour, biquads for the lossy
+// line's second-order roll-off, and FIR for tap-specified ISI channels.
+#pragma once
+
+#include <vector>
+
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+/// Common interface so channels can compose arbitrary filter chains.
+class Filter {
+ public:
+  virtual ~Filter() = default;
+  /// Processes one input sample.
+  virtual double step(double x) = 0;
+  /// Resets internal state to zero.
+  virtual void reset() = 0;
+
+  /// Runs the filter across a waveform (in place), returning it.
+  Waveform& process(Waveform& w);
+};
+
+/// One-pole low-pass: H(s) = 1 / (1 + s/wc), discretised by the bilinear
+/// transform.  `configure` must be called (or the ctor used) before step.
+class OnePoleLowPass : public Filter {
+ public:
+  OnePoleLowPass(util::Hertz cutoff, util::Second sample_period);
+  double step(double x) override;
+  void reset() override;
+  [[nodiscard]] util::Hertz cutoff() const { return cutoff_; }
+
+ private:
+  util::Hertz cutoff_;
+  double a_ = 0.0;  // output feedback coefficient
+  double b_ = 1.0;  // input coefficient
+  double y1_ = 0.0;
+  double x1_ = 0.0;
+};
+
+/// One-pole high-pass (AC-coupling): H(s) = s/(s + wc), bilinear.
+class OnePoleHighPass : public Filter {
+ public:
+  OnePoleHighPass(util::Hertz cutoff, util::Second sample_period);
+  double step(double x) override;
+  void reset() override;
+
+ private:
+  double a_ = 0.0;
+  double b_ = 1.0;
+  double y1_ = 0.0;
+  double x1_ = 0.0;
+};
+
+/// Second-order low-pass biquad (RBJ cookbook, bilinear).
+class BiquadLowPass : public Filter {
+ public:
+  BiquadLowPass(util::Hertz cutoff, double q, util::Second sample_period);
+  double step(double x) override;
+  void reset() override;
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+  double x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
+};
+
+/// Direct-form FIR.
+class FirFilter : public Filter {
+ public:
+  explicit FirFilter(std::vector<double> taps);
+  double step(double x) override;
+  void reset() override;
+  [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
+
+ private:
+  std::vector<double> taps_;
+  std::vector<double> history_;
+  std::size_t pos_ = 0;
+};
+
+/// Magnitude response |H(f)| of a filter measured empirically by running a
+/// sinusoid through a fresh copy of the filter chain (useful for tests).
+double measure_gain(Filter& filter, util::Hertz freq,
+                    util::Second sample_period, int cycles = 60);
+
+}  // namespace serdes::analog

@@ -1,0 +1,101 @@
+#include "analog/inverter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace serdes::analog {
+
+InverterCell::InverterCell(double wn_um, double wp_um, util::Volt vdd,
+                           MosParams nmos, MosParams pmos)
+    : nmos_(nmos, wn_um), pmos_(pmos, wp_um), vdd_(vdd) {
+  if (vdd.value() <= 0.0) {
+    throw std::invalid_argument("InverterCell: vdd must be > 0");
+  }
+  if (nmos.type != MosType::kNmos || pmos.type != MosType::kPmos) {
+    throw std::invalid_argument("InverterCell: device types swapped");
+  }
+}
+
+double InverterCell::vtc(double vin) const {
+  const double vdd = vdd_.value();
+  // KCL at the output: NMOS pull-down current equals PMOS pull-up current.
+  // f(vout) = I_n(vin, vout) - I_pullup(vin, vout) is monotonically
+  // increasing in vout, so bisection is safe.
+  auto f = [&](double vout) {
+    const double in = nmos_.drain_current(vin, vout);
+    // PMOS source at VDD: vgs_p = vin - vdd, vds_p = vout - vdd; its drain
+    // current (conventional, into drain) is negative when pulling up.
+    const double ip = pmos_.drain_current(vin - vdd, vout - vdd);
+    return in + ip;  // ip < 0 when sourcing current into the output node
+  };
+  const auto root = util::bisect(f, 0.0, vdd, 1e-12);
+  return root.value_or(vdd / 2.0);
+}
+
+double InverterCell::switching_threshold() const {
+  const double vdd = vdd_.value();
+  auto f = [&](double v) { return vtc(v) - v; };
+  // vtc(0) = vdd > 0, vtc(vdd) ~ 0 < vdd: a crossing always exists.
+  const auto root = util::bisect(f, 1e-6, vdd - 1e-6, 1e-12);
+  return root.value_or(vdd / 2.0);
+}
+
+double InverterCell::small_signal_gain(double vin_bias) const {
+  constexpr double h = 1e-5;
+  return (vtc(vin_bias + h) - vtc(vin_bias - h)) / (2.0 * h);
+}
+
+util::Ohm InverterCell::output_resistance(double vin_bias) const {
+  const double vout = vtc(vin_bias);
+  const double vdd = vdd_.value();
+  const double gn = nmos_.gds(vin_bias, vout);
+  const double gp = pmos_.gds(vin_bias - vdd, vout - vdd);
+  const double g = std::fabs(gn) + std::fabs(gp);
+  return util::ohms(g > 0.0 ? 1.0 / g : 1e12);
+}
+
+util::Ampere InverterCell::static_current(double vin) const {
+  const double vout = vtc(vin);
+  // At DC equilibrium, the NMOS current equals the PMOS current; either is
+  // the supply-to-ground crowbar current.
+  return util::amperes(std::fabs(nmos_.drain_current(vin, vout)));
+}
+
+util::Farad InverterCell::input_cap() const {
+  return nmos_.gate_cap() + pmos_.gate_cap();
+}
+
+util::Farad InverterCell::output_cap() const {
+  return nmos_.drain_cap() + pmos_.drain_cap();
+}
+
+util::Ohm InverterCell::drive_resistance_n() const {
+  const double vdd = vdd_.value();
+  const double id = nmos_.drain_current(vdd, vdd / 2.0);
+  return util::ohms(vdd / 2.0 / id);
+}
+
+util::Ohm InverterCell::drive_resistance_p() const {
+  const double vdd = vdd_.value();
+  const double id = std::fabs(pmos_.drain_current(-vdd, -vdd / 2.0));
+  return util::ohms(vdd / 2.0 / id);
+}
+
+util::Second InverterCell::propagation_delay(util::Farad load) const {
+  const util::Farad c_total = load + output_cap();
+  // ln(2)·R·C switch model, averaged over the N and P transitions.
+  const double rn = drive_resistance_n().value();
+  const double rp = drive_resistance_p().value();
+  const double r_avg = 0.5 * (rn + rp);
+  return util::seconds(0.6931 * r_avg * c_total.value());
+}
+
+util::Joule InverterCell::switching_energy(util::Farad load) const {
+  const util::Farad c_total = load + output_cap() + input_cap();
+  const double vdd = vdd_.value();
+  return util::joules(c_total.value() * vdd * vdd);
+}
+
+}  // namespace serdes::analog

@@ -1,0 +1,65 @@
+// Static CMOS inverter cell.
+//
+// The entire OpenSerDes analog front end is built from inverters: the
+// transmit driver is a tapered inverter chain, the receiver's sensing
+// element is an inverter with resistive feedback, and the sampler's first
+// stage is a plain inverter restoring rail-to-rail levels.  This class
+// provides the DC analyses (VTC, switching threshold, small-signal gain)
+// and the timing/energy quantities the link model needs.
+#pragma once
+
+#include "analog/mosfet.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+class InverterCell {
+ public:
+  /// Builds an inverter from NMOS/PMOS widths (um) at the given supply.
+  InverterCell(double wn_um, double wp_um, util::Volt vdd,
+               MosParams nmos = sky130_nfet(), MosParams pmos = sky130_pfet());
+
+  /// DC transfer: output voltage for a static input voltage.
+  [[nodiscard]] double vtc(double vin) const;
+
+  /// Switching threshold Vm where vtc(Vm) = Vm.
+  [[nodiscard]] double switching_threshold() const;
+
+  /// Small-signal voltage gain dVout/dVin at the given input bias
+  /// (negative; largest magnitude near the switching threshold).
+  [[nodiscard]] double small_signal_gain(double vin_bias) const;
+
+  /// Output resistance at the given bias (1 / (gds_n + gds_p)).
+  [[nodiscard]] util::Ohm output_resistance(double vin_bias) const;
+
+  /// Static (crowbar + leakage) supply current at a DC input.
+  [[nodiscard]] util::Ampere static_current(double vin) const;
+
+  /// Input gate capacitance.
+  [[nodiscard]] util::Farad input_cap() const;
+  /// Self-load at the output (junction caps).
+  [[nodiscard]] util::Farad output_cap() const;
+
+  /// Equivalent pull-down/pull-up drive resistance (for RC delay models):
+  /// Vdd/2 divided by the saturation current at full gate drive.
+  [[nodiscard]] util::Ohm drive_resistance_n() const;
+  [[nodiscard]] util::Ohm drive_resistance_p() const;
+
+  /// Propagation delay (50%-50%) driving `load`, averaged over rise/fall,
+  /// using the RC switch model with the cell's self-load included.
+  [[nodiscard]] util::Second propagation_delay(util::Farad load) const;
+
+  /// Dynamic switching energy per output transition pair (C_total * Vdd^2).
+  [[nodiscard]] util::Joule switching_energy(util::Farad load) const;
+
+  [[nodiscard]] util::Volt vdd() const { return vdd_; }
+  [[nodiscard]] const Mosfet& nmos() const { return nmos_; }
+  [[nodiscard]] const Mosfet& pmos() const { return pmos_; }
+
+ private:
+  Mosfet nmos_;
+  Mosfet pmos_;
+  util::Volt vdd_;
+};
+
+}  // namespace serdes::analog

@@ -1,0 +1,100 @@
+#include "analog/mosfet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace serdes::analog {
+
+namespace {
+constexpr double kThermalVoltage = 0.0258;  // kT/q at 300 K [V]
+}
+
+MosParams sky130_nfet() {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.vth = 0.42;
+  p.k = 4.0e-4;
+  p.alpha = 1.30;
+  p.lambda = 0.22;  // short-channel output conductance at minimum L
+  p.subthreshold_i0 = 2e-9;
+  p.subthreshold_n = 1.45;
+  p.cgate_per_um = 1.3e-15;
+  p.cdrain_per_um = 0.8e-15;
+  return p;
+}
+
+MosParams sky130_pfet() {
+  MosParams p;
+  p.type = MosType::kPmos;
+  p.vth = 0.44;
+  p.k = 1.7e-4;  // hole mobility penalty
+  p.alpha = 1.35;
+  p.lambda = 0.26;  // short-channel output conductance at minimum L
+  p.subthreshold_i0 = 1e-9;
+  p.subthreshold_n = 1.50;
+  p.cgate_per_um = 1.3e-15;
+  p.cdrain_per_um = 0.9e-15;
+  return p;
+}
+
+Mosfet::Mosfet(MosParams params, double width_um)
+    : params_(params), width_um_(width_um) {
+  if (width_um <= 0.0) throw std::invalid_argument("Mosfet: width must be > 0");
+}
+
+double Mosfet::forward_current(double vgs, double vds) const {
+  // Symmetric device: if vds < 0 swap source and drain.
+  if (vds < 0.0) return -forward_current(vgs - vds, -vds);
+
+  const double vov = vgs - params_.vth;
+  const double nvt = params_.subthreshold_n * kThermalVoltage;
+
+  // Subthreshold: exponential in Vov with drain-voltage saturation term.
+  // Clamped at Vov = 0 so the two regions join continuously.
+  if (vov <= 0.0) {
+    const double isub = params_.subthreshold_i0 * width_um_ *
+                        std::exp(vov / nvt) *
+                        (1.0 - std::exp(-vds / kThermalVoltage));
+    return isub * (1.0 + params_.lambda * vds);
+  }
+
+  // Alpha-power law above threshold.  Vdsat shrinks with velocity
+  // saturation; the linear region is the standard parabolic blend that
+  // meets the saturation current with zero slope at Vds = Vdsat.
+  const double idsat0 = params_.k * width_um_ * std::pow(vov, params_.alpha);
+  const double vdsat = 0.9 * std::pow(vov, params_.alpha / 2.0);
+  double core;
+  if (vds >= vdsat) {
+    core = idsat0;
+  } else {
+    const double x = vds / vdsat;
+    core = idsat0 * x * (2.0 - x);
+  }
+  // Add the (continuous) subthreshold floor so current does not drop to the
+  // exact analytic zero at Vov -> 0+ while the exponential is still finite.
+  const double floor = params_.subthreshold_i0 * width_um_ *
+                       (1.0 - std::exp(-vds / kThermalVoltage));
+  return (core + floor) * (1.0 + params_.lambda * vds);
+}
+
+double Mosfet::drain_current(double vgs, double vds) const {
+  if (params_.type == MosType::kNmos) {
+    return forward_current(vgs, vds);
+  }
+  // PMOS: mirror to source-referenced positive quantities.
+  return -forward_current(-vgs, -vds);
+}
+
+double Mosfet::gm(double vgs, double vds) const {
+  constexpr double h = 1e-6;
+  return (drain_current(vgs + h, vds) - drain_current(vgs - h, vds)) /
+         (2.0 * h);
+}
+
+double Mosfet::gds(double vgs, double vds) const {
+  constexpr double h = 1e-6;
+  return (drain_current(vgs, vds + h) - drain_current(vgs, vds - h)) /
+         (2.0 * h);
+}
+
+}  // namespace serdes::analog

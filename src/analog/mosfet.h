@@ -1,0 +1,70 @@
+// Compact MOSFET model calibrated to the SkyWater 130 nm devices.
+//
+// The paper's circuits (driver, resistive-feedback inverter, pseudo-resistor)
+// were simulated with extracted sky130 transistors.  We substitute an
+// alpha-power-law model (Sakurai-Newton) with subthreshold conduction and
+// channel-length modulation: simple enough for a fast Newton solver, rich
+// enough to reproduce the DC operating points and drive strengths that set
+// the paper's results (e.g. the 0.83 V RFI self-bias of Fig 6).
+#pragma once
+
+#include "util/units.h"
+
+namespace serdes::analog {
+
+enum class MosType { kNmos, kPmos };
+
+/// Device-family parameters.  Widths are in micrometres; currents scale
+/// linearly with width (L is fixed at the process minimum).
+struct MosParams {
+  MosType type = MosType::kNmos;
+  double vth = 0.42;        // threshold voltage [V]
+  double k = 4.0e-4;        // drive factor [A / (um * V^alpha)]
+  double alpha = 1.30;      // velocity-saturation exponent
+  double lambda = 0.06;     // channel-length modulation [1/V]
+  double subthreshold_i0 = 2e-9;   // leakage scale at Vgs = Vth [A/um]
+  double subthreshold_n = 1.45;    // subthreshold slope factor
+  double cgate_per_um = 1.3e-15;   // gate capacitance [F/um]
+  double cdrain_per_um = 0.8e-15;  // drain junction capacitance [F/um]
+};
+
+/// sky130-like NFET (nfet_01v8): Idsat ~ 0.6 mA/um at Vgs=Vds=1.8 V.
+MosParams sky130_nfet();
+/// sky130-like PFET (pfet_01v8): ~2.4x weaker than the NFET.
+MosParams sky130_pfet();
+
+/// A sized transistor instance.
+class Mosfet {
+ public:
+  Mosfet(MosParams params, double width_um);
+
+  /// Drain current for NMOS conventions: vgs, vds >= 0 in normal operation.
+  /// For PMOS pass vgs = Vg-Vs, vds = Vd-Vs as seen at the terminals; the
+  /// model mirrors internally.  Current returned is the conventional drain
+  /// current (positive flowing into the drain for NMOS, out for PMOS).
+  [[nodiscard]] double drain_current(double vgs, double vds) const;
+
+  /// Transconductance dId/dVgs (numeric, used by the Newton solver).
+  [[nodiscard]] double gm(double vgs, double vds) const;
+  /// Output conductance dId/dVds.
+  [[nodiscard]] double gds(double vgs, double vds) const;
+
+  [[nodiscard]] double width_um() const { return width_um_; }
+  [[nodiscard]] const MosParams& params() const { return params_; }
+
+  [[nodiscard]] util::Farad gate_cap() const {
+    return util::farads(params_.cgate_per_um * width_um_);
+  }
+  [[nodiscard]] util::Farad drain_cap() const {
+    return util::farads(params_.cdrain_per_um * width_um_);
+  }
+
+ private:
+  /// Positive-convention current with NMOS-style voltages.
+  [[nodiscard]] double forward_current(double vgs, double vds) const;
+
+  MosParams params_;
+  double width_um_;
+};
+
+}  // namespace serdes::analog

@@ -1,0 +1,111 @@
+#include "analog/rfi.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace serdes::analog {
+
+RfiCircuit::RfiCircuit(const RfiDesign& design)
+    : design_(design),
+      inverter_(design.wn_um, design.wp_um, design.vdd),
+      pseudo_res_(sky130_pfet(), design.pseudo_res_w_um) {}
+
+double RfiCircuit::self_bias() const { return inverter_.switching_threshold(); }
+
+double RfiCircuit::gain_at_bias() const {
+  return std::fabs(inverter_.small_signal_gain(self_bias()));
+}
+
+util::Hertz RfiCircuit::bandwidth() const {
+  const double rout = inverter_.output_resistance(self_bias()).value();
+  const double cload =
+      design_.load_cap.value() + inverter_.output_cap().value();
+  return util::hertz(1.0 / (2.0 * std::numbers::pi * rout * cload));
+}
+
+util::Ohm RfiCircuit::pseudo_resistance() const {
+  // Gate tied to source => Vgs = 0, subthreshold conduction only.
+  // R = dV/dI evaluated at a small drain-source excursion.
+  constexpr double dv = 0.02;
+  const double i = std::fabs(pseudo_res_.drain_current(0.0, -dv));
+  return util::ohms(i > 0.0 ? dv / i : 1e15);
+}
+
+util::Ampere RfiCircuit::static_current() const {
+  return inverter_.static_current(self_bias());
+}
+
+double RfiCircuit::dc_transfer(double vin) const { return inverter_.vtc(vin); }
+
+RfiCircuit::TransientWaves RfiCircuit::transient(const Waveform& input,
+                                                 util::Second dt) const {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId vin_src = ckt.add_node("vin_src");
+  const NodeId vin = ckt.add_node("vin_biased");
+  const NodeId vout = ckt.add_node("vout");
+
+  ckt.drive_dc(vdd, design_.vdd);
+  ckt.drive(vin_src, [&input](double t) {
+    return input.value_at(util::seconds(t));
+  });
+
+  // AC coupling capacitor from the channel to the biased input node.
+  ckt.add_capacitor(vin_src, vin, design_.coupling_cap);
+  // Pseudo-resistor feedback: modelled as its equivalent large resistance
+  // (the subthreshold PMOS is linear over the millivolt excursions here).
+  ckt.add_resistor(vout, vin, pseudo_resistance());
+  // The sensing inverter.
+  ckt.add_mosfet(inverter_.nmos(), vout, vin, Circuit::kGround);
+  ckt.add_mosfet(inverter_.pmos(), vout, vin, vdd);
+  // Input gate capacitance and output load.
+  ckt.add_capacitor(vin, Circuit::kGround, inverter_.input_cap());
+  ckt.add_capacitor(
+      vout, Circuit::kGround,
+      design_.load_cap + inverter_.output_cap());
+
+  const auto result =
+      solve_transient(ckt, input.end_time() - input.start_time(), dt);
+  return TransientWaves{result.node_waveform(vin), result.node_waveform(vout)};
+}
+
+RfiStage::RfiStage(const RfiCircuit& circuit, util::Second sample_period)
+    : bias_(circuit.self_bias()),
+      gain_(circuit.gain_at_bias()),
+      bandwidth_(circuit.bandwidth()),
+      dt_(sample_period),
+      vdd_(circuit.inverter().vdd().value()) {
+  // AC-coupling corner: coupling cap against the Miller-reduced feedback
+  // resistance. With an off-chip nF-scale cap this lands in the kHz range.
+  const double r_in =
+      circuit.pseudo_resistance().value() / (1.0 + gain_);
+  hpf_corner_ = util::hertz(
+      1.0 / (2.0 * std::numbers::pi * r_in * circuit.design().coupling_cap.value()));
+}
+
+Waveform RfiStage::process(const Waveform& in) const {
+  Waveform out = in;
+  // AC coupling, in its established steady state: the off-chip capacitor has
+  // charged to the difference between the RFI self-bias and the signal's DC
+  // level, so the biased input is the signal with its average removed.  (The
+  // coupling corner is sub-Hz — see hpf_corner_ — so the settling transient
+  // is far longer than any simulated window and is not modelled.)
+  out.offset(-out.mean_value());
+  // Linear gain with the dominant output pole, then rail saturation.
+  OnePoleLowPass lpf(bandwidth_, dt_);
+  lpf.process(out);
+  const double bias = bias_;
+  const double gain = gain_;
+  const double vdd = vdd_;
+  out.map([bias, gain, vdd](double v) {
+    // Smooth saturation: inverting gain around the bias point, clipped to
+    // the rails with a tanh knee like the real VTC.
+    const double linear = bias - gain * v;
+    const double centered = linear - vdd / 2.0;
+    const double half = vdd / 2.0;
+    return half + half * std::tanh(centered / half);
+  });
+  return out;
+}
+
+}  // namespace serdes::analog

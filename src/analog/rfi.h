@@ -1,0 +1,104 @@
+// Resistive-feedback inverter (RFI) receiver front end.
+//
+// Paper Section IV-B: a self-biased CMOS inverter with a PMOS pseudo-
+// resistor feeding its output back to its input.  The feedback biases the
+// inverter at its switching threshold (~0.83 V measured in the paper's
+// Fig 6), where the small-signal gain is maximal, letting the receiver
+// sense inputs of a few tens of millivolts.  The received signal is
+// AC-coupled through an off-chip capacitor so the self-bias is undisturbed.
+//
+// Two models are provided:
+//  * RfiCircuit — transistor-level netlist for the nodal solver (used to
+//    regenerate Fig 6 exactly as a transient simulation), and
+//  * RfiStage — a calibrated behavioural model (bias + gain + pole +
+//    saturation) fast enough for the millions of bits that the BER and
+//    sensitivity sweeps of Figs 8/9 require.
+#pragma once
+
+#include "analog/inverter.h"
+#include "analog/filters.h"
+#include "analog/transient.h"
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+/// Geometry/values for the RFI front end.
+struct RfiDesign {
+  double wn_um = 4.0;            // inverter NMOS width
+  double wp_um = 6.0;  // PMOS below mobility-balance ratio => bias < Vdd/2
+  double pseudo_res_w_um = 0.42; // pseudo-resistor PMOS width
+  util::Volt vdd = util::volts(1.8);
+  util::Farad coupling_cap = util::picofarads(1000.0);  // off-chip AC coupling
+  util::Farad load_cap = util::femtofarads(12.0);       // next-stage gate load
+};
+
+/// Transistor-level RFI model.
+class RfiCircuit {
+ public:
+  explicit RfiCircuit(const RfiDesign& design = RfiDesign{});
+
+  /// Self-bias voltage: the inverter's switching threshold (feedback forces
+  /// Vin = Vout at DC since no current flows through the pseudo-resistor).
+  [[nodiscard]] double self_bias() const;
+
+  /// Small-signal gain magnitude at the bias point.
+  [[nodiscard]] double gain_at_bias() const;
+
+  /// Dominant output pole: 1 / (2π · Rout · Cload).
+  [[nodiscard]] util::Hertz bandwidth() const;
+
+  /// Effective pseudo-resistor value around zero bias across it.
+  [[nodiscard]] util::Ohm pseudo_resistance() const;
+
+  /// Static supply current at the bias point (the paper notes the RFI burns
+  /// static power because both devices sit in saturation).
+  [[nodiscard]] util::Ampere static_current() const;
+
+  /// DC transfer curve of the bare inverter (Fig 6a).
+  [[nodiscard]] double dc_transfer(double vin) const;
+
+  /// Builds the full AC-coupled front-end netlist driven by `vin_of_time`
+  /// (channel-referred small signal around 0 V) and runs a transient.
+  /// Returned waveforms: index 0 = biased input node, 1 = RFI output node.
+  struct TransientWaves {
+    Waveform biased_input;
+    Waveform output;
+  };
+  [[nodiscard]] TransientWaves transient(
+      const Waveform& input, util::Second dt) const;
+
+  [[nodiscard]] const InverterCell& inverter() const { return inverter_; }
+  [[nodiscard]] const RfiDesign& design() const { return design_; }
+
+ private:
+  RfiDesign design_;
+  InverterCell inverter_;
+  Mosfet pseudo_res_;
+};
+
+/// Behavioural RFI + restoring-inverter receive chain for link simulation.
+/// Calibrated from an RfiCircuit so the two models agree at DC and small
+/// signal.
+class RfiStage {
+ public:
+  explicit RfiStage(const RfiCircuit& circuit, util::Second sample_period);
+
+  /// Processes the channel-referred waveform (small signal around 0 V) into
+  /// the RFI output waveform (large signal around the bias).
+  [[nodiscard]] Waveform process(const Waveform& in) const;
+
+  [[nodiscard]] double bias() const { return bias_; }
+  [[nodiscard]] double gain() const { return gain_; }
+  [[nodiscard]] util::Hertz bandwidth() const { return bandwidth_; }
+
+ private:
+  double bias_;
+  double gain_;
+  util::Hertz bandwidth_;
+  util::Hertz hpf_corner_;
+  util::Second dt_;
+  double vdd_;
+};
+
+}  // namespace serdes::analog

@@ -1,0 +1,65 @@
+#include "analog/sampler.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace serdes::analog {
+
+RestoringInverter::RestoringInverter(double wn_um, double wp_um,
+                                     util::Volt vdd,
+                                     util::Second sample_period,
+                                     util::Farad load)
+    : cell_(wn_um, wp_um, vdd), dt_(sample_period), vdd_(vdd.value()) {
+  threshold_ = cell_.switching_threshold();
+  const double rout_drive = 0.5 * (cell_.drive_resistance_n().value() +
+                                   cell_.drive_resistance_p().value());
+  const double c = load.value() + cell_.output_cap().value();
+  bandwidth_ =
+      util::hertz(1.0 / (2.0 * 3.141592653589793 * rout_drive * c));
+  // Sample the VTC once; per-sample bisection would dominate runtime.
+  constexpr int kLutPoints = 512;
+  vtc_lut_.reserve(kLutPoints + 1);
+  for (int i = 0; i <= kLutPoints; ++i) {
+    const double vin = vdd_ * static_cast<double>(i) / kLutPoints;
+    vtc_lut_.push_back(cell_.vtc(vin));
+  }
+}
+
+Waveform RestoringInverter::process(const Waveform& in) const {
+  Waveform out = in;
+  const int last = static_cast<int>(vtc_lut_.size()) - 1;
+  const double scale = static_cast<double>(last) / vdd_;
+  out.map([this, last, scale](double v) {
+    const double x = util::clamp(v, 0.0, vdd_) * scale;
+    const int lo = std::min(static_cast<int>(x), last - 1);
+    const double frac = x - lo;
+    return vtc_lut_[lo] + frac * (vtc_lut_[lo + 1] - vtc_lut_[lo]);
+  });
+  OnePoleLowPass pole(bandwidth_, dt_);
+  pole.process(out);
+  return out;
+}
+
+DffSampler::DffSampler(const Config& config)
+    : config_(config), rng_(config.seed) {}
+
+bool DffSampler::sample(const Waveform& w, util::Second t) {
+  const double v = w.value_at(t);
+  const double noisy = v + rng_.gaussian(0.0, config_.input_noise_rms);
+  // Metastability: if the input crosses the threshold inside the aperture
+  // window around the sampling instant, the latch resolves randomly.
+  const double v_before =
+      w.value_at(t - config_.aperture * 0.5);
+  const double v_after = w.value_at(t + config_.aperture * 0.5);
+  const bool crossed = (v_before - config_.threshold) *
+                           (v_after - config_.threshold) < 0.0;
+  if (crossed && std::fabs(noisy - config_.threshold) <
+                     2.0 * config_.input_noise_rms) {
+    ++metastable_count_;
+    return rng_.chance(0.5);
+  }
+  return noisy > config_.threshold;
+}
+
+}  // namespace serdes::analog

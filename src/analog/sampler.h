@@ -1,0 +1,72 @@
+// Sampling stage: static CMOS inverter + D flip-flop (paper Section IV-B-b).
+//
+// The RFI output is restored to rail-to-rail by a plain inverter, then a
+// flip-flop samples it on the recovered clock.  The inverter's limited gain
+// (versus a regenerative StrongARM latch) is what caps the receiver
+// sensitivity at ~32 mV — the paper's key trade-off for synthesizability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/inverter.h"
+#include "analog/filters.h"
+#include "analog/waveform.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+/// Rail-restoring static inverter between the RFI and the flip-flop.
+class RestoringInverter {
+ public:
+  RestoringInverter(double wn_um, double wp_um, util::Volt vdd,
+                    util::Second sample_period,
+                    util::Farad load = util::femtofarads(8.0));
+
+  /// Applies the VTC (precomputed lookup) and the output pole.
+  [[nodiscard]] Waveform process(const Waveform& in) const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] util::Hertz bandwidth() const { return bandwidth_; }
+  [[nodiscard]] const InverterCell& cell() const { return cell_; }
+
+ private:
+  InverterCell cell_;
+  util::Second dt_;
+  util::Hertz bandwidth_;
+  double threshold_;
+  std::vector<double> vtc_lut_;  // sampled VTC, 0..vdd
+  double vdd_;
+};
+
+/// Behavioural D flip-flop sampling an analog waveform.
+class DffSampler {
+ public:
+  struct Config {
+    double threshold = 0.9;                    // decision level [V]
+    util::Second aperture = util::picoseconds(15.0);  // setup+hold window
+    double input_noise_rms = 0.003;            // referred noise [V]
+    std::uint64_t seed = 7;
+  };
+
+  explicit DffSampler(const Config& config);
+
+  /// Samples `w` at time `t`.  If the input is inside the noise/aperture
+  /// ambiguity band the result is random (metastable resolution).
+  bool sample(const Waveform& w, util::Second t);
+
+  /// Number of metastable (randomly resolved) samples so far.
+  [[nodiscard]] std::uint64_t metastable_count() const {
+    return metastable_count_;
+  }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+  std::uint64_t metastable_count_ = 0;
+};
+
+}  // namespace serdes::analog

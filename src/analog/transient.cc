@@ -1,0 +1,249 @@
+#include "analog/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace serdes::analog {
+
+Circuit::Circuit() {
+  node_names_.push_back("gnd");
+  driven_.push_back(true);  // ground is a driven (0 V) node
+}
+
+NodeId Circuit::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  driven_.push_back(false);
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+void Circuit::drive(NodeId node, std::function<double(double)> v) {
+  driven_[static_cast<std::size_t>(node)] = true;
+  sources_.push_back({node, std::move(v)});
+}
+
+void Circuit::drive_dc(NodeId node, util::Volt v) {
+  drive(node, [value = v.value()](double) { return value; });
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, util::Ohm r) {
+  if (r.value() <= 0.0) {
+    throw std::invalid_argument("Circuit: resistance must be > 0");
+  }
+  resistors_.push_back({a, b, 1.0 / r.value()});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, util::Farad c) {
+  if (c.value() <= 0.0) {
+    throw std::invalid_argument("Circuit: capacitance must be > 0");
+  }
+  capacitors_.push_back({a, b, c.value()});
+}
+
+void Circuit::add_mosfet(const Mosfet& m, NodeId drain, NodeId gate,
+                         NodeId source) {
+  devices_.push_back({m, drain, gate, source});
+}
+
+namespace {
+
+/// Shared Newton engine.  Solves sum-of-currents = 0 at every free node.
+/// When `cap_conductance` > 0, capacitors contribute backward-Euler
+/// companion stamps against `v_prev` (transient step); when 0 they are
+/// open (DC analysis).
+class NewtonSolver {
+ public:
+  explicit NewtonSolver(const Circuit& ckt) : ckt_(ckt) {
+    const int n = ckt.node_count();
+    free_index_.assign(n, -1);
+    for (NodeId i = 0; i < n; ++i) {
+      if (!ckt.is_driven(i)) {
+        free_index_[i] = n_free_++;
+        free_nodes_.push_back(i);
+      }
+    }
+  }
+
+  /// v: full node-voltage vector (driven entries already set by caller).
+  /// Returns true on convergence; updates free entries of v in place.
+  bool solve(std::vector<double>& v, double time_step,
+             const std::vector<double>& v_prev) {
+    if (n_free_ == 0) return true;
+    constexpr int kMaxIter = 200;
+    constexpr double kTolCurrent = 1e-12;
+    constexpr double kMaxStep = 0.25;  // volts per Newton iteration
+    for (int iter = 0; iter < kMaxIter; ++iter) {
+      std::vector<double> jac(static_cast<std::size_t>(n_free_) * n_free_,
+                              0.0);
+      std::vector<double> residual(n_free_, 0.0);
+      stamp(v, time_step, v_prev, jac, residual);
+
+      double max_res = 0.0;
+      for (double r : residual) max_res = std::max(max_res, std::fabs(r));
+      if (max_res < kTolCurrent) return true;
+
+      // Newton: J * dv = -F
+      for (double& r : residual) r = -r;
+      auto dv = util::solve_linear(std::move(jac), std::move(residual),
+                                   n_free_);
+      if (!dv) return false;
+      double max_dv = 0.0;
+      for (int i = 0; i < n_free_; ++i) {
+        double step = (*dv)[i];
+        step = util::clamp(step, -kMaxStep, kMaxStep);
+        v[static_cast<std::size_t>(free_nodes_[i])] += step;
+        max_dv = std::max(max_dv, std::fabs(step));
+      }
+      if (max_dv < 1e-12) return true;
+    }
+    return false;
+  }
+
+ private:
+  void stamp(const std::vector<double>& v, double h,
+             const std::vector<double>& v_prev, std::vector<double>& jac,
+             std::vector<double>& residual) {
+    auto J = [&](int r, int c) -> double& {
+      return jac[static_cast<std::size_t>(r) * n_free_ + c];
+    };
+    // Adds current `i` leaving node `n`, with derivative row entries.
+    auto add_current = [&](NodeId n, double i) {
+      const int fi = free_index_[n];
+      if (fi >= 0) residual[fi] += i;
+    };
+    auto add_deriv = [&](NodeId n, NodeId wrt, double didv) {
+      const int fi = free_index_[n];
+      const int fj = free_index_[wrt];
+      if (fi >= 0 && fj >= 0) J(fi, fj) += didv;
+    };
+
+    for (const auto& r : ckt_.resistors()) {
+      const double i = r.conductance * (v[r.a] - v[r.b]);
+      add_current(r.a, i);
+      add_current(r.b, -i);
+      add_deriv(r.a, r.a, r.conductance);
+      add_deriv(r.a, r.b, -r.conductance);
+      add_deriv(r.b, r.b, r.conductance);
+      add_deriv(r.b, r.a, -r.conductance);
+    }
+
+    if (h > 0.0) {
+      for (const auto& c : ckt_.capacitors()) {
+        // Backward Euler companion: i = C/h * (v - v_prev) across the branch.
+        const double g = c.capacitance / h;
+        const double i = g * ((v[c.a] - v[c.b]) - (v_prev[c.a] - v_prev[c.b]));
+        add_current(c.a, i);
+        add_current(c.b, -i);
+        add_deriv(c.a, c.a, g);
+        add_deriv(c.a, c.b, -g);
+        add_deriv(c.b, c.b, g);
+        add_deriv(c.b, c.a, -g);
+      }
+    }
+
+    for (const auto& d : ckt_.devices()) {
+      const double vgs = v[d.g] - v[d.s];
+      const double vds = v[d.d] - v[d.s];
+      const double id = d.mosfet.drain_current(vgs, vds);
+      const double gm = d.mosfet.gm(vgs, vds);
+      const double gds = d.mosfet.gds(vgs, vds);
+      // Conventional current id flows drain -> source inside the device,
+      // i.e. it *leaves* node d and *enters* node s.
+      add_current(d.d, id);
+      add_current(d.s, -id);
+      add_deriv(d.d, d.d, gds);
+      add_deriv(d.d, d.g, gm);
+      add_deriv(d.d, d.s, -(gm + gds));
+      add_deriv(d.s, d.d, -gds);
+      add_deriv(d.s, d.g, -gm);
+      add_deriv(d.s, d.s, gm + gds);
+    }
+  }
+
+  const Circuit& ckt_;
+  std::vector<int> free_index_;
+  std::vector<NodeId> free_nodes_;
+  int n_free_ = 0;
+};
+
+std::vector<double> driven_voltages(const Circuit& ckt, double t) {
+  std::vector<double> v(static_cast<std::size_t>(ckt.node_count()), 0.0);
+  for (const auto& s : ckt.sources()) {
+    v[static_cast<std::size_t>(s.node)] = s.v(t);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<double> solve_dc(const Circuit& circuit,
+                             const std::vector<double>* initial_guess) {
+  std::vector<double> v = driven_voltages(circuit, 0.0);
+  if (initial_guess) {
+    if (initial_guess->size() != v.size()) {
+      throw std::invalid_argument("solve_dc: bad initial guess size");
+    }
+    for (NodeId n = 0; n < circuit.node_count(); ++n) {
+      if (!circuit.is_driven(n)) v[n] = (*initial_guess)[n];
+    }
+  } else {
+    // Mid-rail start is a good basin for CMOS circuits.
+    double vdd = 0.0;
+    for (const auto& s : circuit.sources()) vdd = std::max(vdd, s.v(0.0));
+    for (NodeId n = 0; n < circuit.node_count(); ++n) {
+      if (!circuit.is_driven(n)) v[n] = 0.5 * vdd;
+    }
+  }
+  NewtonSolver solver(circuit);
+  const std::vector<double> unused(v.size(), 0.0);
+  if (!solver.solve(v, 0.0, unused)) {
+    throw std::runtime_error("solve_dc: Newton failed to converge");
+  }
+  return v;
+}
+
+Waveform TransientResult::node_waveform(NodeId n) const {
+  return Waveform{util::seconds(0.0), dt,
+                  voltages[static_cast<std::size_t>(n)]};
+}
+
+TransientResult solve_transient(const Circuit& circuit, util::Second duration,
+                                util::Second dt) {
+  if (dt.value() <= 0.0 || duration.value() <= 0.0) {
+    throw std::invalid_argument("solve_transient: bad duration/step");
+  }
+  const auto steps = static_cast<std::size_t>(duration.value() / dt.value());
+  TransientResult result;
+  result.dt = dt;
+  result.voltages.assign(static_cast<std::size_t>(circuit.node_count()), {});
+  for (auto& w : result.voltages) w.reserve(steps + 1);
+
+  std::vector<double> v = solve_dc(circuit);
+  NewtonSolver solver(circuit);
+  for (NodeId n = 0; n < circuit.node_count(); ++n) {
+    result.voltages[static_cast<std::size_t>(n)].push_back(
+        v[static_cast<std::size_t>(n)]);
+  }
+
+  std::vector<double> v_prev = v;
+  for (std::size_t k = 1; k <= steps; ++k) {
+    const double t = static_cast<double>(k) * dt.value();
+    // Update driven nodes to their source values at this timestamp.
+    for (const auto& s : circuit.sources()) {
+      v[static_cast<std::size_t>(s.node)] = s.v(t);
+    }
+    if (!solver.solve(v, dt.value(), v_prev)) {
+      throw std::runtime_error("solve_transient: Newton failed at t=" +
+                               std::to_string(t));
+    }
+    for (NodeId n = 0; n < circuit.node_count(); ++n) {
+      result.voltages[static_cast<std::size_t>(n)].push_back(
+          v[static_cast<std::size_t>(n)]);
+    }
+    v_prev = v;
+  }
+  return result;
+}
+
+}  // namespace serdes::analog

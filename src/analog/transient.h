@@ -1,0 +1,112 @@
+// Nonlinear nodal transient solver for small transistor circuits.
+//
+// This is the repo's substitute for the paper's parasitic-extracted Cadence
+// transient simulations: a classic SPICE-style engine — nodal analysis,
+// Newton-Raphson linearisation of the MOSFETs, backward-Euler companion
+// models for capacitors — specialised for the handful-of-nodes circuits the
+// paper contains (driver chain, resistive-feedback inverter, pseudo-resistor
+// bias network).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analog/mosfet.h"
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::analog {
+
+using NodeId = int;
+
+/// Circuit netlist: nodes plus R/C/MOSFET/source elements.
+/// Node 0 is always ground.
+class Circuit {
+ public:
+  static constexpr NodeId kGround = 0;
+
+  Circuit();
+
+  /// Adds a named node and returns its id.
+  NodeId add_node(std::string name);
+
+  /// Declares `node` to be driven by an ideal voltage source v(t).
+  /// Driven nodes are eliminated from the unknown vector.
+  void drive(NodeId node, std::function<double(double)> voltage_of_time);
+
+  /// Convenience: DC supply.
+  void drive_dc(NodeId node, util::Volt v);
+
+  void add_resistor(NodeId a, NodeId b, util::Ohm r);
+  void add_capacitor(NodeId a, NodeId b, util::Farad c);
+  /// MOSFET with drain/gate/source terminals (bulk tied to the rail
+  /// implicitly via the device model).
+  void add_mosfet(const Mosfet& m, NodeId drain, NodeId gate, NodeId source);
+
+  [[nodiscard]] int node_count() const {
+    return static_cast<int>(node_names_.size());
+  }
+  [[nodiscard]] const std::string& node_name(NodeId n) const {
+    return node_names_[static_cast<std::size_t>(n)];
+  }
+
+  struct Resistor {
+    NodeId a, b;
+    double conductance;
+  };
+  struct Capacitor {
+    NodeId a, b;
+    double capacitance;
+  };
+  struct Device {
+    Mosfet mosfet;
+    NodeId d, g, s;
+  };
+  struct Source {
+    NodeId node;
+    std::function<double(double)> v;
+  };
+
+  [[nodiscard]] const std::vector<Resistor>& resistors() const {
+    return resistors_;
+  }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const {
+    return capacitors_;
+  }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<Source>& sources() const { return sources_; }
+  [[nodiscard]] bool is_driven(NodeId n) const {
+    return driven_[static_cast<std::size_t>(n)];
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<bool> driven_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Device> devices_;
+  std::vector<Source> sources_;
+};
+
+/// DC operating point: solves F(v) = 0 with sources at their t=0 values.
+/// Returns node voltages indexed by NodeId. Throws std::runtime_error if
+/// Newton fails to converge.
+std::vector<double> solve_dc(const Circuit& circuit,
+                             const std::vector<double>* initial_guess = nullptr);
+
+/// Transient analysis results: one Waveform per node.
+struct TransientResult {
+  util::Second dt{1e-12};
+  /// waveforms[node][k] = voltage of `node` at t = k*dt.
+  std::vector<std::vector<double>> voltages;
+
+  [[nodiscard]] Waveform node_waveform(NodeId n) const;
+};
+
+/// Backward-Euler transient run from the DC operating point.
+/// `duration` / `dt` steps; throws on Newton non-convergence.
+TransientResult solve_transient(const Circuit& circuit, util::Second duration,
+                                util::Second dt);
+
+}  // namespace serdes::analog

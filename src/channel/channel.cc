@@ -1,0 +1,167 @@
+#include "channel/channel.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace serdes::channel {
+
+// ---- FlatChannel ------------------------------------------------------------
+
+FlatChannel::FlatChannel(util::Decibel loss)
+    : loss_(loss), gain_(util::db_to_amplitude(util::decibels(-loss.value()))) {
+  if (loss.value() < 0.0) {
+    throw std::invalid_argument("FlatChannel: loss must be >= 0 dB");
+  }
+}
+
+analog::Waveform FlatChannel::transmit(const analog::Waveform& in) const {
+  analog::Waveform out = in;
+  out.scale(gain_);
+  return out;
+}
+
+double FlatChannel::attenuation_at(util::Hertz) const { return gain_; }
+
+// ---- RcChannel --------------------------------------------------------------
+
+RcChannel::RcChannel(util::Hertz pole, util::Second sample_period,
+                     util::Decibel dc_loss)
+    : pole_(pole),
+      dt_(sample_period),
+      dc_gain_(util::db_to_amplitude(util::decibels(-dc_loss.value()))) {}
+
+analog::Waveform RcChannel::transmit(const analog::Waveform& in) const {
+  analog::Waveform out = in;
+  out.scale(dc_gain_);
+  analog::OnePoleLowPass lpf(pole_, dt_);
+  lpf.process(out);
+  return out;
+}
+
+double RcChannel::attenuation_at(util::Hertz f) const {
+  const double ratio = f.value() / pole_.value();
+  return dc_gain_ / std::sqrt(1.0 + ratio * ratio);
+}
+
+// ---- LossyLineChannel -------------------------------------------------------
+
+namespace {
+constexpr double kRefFreq = 1e9;  // f0 for the loss coefficients
+}
+
+LossyLineChannel::LossyLineChannel(const Params& params,
+                                   util::Second sample_period)
+    : params_(params), dt_(sample_period) {
+  flat_gain_ =
+      util::db_to_amplitude(util::decibels(-params.dc_loss_db));
+  // Fit two real poles so the cascade matches the analytic loss at f0 and
+  // f0/2 (beyond the flat dc term).  |one-pole| dB at f: 10*log10(1+(f/p)^2).
+  // We split the frequency-dependent loss evenly between the two poles at
+  // f0 and solve each pole frequency.
+  const double loss_f0 = params.skin_loss_db_at_1ghz +
+                         params.dielectric_loss_db_at_1ghz;  // dB at 1 GHz
+  const double per_pole = std::max(0.1, loss_f0 / 2.0);
+  // 10*log10(1+(f0/p)^2) = per_pole  =>  p = f0 / sqrt(10^(per_pole/10)-1)
+  const double x = std::sqrt(std::pow(10.0, per_pole / 10.0) - 1.0);
+  pole1_ = util::hertz(kRefFreq / x);
+  // Second pole slightly above the first to mimic the gentler sqrt(f) skin
+  // region below f0.
+  pole2_ = util::hertz(1.6 * kRefFreq / x);
+  flat_gain_ *= util::db_to_amplitude(util::decibels(
+      -(loss_f0 - 10.0 * std::log10(1.0 + x * x) -
+        10.0 * std::log10(1.0 + (x / 1.6) * (x / 1.6)))));
+}
+
+analog::Waveform LossyLineChannel::transmit(const analog::Waveform& in) const {
+  analog::Waveform out = in;
+  out.scale(flat_gain_);
+  analog::OnePoleLowPass p1(pole1_, dt_);
+  analog::OnePoleLowPass p2(pole2_, dt_);
+  p1.process(out);
+  p2.process(out);
+  return out;
+}
+
+double LossyLineChannel::attenuation_at(util::Hertz f) const {
+  const double r1 = f.value() / pole1_.value();
+  const double r2 = f.value() / pole2_.value();
+  return flat_gain_ / std::sqrt((1.0 + r1 * r1) * (1.0 + r2 * r2));
+}
+
+LossyLineChannel::Params LossyLineChannel::fit(util::Decibel loss,
+                                               util::Hertz f) {
+  // Keep the default skin/dielectric proportions, scale all coefficients so
+  // the analytic loss model hits `loss` at `f`.
+  Params p;
+  const double fr = f.value() / kRefFreq;
+  const double base = p.dc_loss_db + p.skin_loss_db_at_1ghz * std::sqrt(fr) +
+                      p.dielectric_loss_db_at_1ghz * fr;
+  const double scale = loss.value() / base;
+  p.dc_loss_db *= scale;
+  p.skin_loss_db_at_1ghz *= scale;
+  p.dielectric_loss_db_at_1ghz *= scale;
+  return p;
+}
+
+// ---- FirChannel -------------------------------------------------------------
+
+FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap)
+    : taps_(std::move(taps)), samples_per_tap_(samples_per_tap) {
+  if (taps_.empty()) throw std::invalid_argument("FirChannel: no taps");
+  if (samples_per_tap < 1) {
+    throw std::invalid_argument("FirChannel: samples_per_tap must be >= 1");
+  }
+}
+
+analog::Waveform FirChannel::transmit(const analog::Waveform& in) const {
+  // Expand UI-spaced taps to sample-spaced impulse response.
+  std::vector<double> expanded;
+  expanded.reserve(taps_.size() * static_cast<std::size_t>(samples_per_tap_));
+  for (double t : taps_) {
+    expanded.push_back(t);
+    for (int i = 1; i < samples_per_tap_; ++i) expanded.push_back(0.0);
+  }
+  analog::FirFilter fir(std::move(expanded));
+  analog::Waveform out = in;
+  fir.process(out);
+  return out;
+}
+
+double FirChannel::attenuation_at(util::Hertz f) const {
+  // |H(e^{jw})| with taps spaced by one UI; the caller supplies f relative
+  // to the tap rate via samples_per_tap during construction, so here we
+  // interpret taps as spaced at 1 ns (1 GHz tap rate) for a standalone
+  // estimate — channels built from measured taps should be queried in the
+  // time domain instead.
+  const double tap_period = 1e-9 * samples_per_tap_;
+  double re = 0.0;
+  double im = 0.0;
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    const double w = 2.0 * std::numbers::pi * f.value() * tap_period *
+                     static_cast<double>(k);
+    re += taps_[k] * std::cos(w);
+    im -= taps_[k] * std::sin(w);
+  }
+  return std::sqrt(re * re + im * im);
+}
+
+// ---- CompositeChannel -------------------------------------------------------
+
+void CompositeChannel::add(std::unique_ptr<Channel> stage) {
+  stages_.push_back(std::move(stage));
+}
+
+analog::Waveform CompositeChannel::transmit(const analog::Waveform& in) const {
+  analog::Waveform out = in;
+  for (const auto& s : stages_) out = s->transmit(out);
+  return out;
+}
+
+double CompositeChannel::attenuation_at(util::Hertz f) const {
+  double g = 1.0;
+  for (const auto& s : stages_) g *= s->attenuation_at(f);
+  return g;
+}
+
+}  // namespace serdes::channel

@@ -1,0 +1,140 @@
+// Serial-link channel models.
+//
+// The paper evaluates the link against a 34 dB-loss channel (Fig 8) and
+// sweeps loss/frequency in Fig 9; the Discussion section motivates 1-5 dB
+// short-reach chiplet channels (EMIB) and PCIe-class traces.  This module
+// provides composable channel models covering that whole range:
+//   * FlatChannel        — frequency-independent attenuation
+//   * RcChannel          — single-pole board trace
+//   * LossyLineChannel   — skin-effect (sqrt(f)) + dielectric (f) loss line
+//   * FirChannel         — explicit tap response (measured-channel style)
+//   * CompositeChannel   — cascade of any of the above
+// plus AWGN and sinusoidal-interference noise injection.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analog/filters.h"
+#include "analog/waveform.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace serdes::channel {
+
+/// Interface: transforms the transmitted waveform into the received one.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Propagates `in` through the channel.
+  [[nodiscard]] virtual analog::Waveform transmit(
+      const analog::Waveform& in) const = 0;
+
+  /// Amplitude attenuation (|H|, linear <= 1) at the given frequency.
+  [[nodiscard]] virtual double attenuation_at(util::Hertz f) const = 0;
+
+  /// Loss in dB (positive number) at the given frequency.
+  [[nodiscard]] util::Decibel loss_at(util::Hertz f) const {
+    return util::Decibel{-util::amplitude_db(attenuation_at(f)).value()};
+  }
+};
+
+/// Frequency-flat attenuator (the paper's "34 dB channel loss" abstraction).
+class FlatChannel : public Channel {
+ public:
+  /// `loss` is a positive dB number (34 => output = input / 10^(34/20)).
+  explicit FlatChannel(util::Decibel loss);
+
+  [[nodiscard]] analog::Waveform transmit(
+      const analog::Waveform& in) const override;
+  [[nodiscard]] double attenuation_at(util::Hertz f) const override;
+
+  [[nodiscard]] util::Decibel loss() const { return loss_; }
+
+ private:
+  util::Decibel loss_;
+  double gain_;
+};
+
+/// Single-pole RC low-pass channel (short board trace / package route).
+class RcChannel : public Channel {
+ public:
+  RcChannel(util::Hertz pole, util::Second sample_period,
+            util::Decibel dc_loss = util::decibels(0.0));
+
+  [[nodiscard]] analog::Waveform transmit(
+      const analog::Waveform& in) const override;
+  [[nodiscard]] double attenuation_at(util::Hertz f) const override;
+
+ private:
+  util::Hertz pole_;
+  util::Second dt_;
+  double dc_gain_;
+};
+
+/// Lossy transmission line: |H(f)| = 10^-(a0 + a_s*sqrt(f/f0) + a_d*(f/f0))/20
+/// with f0 = 1 GHz.  a_s models skin effect, a_d dielectric loss.  The
+/// time-domain response is approximated by a cascade of a flat attenuator
+/// and two biquad poles fitted so the loss matches at dc, f0/2 and f0.
+class LossyLineChannel : public Channel {
+ public:
+  struct Params {
+    double dc_loss_db = 2.0;          // a0
+    double skin_loss_db_at_1ghz = 18.0;    // a_s
+    double dielectric_loss_db_at_1ghz = 14.0;  // a_d
+  };
+
+  LossyLineChannel(const Params& params, util::Second sample_period);
+
+  [[nodiscard]] analog::Waveform transmit(
+      const analog::Waveform& in) const override;
+  [[nodiscard]] double attenuation_at(util::Hertz f) const override;
+
+  /// Scales the loss coefficients so that total loss at `f` equals `loss`.
+  static Params fit(util::Decibel loss, util::Hertz f);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  util::Second dt_;
+  double flat_gain_;
+  util::Hertz pole1_;
+  util::Hertz pole2_;
+};
+
+/// Explicit impulse-response channel given as UI-spaced taps (pre-cursor,
+/// main, post-cursors) — the standard way measured backplane channels are
+/// abstracted in link analysis.
+class FirChannel : public Channel {
+ public:
+  FirChannel(std::vector<double> taps, int samples_per_tap);
+
+  [[nodiscard]] analog::Waveform transmit(
+      const analog::Waveform& in) const override;
+  [[nodiscard]] double attenuation_at(util::Hertz f) const override;
+
+  [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
+
+ private:
+  std::vector<double> taps_;
+  int samples_per_tap_;
+};
+
+/// Cascade of channels applied in order.
+class CompositeChannel : public Channel {
+ public:
+  void add(std::unique_ptr<Channel> stage);
+
+  [[nodiscard]] analog::Waveform transmit(
+      const analog::Waveform& in) const override;
+  [[nodiscard]] double attenuation_at(util::Hertz f) const override;
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Channel>> stages_;
+};
+
+}  // namespace serdes::channel

@@ -1,0 +1,97 @@
+#include "channel/equalizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace serdes::channel {
+
+TxFfe::TxFfe(std::vector<double> taps, util::Volt vdd)
+    : taps_(std::move(taps)), vdd_(vdd) {
+  if (taps_.empty()) throw std::invalid_argument("TxFfe: no taps");
+  if (taps_.size() > 8) throw std::invalid_argument("TxFfe: too many taps");
+}
+
+TxFfe TxFfe::de_emphasis(double alpha, util::Volt vdd) {
+  if (alpha < 0.0 || alpha >= 0.5) {
+    throw std::invalid_argument("TxFfe: de-emphasis alpha in [0, 0.5)");
+  }
+  return TxFfe({1.0 - alpha, -alpha}, vdd);
+}
+
+analog::Waveform TxFfe::shape(const std::vector<std::uint8_t>& bits,
+                              util::Hertz bit_rate, int samples_per_ui,
+                              util::Second rise_time) const {
+  // Per-bit level: sum of taps against the +/-1 representation of the
+  // current and previous bits, mapped back to the [0, vdd] single-ended
+  // range around mid-rail.
+  const double half = 0.5 * vdd_.value();
+  std::vector<double> levels(bits.size(), 0.0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      if (i < t) break;
+      const double symbol = bits[i - t] ? 1.0 : -1.0;
+      acc += taps_[t] * symbol;
+    }
+    levels[i] = half + half * acc;
+  }
+  // Build the waveform by linear interpolation across the edge window,
+  // mirroring Waveform::nrz but with per-bit analog levels.
+  const util::Second ui = util::period(bit_rate);
+  const util::Second dt = ui / static_cast<double>(samples_per_ui);
+  const double tr = rise_time.value();
+  std::vector<double> samples(bits.size() *
+                              static_cast<std::size_t>(samples_per_ui));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double t = (static_cast<double>(i) + 0.5) * dt.value();
+    const auto bit = static_cast<std::size_t>(t / ui.value());
+    if (bit >= levels.size()) break;
+    double v = levels[bit];
+    if (tr > 0.0) {
+      const double t_in_bit = t - static_cast<double>(bit) * ui.value();
+      if (bit > 0 && t_in_bit < tr / 2.0) {
+        const double prev = levels[bit - 1];
+        const double x = (t_in_bit + tr / 2.0) / tr;
+        v = prev + (v - prev) * x;
+      } else if (bit + 1 < levels.size() && t_in_bit > ui.value() - tr / 2.0) {
+        const double next = levels[bit + 1];
+        const double x = (t_in_bit - (ui.value() - tr / 2.0)) / tr;
+        v = v + (next - v) * x;
+      }
+    }
+    samples[i] = v;
+  }
+  return analog::Waveform(util::seconds(0.0), dt, std::move(samples));
+}
+
+RxCtle::RxCtle(util::Decibel boost_db, util::Hertz pole,
+               util::Second sample_period)
+    : pole_(pole), dt_(sample_period) {
+  if (boost_db.value() < 0.0) {
+    throw std::invalid_argument("RxCtle: boost must be >= 0 dB");
+  }
+  // High-frequency gain = 1 + k  =>  k = 10^(boost/20) - 1.
+  k_ = util::db_to_amplitude(boost_db) - 1.0;
+}
+
+analog::Waveform RxCtle::equalize(const analog::Waveform& in) const {
+  analog::Waveform low = in;
+  analog::OnePoleLowPass lpf(pole_, dt_);
+  lpf.process(low);
+  analog::Waveform out = in;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = in[i] + k_ * (in[i] - low[i]);
+  }
+  return out;
+}
+
+double RxCtle::gain_at(util::Hertz f) const {
+  // |1 + k*(1 - H_lpf)| with H_lpf the one-pole response.
+  const double r = f.value() / pole_.value();
+  const double denom = 1.0 + r * r;
+  const double re = 1.0 + k_ * (1.0 - 1.0 / denom);
+  const double im = k_ * (r / denom);
+  return std::sqrt(re * re + im * im);
+}
+
+}  // namespace serdes::channel

@@ -1,0 +1,71 @@
+// Equalization blocks (extension).
+//
+// The paper's generic SerDes architecture (its Fig 3) includes TX FFE and
+// RX CTLE/DFE equalization, but the OpenSerDes implementation omits them —
+// one reason its reach stops at moderate channel loss.  This module adds
+// the two classic linear equalizers as composable waveform stages so the
+// ablation benches can quantify exactly how much reach they buy back over
+// dispersive channels:
+//   * TxFfe  — UI-spaced FIR pre-emphasis applied to the transmitted
+//     levels (de-emphasizes repeated bits, boosting transition energy);
+//   * RxCtle — continuous-time linear equalizer modelled as a flat path
+//     plus a high-frequency boost (x + k·(x − LPF(x))), the standard
+//     source-degenerated-pair behaviour.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/filters.h"
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::channel {
+
+/// Transmit feed-forward equalizer: bit stream -> multi-level NRZ waveform.
+class TxFfe {
+ public:
+  /// `taps[0]` is the main cursor; later entries are post-cursors.
+  /// Taps are used as given (the caller normalizes); the output waveform
+  /// is offset so it stays within [0, vdd] for |sum of taps| <= 1.
+  TxFfe(std::vector<double> taps, util::Volt vdd);
+
+  /// Classic 2-tap de-emphasis: main = 1 - |alpha|, post = -alpha.
+  static TxFfe de_emphasis(double alpha, util::Volt vdd);
+
+  /// Shapes the framed bit stream into the pre-distorted line waveform.
+  [[nodiscard]] analog::Waveform shape(const std::vector<std::uint8_t>& bits,
+                                       util::Hertz bit_rate,
+                                       int samples_per_ui,
+                                       util::Second rise_time) const;
+
+  [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
+
+ private:
+  std::vector<double> taps_;
+  util::Volt vdd_;
+};
+
+/// Receive continuous-time linear equalizer (peaking stage).
+class RxCtle {
+ public:
+  /// `boost_db` of high-frequency peaking above the `pole` corner.
+  RxCtle(util::Decibel boost_db, util::Hertz pole,
+         util::Second sample_period);
+
+  /// Equalizes the received waveform (returns a new waveform).
+  [[nodiscard]] analog::Waveform equalize(const analog::Waveform& in) const;
+
+  /// Small-signal gain at a frequency (for tests: flat at dc, boosted
+  /// above the pole).
+  [[nodiscard]] double gain_at(util::Hertz f) const;
+
+  [[nodiscard]] double boost_linear() const { return k_; }
+
+ private:
+  double k_;  // boost factor: out = in + k*(in - lpf(in))
+  util::Hertz pole_;
+  util::Second dt_;
+};
+
+}  // namespace serdes::channel

@@ -1,0 +1,47 @@
+#include "channel/noise.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace serdes::channel {
+
+AwgnSource::AwgnSource(double rms_volts, std::uint64_t seed)
+    : rms_(rms_volts), rng_(seed) {
+  if (rms_volts < 0.0) throw std::invalid_argument("AwgnSource: rms < 0");
+}
+
+analog::Waveform& AwgnSource::apply(analog::Waveform& w) {
+  return w.add_noise(rng_, rms_);
+}
+
+ToneInterferer::ToneInterferer(double amplitude_volts, util::Hertz freq,
+                               double phase)
+    : amplitude_(amplitude_volts), freq_(freq), phase_(phase) {}
+
+analog::Waveform& ToneInterferer::apply(analog::Waveform& w) {
+  const double wrad = 2.0 * std::numbers::pi * freq_.value();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const double t = w.time_at(i).value();
+    w[i] += amplitude_ * std::sin(wrad * t + phase_);
+  }
+  return w;
+}
+
+JitterModel::JitterModel(const Config& config)
+    : config_(config), rng_(config.seed) {}
+
+util::Second JitterModel::perturb(util::Second t) {
+  double delta = 0.0;
+  if (config_.random_rms.value() > 0.0) {
+    delta += rng_.gaussian(0.0, config_.random_rms.value());
+  }
+  if (config_.sinusoidal_amplitude.value() > 0.0) {
+    delta += config_.sinusoidal_amplitude.value() *
+             std::sin(2.0 * std::numbers::pi *
+                      config_.sinusoidal_freq.value() * t.value());
+  }
+  return t + util::seconds(delta);
+}
+
+}  // namespace serdes::channel

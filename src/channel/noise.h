@@ -1,0 +1,63 @@
+// Noise and jitter injection for link stress testing.
+#pragma once
+
+#include <vector>
+
+#include "analog/waveform.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace serdes::channel {
+
+/// Additive white gaussian noise source.
+class AwgnSource {
+ public:
+  AwgnSource(double rms_volts, std::uint64_t seed = 11);
+
+  /// Adds noise in place and returns the waveform.
+  analog::Waveform& apply(analog::Waveform& w);
+
+  [[nodiscard]] double rms() const { return rms_; }
+
+ private:
+  double rms_;
+  util::Rng rng_;
+};
+
+/// Single-tone interferer (supply/substrate coupling aggressor).
+class ToneInterferer {
+ public:
+  ToneInterferer(double amplitude_volts, util::Hertz freq, double phase = 0.0);
+
+  analog::Waveform& apply(analog::Waveform& w);
+
+ private:
+  double amplitude_;
+  util::Hertz freq_;
+  double phase_;
+};
+
+/// Jitter model for sampling instants: gaussian random jitter plus
+/// sinusoidal deterministic jitter (both specified as absolute time).
+class JitterModel {
+ public:
+  struct Config {
+    util::Second random_rms = util::picoseconds(0.0);
+    util::Second sinusoidal_amplitude = util::picoseconds(0.0);
+    util::Hertz sinusoidal_freq = util::megahertz(10.0);
+    std::uint64_t seed = 13;
+  };
+
+  explicit JitterModel(const Config& config);
+
+  /// Jittered version of the nominal instant `t`.
+  util::Second perturb(util::Second t);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  util::Rng rng_;
+};
+
+}  // namespace serdes::channel

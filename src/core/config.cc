@@ -1,0 +1,40 @@
+#include "core/config.h"
+
+namespace serdes::core {
+
+LinkConfig LinkConfig::paper_default() {
+  LinkConfig c;
+  c.bit_rate = util::gigahertz(2.0);
+  c.samples_per_ui = 16;
+
+  // Paper: three-stage inverter chain driving 2 pF rail to rail.
+  c.driver.stages = 3;
+  c.driver.taper = 3.4;
+  c.driver.wn_first_um = 2.0;
+  c.driver.load = util::picofarads(2.0);
+
+  // RFI sized for ~2 GHz bandwidth into the restoring inverter's gate load;
+  // Wp/Wn below the mobility-balance ratio places the self-bias near the
+  // paper's 0.83 V.
+  c.rfi.wn_um = 24.0;
+  c.rfi.wp_um = 36.0;
+  c.rfi.load_cap = util::femtofarads(55.0);  // restoring gate + route + ESD
+
+  c.restoring_wn_um = 8.0;
+  c.restoring_wp_um = 12.0;
+
+  // Decision threshold sits at the restoring inverter's output midpoint;
+  // the Receiver recomputes it from the actual cells at construction.
+  c.sampler.threshold = 0.9;
+  c.sampler.aperture = util::picoseconds(25.0);
+  c.sampler.input_noise_rms = 0.03;  // restored-node referred
+
+  c.cdr.oversampling = 5;
+  c.cdr.window_uis = 32;
+  c.cdr.glitch_filter_radius = 1;
+  c.cdr.jitter_hysteresis = 2;
+
+  return c;
+}
+
+}  // namespace serdes::core

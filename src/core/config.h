@@ -1,0 +1,79 @@
+// Link-level configuration shared by the transmitter, receiver and the
+// experiment harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "analog/driver.h"
+#include "analog/rfi.h"
+#include "analog/sampler.h"
+#include "digital/cdr.h"
+#include "digital/framing.h"
+#include "util/prbs.h"
+#include "util/units.h"
+
+namespace serdes::core {
+
+struct LinkConfig {
+  // ---- Rate / sampling ----
+  util::Hertz bit_rate = util::gigahertz(2.0);
+  /// Analog waveform samples per unit interval (resolution of the link sim).
+  int samples_per_ui = 16;
+
+  // ---- Transmitter ----
+  analog::DriverDesign driver{};
+
+  // ---- Receiver front end ----
+  analog::RfiDesign rfi{};
+  /// Restoring inverter widths (um).
+  double restoring_wn_um = 8.0;
+  double restoring_wp_um = 12.0;
+
+  // ---- Sampler ----
+  analog::DffSampler::Config sampler{};
+
+  // ---- CDR ----
+  digital::CdrConfig cdr{};
+  /// Static phase offset of the RX sampling clocks relative to the data
+  /// (fraction of one UI); exercises CDR lock.
+  double rx_phase_offset_ui = 0.37;
+  /// RX/TX frequency mismatch (ppm).
+  double ppm_offset = 0.0;
+
+  // ---- Impairments ----
+  /// AWGN at the receiver input: RMS volts measured within
+  /// `noise_reference_bandwidth`.  The injected per-sample sigma is scaled
+  /// by sqrt(simulation_nyquist / reference_bandwidth) so the noise has a
+  /// rate-independent spectral density and the post-front-end RMS does not
+  /// depend on the waveform sample rate.
+  double channel_noise_rms = 0.001;
+  util::Hertz noise_reference_bandwidth = util::gigahertz(3.0);
+  /// RMS random jitter on the sampling clocks.
+  util::Second rx_random_jitter = util::picoseconds(2.0);
+  /// Sinusoidal jitter amplitude on the sampling clocks.
+  util::Second rx_sinusoidal_jitter = util::picoseconds(0.0);
+  /// Sinusoidal jitter frequency as a fraction of the bit rate (fast,
+  /// CDR-untrackable jitter sits at a few percent of the rate).
+  double sj_freq_ratio = 0.04;
+
+  // ---- Framing ----
+  digital::FramingConfig framing{};
+
+  std::uint64_t noise_seed = 1234;
+
+  /// Unit interval.
+  [[nodiscard]] util::Second unit_interval() const {
+    return util::period(bit_rate);
+  }
+  /// Analog sample period.
+  [[nodiscard]] util::Second sample_period() const {
+    return unit_interval() / static_cast<double>(samples_per_ui);
+  }
+
+  /// Default configuration used throughout the paper reproduction:
+  /// 2 Gbps, 1.8 V, 5x-oversampled CDR — with the RFI sized for the
+  /// 2 GHz bandwidth the paper's front end needs.
+  static LinkConfig paper_default();
+};
+
+}  // namespace serdes::core

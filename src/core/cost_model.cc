@@ -1,0 +1,26 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+namespace serdes::core {
+
+std::vector<CostPoint> asic_cost_curve(const CostModelParams& params) {
+  const int nodes[] = {90, 65, 45, 32, 22, 14};
+  std::vector<CostPoint> out;
+  out.reserve(6);
+  int step = 0;
+  for (int node : nodes) {
+    CostPoint p;
+    p.node_nm = node;
+    p.fab_cost = std::pow(params.fab_growth_per_step, step);
+    p.pdk_license_cost = params.license_fraction_at_90 * p.fab_cost *
+                         std::pow(params.license_growth_per_step, step);
+    p.conventional_total = p.fab_cost + p.pdk_license_cost;
+    p.open_total = p.fab_cost;  // open PDK: no licensing fee
+    out.push_back(p);
+    ++step;
+  }
+  return out;
+}
+
+}  // namespace serdes::core

@@ -1,0 +1,33 @@
+// ASIC cost model (paper Fig 2).
+//
+// The paper motivates open-source PDKs with a relative-cost comparison:
+// chip fabrication cost grows as nodes shrink, and conventional PDK
+// licensing adds a node-dependent fee that the open PDK eliminates.  The
+// paper scales license fees relative to fabrication cost (its ref [9]);
+// this model does the same with explicit, documented coefficients.
+#pragma once
+
+#include <vector>
+
+namespace serdes::core {
+
+struct CostPoint {
+  int node_nm = 0;
+  double fab_cost = 0.0;          // relative units (90 nm fab = 1.0)
+  double pdk_license_cost = 0.0;  // conventional-PDK license, same units
+  double conventional_total = 0.0;
+  double open_total = 0.0;        // open PDK: zero license fee
+};
+
+struct CostModelParams {
+  /// Fabrication cost doubles roughly every two node steps.
+  double fab_growth_per_step = 1.28;
+  /// License fee as a fraction of fab cost at 90 nm, growing per step.
+  double license_fraction_at_90 = 0.55;
+  double license_growth_per_step = 1.12;
+};
+
+/// Cost points for the canonical node ladder 90/65/45/32/22/14 nm.
+std::vector<CostPoint> asic_cost_curve(const CostModelParams& params = {});
+
+}  // namespace serdes::core

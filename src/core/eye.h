@@ -1,0 +1,56 @@
+// Eye-diagram analysis.
+//
+// Folds a waveform modulo the unit interval and measures vertical/horizontal
+// eye opening — the standard signal-integrity view of the Fig 8 waveforms
+// and the basis of the repo's extension benches.
+#pragma once
+
+#include <vector>
+
+#include "analog/waveform.h"
+#include "util/units.h"
+
+namespace serdes::core {
+
+struct EyeMetrics {
+  /// Vertical opening at the sampling instant (volts; <= 0 means closed).
+  double eye_height = 0.0;
+  /// Horizontal opening at the decision threshold (fraction of UI).
+  double eye_width_ui = 0.0;
+  /// Voltage levels bounding the opening.
+  double low_rail = 0.0;
+  double high_rail = 0.0;
+  /// Sampling phase (fraction of UI) where the height was measured.
+  double best_phase_ui = 0.5;
+
+  [[nodiscard]] bool open() const {
+    return eye_height > 0.0 && eye_width_ui > 0.0;
+  }
+};
+
+class EyeAnalyzer {
+ public:
+  /// `bins_per_ui` controls the folding resolution.
+  explicit EyeAnalyzer(util::Hertz bit_rate, int bins_per_ui = 64);
+
+  /// Analyzes `w` against `threshold`, skipping `skip_uis` unit intervals
+  /// of settling at the start.
+  [[nodiscard]] EyeMetrics analyze(const analog::Waveform& w,
+                                   double threshold,
+                                   int skip_uis = 8) const;
+
+  /// The folded eye: for each phase bin, min/max of samples classified as
+  /// high/low by their UI-centre polarity.  Exposed for plotting.
+  struct FoldedEye {
+    std::vector<double> high_min;  // per-bin lowest "high" trace
+    std::vector<double> low_max;   // per-bin highest "low" trace
+  };
+  [[nodiscard]] FoldedEye fold(const analog::Waveform& w, double threshold,
+                               int skip_uis = 8) const;
+
+ private:
+  util::Second ui_;
+  int bins_;
+};
+
+}  // namespace serdes::core

@@ -1,0 +1,51 @@
+#include "core/jitter_tolerance.h"
+
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/link.h"
+
+namespace serdes::core {
+
+namespace {
+bool error_free_at(const LinkConfig& base, double sj_freq_ratio,
+                   double amplitude_ui, const JitterToleranceConfig& cfg) {
+  LinkConfig link_cfg = base;
+  link_cfg.sj_freq_ratio = sj_freq_ratio;
+  link_cfg.rx_sinusoidal_jitter = util::seconds(
+      amplitude_ui * link_cfg.unit_interval().value());
+  SerDesLink link(link_cfg,
+                  std::make_unique<channel::FlatChannel>(cfg.loss));
+  return link.run_prbs(cfg.bits_per_trial).error_free();
+}
+}  // namespace
+
+double measure_jitter_tolerance(const LinkConfig& base, double sj_freq_ratio,
+                                const JitterToleranceConfig& cfg) {
+  double lo = 0.0;  // known good (no jitter)
+  double hi = cfg.max_amplitude_ui;
+  if (!error_free_at(base, sj_freq_ratio, lo, cfg)) return 0.0;
+  if (error_free_at(base, sj_freq_ratio, hi, cfg)) return hi;
+  while (hi - lo > cfg.amplitude_tolerance_ui) {
+    const double mid = 0.5 * (lo + hi);
+    if (error_free_at(base, sj_freq_ratio, mid, cfg)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<JitterTolerancePoint> jitter_tolerance_sweep(
+    const LinkConfig& base, const std::vector<double>& freq_ratios,
+    const JitterToleranceConfig& cfg) {
+  std::vector<JitterTolerancePoint> points;
+  points.reserve(freq_ratios.size());
+  for (double ratio : freq_ratios) {
+    points.push_back({ratio, measure_jitter_tolerance(base, ratio, cfg)});
+  }
+  return points;
+}
+
+}  // namespace serdes::core

@@ -1,0 +1,42 @@
+// Jitter tolerance measurement (extension).
+//
+// The standard CDR acceptance test the paper's scan knobs exist to pass:
+// apply sinusoidal jitter to the sampling clocks and find, per jitter
+// frequency, the largest amplitude (in UI) the link survives error-free.
+// Low-frequency jitter should be tracked by the CDR's phase updates (high
+// tolerance); jitter faster than the vote window must be absorbed by eye
+// margin alone (tolerance floor).
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "util/units.h"
+
+namespace serdes::core {
+
+struct JitterTolerancePoint {
+  /// Jitter frequency as a fraction of the bit rate.
+  double sj_freq_ratio = 0.0;
+  /// Maximum error-free sinusoidal jitter amplitude, in UI.
+  double tolerance_ui = 0.0;
+};
+
+struct JitterToleranceConfig {
+  std::size_t bits_per_trial = 3000;
+  double amplitude_tolerance_ui = 0.01;
+  double max_amplitude_ui = 2.0;
+  /// Channel loss applied during the test (paper operating region).
+  util::Decibel loss = util::decibels(20.0);
+};
+
+/// Maximum tolerated SJ amplitude at one jitter frequency.
+double measure_jitter_tolerance(const LinkConfig& base, double sj_freq_ratio,
+                                const JitterToleranceConfig& cfg = {});
+
+/// Full tolerance mask over the given frequency ratios.
+std::vector<JitterTolerancePoint> jitter_tolerance_sweep(
+    const LinkConfig& base, const std::vector<double>& freq_ratios,
+    const JitterToleranceConfig& cfg = {});
+
+}  // namespace serdes::core

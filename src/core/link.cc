@@ -1,0 +1,59 @@
+#include "core/link.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/noise.h"
+
+namespace serdes::core {
+
+SerDesLink::SerDesLink(const LinkConfig& config,
+                       std::unique_ptr<channel::Channel> ch)
+    : config_(config), tx_(config), rx_(config), channel_(std::move(ch)) {
+  if (!channel_) throw std::invalid_argument("SerDesLink: null channel");
+}
+
+LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
+  LinkResult result;
+  result.payload_bits_sent = payload.size();
+
+  result.tx_out = tx_.transmit_bits(payload);
+  result.channel_out = channel_->transmit(result.tx_out);
+
+  // Receiver-input AWGN; a fresh seed per run keeps repeated runs
+  // statistically independent while the whole experiment stays
+  // deterministic.  The per-sample sigma is scaled so the noise spectral
+  // density (and thus the post-front-end RMS) is independent of the
+  // waveform sample rate — see LinkConfig::channel_noise_rms.
+  const double nyquist = 0.5 / config_.sample_period().value();
+  const double density_scale = std::sqrt(
+      std::max(1.0, nyquist / config_.noise_reference_bandwidth.value()));
+  channel::AwgnSource noise(config_.channel_noise_rms * density_scale,
+                            config_.noise_seed + 100 + run_counter_++);
+  noise.apply(result.channel_out);
+
+  result.rx = rx_.receive(result.channel_out);
+  result.aligned = result.rx.aligned;
+
+  const auto& got = result.rx.payload;
+  const std::size_t n = std::min(payload.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((payload[i] != 0) != (got[i] != 0)) ++result.bit_errors;
+  }
+  // Bits the receiver never produced (truncated tail) count as errors only
+  // beyond the CDR pipeline allowance of a couple of UIs.
+  result.payload_bits_compared = n;
+  if (result.payload_bits_compared > 0) {
+    result.ber = static_cast<double>(result.bit_errors) /
+                 static_cast<double>(result.payload_bits_compared);
+  }
+  return result;
+}
+
+LinkResult SerDesLink::run_prbs(std::size_t nbits, util::PrbsOrder order) {
+  util::PrbsGenerator prbs(order);
+  return run(prbs.next_bits(nbits));
+}
+
+}  // namespace serdes::core

@@ -1,0 +1,60 @@
+// End-to-end SerDes link: transmitter -> channel -> receiver, plus BER
+// accounting.  The top-level object every example and benchmark drives.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel.h"
+#include "core/config.h"
+#include "core/receiver.h"
+#include "core/transmitter.h"
+#include "util/prbs.h"
+
+namespace serdes::core {
+
+/// Outcome of one link run.
+struct LinkResult {
+  bool aligned = false;
+  std::uint64_t payload_bits_sent = 0;
+  std::uint64_t payload_bits_compared = 0;
+  std::uint64_t bit_errors = 0;
+  double ber = 0.0;
+  ReceiveResult rx;
+  /// TX output and channel output waveforms (for plotting / eye analysis).
+  analog::Waveform tx_out;
+  analog::Waveform channel_out;
+
+  [[nodiscard]] bool error_free() const {
+    return aligned && bit_errors == 0 && payload_bits_compared > 0;
+  }
+};
+
+class SerDesLink {
+ public:
+  /// The link takes ownership of the channel model.
+  SerDesLink(const LinkConfig& config, std::unique_ptr<channel::Channel> ch);
+
+  /// Transmits `payload` and compares what the receiver recovered.
+  [[nodiscard]] LinkResult run(const std::vector<std::uint8_t>& payload);
+
+  /// Convenience: PRBS payload of `nbits`.
+  [[nodiscard]] LinkResult run_prbs(std::size_t nbits,
+                                    util::PrbsOrder order =
+                                        util::PrbsOrder::kPrbs31);
+
+  [[nodiscard]] const Transmitter& transmitter() const { return tx_; }
+  [[nodiscard]] Receiver& receiver() { return rx_; }
+  [[nodiscard]] const channel::Channel& channel() const { return *channel_; }
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+ private:
+  LinkConfig config_;
+  Transmitter tx_;
+  Receiver rx_;
+  std::unique_ptr<channel::Channel> channel_;
+  std::uint64_t run_counter_ = 0;
+};
+
+}  // namespace serdes::core

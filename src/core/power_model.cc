@@ -1,0 +1,138 @@
+#include "core/power_model.h"
+
+#include "analog/driver.h"
+#include "analog/inverter.h"
+#include "analog/rfi.h"
+
+namespace serdes::core {
+
+util::AreaUm2 LinkBudget::total_area() const {
+  return driver_area + rfi_area + restoring_area + dff_area +
+         serializer_area + deserializer_area + cdr_area;
+}
+
+std::vector<BlockBudget> LinkBudget::blocks() const {
+  return {
+      {"cmos_driver", driver_power, driver_area},
+      {"rx_frontend_rfi", rfi_power, rfi_area},
+      {"static_inverter", restoring_power, restoring_area},
+      {"sampling_dff", sampler_dff_power, dff_area},
+      {"serializer", serializer_power, serializer_area},
+      {"deserializer", deserializer_power, deserializer_area},
+      {"cdr", cdr_power, cdr_area},
+  };
+}
+
+namespace {
+
+/// Generate, place and power-analyze one digital block.
+struct DigitalBlock {
+  util::Watt power;
+  util::AreaUm2 area;
+  int cells;
+  int dffs;
+};
+
+DigitalBlock analyze_block(flow::Netlist netlist, util::Hertz clock,
+                           util::Volt vdd, double utilization,
+                           const flow::PlacementConfig& base_placement,
+                           double data_activity) {
+  flow::PlacementConfig pcfg = base_placement;
+  pcfg.utilization = utilization;
+  const flow::PlacementResult placed = flow::place(netlist, pcfg);
+
+  flow::PowerConfig pwr;
+  pwr.clock = clock;
+  pwr.vdd = vdd;
+  pwr.data_activity = data_activity;
+  const flow::PowerReport report = flow::analyze_power(netlist, pwr);
+
+  const auto stats = netlist.stats();
+  return DigitalBlock{report.total(), placed.die_area, stats.cell_count,
+                      stats.dff_count};
+}
+
+}  // namespace
+
+LinkBudget compute_link_budget(const LinkConfig& link,
+                               const BudgetModelConfig& model) {
+  LinkBudget budget;
+  const util::Volt vdd = link.driver.vdd;
+  const util::Hertz f = link.bit_rate;
+
+  // ---- Transmit driver: dynamic (alpha = P(0->1) = 0.25 for random NRZ)
+  // plus crowbar overhead during edges. ----
+  const analog::InverterChainDriver driver(link.driver);
+  const util::Watt drv_dyn = driver.dynamic_power(f, 0.25);
+  budget.driver_power = drv_dyn * 1.15;
+  budget.driver_area = util::square_microns(
+      driver.total_width_um() * model.analog_area_per_um_width);
+
+  // ---- RFI: static (class-A bias) power is the whole story. ----
+  const analog::RfiCircuit rfi(link.rfi);
+  budget.rfi_power = util::watts(rfi.static_current().value() * vdd.value());
+  budget.rfi_area = util::square_microns(
+      (link.rfi.wn_um + link.rfi.wp_um + link.rfi.pseudo_res_w_um) *
+      model.analog_area_per_um_width);
+
+  // ---- Restoring inverter: crowbar while the input dwells near threshold
+  // (about half of each transition) plus its dynamic switching. ----
+  const analog::InverterCell restoring(link.restoring_wn_um,
+                                       link.restoring_wp_um, vdd);
+  const double crowbar =
+      restoring.static_current(restoring.switching_threshold()).value() *
+      vdd.value();
+  const double restoring_dyn =
+      0.25 * restoring.switching_energy(util::femtofarads(20.0)).value() *
+      f.value();
+  budget.restoring_power = util::watts(0.5 * crowbar + restoring_dyn);
+  budget.restoring_area = util::square_microns(
+      (link.restoring_wn_um + link.restoring_wp_um) *
+      model.analog_area_per_um_width);
+
+  // ---- Sampling flip-flops: the CDR's multi-phase samplers are
+  // custom-sized (~15x a library flop) for aperture and metastability;
+  // clock pins toggle every cycle, data at the NRZ rate. ----
+  const double c_clk = 45e-15;
+  const double c_data = 45e-15;
+  const int n_samplers = link.cdr.oversampling + 2;  // + retime stages
+  const double v2 = vdd.value() * vdd.value();
+  budget.sampler_dff_power = util::watts(
+      n_samplers * (c_clk * 1.0 + c_data * 0.25) * v2 * f.value());
+  budget.dff_area = util::square_microns(n_samplers * 16.0 * 20.0 /
+                                         16.0);  // ~20 um^2 x size factor
+
+  // ---- Digital blocks through the mini flow. ----
+  // Per-block floorplan utilizations mirror the paper's OpenLANE runs: the
+  // deserializer macro is placed sparsely (it dominates die area), the
+  // serializer more densely.
+  flow::SerdesRtlConfig rtl = model.rtl;
+  rtl.cdr_oversampling = link.cdr.oversampling;
+
+  const DigitalBlock ser =
+      analyze_block(flow::generate_serializer(rtl), f, vdd,
+                    /*utilization=*/0.62, model.placement,
+                    model.data_activity);
+  budget.serializer_power = ser.power;
+  budget.serializer_area = ser.area;
+
+  flow::SerdesRtlConfig rx_rtl = rtl;
+  rx_rtl.fifo_depth = rtl.fifo_depth + 4;  // deeper RX-side buffering
+  const DigitalBlock des =
+      analyze_block(flow::generate_deserializer(rx_rtl), f, vdd,
+                    /*utilization=*/0.52, model.placement,
+                    model.data_activity);
+  budget.deserializer_power = des.power;
+  budget.deserializer_area = des.area;
+
+  const DigitalBlock cdr =
+      analyze_block(flow::generate_cdr(rtl), f, vdd,
+                    /*utilization=*/0.55, model.placement,
+                    model.data_activity);
+  budget.cdr_power = cdr.power;
+  budget.cdr_area = cdr.area;
+
+  return budget;
+}
+
+}  // namespace serdes::core

@@ -1,0 +1,124 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/link.h"
+#include "util/math.h"
+
+namespace serdes::core {
+
+namespace {
+
+/// Link configuration retargeted to `bit_rate` with optional stress.
+LinkConfig configure(const LinkConfig& base, util::Hertz bit_rate,
+                     double sj_ui, double rj_ui, double noise_factor) {
+  LinkConfig c = base;
+  c.bit_rate = bit_rate;
+  const double ui = c.unit_interval().value();
+  c.rx_sinusoidal_jitter = util::seconds(sj_ui * ui);
+  // Keep the base absolute jitter but add the stress term scaled by UI.
+  c.rx_random_jitter =
+      util::seconds(base.rx_random_jitter.value() + rj_ui * ui);
+  c.channel_noise_rms = base.channel_noise_rms * noise_factor;
+  return c;
+}
+
+/// True if a link with a flat channel of the given output swing runs clean.
+bool error_free_at_swing(const LinkConfig& cfg, double swing_v,
+                         std::size_t nbits) {
+  const double vdd = cfg.driver.vdd.value();
+  if (swing_v >= vdd) return true;
+  if (swing_v <= 0.0) return false;
+  const double loss_db = 20.0 * std::log10(vdd / swing_v);
+  SerDesLink link(cfg,
+                  std::make_unique<channel::FlatChannel>(
+                      util::decibels(loss_db)));
+  const LinkResult r = link.run_prbs(nbits);
+  return r.error_free();
+}
+
+}  // namespace
+
+double measure_sensitivity(const LinkConfig& base, util::Hertz bit_rate,
+                           const SensitivitySweepConfig& sweep) {
+  const LinkConfig cfg =
+      configure(base, bit_rate, sweep.stress_sj_ui, sweep.stress_rj_ui,
+                sweep.stress_noise_factor);
+  double lo = 0.5e-3;   // known-bad
+  double hi = 0.30;     // known-good swing (well above any sensitivity here)
+  if (error_free_at_swing(cfg, lo, sweep.bits_per_trial)) return lo;
+  if (!error_free_at_swing(cfg, hi, sweep.bits_per_trial)) return hi;
+  while (hi - lo > sweep.amplitude_tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (error_free_at_swing(cfg, mid, sweep.bits_per_trial)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double measure_max_channel_loss(const LinkConfig& base, util::Hertz bit_rate,
+                                const SensitivitySweepConfig& sweep) {
+  const LinkConfig cfg = configure(base, bit_rate, 0.0, 0.0, 1.0);
+  // The physical channel is a fixed-geometry lossy line (FR4-class skin and
+  // dielectric coefficients) cascaded with a variable flat attenuator: the
+  // line's dispersion grows with frequency while the attenuator absorbs the
+  // remaining budget.  The reported figure is the total loss at the data's
+  // Nyquist frequency — this is what makes the maximum tolerable loss
+  // shrink as the bit rate rises (ISI eats into the noise-limited margin).
+  const util::Hertz nyquist = util::hertz(bit_rate.value() / 2.0);
+  channel::LossyLineChannel::Params line_params;
+  line_params.dc_loss_db = 1.0;
+  line_params.skin_loss_db_at_1ghz = 14.0;
+  line_params.dielectric_loss_db_at_1ghz = 8.0;
+  const channel::LossyLineChannel probe_line(line_params, cfg.sample_period());
+  const double line_loss_at_nyquist =
+      -util::amplitude_db(probe_line.attenuation_at(nyquist)).value();
+
+  auto clean_at_total_loss = [&](double total_db) {
+    const double flat_db = total_db - line_loss_at_nyquist;
+    if (flat_db < 0.0) return true;  // less than the line itself: trivially ok
+    auto composite = std::make_unique<channel::CompositeChannel>();
+    composite->add(std::make_unique<channel::LossyLineChannel>(
+        line_params, cfg.sample_period()));
+    composite->add(std::make_unique<channel::FlatChannel>(
+        util::decibels(flat_db)));
+    SerDesLink link(cfg, std::move(composite));
+    const LinkResult r = link.run_prbs(sweep.bits_per_trial);
+    return r.error_free();
+  };
+  double lo = 5.0;    // known-good loss
+  double hi = 65.0;   // known-bad loss
+  if (!clean_at_total_loss(lo)) return lo;
+  if (clean_at_total_loss(hi)) return hi;
+  while (hi - lo > sweep.loss_tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (clean_at_total_loss(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<SensitivityPoint> sensitivity_sweep(
+    const LinkConfig& base, const std::vector<util::Hertz>& rates,
+    const SensitivitySweepConfig& sweep) {
+  std::vector<SensitivityPoint> points;
+  points.reserve(rates.size());
+  for (util::Hertz f : rates) {
+    SensitivityPoint p;
+    p.bit_rate = f;
+    p.sensitivity_v = measure_sensitivity(base, f, sweep);
+    p.max_channel_loss_db = measure_max_channel_loss(base, f, sweep);
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace serdes::core

@@ -1,0 +1,60 @@
+// Receiver sensitivity and maximum-channel-loss sweeps (paper Fig 9).
+//
+// Two distinct acceptance criteria, mirroring how such numbers are
+// measured:
+//  * sensitivity(f)  — the minimum receiver-input peak-to-peak swing that
+//    stays error-free under *stress* conditions (added sinusoidal jitter
+//    and worst-case sampling phase), i.e. a guaranteed operating point;
+//  * max_channel_loss(f) — the largest flat channel loss (from the 1.8 V
+//    TX swing) that still yields zero observed errors under nominal
+//    conditions, i.e. the absolute failure edge.
+// The stress margin is why the sensitivity curve sits above the swing
+// implied by the max-loss curve, as in the paper's figure.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "util/units.h"
+
+namespace serdes::core {
+
+struct SensitivityPoint {
+  util::Hertz bit_rate{0.0};
+  /// Minimum error-free input swing under stress (volts, peak-to-peak).
+  double sensitivity_v = 0.0;
+  /// Maximum flat channel loss with zero errors, nominal conditions (dB).
+  double max_channel_loss_db = 0.0;
+};
+
+struct SensitivitySweepConfig {
+  /// Bits per trial (the "zero BER" window).
+  std::size_t bits_per_trial = 3000;
+  /// Binary-search resolution on amplitude (volts).
+  double amplitude_tolerance = 0.5e-3;
+  /// Binary-search resolution on loss (dB).
+  double loss_tolerance = 0.25;
+  /// Stress: sinusoidal jitter amplitude as a fraction of UI applied for
+  /// the sensitivity criterion.
+  double stress_sj_ui = 0.14;
+  /// Stress: additional random jitter (fraction of UI RMS).
+  double stress_rj_ui = 0.05;
+  /// Stress: receiver-noise multiplier for the sensitivity criterion
+  /// (guaranteed-operation margin over the nominal noise floor).
+  double stress_noise_factor = 4.0;
+};
+
+/// Minimum error-free swing at one bit rate (stress conditions).
+double measure_sensitivity(const LinkConfig& base, util::Hertz bit_rate,
+                           const SensitivitySweepConfig& sweep = {});
+
+/// Maximum flat loss at one bit rate (nominal conditions).
+double measure_max_channel_loss(const LinkConfig& base, util::Hertz bit_rate,
+                                const SensitivitySweepConfig& sweep = {});
+
+/// Full Fig 9 sweep over the given bit rates.
+std::vector<SensitivityPoint> sensitivity_sweep(
+    const LinkConfig& base, const std::vector<util::Hertz>& rates,
+    const SensitivitySweepConfig& sweep = {});
+
+}  // namespace serdes::core

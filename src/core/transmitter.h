@@ -1,0 +1,44 @@
+// Transmitter: serializer + framing + voltage-mode driver.
+//
+// Converts parallel frames (or a raw payload bit stream) into the analog
+// waveform launched into the channel, per paper Section IV-A.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/driver.h"
+#include "analog/waveform.h"
+#include "core/config.h"
+#include "digital/serializer.h"
+
+namespace serdes::core {
+
+class Transmitter {
+ public:
+  explicit Transmitter(const LinkConfig& config);
+
+  /// Serializes frames, adds the link-layer preamble/sync, and drives the
+  /// channel.  Returns the TX output waveform.
+  [[nodiscard]] analog::Waveform transmit_frames(
+      const std::vector<digital::ParallelFrame>& frames) const;
+
+  /// Transmits a raw payload bit stream (framed the same way).
+  [[nodiscard]] analog::Waveform transmit_bits(
+      const std::vector<std::uint8_t>& payload) const;
+
+  /// The on-wire bit stream for a payload (preamble + sync + payload) —
+  /// exposed so tests can check the analog waveform bit-for-bit.
+  [[nodiscard]] std::vector<std::uint8_t> wire_bits(
+      const std::vector<std::uint8_t>& payload) const;
+
+  [[nodiscard]] const analog::InverterChainDriver& driver() const {
+    return driver_;
+  }
+
+ private:
+  LinkConfig config_;
+  analog::InverterChainDriver driver_;
+};
+
+}  // namespace serdes::core

@@ -1,0 +1,83 @@
+// Fully digital oversampling clock-and-data recovery (paper Section IV-C).
+//
+// The receiver samples the incoming data with N phase-shifted copies of an
+// external reference clock (N samples per unit interval), stores them in a
+// register bank, detects data transitions to locate the bit boundary, and
+// picks the sampling phase farthest from the transitions as the decision
+// point.  Two scan-configurable refinements from the paper:
+//   * glitch correction — each recovered bit is a majority vote over a
+//     (2G+1)-sample neighbourhood instead of a single sample;
+//   * jitter correction — the decision phase only moves after the boundary
+//     detector agrees on a new location for J consecutive vote windows
+//     (hysteresis against jitter-induced edge scatter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace serdes::digital {
+
+struct CdrConfig {
+  /// Samples per unit interval (the oversampling factor).
+  int oversampling = 5;
+  /// Bit-boundary vote window length, in unit intervals.
+  int window_uis = 16;
+  /// Glitch-correction scan: majority-vote half-width G (0 disables).
+  int glitch_filter_radius = 1;
+  /// Jitter-correction scan: consecutive windows J required to move the
+  /// sampling phase (1 = move immediately).
+  int jitter_hysteresis = 2;
+};
+
+class OversamplingCdr {
+ public:
+  explicit OversamplingCdr(const CdrConfig& config);
+
+  /// Pushes one raw oversampled comparator output.  Recovered bits appear
+  /// in recovered() with a small pipeline delay (the glitch filter is
+  /// non-causal by G samples).
+  void push(bool sample);
+
+  /// Batch helper: pushes all samples and returns the recovered bits.
+  [[nodiscard]] std::vector<std::uint8_t> recover(
+      const std::vector<std::uint8_t>& samples);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& recovered() const {
+    return recovered_;
+  }
+
+  /// Current decision phase (0 .. oversampling-1).
+  [[nodiscard]] int decision_phase() const { return pick_; }
+  /// Number of phase updates accepted by the jitter-correction logic.
+  [[nodiscard]] std::uint64_t phase_updates() const { return phase_updates_; }
+  /// Number of boundary-vote windows evaluated.
+  [[nodiscard]] std::uint64_t windows_evaluated() const { return windows_; }
+  /// Total data transitions observed.
+  [[nodiscard]] std::uint64_t edges_seen() const { return edges_; }
+
+  [[nodiscard]] const CdrConfig& config() const { return config_; }
+
+ private:
+  void evaluate_window();
+  [[nodiscard]] bool majority_at(std::uint64_t center) const;
+
+  CdrConfig config_;
+  std::vector<std::uint32_t> votes_;     // edge votes per phase bin
+  std::vector<std::uint8_t> ring_;       // recent raw samples
+  std::uint64_t count_ = 0;              // samples consumed
+  bool last_sample_ = false;
+  int pick_;                             // decision phase (reporting)
+  /// Absolute sample index of the next decision.  Phase updates shift this
+  /// by the signed phase delta, so a pick that wraps across phase 0 does
+  /// not duplicate or drop a bit (slips only occur for genuine add/drop
+  /// under frequency offset).
+  std::uint64_t next_decision_;
+  int candidate_ = -1;                   // pending new phase
+  int candidate_streak_ = 0;
+  std::uint64_t phase_updates_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t edges_ = 0;
+  std::vector<std::uint8_t> recovered_;
+};
+
+}  // namespace serdes::digital

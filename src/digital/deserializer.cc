@@ -1,0 +1,32 @@
+#include "digital/deserializer.h"
+
+namespace serdes::digital {
+
+void Deserializer::push(bool bit) {
+  if (bit) {
+    const int lane = pending_count_ / ParallelFrame::kBitsPerLane;
+    const int pos = pending_count_ % ParallelFrame::kBitsPerLane;
+    current_.lanes[static_cast<std::size_t>(lane)] |=
+        (1u << pos);
+  }
+  ++pending_count_;
+  if (pending_count_ == ParallelFrame::kBits) {
+    frames_.push_back(current_);
+    current_ = ParallelFrame{};
+    pending_count_ = 0;
+  }
+}
+
+void Deserializer::reset() {
+  current_ = ParallelFrame{};
+  pending_count_ = 0;
+}
+
+std::vector<ParallelFrame> Deserializer::deserialize(
+    const std::vector<std::uint8_t>& bits) {
+  Deserializer d;
+  for (std::uint8_t b : bits) d.push(b != 0);
+  return d.frames_;
+}
+
+}  // namespace serdes::digital

@@ -1,0 +1,44 @@
+// Deserializer: serial bit stream -> 8 lanes x 32-bit words.
+//
+// The functional inverse of Serializer (paper Section IV-B-c): an FSM that
+// shifts serial bits into a 256-bit register bank and presents them as
+// eight 32-bit parallel outputs per frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "digital/serializer.h"
+
+namespace serdes::digital {
+
+class Deserializer {
+ public:
+  /// Streaming interface: push one recovered bit; frames become available
+  /// as they complete.
+  void push(bool bit);
+
+  /// Completed frames so far (in arrival order).
+  [[nodiscard]] const std::vector<ParallelFrame>& frames() const {
+    return frames_;
+  }
+
+  /// Bits buffered toward the next (incomplete) frame.
+  [[nodiscard]] int pending_bits() const { return pending_count_; }
+
+  /// Resets FSM state, discarding any partial frame.
+  void reset();
+
+  /// One-shot conversion of a whole bit stream (must be a multiple of 256
+  /// bits; the tail is dropped otherwise, mirroring the hardware FSM which
+  /// only presents complete frames).
+  [[nodiscard]] static std::vector<ParallelFrame> deserialize(
+      const std::vector<std::uint8_t>& bits);
+
+ private:
+  ParallelFrame current_{};
+  int pending_count_ = 0;
+  std::vector<ParallelFrame> frames_;
+};
+
+}  // namespace serdes::digital

@@ -1,0 +1,44 @@
+#include "digital/framing.h"
+
+namespace serdes::digital {
+
+std::vector<std::uint8_t> frame_stream(const std::vector<std::uint8_t>& payload,
+                                       const FramingConfig& config) {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(config.preamble_bits) + 32 +
+              payload.size());
+  for (int i = 0; i < config.preamble_bits; ++i) {
+    out.push_back(static_cast<std::uint8_t>(i & 1));
+  }
+  for (int b = 0; b < 32; ++b) {
+    out.push_back(static_cast<std::uint8_t>((config.sync_word >> b) & 1u));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<std::size_t> find_payload_start(
+    const std::vector<std::uint8_t>& bits, const FramingConfig& config,
+    int max_mismatches) {
+  if (bits.size() < 32) return std::nullopt;
+  for (std::size_t start = 0; start + 32 <= bits.size(); ++start) {
+    int mismatches = 0;
+    for (int b = 0; b < 32 && mismatches <= max_mismatches; ++b) {
+      const auto expected =
+          static_cast<std::uint8_t>((config.sync_word >> b) & 1u);
+      if (bits[start + static_cast<std::size_t>(b)] != expected) ++mismatches;
+    }
+    if (mismatches <= max_mismatches) return start + 32;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> deframe_stream(const std::vector<std::uint8_t>& bits,
+                                         const FramingConfig& config,
+                                         int max_mismatches) {
+  const auto start = find_payload_start(bits, config, max_mismatches);
+  if (!start) return {};
+  return {bits.begin() + static_cast<std::ptrdiff_t>(*start), bits.end()};
+}
+
+}  // namespace serdes::digital

@@ -1,0 +1,41 @@
+// Link-layer framing: preamble for CDR lock and sync word for frame
+// alignment.
+//
+// An oversampling CDR needs data transitions to locate the bit boundary, so
+// real links precede payload with a training pattern.  The deserializer
+// additionally needs to know where the 256-bit frame starts in the
+// recovered stream; a sync word provides that alignment.  This mirrors how
+// the paper's testbench "determines the optimal sampling point ... before
+// determining the transmitted data".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace serdes::digital {
+
+struct FramingConfig {
+  /// Alternating 1010... training bits for CDR lock.
+  int preamble_bits = 256;
+  /// 32-bit sync word marking the start of payload.
+  std::uint32_t sync_word = 0xA5C3D27Bu;
+};
+
+/// Builds the on-wire stream: preamble, sync word (LSB first), payload.
+std::vector<std::uint8_t> frame_stream(const std::vector<std::uint8_t>& payload,
+                                       const FramingConfig& config);
+
+/// Locates the sync word in `bits` and returns the index of the first
+/// payload bit, or nullopt if not found.  Tolerates up to
+/// `max_mismatches` bit errors inside the sync word.
+std::optional<std::size_t> find_payload_start(
+    const std::vector<std::uint8_t>& bits, const FramingConfig& config,
+    int max_mismatches = 2);
+
+/// Extracts payload following the sync word; empty if alignment failed.
+std::vector<std::uint8_t> deframe_stream(const std::vector<std::uint8_t>& bits,
+                                         const FramingConfig& config,
+                                         int max_mismatches = 2);
+
+}  // namespace serdes::digital

@@ -1,0 +1,65 @@
+#include "digital/rtl_modules.h"
+
+namespace serdes::digital {
+
+RtlDff::RtlDff(sim::Kernel&, sim::Wire& clk, sim::Wire& d, sim::Wire& q,
+               sim::Wire* reset)
+    : d_(&d), q_(&q), reset_(reset) {
+  sim::on_posedge(clk, [this] {
+    if (reset_ != nullptr && reset_->read()) {
+      q_->write(false);
+    } else {
+      q_->write(d_->read());
+    }
+  });
+}
+
+RtlSerializer::RtlSerializer(sim::Kernel&, sim::Wire& clk,
+                             sim::Wire& serial_out)
+    : out_(&serial_out) {
+  sim::on_posedge(clk, [this] { on_clock(); });
+}
+
+void RtlSerializer::queue_frame(const ParallelFrame& frame) {
+  queue_.push_back(frame);
+}
+
+void RtlSerializer::on_clock() {
+  if (bit_index_ >= ParallelFrame::kBits) {
+    if (queue_.empty()) {
+      out_->write(false);  // idle
+      return;
+    }
+    current_bits_ = Serializer::serialize(queue_.front());
+    queue_.pop_front();
+    bit_index_ = 0;
+  }
+  out_->write(current_bits_[static_cast<std::size_t>(bit_index_)] != 0);
+  ++bit_index_;
+  ++bits_sent_;
+}
+
+RtlDeserializer::RtlDeserializer(sim::Kernel&, sim::Wire& clk,
+                                 sim::Wire& serial_in, sim::Wire* enable)
+    : in_(&serial_in), enable_(enable) {
+  sim::on_posedge(clk, [this] { on_clock(); });
+}
+
+void RtlDeserializer::on_clock() {
+  if (enable_ != nullptr && !enable_->read()) return;
+  const bool bit = in_->read();
+  if (bit) {
+    const int lane = bit_index_ / ParallelFrame::kBitsPerLane;
+    const int pos = bit_index_ % ParallelFrame::kBitsPerLane;
+    current_.lanes[static_cast<std::size_t>(lane)] |= (1u << pos);
+  }
+  ++bit_index_;
+  ++bits_received_;
+  if (bit_index_ == ParallelFrame::kBits) {
+    frames_.push_back(current_);
+    current_ = ParallelFrame{};
+    bit_index_ = 0;
+  }
+}
+
+}  // namespace serdes::digital

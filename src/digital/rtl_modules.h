@@ -1,0 +1,80 @@
+// Cycle-accurate RTL-style modules on the event-driven kernel.
+//
+// The paper's serializer/deserializer are Verilog FSMs pushed through
+// OpenLANE.  These classes are the same FSMs expressed against the sim
+// kernel with non-blocking signal semantics — the tests assert bit-exact
+// equivalence with the functional models in serializer.h/deserializer.h,
+// which is this repo's analogue of RTL-vs-model verification.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "digital/serializer.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace serdes::digital {
+
+/// Single D flip-flop with synchronous active-high reset.
+class RtlDff {
+ public:
+  RtlDff(sim::Kernel& kernel, sim::Wire& clk, sim::Wire& d, sim::Wire& q,
+         sim::Wire* reset = nullptr);
+
+ private:
+  sim::Wire* d_;
+  sim::Wire* q_;
+  sim::Wire* reset_;
+};
+
+/// Serializer FSM: walks queued 8x32-bit frames one bit per clock.
+/// Emits idle (0) when the queue is empty.
+class RtlSerializer {
+ public:
+  RtlSerializer(sim::Kernel& kernel, sim::Wire& clk, sim::Wire& serial_out);
+
+  /// Queues a frame for transmission.
+  void queue_frame(const ParallelFrame& frame);
+
+  [[nodiscard]] std::uint64_t bits_sent() const { return bits_sent_; }
+  [[nodiscard]] bool busy() const {
+    return !queue_.empty() || bit_index_ < ParallelFrame::kBits;
+  }
+
+ private:
+  void on_clock();
+
+  sim::Wire* out_;
+  std::deque<ParallelFrame> queue_;
+  std::vector<std::uint8_t> current_bits_;
+  int bit_index_ = ParallelFrame::kBits;  // "no frame loaded"
+  std::uint64_t bits_sent_ = 0;
+};
+
+/// Deserializer FSM: shifts serial bits into a 256-bit register bank and
+/// releases completed frames.
+class RtlDeserializer {
+ public:
+  RtlDeserializer(sim::Kernel& kernel, sim::Wire& clk, sim::Wire& serial_in,
+                  sim::Wire* enable = nullptr);
+
+  [[nodiscard]] const std::vector<ParallelFrame>& frames() const {
+    return frames_;
+  }
+  [[nodiscard]] std::uint64_t bits_received() const { return bits_received_; }
+
+ private:
+  void on_clock();
+
+  sim::Wire* in_;
+  sim::Wire* enable_;
+  ParallelFrame current_{};
+  int bit_index_ = 0;
+  std::uint64_t bits_received_ = 0;
+  std::vector<ParallelFrame> frames_;
+};
+
+}  // namespace serdes::digital

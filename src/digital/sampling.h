@@ -1,0 +1,49 @@
+// Multi-phase sampling front end feeding the oversampling CDR.
+//
+// Paper Fig 7: an external clock drives a multiphase clock generator whose
+// N phases strobe N flip-flop samplers across each unit interval.  Here the
+// phase generator computes the sampling instants (including optional
+// sampling-clock jitter and a static phase offset relative to the data) and
+// the samplers threshold the restored analog waveform through the
+// behavioural DFF model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/sampler.h"
+#include "analog/waveform.h"
+#include "channel/noise.h"
+#include "util/units.h"
+
+namespace serdes::digital {
+
+/// Computes the N-per-UI sampling instants for a data stream of
+/// `total_uis` unit intervals starting at `start`.
+class MultiphaseClockGenerator {
+ public:
+  MultiphaseClockGenerator(util::Hertz bit_rate, int phases,
+                           util::Second phase_offset = util::seconds(0.0),
+                           /// TX/RX frequency mismatch in parts per million.
+                           double ppm_offset = 0.0);
+
+  /// Sampling instant for phase `p` of unit interval `ui`.
+  [[nodiscard]] util::Second instant(std::uint64_t ui, int p) const;
+
+  [[nodiscard]] int phases() const { return phases_; }
+  [[nodiscard]] util::Second unit_interval() const { return ui_; }
+
+ private:
+  util::Second ui_;
+  util::Second step_;
+  util::Second offset_;
+  int phases_;
+};
+
+/// Samples `w` with the generator's clock phases and a DFF sampler,
+/// producing the raw oversampled stream the CDR consumes.
+std::vector<std::uint8_t> sample_waveform(
+    const analog::Waveform& w, const MultiphaseClockGenerator& clocks,
+    analog::DffSampler& sampler, channel::JitterModel* jitter = nullptr);
+
+}  // namespace serdes::digital

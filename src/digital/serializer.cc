@@ -1,0 +1,44 @@
+#include "digital/serializer.h"
+
+namespace serdes::digital {
+
+std::vector<std::uint8_t> Serializer::serialize(const ParallelFrame& frame) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(ParallelFrame::kBits);
+  for (int lane = 0; lane < ParallelFrame::kLanes; ++lane) {
+    const std::uint32_t word = frame.lanes[static_cast<std::size_t>(lane)];
+    for (int b = 0; b < ParallelFrame::kBitsPerLane; ++b) {
+      bits.push_back(static_cast<std::uint8_t>((word >> b) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<std::uint8_t> Serializer::serialize(
+    const std::vector<ParallelFrame>& frames) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(frames.size() * ParallelFrame::kBits);
+  for (const auto& f : frames) {
+    const auto fb = serialize(f);
+    bits.insert(bits.end(), fb.begin(), fb.end());
+  }
+  return bits;
+}
+
+std::vector<ParallelFrame> Serializer::frames_from_bits(
+    const std::vector<std::uint8_t>& bits) {
+  const std::size_t nframes =
+      (bits.size() + ParallelFrame::kBits - 1) / ParallelFrame::kBits;
+  std::vector<ParallelFrame> frames(nframes);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (!bits[i]) continue;
+    const std::size_t frame = i / ParallelFrame::kBits;
+    const std::size_t offset = i % ParallelFrame::kBits;
+    const std::size_t lane = offset / ParallelFrame::kBitsPerLane;
+    const std::size_t bit = offset % ParallelFrame::kBitsPerLane;
+    frames[frame].lanes[lane] |= (1u << bit);
+  }
+  return frames;
+}
+
+}  // namespace serdes::digital

@@ -1,0 +1,44 @@
+// Serializer: 8 parallel lanes of 32-bit words -> serial bit stream.
+//
+// Paper Section IV-A-a: "the serializer is designed to take in 8 parallel
+// input data streams of 32 bits each and produces serial bits", implemented
+// as an FSM that walks the lanes sequentially.  This functional model is
+// bit-exact with that FSM; a cycle-accurate kernel-backed version lives in
+// rtl_modules.h and is checked against this model in the tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace serdes::digital {
+
+/// One serializer input frame: 8 lanes x 32 bits = 256 bits.
+struct ParallelFrame {
+  static constexpr int kLanes = 8;
+  static constexpr int kBitsPerLane = 32;
+  static constexpr int kBits = kLanes * kBitsPerLane;
+
+  std::array<std::uint32_t, kLanes> lanes{};
+
+  friend bool operator==(const ParallelFrame&, const ParallelFrame&) = default;
+};
+
+/// Functional serializer model.
+class Serializer {
+ public:
+  /// Serializes one frame: lane 0 first, LSB of each lane first (matching
+  /// the FSM's shift order).
+  [[nodiscard]] static std::vector<std::uint8_t> serialize(
+      const ParallelFrame& frame);
+
+  /// Serializes a sequence of frames back-to-back.
+  [[nodiscard]] static std::vector<std::uint8_t> serialize(
+      const std::vector<ParallelFrame>& frames);
+
+  /// Packs a raw bit stream into frames (zero-padding the tail).
+  [[nodiscard]] static std::vector<ParallelFrame> frames_from_bits(
+      const std::vector<std::uint8_t>& bits);
+};
+
+}  // namespace serdes::digital

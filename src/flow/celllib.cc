@@ -1,0 +1,164 @@
+#include "flow/celllib.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace serdes::flow {
+
+std::string to_string(CellFunction f) {
+  switch (f) {
+    case CellFunction::kInv: return "inv";
+    case CellFunction::kBuf: return "buf";
+    case CellFunction::kNand2: return "nand2";
+    case CellFunction::kNor2: return "nor2";
+    case CellFunction::kXor2: return "xor2";
+    case CellFunction::kAnd2: return "and2";
+    case CellFunction::kOr2: return "or2";
+    case CellFunction::kMux2: return "mux2";
+    case CellFunction::kDff: return "dff";
+    case CellFunction::kClkBuf: return "clkbuf";
+    case CellFunction::kTieLo: return "tielo";
+    case CellFunction::kTieHi: return "tiehi";
+  }
+  return "?";
+}
+
+int input_count(CellFunction f) {
+  switch (f) {
+    case CellFunction::kInv:
+    case CellFunction::kBuf:
+    case CellFunction::kClkBuf:
+      return 1;
+    case CellFunction::kNand2:
+    case CellFunction::kNor2:
+    case CellFunction::kXor2:
+    case CellFunction::kAnd2:
+    case CellFunction::kOr2:
+    case CellFunction::kDff:  // D, CLK
+      return 2;
+    case CellFunction::kMux2:  // A, B, S
+      return 3;
+    case CellFunction::kTieLo:
+    case CellFunction::kTieHi:
+      return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Base (x1) characteristics per function; drive strengths scale R down and
+/// area/cap up.  Numbers are sky130_fd_sc_hd-flavoured: 2.72 um row height,
+/// ~3.7 um^2 unit inverter, FO4 around 90 ps.
+struct BaseCell {
+  CellFunction function;
+  double area_um2;
+  double input_cap_ff;
+  double intrinsic_ps;
+  double drive_res_kohm;
+  double leakage_nw;
+};
+
+constexpr BaseCell kBaseCells[] = {
+    {CellFunction::kInv, 3.75, 1.5, 14.0, 12.0, 0.8},
+    {CellFunction::kBuf, 6.25, 1.5, 28.0, 12.0, 1.2},
+    {CellFunction::kNand2, 5.0, 1.6, 20.0, 14.0, 1.1},
+    {CellFunction::kNor2, 5.0, 1.7, 24.0, 16.0, 1.1},
+    {CellFunction::kXor2, 11.25, 2.2, 42.0, 16.0, 2.4},
+    {CellFunction::kAnd2, 7.5, 1.6, 32.0, 14.0, 1.5},
+    {CellFunction::kOr2, 7.5, 1.7, 34.0, 16.0, 1.5},
+    {CellFunction::kMux2, 11.25, 1.9, 38.0, 15.0, 2.2},
+    {CellFunction::kDff, 20.0, 2.0, 180.0, 14.0, 3.5},
+    {CellFunction::kClkBuf, 7.5, 1.8, 24.0, 10.0, 1.6},
+    {CellFunction::kTieLo, 3.75, 0.0, 0.0, 100.0, 0.3},
+    {CellFunction::kTieHi, 3.75, 0.0, 0.0, 100.0, 0.3},
+};
+
+constexpr int kDrives[] = {1, 2, 4, 8};
+
+}  // namespace
+
+const CellLibrary& CellLibrary::sky130() {
+  static const CellLibrary lib = [] {
+    CellLibrary l;
+    for (const BaseCell& base : kBaseCells) {
+      for (int drive : kDrives) {
+        // Tie cells and flops only come in one strength in this library.
+        if ((base.function == CellFunction::kTieLo ||
+             base.function == CellFunction::kTieHi) &&
+            drive > 1) {
+          continue;
+        }
+        if (base.function == CellFunction::kDff && drive > 2) continue;
+        CellType c;
+        c.function = base.function;
+        c.drive = drive;
+        c.name = to_string(base.function) + "_x" + std::to_string(drive);
+        const double d = static_cast<double>(drive);
+        // Area and input cap grow sublinearly (shared wells/diffusion).
+        c.area = util::square_microns(base.area_um2 * (0.55 + 0.45 * d));
+        c.input_cap = util::femtofarads(base.input_cap_ff * (0.6 + 0.4 * d));
+        c.intrinsic_delay = util::picoseconds(base.intrinsic_ps);
+        c.drive_resistance = util::kiloohms(base.drive_res_kohm / d);
+        c.leakage = util::nanowatts(base.leakage_nw * d);
+        l.cells_.push_back(std::move(c));
+      }
+    }
+    return l;
+  }();
+  return lib;
+}
+
+const CellType& CellLibrary::get(const std::string& name) const {
+  for (const auto& c : cells_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("CellLibrary: unknown cell " + name);
+}
+
+const CellType& CellLibrary::select(CellFunction function, util::Farad load,
+                                    util::Second target_delay) const {
+  const CellType* best = nullptr;
+  for (const auto& c : cells_) {
+    if (c.function != function) continue;
+    if (best == nullptr || c.drive > best->drive) {
+      // Track the strongest as the fallback.
+      if (best == nullptr) best = &c;
+      if (c.drive > best->drive) best = &c;
+    }
+    if (c.delay(load) <= target_delay) {
+      // Cells are stored weakest-first per function, so the first
+      // satisfying cell is the smallest one.
+      return c;
+    }
+  }
+  if (best == nullptr) {
+    throw std::out_of_range("CellLibrary: no cell for function " +
+                            to_string(function));
+  }
+  return *best;
+}
+
+const CellType& CellLibrary::weakest(CellFunction function) const {
+  for (const auto& c : cells_) {
+    if (c.function == function) return c;  // weakest-first ordering
+  }
+  throw std::out_of_range("CellLibrary: no cell for function " +
+                          to_string(function));
+}
+
+const CellType& CellLibrary::strongest(CellFunction function) const {
+  const CellType* best = nullptr;
+  for (const auto& c : cells_) {
+    if (c.function == function && (best == nullptr || c.drive > best->drive)) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) {
+    throw std::out_of_range("CellLibrary: no cell for function " +
+                            to_string(function));
+  }
+  return *best;
+}
+
+}  // namespace serdes::flow

@@ -1,0 +1,98 @@
+// Liberty-lite standard cell library.
+//
+// The paper's digital blocks were mapped by OpenLANE onto the
+// sky130_fd_sc_hd standard cells.  This module captures the slice of a
+// Liberty file that synthesis, STA, placement and power analysis need:
+// per-cell area, pin capacitance, a linear (intrinsic + R·C) delay model,
+// drive resistance and leakage, for the cell functions our RTL generators
+// emit, each in several drive strengths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace serdes::flow {
+
+enum class CellFunction {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kXor2,
+  kAnd2,
+  kOr2,
+  kMux2,
+  kDff,      // inputs: D, CLK
+  kClkBuf,   // clock-tree buffer
+  kTieLo,
+  kTieHi,
+};
+
+/// Human-readable name of a cell function ("inv", "dff", ...).
+std::string to_string(CellFunction f);
+
+/// Number of signal input pins for a function (clock included for DFF).
+int input_count(CellFunction f);
+
+struct CellType {
+  std::string name;        // e.g. "inv_x4"
+  CellFunction function = CellFunction::kInv;
+  int drive = 1;           // relative strength (x1, x2, x4, x8)
+  util::AreaUm2 area{0.0};
+  util::Farad input_cap{0.0};       // per input pin
+  util::Second intrinsic_delay{0.0};
+  util::Ohm drive_resistance{0.0};  // for delay = intrinsic + R * Cload
+  util::Watt leakage{0.0};
+
+  /// Propagation delay driving `load`.
+  [[nodiscard]] util::Second delay(util::Farad load) const {
+    return intrinsic_delay +
+           util::seconds(drive_resistance.value() * load.value());
+  }
+};
+
+/// DFF timing constraints (shared by all drive strengths here).
+struct SequentialTiming {
+  util::Second setup = util::picoseconds(100.0);
+  util::Second hold = util::picoseconds(40.0);
+  util::Second clk_to_q = util::picoseconds(0.0);  // use cell delay instead
+};
+
+class CellLibrary {
+ public:
+  /// The sky130_fd_sc_hd-flavoured library used throughout the repo.
+  static const CellLibrary& sky130();
+
+  /// Looks up a cell by exact name; throws std::out_of_range if missing.
+  [[nodiscard]] const CellType& get(const std::string& name) const;
+
+  /// Smallest-drive cell of `function` whose delay into `load` does not
+  /// exceed `target_delay`; falls back to the strongest drive available.
+  [[nodiscard]] const CellType& select(CellFunction function, util::Farad load,
+                                       util::Second target_delay) const;
+
+  /// Weakest (x1) cell of a function.
+  [[nodiscard]] const CellType& weakest(CellFunction function) const;
+  /// Strongest cell of a function.
+  [[nodiscard]] const CellType& strongest(CellFunction function) const;
+
+  [[nodiscard]] const std::vector<CellType>& cells() const { return cells_; }
+  [[nodiscard]] const SequentialTiming& dff_timing() const {
+    return dff_timing_;
+  }
+  [[nodiscard]] util::Volt vdd() const { return vdd_; }
+  /// Standard-cell row height (all cells are row-height tall).
+  [[nodiscard]] double row_height_um() const { return row_height_um_; }
+
+ private:
+  CellLibrary() = default;
+
+  std::vector<CellType> cells_;
+  SequentialTiming dff_timing_;
+  util::Volt vdd_ = util::volts(1.8);
+  double row_height_um_ = 2.72;
+};
+
+}  // namespace serdes::flow

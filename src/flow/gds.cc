@@ -1,0 +1,264 @@
+#include "flow/gds.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace serdes::flow {
+
+std::vector<LayoutRect> rects_from_netlist(const Netlist& netlist, int layer) {
+  std::vector<LayoutRect> rects;
+  const double row_height = netlist.library().row_height_um();
+  rects.reserve(netlist.cells().size());
+  for (const auto& c : netlist.cells()) {
+    if (!c.placed) continue;
+    LayoutRect r;
+    r.x_um = c.x_um;
+    r.y_um = c.y_um;
+    r.w_um = c.type->area.value() / row_height;
+    r.h_um = row_height;
+    r.layer = layer;
+    r.label = c.name;
+    rects.push_back(std::move(r));
+  }
+  return rects;
+}
+
+std::vector<LayoutRect> rects_from_floorplan(const Floorplan& plan) {
+  std::vector<LayoutRect> rects;
+  rects.reserve(plan.blocks.size() + 1);
+  LayoutRect die;
+  die.x_um = 0.0;
+  die.y_um = 0.0;
+  die.w_um = plan.die_width_um;
+  die.h_um = plan.die_height_um;
+  die.layer = 0;
+  die.label = "die";
+  rects.push_back(die);
+  int layer = 1;
+  for (const auto& b : plan.blocks) {
+    LayoutRect r;
+    r.x_um = b.x_um;
+    r.y_um = b.y_um;
+    r.w_um = b.width_um;
+    r.h_um = b.height_um;
+    r.layer = layer++;
+    r.label = b.name;
+    rects.push_back(std::move(r));
+  }
+  return rects;
+}
+
+namespace {
+
+/// Minimal big-endian GDSII record emitter.
+class RecordStream {
+ public:
+  explicit RecordStream(std::ofstream& out) : out_(&out) {}
+
+  void record(std::uint8_t type, std::uint8_t datatype,
+              const std::vector<std::uint8_t>& payload = {}) {
+    const auto len = static_cast<std::uint16_t>(4 + payload.size());
+    put16(len);
+    out_->put(static_cast<char>(type));
+    out_->put(static_cast<char>(datatype));
+    out_->write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+  }
+
+  static void append16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+    v.push_back(static_cast<std::uint8_t>(x >> 8));
+    v.push_back(static_cast<std::uint8_t>(x & 0xff));
+  }
+  static void append32(std::vector<std::uint8_t>& v, std::int32_t x) {
+    const auto u = static_cast<std::uint32_t>(x);
+    v.push_back(static_cast<std::uint8_t>(u >> 24));
+    v.push_back(static_cast<std::uint8_t>((u >> 16) & 0xff));
+    v.push_back(static_cast<std::uint8_t>((u >> 8) & 0xff));
+    v.push_back(static_cast<std::uint8_t>(u & 0xff));
+  }
+  /// GDSII 8-byte excess-64 floating point.
+  static void append_real8(std::vector<std::uint8_t>& v, double x) {
+    std::uint8_t sign = 0;
+    if (x < 0) {
+      sign = 0x80;
+      x = -x;
+    }
+    int exponent = 64;
+    if (x != 0.0) {
+      while (x >= 1.0) {
+        x /= 16.0;
+        ++exponent;
+      }
+      while (x < 1.0 / 16.0) {
+        x *= 16.0;
+        --exponent;
+      }
+    }
+    std::uint64_t mantissa = 0;
+    double frac = x;
+    for (int i = 0; i < 56; ++i) {
+      frac *= 2.0;
+      mantissa <<= 1;
+      if (frac >= 1.0) {
+        mantissa |= 1;
+        frac -= 1.0;
+      }
+    }
+    v.push_back(static_cast<std::uint8_t>(sign | exponent));
+    for (int i = 6; i >= 0; --i) {
+      v.push_back(static_cast<std::uint8_t>((mantissa >> (8 * i)) & 0xff));
+    }
+  }
+  static void append_string(std::vector<std::uint8_t>& v,
+                            const std::string& s) {
+    for (char c : s) v.push_back(static_cast<std::uint8_t>(c));
+    if (v.size() % 2 != 0) v.push_back(0);  // pad to even length
+  }
+
+ private:
+  void put16(std::uint16_t x) {
+    out_->put(static_cast<char>(x >> 8));
+    out_->put(static_cast<char>(x & 0xff));
+  }
+  std::ofstream* out_;
+};
+
+// GDSII record types.
+constexpr std::uint8_t kHeader = 0x00;
+constexpr std::uint8_t kBgnLib = 0x01;
+constexpr std::uint8_t kLibName = 0x02;
+constexpr std::uint8_t kUnits = 0x03;
+constexpr std::uint8_t kEndLib = 0x04;
+constexpr std::uint8_t kBgnStr = 0x05;
+constexpr std::uint8_t kStrName = 0x06;
+constexpr std::uint8_t kEndStr = 0x07;
+constexpr std::uint8_t kBoundary = 0x08;
+constexpr std::uint8_t kLayer = 0x0d;
+constexpr std::uint8_t kDatatype = 0x0e;
+constexpr std::uint8_t kXy = 0x10;
+constexpr std::uint8_t kEndEl = 0x11;
+
+}  // namespace
+
+void GdsWriter::write(const std::string& path, const std::string& struct_name,
+                      const std::vector<LayoutRect>& rects,
+                      double db_unit_um) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("GdsWriter: cannot open " + path);
+  RecordStream rs(out);
+
+  {
+    std::vector<std::uint8_t> p;
+    RecordStream::append16(p, 600);  // stream version 6
+    rs.record(kHeader, 0x02, p);
+  }
+  {
+    // BGNLIB: 12 int16 timestamps (all zeros is accepted).
+    std::vector<std::uint8_t> p(24, 0);
+    rs.record(kBgnLib, 0x02, p);
+  }
+  {
+    std::vector<std::uint8_t> p;
+    RecordStream::append_string(p, "openserdes");
+    rs.record(kLibName, 0x06, p);
+  }
+  {
+    // UNITS: db unit in user units (um), db unit in metres.
+    std::vector<std::uint8_t> p;
+    RecordStream::append_real8(p, db_unit_um);          // 0.001 um per dbu
+    RecordStream::append_real8(p, db_unit_um * 1e-6);   // metres per dbu
+    rs.record(kUnits, 0x05, p);
+  }
+  {
+    std::vector<std::uint8_t> p(24, 0);
+    rs.record(kBgnStr, 0x02, p);
+  }
+  {
+    std::vector<std::uint8_t> p;
+    RecordStream::append_string(p, struct_name);
+    rs.record(kStrName, 0x06, p);
+  }
+
+  const double to_dbu = 1.0 / db_unit_um;
+  for (const auto& r : rects) {
+    rs.record(kBoundary, 0x00);
+    {
+      std::vector<std::uint8_t> p;
+      RecordStream::append16(p, static_cast<std::uint16_t>(r.layer));
+      rs.record(kLayer, 0x02, p);
+    }
+    {
+      std::vector<std::uint8_t> p;
+      RecordStream::append16(p, 0);
+      rs.record(kDatatype, 0x02, p);
+    }
+    {
+      const auto x0 = static_cast<std::int32_t>(std::llround(r.x_um * to_dbu));
+      const auto y0 = static_cast<std::int32_t>(std::llround(r.y_um * to_dbu));
+      const auto x1 = static_cast<std::int32_t>(
+          std::llround((r.x_um + r.w_um) * to_dbu));
+      const auto y1 = static_cast<std::int32_t>(
+          std::llround((r.y_um + r.h_um) * to_dbu));
+      std::vector<std::uint8_t> p;
+      // Closed polygon: 5 points.
+      RecordStream::append32(p, x0);
+      RecordStream::append32(p, y0);
+      RecordStream::append32(p, x1);
+      RecordStream::append32(p, y0);
+      RecordStream::append32(p, x1);
+      RecordStream::append32(p, y1);
+      RecordStream::append32(p, x0);
+      RecordStream::append32(p, y1);
+      RecordStream::append32(p, x0);
+      RecordStream::append32(p, y0);
+      rs.record(kXy, 0x03, p);
+    }
+    rs.record(kEndEl, 0x00);
+  }
+
+  rs.record(kEndStr, 0x00);
+  rs.record(kEndLib, 0x00);
+  if (!out) throw std::runtime_error("GdsWriter: write failed: " + path);
+}
+
+void SvgWriter::write(const std::string& path,
+                      const std::vector<LayoutRect>& rects,
+                      double scale_px_per_um) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("SvgWriter: cannot open " + path);
+  double max_x = 1.0;
+  double max_y = 1.0;
+  for (const auto& r : rects) {
+    max_x = std::max(max_x, r.x_um + r.w_um);
+    max_y = std::max(max_y, r.y_um + r.h_um);
+  }
+  static const std::array<const char*, 8> kColors = {
+      "#dddddd", "#4f81bd", "#c0504d", "#9bbb59",
+      "#8064a2", "#4bacc6", "#f79646", "#7f7f7f"};
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << max_x * scale_px_per_um << "\" height=\"" << max_y * scale_px_per_um
+      << "\">\n";
+  for (const auto& r : rects) {
+    // SVG y axis points down; flip so the layout reads like a die photo.
+    const double y_flipped = max_y - r.y_um - r.h_um;
+    out << "  <rect x=\"" << r.x_um * scale_px_per_um << "\" y=\""
+        << y_flipped * scale_px_per_um << "\" width=\""
+        << r.w_um * scale_px_per_um << "\" height=\""
+        << r.h_um * scale_px_per_um << "\" fill=\""
+        << kColors[static_cast<std::size_t>(r.layer) % kColors.size()]
+        << "\" stroke=\"black\" stroke-width=\"0.5\"/>\n";
+    if (!r.label.empty() && r.w_um * scale_px_per_um > 40.0) {
+      out << "  <text x=\"" << (r.x_um + r.w_um / 2.0) * scale_px_per_um
+          << "\" y=\"" << (y_flipped + r.h_um / 2.0) * scale_px_per_um
+          << "\" font-size=\"12\" text-anchor=\"middle\">" << r.label
+          << "</text>\n";
+    }
+  }
+  out << "</svg>\n";
+  if (!out) throw std::runtime_error("SvgWriter: write failed: " + path);
+}
+
+}  // namespace serdes::flow

@@ -1,0 +1,54 @@
+// Layout export: GDSII stream writer and SVG renderer.
+//
+// The paper's flow ends with magic exporting GDS; its Fig 11 is the die
+// plot.  This module writes real binary GDSII (HEADER/BGNLIB/.../ENDLIB
+// records, one BOUNDARY rectangle per placed cell or floorplan block) that
+// KLayout can open, plus an SVG rendering of the same geometry for
+// documentation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/netlist.h"
+#include "flow/place.h"
+
+namespace serdes::flow {
+
+/// One axis-aligned rectangle in layout space (micrometres).
+struct LayoutRect {
+  double x_um = 0.0;
+  double y_um = 0.0;
+  double w_um = 0.0;
+  double h_um = 0.0;
+  int layer = 1;
+  std::string label;
+};
+
+/// Collects cell outlines from a placed netlist.
+std::vector<LayoutRect> rects_from_netlist(const Netlist& netlist,
+                                           int layer = 1);
+
+/// Collects block outlines from a floorplan (one layer per block index).
+std::vector<LayoutRect> rects_from_floorplan(const Floorplan& plan);
+
+/// Binary GDSII stream writer.
+class GdsWriter {
+ public:
+  /// Writes a single-structure GDS file; throws std::runtime_error on I/O
+  /// failure.  `db_unit_um` is the database unit (defaults to 1 nm).
+  static void write(const std::string& path, const std::string& struct_name,
+                    const std::vector<LayoutRect>& rects,
+                    double db_unit_um = 0.001);
+};
+
+/// SVG renderer for quick visual inspection (Fig 11 regeneration).
+class SvgWriter {
+ public:
+  static void write(const std::string& path,
+                    const std::vector<LayoutRect>& rects,
+                    double scale_px_per_um = 2.0);
+};
+
+}  // namespace serdes::flow

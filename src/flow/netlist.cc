@@ -1,0 +1,93 @@
+#include "flow/netlist.h"
+
+#include <stdexcept>
+
+namespace serdes::flow {
+
+Netlist::Netlist(std::string module_name, const CellLibrary& lib)
+    : name_(std::move(module_name)), lib_(&lib) {}
+
+NetId Netlist::add_net(const std::string& name) {
+  Net n;
+  n.name = name;
+  nets_.push_back(std::move(n));
+  return static_cast<NetId>(nets_.size() - 1);
+}
+
+NetId Netlist::add_input_port(const std::string& name) {
+  const NetId id = add_net(name);
+  nets_[static_cast<std::size_t>(id)].is_primary_input = true;
+  return id;
+}
+
+NetId Netlist::add_output_port(const std::string& name) {
+  const NetId id = add_net(name);
+  nets_[static_cast<std::size_t>(id)].is_primary_output = true;
+  return id;
+}
+
+void Netlist::mark_clock(NetId net) {
+  nets_[static_cast<std::size_t>(net)].is_clock = true;
+}
+
+void Netlist::mark_output(NetId net) {
+  nets_[static_cast<std::size_t>(net)].is_primary_output = true;
+}
+
+NetId Netlist::add_cell(const CellType& type, const std::string& instance_name,
+                        const std::vector<NetId>& inputs) {
+  const int expected = input_count(type.function);
+  if (static_cast<int>(inputs.size()) != expected) {
+    throw std::invalid_argument("Netlist::add_cell: " + instance_name +
+                                " expects " + std::to_string(expected) +
+                                " inputs");
+  }
+  const auto cell_id = static_cast<CellId>(cells_.size());
+  CellInstance inst;
+  inst.name = instance_name;
+  inst.type = &type;
+  inst.inputs = inputs;
+  inst.output = add_net(instance_name + "_o");
+  nets_[static_cast<std::size_t>(inst.output)].driver = cell_id;
+  for (std::size_t pin = 0; pin < inputs.size(); ++pin) {
+    nets_[static_cast<std::size_t>(inputs[pin])].sinks.emplace_back(
+        cell_id, static_cast<int>(pin));
+  }
+  cells_.push_back(std::move(inst));
+  return cells_.back().output;
+}
+
+util::Farad Netlist::pin_load(NetId id) const {
+  const Net& n = nets_[static_cast<std::size_t>(id)];
+  util::Farad load{0.0};
+  for (const auto& [cell_id, pin] : n.sinks) {
+    load += cells_[static_cast<std::size_t>(cell_id)].type->input_cap;
+  }
+  return load;
+}
+
+util::Farad Netlist::total_load(NetId id) const {
+  return pin_load(id) + nets_[static_cast<std::size_t>(id)].wire_cap;
+}
+
+Netlist::Stats Netlist::stats() const {
+  Stats s;
+  s.cell_count = static_cast<int>(cells_.size());
+  s.net_count = static_cast<int>(nets_.size());
+  for (const auto& c : cells_) {
+    s.cell_area += c.type->area;
+    s.leakage += c.type->leakage;
+    if (c.type->function == CellFunction::kDff) ++s.dff_count;
+  }
+  return s;
+}
+
+int Netlist::count_function(CellFunction f) const {
+  int count = 0;
+  for (const auto& c : cells_) {
+    if (c.type->function == f) ++count;
+  }
+  return count;
+}
+
+}  // namespace serdes::flow

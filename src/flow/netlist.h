@@ -1,0 +1,107 @@
+// Gate-level netlist database.
+//
+// The in-memory design representation shared by the RTL generators, timing
+// analysis, placement and power analysis — the role OpenLANE's intermediate
+// Verilog/DEF files play in the paper's flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/celllib.h"
+
+namespace serdes::flow {
+
+using CellId = int;
+using NetId = int;
+
+constexpr NetId kNoNet = -1;
+
+struct CellInstance {
+  std::string name;
+  const CellType* type = nullptr;
+  std::vector<NetId> inputs;  // size = input_count(type->function)
+  NetId output = kNoNet;
+  /// Placement result (filled by the placer; um, lower-left corner).
+  double x_um = 0.0;
+  double y_um = 0.0;
+  bool placed = false;
+};
+
+struct Net {
+  std::string name;
+  CellId driver = -1;                     // -1 = primary input
+  std::vector<std::pair<CellId, int>> sinks;  // (cell, input pin index)
+  bool is_clock = false;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  /// Estimated routed wire capacitance (filled after placement).
+  util::Farad wire_cap{0.0};
+  /// Switching activity annotation (toggles per cycle / 2); negative means
+  /// "use the PowerConfig default".  RTL generators annotate nets whose
+  /// activity they know (shift registers toggle, capture banks do not).
+  double activity = -1.0;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string module_name,
+                   const CellLibrary& lib = CellLibrary::sky130());
+
+  // ---- Construction ----
+  NetId add_net(const std::string& name);
+  NetId add_input_port(const std::string& name);
+  NetId add_output_port(const std::string& name);
+  /// Marks an existing net as a clock (propagates activity/power treatment).
+  void mark_clock(NetId net);
+  /// Marks an existing internal net as a primary output.
+  void mark_output(NetId net);
+
+  /// Instantiates `type`; `inputs` must match the function's pin count.
+  /// Creates and returns the output net (named after the instance).
+  NetId add_cell(const CellType& type, const std::string& instance_name,
+                 const std::vector<NetId>& inputs);
+
+  // ---- Access ----
+  [[nodiscard]] const std::string& module_name() const { return name_; }
+  [[nodiscard]] const CellLibrary& library() const { return *lib_; }
+  [[nodiscard]] const std::vector<CellInstance>& cells() const {
+    return cells_;
+  }
+  [[nodiscard]] std::vector<CellInstance>& cells() { return cells_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] std::vector<Net>& nets() { return nets_; }
+  [[nodiscard]] const Net& net(NetId id) const {
+    return nets_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const CellInstance& cell(CellId id) const {
+    return cells_[static_cast<std::size_t>(id)];
+  }
+
+  /// Total pin capacitance hanging on a net (sink input pins).
+  [[nodiscard]] util::Farad pin_load(NetId id) const;
+  /// Pin load plus estimated wire capacitance.
+  [[nodiscard]] util::Farad total_load(NetId id) const;
+
+  // ---- Statistics ----
+  struct Stats {
+    int cell_count = 0;
+    int dff_count = 0;
+    int net_count = 0;
+    util::AreaUm2 cell_area{0.0};
+    util::Watt leakage{0.0};
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Count of cells with a given function.
+  [[nodiscard]] int count_function(CellFunction f) const;
+
+ private:
+  std::string name_;
+  const CellLibrary* lib_;
+  std::vector<CellInstance> cells_;
+  std::vector<Net> nets_;
+};
+
+}  // namespace serdes::flow

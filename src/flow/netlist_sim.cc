@@ -1,0 +1,124 @@
+#include "flow/netlist_sim.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace serdes::flow {
+
+NetlistSimulator::NetlistSimulator(const Netlist& netlist)
+    : netlist_(&netlist) {
+  net_values_.assign(netlist.nets().size(), 0);
+
+  // Levelize the combinational cells (same scheme as the STA engine);
+  // flops are collected separately and updated atomically per step().
+  const auto& cells = netlist.cells();
+  const int n = static_cast<int>(cells.size());
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  auto is_flop = [&](int id) {
+    return cells[static_cast<std::size_t>(id)].type->function ==
+           CellFunction::kDff;
+  };
+  for (int i = 0; i < n; ++i) {
+    if (is_flop(i)) {
+      flops_.push_back(i);
+      continue;
+    }
+    for (NetId in : cells[static_cast<std::size_t>(i)].inputs) {
+      const Net& net = netlist.net(in);
+      if (net.driver >= 0 && !is_flop(net.driver)) {
+        ++indegree[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (!is_flop(i) && indegree[static_cast<std::size_t>(i)] == 0) {
+      ready.push(i);
+    }
+  }
+  while (!ready.empty()) {
+    const int c = ready.front();
+    ready.pop();
+    topo_order_.push_back(c);
+    const Net& out = netlist.net(cells[static_cast<std::size_t>(c)].output);
+    for (const auto& [sink, pin] : out.sinks) {
+      if (is_flop(sink)) continue;
+      if (--indegree[static_cast<std::size_t>(sink)] == 0) ready.push(sink);
+    }
+  }
+  if (topo_order_.size() + flops_.size() != static_cast<std::size_t>(n)) {
+    throw std::runtime_error("NetlistSimulator: combinational loop");
+  }
+}
+
+bool NetlistSimulator::eval_cell(const CellInstance& cell) const {
+  auto in = [&](std::size_t pin) {
+    return net_values_[static_cast<std::size_t>(cell.inputs[pin])] != 0;
+  };
+  switch (cell.type->function) {
+    case CellFunction::kInv: return !in(0);
+    case CellFunction::kBuf:
+    case CellFunction::kClkBuf: return in(0);
+    case CellFunction::kNand2: return !(in(0) && in(1));
+    case CellFunction::kNor2: return !(in(0) || in(1));
+    case CellFunction::kXor2: return in(0) != in(1);
+    case CellFunction::kAnd2: return in(0) && in(1);
+    case CellFunction::kOr2: return in(0) || in(1);
+    case CellFunction::kMux2: return in(2) ? in(1) : in(0);
+    case CellFunction::kTieLo: return false;
+    case CellFunction::kTieHi: return true;
+    case CellFunction::kDff:
+      throw std::logic_error("NetlistSimulator: flop in comb evaluation");
+  }
+  return false;
+}
+
+void NetlistSimulator::set_input(NetId net, bool value) {
+  if (!netlist_->net(net).is_primary_input) {
+    throw std::invalid_argument("NetlistSimulator: not a primary input: " +
+                                netlist_->net(net).name);
+  }
+  net_values_[static_cast<std::size_t>(net)] = value ? 1 : 0;
+}
+
+void NetlistSimulator::settle() {
+  const auto& cells = netlist_->cells();
+  for (int id : topo_order_) {
+    const auto& cell = cells[static_cast<std::size_t>(id)];
+    net_values_[static_cast<std::size_t>(cell.output)] =
+        eval_cell(cell) ? 1 : 0;
+  }
+}
+
+void NetlistSimulator::step() {
+  settle();
+  // All flops sample their D pins from the settled pre-edge state...
+  const auto& cells = netlist_->cells();
+  std::vector<std::uint8_t> captured(flops_.size());
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const auto& flop = cells[static_cast<std::size_t>(flops_[i])];
+    captured[i] = net_values_[static_cast<std::size_t>(flop.inputs[0])];
+  }
+  // ...then update atomically (non-blocking semantics).
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const auto& flop = cells[static_cast<std::size_t>(flops_[i])];
+    net_values_[static_cast<std::size_t>(flop.output)] = captured[i];
+  }
+  settle();
+  ++cycles_;
+}
+
+bool NetlistSimulator::value(NetId net) const {
+  return net_values_[static_cast<std::size_t>(net)] != 0;
+}
+
+std::uint64_t NetlistSimulator::bus_value(
+    const std::vector<NetId>& nets) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (value(nets[i])) v |= (1ull << i);
+  }
+  return v;
+}
+
+}  // namespace serdes::flow

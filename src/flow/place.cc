@@ -1,0 +1,160 @@
+#include "flow/place.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace serdes::flow {
+
+PlacementResult place(Netlist& netlist, const PlacementConfig& config) {
+  if (config.utilization <= 0.0 || config.utilization > 1.0) {
+    throw std::invalid_argument("place: utilization must be in (0,1]");
+  }
+  PlacementResult result;
+  const double row_height = netlist.library().row_height_um();
+
+  for (const auto& c : netlist.cells()) result.cell_area += c.type->area;
+  result.die_area =
+      util::square_microns(result.cell_area.value() / config.utilization);
+
+  // Region geometry: width * height = die_area, height/width = aspect.
+  result.width_um = std::sqrt(result.die_area.value() / config.aspect_ratio);
+  result.height_um = result.die_area.value() / result.width_um;
+  result.rows = std::max(1, static_cast<int>(result.height_um / row_height));
+  result.height_um = result.rows * row_height;
+
+  // BFS order from primary-input sinks: keeps logical neighbours physically
+  // adjacent, a cheap stand-in for analytic placement.
+  const auto& cells = netlist.cells();
+  const int n = static_cast<int>(cells.size());
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::queue<int> frontier;
+  for (const auto& net : netlist.nets()) {
+    if (!net.is_primary_input) continue;
+    for (const auto& [cell_id, pin] : net.sinks) {
+      if (!visited[static_cast<std::size_t>(cell_id)]) {
+        visited[static_cast<std::size_t>(cell_id)] = true;
+        frontier.push(cell_id);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const int c = frontier.front();
+    frontier.pop();
+    order.push_back(c);
+    const auto& cell = cells[static_cast<std::size_t>(c)];
+    const Net& out = netlist.net(cell.output);
+    for (const auto& [sink, pin] : out.sinks) {
+      if (!visited[static_cast<std::size_t>(sink)]) {
+        visited[static_cast<std::size_t>(sink)] = true;
+        frontier.push(sink);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {  // unreachable cells (tie cells etc.)
+    if (!visited[static_cast<std::size_t>(i)]) order.push_back(i);
+  }
+
+  // Fill rows serpentine with per-row width budget scaled by utilization.
+  const double row_budget = result.width_um * config.utilization;
+  double x = 0.0;
+  int row = 0;
+  bool left_to_right = true;
+  auto& mcells = netlist.cells();
+  for (int id : order) {
+    auto& cell = mcells[static_cast<std::size_t>(id)];
+    const double w = cell.type->area.value() / row_height;
+    if (x + w > row_budget) {
+      ++row;
+      x = 0.0;
+      left_to_right = !left_to_right;
+      if (row >= result.rows) row = result.rows - 1;  // overflow: stack last
+    }
+    const double x_place =
+        left_to_right ? x : std::max(0.0, row_budget - x - w);
+    cell.x_um = x_place / config.utilization;  // spread across full width
+    cell.y_um = row * row_height;
+    cell.placed = true;
+    x += w;
+  }
+
+  // HPWL + wire capacitance back-annotation.
+  result.total_hpwl_um = 0.0;
+  for (auto& net : netlist.nets()) {
+    double min_x = 0.0;
+    double max_x = 0.0;
+    double min_y = 0.0;
+    double max_y = 0.0;
+    bool first = true;
+    auto visit = [&](CellId cid) {
+      const auto& cell = netlist.cell(cid);
+      if (!cell.placed) return;
+      if (first) {
+        min_x = max_x = cell.x_um;
+        min_y = max_y = cell.y_um;
+        first = false;
+      } else {
+        min_x = std::min(min_x, cell.x_um);
+        max_x = std::max(max_x, cell.x_um);
+        min_y = std::min(min_y, cell.y_um);
+        max_y = std::max(max_y, cell.y_um);
+      }
+    };
+    if (net.driver >= 0) visit(net.driver);
+    for (const auto& [cid, pin] : net.sinks) visit(cid);
+    if (first) continue;
+    const double hpwl = (max_x - min_x) + (max_y - min_y);
+    result.total_hpwl_um += hpwl;
+    const double routed = std::min(hpwl, config.max_net_length_um);
+    net.wire_cap = util::farads(routed * config.wire_cap_f_per_um);
+  }
+  return result;
+}
+
+Floorplan floorplan(std::vector<FloorplanBlock> blocks,
+                    double whitespace_fraction) {
+  if (whitespace_fraction < 0.0) {
+    throw std::invalid_argument("floorplan: whitespace must be >= 0");
+  }
+  // Shape each block as a near-square rectangle of its area.
+  double total_area = 0.0;
+  for (auto& b : blocks) {
+    b.width_um = std::sqrt(b.area.value() * 1.2);  // slightly wide blocks
+    b.height_um = b.area.value() / b.width_um;
+    total_area += b.area.value();
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const FloorplanBlock& a, const FloorplanBlock& b) {
+              return a.height_um > b.height_um;
+            });
+
+  const double die_target = total_area * (1.0 + whitespace_fraction);
+  const double die_width = std::sqrt(die_target);
+
+  // Shelf packing: fill shelves left to right, open a new shelf when the
+  // block no longer fits.
+  Floorplan plan;
+  double shelf_y = 0.0;
+  double shelf_height = 0.0;
+  double x = 0.0;
+  for (auto& b : blocks) {
+    if (x + b.width_um > die_width && x > 0.0) {
+      shelf_y += shelf_height;
+      shelf_height = 0.0;
+      x = 0.0;
+    }
+    b.x_um = x;
+    b.y_um = shelf_y;
+    x += b.width_um;
+    shelf_height = std::max(shelf_height, b.height_um);
+    plan.die_width_um = std::max(plan.die_width_um, x);
+  }
+  plan.die_height_um = shelf_y + shelf_height;
+  plan.blocks = std::move(blocks);
+  return plan;
+}
+
+}  // namespace serdes::flow

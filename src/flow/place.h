@@ -1,0 +1,75 @@
+// Placement and floorplanning.
+//
+// Stands in for the OpenROAD floorplan/place steps of the paper's flow
+// (Fig 12) and produces the data behind Fig 11: per-block layout areas and
+// the die plan.  Cells are placed into standard-cell rows in BFS order from
+// the primary inputs (a simple data-flow ordering that keeps connected
+// cells near each other), wire lengths are estimated by half-perimeter
+// bounding box, and wire capacitance is back-annotated onto the netlist for
+// timing/power.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/netlist.h"
+
+namespace serdes::flow {
+
+struct PlacementConfig {
+  /// Target row utilization (OpenLANE defaults run well below 1.0).
+  double utilization = 0.35;
+  /// Routed-wire capacitance per micron of estimated length.
+  double wire_cap_f_per_um = 0.20e-15;
+  /// Per-net length cap applied when annotating wire capacitance.  The
+  /// BFS/serpentine placement over-estimates a few global nets badly; a
+  /// detailed placer would pull their endpoints together, so lengths are
+  /// clamped to this bound (microns) for timing/power annotation.
+  double max_net_length_um = 50.0;
+  /// Aspect ratio (height/width) of the placement region.
+  double aspect_ratio = 1.0;
+};
+
+struct PlacementResult {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  /// Sum of cell areas.
+  util::AreaUm2 cell_area{0.0};
+  /// Die (row region) area = cell area / utilization.
+  util::AreaUm2 die_area{0.0};
+  /// Total half-perimeter wire length over all nets.
+  double total_hpwl_um = 0.0;
+  int rows = 0;
+};
+
+/// Places `netlist` cells in rows (mutates cell x/y) and back-annotates
+/// per-net wire capacitance.  Returns the region geometry.
+PlacementResult place(Netlist& netlist, const PlacementConfig& config = {});
+
+/// One top-level block in the die plan.
+struct FloorplanBlock {
+  std::string name;
+  util::AreaUm2 area{0.0};
+  // Filled by floorplan():
+  double x_um = 0.0;
+  double y_um = 0.0;
+  double width_um = 0.0;
+  double height_um = 0.0;
+};
+
+struct Floorplan {
+  double die_width_um = 0.0;
+  double die_height_um = 0.0;
+  std::vector<FloorplanBlock> blocks;
+
+  [[nodiscard]] util::AreaUm2 die_area() const {
+    return util::square_microns(die_width_um * die_height_um);
+  }
+};
+
+/// Packs blocks into a die using a simple shelf algorithm (largest first),
+/// padding the die by `whitespace_fraction` of the summed block area.
+Floorplan floorplan(std::vector<FloorplanBlock> blocks,
+                    double whitespace_fraction = 0.15);
+
+}  // namespace serdes::flow

@@ -1,0 +1,42 @@
+#include "flow/power.h"
+
+namespace serdes::flow {
+
+PowerReport analyze_power(const Netlist& netlist, const PowerConfig& config) {
+  PowerReport report;
+  const double v2 = config.vdd.value() * config.vdd.value();
+  const double f = config.clock.value();
+
+  double dynamic = 0.0;
+  double clock_dynamic = 0.0;
+  for (std::size_t i = 0; i < netlist.nets().size(); ++i) {
+    const Net& net = netlist.nets()[i];
+    // Switched capacitance on this net: sink pins, wire, driver output.
+    double c = netlist.pin_load(static_cast<NetId>(i)).value() +
+               net.wire_cap.value();
+    if (net.driver >= 0) {
+      // Driver self-load approximated by its input cap (junction caps are
+      // comparable to gate caps in this library).
+      c += netlist.cell(net.driver).type->input_cap.value() * 0.5;
+    }
+    double alpha = net.is_clock ? config.clock_activity : config.data_activity;
+    if (!net.is_clock && net.activity >= 0.0) alpha = net.activity;
+    const double p = alpha * c * v2 * f;
+    dynamic += p;
+    if (net.is_clock) clock_dynamic += p;
+  }
+  report.dynamic = util::watts(dynamic);
+  report.clock_tree = util::watts(clock_dynamic);
+  report.short_circuit = util::watts(dynamic * config.short_circuit_fraction);
+
+  util::Watt leak{0.0};
+  for (const auto& c : netlist.cells()) leak += c.type->leakage;
+  report.leakage = leak;
+  return report;
+}
+
+util::Joule energy_per_bit(const PowerReport& report, util::Hertz bit_rate) {
+  return util::joules(report.total().value() / bit_rate.value());
+}
+
+}  // namespace serdes::flow

@@ -1,0 +1,43 @@
+// Power analysis (dynamic + short-circuit + leakage).
+//
+// Produces the per-block milliwatt numbers of the paper's Fig 10.  Dynamic
+// power follows the standard alpha·C·V²·f model over every net's switched
+// capacitance (sink pins + routed wire + driver self-load), with clock nets
+// toggling every cycle and data nets at a configurable activity factor.
+#pragma once
+
+#include "flow/netlist.h"
+
+namespace serdes::flow {
+
+struct PowerConfig {
+  util::Hertz clock{2e9};
+  util::Volt vdd{1.8};
+  /// Probability that a data net toggles in a given cycle.
+  double data_activity = 0.25;
+  /// Clock nets switch twice per cycle (rise + fall): alpha = 1 in the
+  /// energy-per-cycle convention used here, times this factor.
+  double clock_activity = 1.0;
+  /// Short-circuit (crowbar) power as a fraction of dynamic power.
+  double short_circuit_fraction = 0.10;
+};
+
+struct PowerReport {
+  util::Watt dynamic{0.0};
+  util::Watt clock_tree{0.0};  // subset of dynamic on clock nets
+  util::Watt short_circuit{0.0};
+  util::Watt leakage{0.0};
+
+  [[nodiscard]] util::Watt total() const {
+    return dynamic + short_circuit + leakage;
+  }
+};
+
+/// Analyzes the (ideally placed, so wire caps are annotated) netlist.
+PowerReport analyze_power(const Netlist& netlist,
+                          const PowerConfig& config = {});
+
+/// Energy per bit at the given bit rate (total power / bit rate).
+util::Joule energy_per_bit(const PowerReport& report, util::Hertz bit_rate);
+
+}  // namespace serdes::flow

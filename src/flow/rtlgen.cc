@@ -1,0 +1,482 @@
+#include "flow/rtlgen.h"
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace serdes::flow {
+
+namespace {
+
+std::string idx_name(const std::string& base, int i) {
+  return base + "_" + std::to_string(i);
+}
+
+/// Registers a DFF with D = `d`, CLK = `clk`.
+NetId add_dff(Netlist& n, const CellLibrary& lib, const std::string& name,
+              NetId d, NetId clk) {
+  return n.add_cell(lib.weakest(CellFunction::kDff), name, {d, clk});
+}
+
+/// Strong DFF for timing-critical state (counters).
+NetId add_fast_dff(Netlist& n, const CellLibrary& lib, const std::string& name,
+                   NetId d, NetId clk) {
+  return n.add_cell(lib.strongest(CellFunction::kDff), name, {d, clk});
+}
+
+/// 2:1 mux cell (A when S=0, B when S=1).
+NetId add_mux(Netlist& n, const CellLibrary& lib, const std::string& name,
+              NetId a, NetId b, NetId s) {
+  return n.add_cell(lib.weakest(CellFunction::kMux2), name, {a, b, s});
+}
+
+}  // namespace
+
+std::vector<NetId> build_counter(Netlist& n, int bits, NetId clk,
+                                 const std::string& prefix) {
+  const CellLibrary& lib = n.library();
+  // Ripple-increment: q[i] <= q[i] ^ carry[i-1]; carry[i] = carry[i-1] & q[i].
+  // The D inputs form a combinational increment of the current state, so we
+  // must create the flops first and then wire their D nets; since add_cell
+  // fixes inputs at creation, we instead build bit-by-bit using the previous
+  // state nets, with a per-bit toggle structure:
+  //   t0 = ~q0; q0' = t0
+  //   ti = qi ^ ci-1; ci = qi & ci-1 (c0 = q0)
+  // We express the feedback by creating each DFF with a placeholder input
+  // and patching it afterwards.
+  std::vector<NetId> q(static_cast<std::size_t>(bits));
+  std::vector<CellId> flops(static_cast<std::size_t>(bits));
+  // Placeholder net for D until the increment logic exists.
+  const NetId placeholder = n.add_net(prefix + "_d_placeholder");
+  for (int i = 0; i < bits; ++i) {
+    q[static_cast<std::size_t>(i)] =
+        add_fast_dff(n, lib, idx_name(prefix + "_q", i), placeholder, clk);
+    flops[static_cast<std::size_t>(i)] =
+        n.net(q[static_cast<std::size_t>(i)]).driver;
+  }
+  // Increment logic.  The carry into bit i is AND(q[0..i-1]) built as a
+  // balanced tree (log depth) so the counter closes timing at the 2 GHz bit
+  // clock, unlike a ripple chain.
+  const CellType& and2 = lib.get("and2_x4");
+  std::function<NetId(int, int, int)> and_tree =
+      [&](int lo, int hi, int tag) -> NetId {
+    if (lo == hi) return q[static_cast<std::size_t>(lo)];
+    const int mid = (lo + hi) / 2;
+    const NetId left = and_tree(lo, mid, tag * 2);
+    const NetId right = and_tree(mid + 1, hi, tag * 2 + 1);
+    return n.add_cell(and2,
+                      prefix + "_c" + std::to_string(hi) + "_" +
+                          std::to_string(lo) + "_" + std::to_string(tag),
+                      {left, right});
+  };
+  std::vector<NetId> d(static_cast<std::size_t>(bits));
+  d[0] = n.add_cell(lib.weakest(CellFunction::kInv), prefix + "_t0", {q[0]});
+  for (int i = 1; i < bits; ++i) {
+    const NetId carry = and_tree(0, i - 1, i);
+    d[static_cast<std::size_t>(i)] =
+        n.add_cell(lib.get("xor2_x4"), idx_name(prefix + "_t", i),
+                   {q[static_cast<std::size_t>(i)], carry});
+  }
+  // Patch the flop D pins from the placeholder to the real increment nets.
+  for (int i = 0; i < bits; ++i) {
+    auto& cell = n.cells()[static_cast<std::size_t>(
+        flops[static_cast<std::size_t>(i)])];
+    cell.inputs[0] = d[static_cast<std::size_t>(i)];
+    n.nets()[static_cast<std::size_t>(d[static_cast<std::size_t>(i)])]
+        .sinks.emplace_back(flops[static_cast<std::size_t>(i)], 0);
+  }
+  // Remove the placeholder's sink records (it drives nothing real now).
+  n.nets()[static_cast<std::size_t>(placeholder)].sinks.clear();
+  // Bit i of a binary counter toggles every 2^i cycles.
+  for (int i = 0; i < bits; ++i) {
+    n.nets()[static_cast<std::size_t>(q[static_cast<std::size_t>(i)])]
+        .activity = 0.5 / static_cast<double>(1 << i);
+  }
+  return q;
+}
+
+NetId build_mux_tree(Netlist& n, const std::vector<NetId>& inputs,
+                     const std::vector<NetId>& selects,
+                     const std::string& prefix, NetId pipeline_clk) {
+  if (inputs.size() != (1ull << selects.size())) {
+    throw std::invalid_argument("build_mux_tree: inputs must be 2^selects");
+  }
+  const CellLibrary& lib = n.library();
+  const CellType& sel_buf = lib.get("buf_x8");
+  constexpr std::size_t kMuxesPerSelectBuffer = 16;
+  std::vector<NetId> level = inputs;
+  for (std::size_t s = 0; s < selects.size(); ++s) {
+    // When the tree is pipelined, the data reaching level s is s cycles
+    // old, so its select must be delayed by the same s cycles (a select
+    // shift register) or the tree would select a permuted sequence.
+    NetId level_select = selects[s];
+    if (pipeline_clk != kNoNet) {
+      for (std::size_t d = 0; d < s; ++d) {
+        level_select = add_dff(n, lib,
+                               prefix + "_seldly" + std::to_string(s) + "_" +
+                                   std::to_string(d),
+                               level_select, pipeline_clk);
+      }
+    }
+    // Fanout-buffer the select: one buf_x8 per group of muxes.
+    std::vector<NetId> sel_copies;
+    const std::size_t muxes = level.size() / 2;
+    for (std::size_t g = 0; g * kMuxesPerSelectBuffer < muxes; ++g) {
+      sel_copies.push_back(n.add_cell(
+          sel_buf,
+          prefix + "_selbuf" + std::to_string(s) + "_" + std::to_string(g),
+          {level_select}));
+    }
+    std::vector<NetId> next;
+    next.reserve(muxes);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const NetId sel = sel_copies[(i / 2) / kMuxesPerSelectBuffer];
+      NetId y = add_mux(
+          n, lib,
+          prefix + "_m" + std::to_string(s) + "_" + std::to_string(i / 2),
+          level[i], level[i + 1], sel);
+      if (pipeline_clk != kNoNet) {
+        y = add_dff(n, lib,
+                    prefix + "_p" + std::to_string(s) + "_" +
+                        std::to_string(i / 2),
+                    y, pipeline_clk);
+      }
+      next.push_back(y);
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+Netlist generate_serializer(const SerdesRtlConfig& config,
+                            const CellLibrary& lib) {
+  Netlist n("serializer", lib);
+  const int frame_bits = config.lanes * config.bits_per_lane;
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId load = n.add_input_port("load");
+
+  // Input FIFO bank: depth stages of frame_bits flops, each bit entering
+  // through a shift/hold mux — lanes x 32 x depth DFF+MUX pairs.
+  std::vector<NetId> stage_q;
+  stage_q.reserve(static_cast<std::size_t>(frame_bits));
+  for (int b = 0; b < frame_bits; ++b) {
+    stage_q.push_back(n.add_input_port(idx_name("din", b)));
+  }
+  for (int d = 0; d < config.fifo_depth; ++d) {
+    std::vector<NetId> next;
+    next.reserve(static_cast<std::size_t>(frame_bits));
+    for (int b = 0; b < frame_bits; ++b) {
+      const std::string base =
+          "fifo" + std::to_string(d) + "_" + std::to_string(b);
+      // Hold (feedback) vs advance (previous stage) under `load`.
+      const NetId placeholder = n.add_net(base + "_loop");
+      const NetId mux = add_mux(n, lib, base + "_mux", placeholder,
+                                stage_q[static_cast<std::size_t>(b)], load);
+      const NetId q = add_dff(n, lib, base + "_ff", mux, clk);
+      // Close the hold loop: placeholder becomes the flop's own Q.
+      auto& mux_cell =
+          n.cells()[static_cast<std::size_t>(n.net(mux).driver)];
+      mux_cell.inputs[0] = q;
+      n.nets()[static_cast<std::size_t>(q)].sinks.emplace_back(
+          n.net(mux).driver, 0);
+      n.nets()[static_cast<std::size_t>(placeholder)].sinks.clear();
+      // The paper's naive FSM serializer ripples data through the bank
+      // every bit time: near-random toggling on the whole datapath.
+      n.nets()[static_cast<std::size_t>(q)].activity = 0.45;
+      n.nets()[static_cast<std::size_t>(mux)].activity = 0.45;
+      next.push_back(q);
+    }
+    stage_q = std::move(next);
+  }
+
+  // Bit-select counter (log2(frame_bits) bits) and the 256:1 read mux tree.
+  int sel_bits = 0;
+  while ((1 << sel_bits) < frame_bits) ++sel_bits;
+  const std::vector<NetId> sel = build_counter(n, sel_bits, clk, "bitcnt");
+  const NetId mux_out = build_mux_tree(n, stage_q, sel, "rdmux", clk);
+
+  // Retime and drive out.
+  const NetId out_ff = add_dff(n, lib, "out_ff", mux_out, clk);
+  const NetId out = n.add_cell(lib.strongest(CellFunction::kBuf), "out_buf",
+                               {out_ff});
+  n.mark_output(out);
+
+  insert_clock_tree(n, clk);
+  return n;
+}
+
+Netlist generate_deserializer(const SerdesRtlConfig& config,
+                              const CellLibrary& lib) {
+  Netlist n("deserializer", lib);
+  const int frame_bits = config.lanes * config.bits_per_lane;
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId serial_in = n.add_input_port("serial_in");
+  const NetId capture = n.add_input_port("capture");
+
+  // 256-bit input shift register in the bit-clock domain.
+  std::vector<NetId> shift_q;
+  shift_q.reserve(static_cast<std::size_t>(frame_bits));
+  NetId prev = serial_in;
+  for (int b = 0; b < frame_bits; ++b) {
+    prev = add_dff(n, lib, idx_name("shift", b), prev, clk);
+    // Serial data marches through every cycle: random-data activity.
+    n.nets()[static_cast<std::size_t>(prev)].activity = 0.45;
+    shift_q.push_back(prev);
+  }
+
+  // Output capture FIFO: depth stages x frame_bits, advancing on `capture`
+  // (mux-protected flops, like the serializer's input bank).
+  std::vector<NetId> stage_q = shift_q;
+  for (int d = 0; d < config.fifo_depth; ++d) {
+    std::vector<NetId> next;
+    next.reserve(static_cast<std::size_t>(frame_bits));
+    for (int b = 0; b < frame_bits; ++b) {
+      const std::string base =
+          "cap" + std::to_string(d) + "_" + std::to_string(b);
+      const NetId placeholder = n.add_net(base + "_loop");
+      const NetId mux = add_mux(n, lib, base + "_mux", placeholder,
+                                stage_q[static_cast<std::size_t>(b)], capture);
+      const NetId q = add_dff(n, lib, base + "_ff", mux, clk);
+      auto& mux_cell =
+          n.cells()[static_cast<std::size_t>(n.net(mux).driver)];
+      mux_cell.inputs[0] = q;
+      n.nets()[static_cast<std::size_t>(q)].sinks.emplace_back(
+          n.net(mux).driver, 0);
+      n.nets()[static_cast<std::size_t>(placeholder)].sinks.clear();
+      // Capture flops only change once per 256-bit frame.
+      n.nets()[static_cast<std::size_t>(q)].activity = 0.45 / 256.0;
+      n.nets()[static_cast<std::size_t>(mux)].activity = 0.45 / 256.0;
+      next.push_back(q);
+      if (d + 1 == config.fifo_depth) n.mark_output(q);
+    }
+    stage_q = std::move(next);
+  }
+
+  // Frame counter + terminal-count detect (8-input AND tree over the count).
+  int cnt_bits = 0;
+  while ((1 << cnt_bits) < frame_bits) ++cnt_bits;
+  const std::vector<NetId> cnt = build_counter(n, cnt_bits, clk, "framecnt");
+  NetId tc = cnt[0];
+  for (std::size_t i = 1; i < cnt.size(); ++i) {
+    tc = n.add_cell(lib.weakest(CellFunction::kAnd2),
+                    idx_name("tc_and", static_cast<int>(i)), {tc, cnt[i]});
+  }
+  n.mark_output(tc);
+
+  insert_clock_tree(n, clk);
+  return n;
+}
+
+Netlist generate_cdr(const SerdesRtlConfig& config, const CellLibrary& lib) {
+  Netlist n("cdr", lib);
+  const int os = config.cdr_oversampling;
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId data_in = n.add_input_port("data_in");
+  const NetId glitch_scan = n.add_input_port("glitch_scan");
+  const NetId jitter_scan = n.add_input_port("jitter_scan");
+
+  // Multi-phase sampler bank: one flop per phase (each strobed by its own
+  // phase of the 2 GHz clock; single clock net here, phases are a clocking
+  // detail below this abstraction).
+  std::vector<NetId> samplers;
+  samplers.reserve(static_cast<std::size_t>(os));
+  for (int p = 0; p < os; ++p) {
+    const NetId q = add_dff(n, lib, idx_name("sampler", p), data_in, clk);
+    n.nets()[static_cast<std::size_t>(q)].activity = 0.45;
+    // The sampler fans out to the edge detectors, the window FIFO, the
+    // decision mux and the majority gates: buffer it so the 2 GHz path
+    // closes timing.
+    const NetId buffered = n.add_cell(lib.get("buf_x8"),
+                                      idx_name("sampler_buf", p), {q});
+    n.nets()[static_cast<std::size_t>(buffered)].activity = 0.45;
+    samplers.push_back(buffered);
+  }
+
+  // Sample FIFO register bank: window_uis x oversampling bits.
+  std::vector<NetId> fifo_tail(samplers);
+  for (int w = 0; w < config.cdr_window_uis; ++w) {
+    for (int p = 0; p < os; ++p) {
+      fifo_tail[static_cast<std::size_t>(p)] = add_dff(
+          n, lib, "fifo_" + std::to_string(w) + "_" + std::to_string(p),
+          fifo_tail[static_cast<std::size_t>(p)], clk);
+      n.nets()[static_cast<std::size_t>(fifo_tail[static_cast<std::size_t>(p)])]
+          .activity = 0.45;
+    }
+  }
+
+  // Edge detectors between adjacent phases.
+  std::vector<NetId> edges;
+  for (int p = 0; p + 1 < os; ++p) {
+    edges.push_back(n.add_cell(lib.weakest(CellFunction::kXor2),
+                               idx_name("edge", p),
+                               {samplers[static_cast<std::size_t>(p)],
+                                samplers[static_cast<std::size_t>(p + 1)]}));
+  }
+
+  // Per-phase vote counters (width = log2 of window).
+  int vote_bits = 0;
+  while ((1 << vote_bits) < config.cdr_window_uis) ++vote_bits;
+  std::vector<std::vector<NetId>> votes;
+  for (int p = 0; p + 1 < os; ++p) {
+    votes.push_back(build_counter(n, vote_bits, clk, idx_name("vote", p)));
+  }
+
+  // Boundary compare tree: pairwise magnitude comparators over the vote
+  // counters (xor/and/or ladder per bit).
+  std::vector<NetId> winner = votes[0];
+  for (std::size_t p = 1; p < votes.size(); ++p) {
+    std::vector<NetId> next;
+    for (int b = 0; b < vote_bits; ++b) {
+      const NetId x = n.add_cell(
+          lib.weakest(CellFunction::kXor2),
+          "cmp_x_" + std::to_string(p) + "_" + std::to_string(b),
+          {winner[static_cast<std::size_t>(b)],
+           votes[p][static_cast<std::size_t>(b)]});
+      const NetId g = n.add_cell(
+          lib.weakest(CellFunction::kAnd2),
+          "cmp_g_" + std::to_string(p) + "_" + std::to_string(b),
+          {x, votes[p][static_cast<std::size_t>(b)]});
+      const NetId o = n.add_cell(
+          lib.weakest(CellFunction::kOr2),
+          "cmp_o_" + std::to_string(p) + "_" + std::to_string(b),
+          {g, winner[static_cast<std::size_t>(b)]});
+      next.push_back(add_dff(n, lib,
+                             "cmp_r_" + std::to_string(p) + "_" +
+                                 std::to_string(b),
+                             o, clk));
+    }
+    winner = std::move(next);
+  }
+
+  // Decision phase register and decision mux over the sampler bank.
+  int sel_bits = 0;
+  while ((1 << sel_bits) < os) ++sel_bits;
+  std::vector<NetId> phase_reg;
+  for (int b = 0; b < sel_bits; ++b) {
+    phase_reg.push_back(add_dff(n, lib, idx_name("phase", b),
+                                winner[static_cast<std::size_t>(
+                                    b % static_cast<int>(winner.size()))],
+                                clk));
+  }
+  // Pad the sampler bank to a power of two with the last phase.
+  std::vector<NetId> padded = samplers;
+  while (padded.size() < (1ull << sel_bits)) padded.push_back(samplers.back());
+  const NetId picked = build_mux_tree(n, padded, phase_reg, "decmux", clk);
+
+  // Glitch-correction majority-of-3 over adjacent phases, gated by the scan
+  // bit: maj = ab | bc | ca; out = scan ? maj : picked.
+  const NetId a = samplers[static_cast<std::size_t>(os / 2 - 1)];
+  const NetId b = samplers[static_cast<std::size_t>(os / 2)];
+  const NetId c = samplers[static_cast<std::size_t>(os / 2 + 1)];
+  const NetId ab = n.add_cell(lib.weakest(CellFunction::kAnd2), "maj_ab", {a, b});
+  const NetId bc = n.add_cell(lib.weakest(CellFunction::kAnd2), "maj_bc", {b, c});
+  const NetId ca = n.add_cell(lib.weakest(CellFunction::kAnd2), "maj_ca", {c, a});
+  const NetId ab_bc =
+      n.add_cell(lib.weakest(CellFunction::kOr2), "maj_or1", {ab, bc});
+  const NetId maj =
+      n.add_cell(lib.weakest(CellFunction::kOr2), "maj_or2", {ab_bc, ca});
+  const NetId dec =
+      add_mux(n, lib, "glitch_mux", picked, maj, glitch_scan);
+
+  // Jitter-correction hysteresis: candidate phase register + streak counter,
+  // engaged by the jitter scan bit.
+  std::vector<NetId> cand;
+  for (int bb = 0; bb < sel_bits; ++bb) {
+    cand.push_back(add_dff(n, lib, idx_name("cand", bb),
+                           phase_reg[static_cast<std::size_t>(bb)], clk));
+  }
+  const std::vector<NetId> streak = build_counter(n, 3, clk, "streak");
+  const NetId hys_gate = n.add_cell(lib.weakest(CellFunction::kAnd2),
+                                    "hys_gate", {streak.back(), jitter_scan});
+  (void)hys_gate;
+  (void)cand;
+
+  // Recovered bit output register.
+  const NetId out = add_dff(n, lib, "recovered", dec, clk);
+  n.mark_output(out);
+
+  insert_clock_tree(n, clk);
+  return n;
+}
+
+int insert_clock_tree(Netlist& n, NetId clock_root, int max_fanout) {
+  if (max_fanout < 2) {
+    throw std::invalid_argument("insert_clock_tree: max_fanout >= 2");
+  }
+  const CellLibrary& lib = n.library();
+  // Collect DFF clock pins currently on the root (pin 1 of kDff).
+  std::vector<std::pair<CellId, int>> sinks;
+  auto& root = n.nets()[static_cast<std::size_t>(clock_root)];
+  std::vector<std::pair<CellId, int>> kept;
+  for (const auto& [cell_id, pin] : root.sinks) {
+    const auto& cell = n.cell(cell_id);
+    if (cell.type->function == CellFunction::kDff && pin == 1) {
+      sinks.emplace_back(cell_id, pin);
+    } else {
+      kept.push_back({cell_id, pin});
+    }
+  }
+  if (sinks.size() <= static_cast<std::size_t>(max_fanout)) return 0;
+  root.sinks = kept;
+
+  int buffers = 0;
+  // Bottom-up: group sinks under leaf buffers, then buffer the buffers.
+  std::vector<NetId> level_nets;
+  std::size_t group = 0;
+  for (std::size_t i = 0; i < sinks.size(); i += group) {
+    group = std::min<std::size_t>(static_cast<std::size_t>(max_fanout),
+                                  sinks.size() - i);
+    const NetId buf_out = n.add_cell(
+        lib.get("clkbuf_x4"),
+        "ctsleaf_" + std::to_string(buffers), {clock_root});
+    // Temporarily driven by root; will be re-parented when upper levels are
+    // added below.
+    auto& buf_net = n.nets()[static_cast<std::size_t>(buf_out)];
+    buf_net.is_clock = true;
+    for (std::size_t k = i; k < i + group; ++k) {
+      auto& cell = n.cells()[static_cast<std::size_t>(sinks[k].first)];
+      cell.inputs[static_cast<std::size_t>(sinks[k].second)] = buf_out;
+      buf_net.sinks.emplace_back(sinks[k].first, sinks[k].second);
+    }
+    level_nets.push_back(buf_out);
+    ++buffers;
+  }
+
+  // Upper levels: re-parent groups of buffers under new buffers until the
+  // root's fanout is within bounds.
+  while (level_nets.size() > static_cast<std::size_t>(max_fanout)) {
+    std::vector<NetId> next_level;
+    for (std::size_t i = 0; i < level_nets.size();
+         i += static_cast<std::size_t>(max_fanout)) {
+      const std::size_t g = std::min<std::size_t>(
+          static_cast<std::size_t>(max_fanout), level_nets.size() - i);
+      const NetId buf_out =
+          n.add_cell(lib.get("clkbuf_x4"),
+                     "ctsmid_" + std::to_string(buffers), {clock_root});
+      auto& buf_net = n.nets()[static_cast<std::size_t>(buf_out)];
+      buf_net.is_clock = true;
+      for (std::size_t k = i; k < i + g; ++k) {
+        // Re-parent the child buffer from clock_root to this buffer.
+        const CellId child =
+            n.net(level_nets[k]).driver;
+        auto& child_cell = n.cells()[static_cast<std::size_t>(child)];
+        // Remove child from root's sink list.
+        auto& root_net = n.nets()[static_cast<std::size_t>(clock_root)];
+        std::erase_if(root_net.sinks, [&](const auto& s) {
+          return s.first == child;
+        });
+        child_cell.inputs[0] = buf_out;
+        buf_net.sinks.emplace_back(child, 0);
+      }
+      next_level.push_back(buf_out);
+      ++buffers;
+    }
+    level_nets = std::move(next_level);
+  }
+  return buffers;
+}
+
+}  // namespace serdes::flow

@@ -1,0 +1,70 @@
+// RTL generators: build gate-level netlists for the SerDes digital blocks.
+//
+// The paper writes the serializer/deserializer/CDR in Verilog and lets
+// OpenLANE synthesize them.  We generate the post-synthesis structure
+// directly: parameterised netlist builders that emit the same datapaths
+// (FIFO banks, shift registers, mux trees, counters, vote logic) mapped
+// onto the Liberty-lite cell library, then insert a buffered clock tree.
+// The resulting netlists feed STA (timing closure at 2 GHz), placement
+// (Fig 11 area) and power analysis (Fig 10 budget).
+//
+// The large IO configuration of the paper — eight parallel 32-bit streams
+// with multi-frame buffering — is what makes the serializer/deserializer
+// dominate power and area; `fifo_depth` models that choice.
+#pragma once
+
+#include "flow/netlist.h"
+
+namespace serdes::flow {
+
+struct SerdesRtlConfig {
+  int lanes = 8;
+  int bits_per_lane = 32;
+  /// IO FIFO depth per lane (the paper's "intended design choice to support
+  /// large IO streams").
+  int fifo_depth = 8;
+  /// CDR oversampling factor (samplers / phases per UI).
+  int cdr_oversampling = 5;
+  /// CDR bit-boundary vote window, unit intervals.
+  int cdr_window_uis = 96;
+};
+
+/// Serializer: input FIFO bank (lanes x depth x bits), 256:1 read mux tree,
+/// bit counter, output stage.  All flops in the 2 GHz bit-clock domain.
+Netlist generate_serializer(const SerdesRtlConfig& config,
+                            const CellLibrary& lib = CellLibrary::sky130());
+
+/// Deserializer: 256-bit input shift register (bit clock) plus a
+/// lanes x depth x bits capture FIFO (frame clock) and frame counter.
+Netlist generate_deserializer(const SerdesRtlConfig& config,
+                              const CellLibrary& lib = CellLibrary::sky130());
+
+/// Oversampling CDR: multi-phase sampler bank, sample FIFO, edge detectors,
+/// per-phase vote counters, boundary compare tree, decision mux, glitch
+/// majority filter and jitter hysteresis registers.
+Netlist generate_cdr(const SerdesRtlConfig& config,
+                     const CellLibrary& lib = CellLibrary::sky130());
+
+/// Inserts a fanout-limited clock buffer tree from `clock_root` to every
+/// DFF clock pin currently tied to it.  Returns the number of buffers
+/// inserted.
+int insert_clock_tree(Netlist& netlist, NetId clock_root, int max_fanout = 8);
+
+/// Builds a `bits`-wide ripple-increment counter clocked by `clk`;
+/// returns the Q nets (LSB first).  Helper shared by the generators
+/// (exposed for tests).
+std::vector<NetId> build_counter(Netlist& n, int bits, NetId clk,
+                                 const std::string& prefix);
+
+/// Builds a balanced mux tree selecting one of `inputs` using the select
+/// nets (LSB = level 0). inputs.size() must be a power of two and equal to
+/// 2^selects.size().  Select nets are fanout-buffered (one buf_x8 per 16
+/// muxes).  When `pipeline_clk` is a valid net, a retiming register is
+/// inserted after every mux level so the tree runs at the bit clock (the
+/// added latency is a pure pipeline delay).  Returns the output net.
+NetId build_mux_tree(Netlist& n, const std::vector<NetId>& inputs,
+                     const std::vector<NetId>& selects,
+                     const std::string& prefix,
+                     NetId pipeline_clk = kNoNet);
+
+}  // namespace serdes::flow

@@ -1,0 +1,175 @@
+#include "flow/sta.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace serdes::flow {
+
+util::Hertz TimingReport::fmax() const {
+  const double t = critical_arrival.value();
+  return util::hertz(t > 0.0 ? 1.0 / t : 1e18);
+}
+
+StaEngine::StaEngine(const Netlist& netlist) : netlist_(&netlist) {
+  levelize();
+}
+
+namespace {
+/// A cell is a timing start point if it is sequential (arrivals restart at
+/// its Q output).
+bool is_sequential(const CellInstance& c) {
+  return c.type->function == CellFunction::kDff;
+}
+}  // namespace
+
+void StaEngine::levelize() {
+  const auto& cells = netlist_->cells();
+  const int n = static_cast<int>(cells.size());
+  // In-degree counts only combinational dependencies: an input net driven
+  // by a combinational cell.  Flop outputs and primary inputs are sources.
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    const auto& c = cells[static_cast<std::size_t>(i)];
+    for (NetId in : c.inputs) {
+      const Net& net = netlist_->net(in);
+      if (net.driver >= 0 && !is_sequential(netlist_->cell(net.driver))) {
+        ++indegree[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  std::queue<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push(i);
+  }
+  topo_order_.clear();
+  topo_order_.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int c = ready.front();
+    ready.pop();
+    topo_order_.push_back(c);
+    const auto& cell = cells[static_cast<std::size_t>(c)];
+    if (is_sequential(cell)) continue;  // arrivals restart past a flop
+    const Net& out = netlist_->net(cell.output);
+    for (const auto& [sink, pin] : out.sinks) {
+      if (--indegree[static_cast<std::size_t>(sink)] == 0) ready.push(sink);
+    }
+  }
+  if (static_cast<int>(topo_order_.size()) != n) {
+    throw std::runtime_error("StaEngine: combinational loop detected");
+  }
+}
+
+std::vector<util::Second> StaEngine::arrival_times() const {
+  const auto& cells = netlist_->cells();
+  std::vector<util::Second> arrival(cells.size(), util::Second{0.0});
+  const auto& timing = netlist_->library().dff_timing();
+  (void)timing;
+  for (int id : topo_order_) {
+    const auto& cell = cells[static_cast<std::size_t>(id)];
+    util::Second input_arrival{0.0};
+    if (!is_sequential(cell)) {
+      for (NetId in : cell.inputs) {
+        const Net& net = netlist_->net(in);
+        if (net.driver >= 0) {
+          input_arrival = std::max(input_arrival,
+                                   arrival[static_cast<std::size_t>(net.driver)]);
+        }
+      }
+    }
+    // Sequential cells launch at t=0 (clock edge); their delay is clk->Q.
+    const util::Farad load = netlist_->total_load(cell.output);
+    arrival[static_cast<std::size_t>(id)] =
+        input_arrival + cell.type->delay(load);
+  }
+  return arrival;
+}
+
+TimingReport StaEngine::analyze(util::Second clock_period) const {
+  TimingReport report;
+  report.clock_period = clock_period;
+  const auto arrival = arrival_times();
+  const auto& cells = netlist_->cells();
+  const auto& timing = netlist_->library().dff_timing();
+
+  // Endpoints: flop D pins (pin 0) and primary outputs.
+  util::Second worst_required{1e9};
+  CellId worst_src = -1;
+  std::string worst_endpoint;
+  auto consider = [&](util::Second data_arrival, util::Second required,
+                      CellId src, const std::string& endpoint) {
+    ++report.endpoint_count;
+    const util::Second slack = required - data_arrival;
+    if (slack.value() < 0.0) ++report.violation_count;
+    if (report.endpoint_count == 1 || slack < report.worst_slack) {
+      report.worst_slack = slack;
+      report.critical_arrival = data_arrival;
+      worst_src = src;
+      worst_endpoint = endpoint;
+      worst_required = required;
+    }
+  };
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    if (is_sequential(cell)) {
+      const Net& d_net = netlist_->net(cell.inputs[0]);
+      const util::Second t_arr =
+          d_net.driver >= 0 ? arrival[static_cast<std::size_t>(d_net.driver)]
+                            : util::Second{0.0};
+      consider(t_arr, clock_period - timing.setup,
+               d_net.driver, cell.name + "/D");
+    }
+  }
+  for (const auto& net : netlist_->nets()) {
+    if (net.is_primary_output && net.driver >= 0) {
+      consider(arrival[static_cast<std::size_t>(net.driver)], clock_period,
+               net.driver, "port:" + net.name);
+    }
+  }
+  report.critical_endpoint = worst_endpoint;
+
+  // Reconstruct the critical path by walking max-arrival predecessors.
+  CellId cur = worst_src;
+  while (cur >= 0) {
+    report.critical_path.push_back(
+        {cur, arrival[static_cast<std::size_t>(cur)]});
+    const auto& cell = cells[static_cast<std::size_t>(cur)];
+    if (is_sequential(cell)) break;
+    CellId best = -1;
+    util::Second best_arr{0.0};
+    for (NetId in : cell.inputs) {
+      const Net& net = netlist_->net(in);
+      if (net.driver >= 0 &&
+          (best < 0 || arrival[static_cast<std::size_t>(net.driver)] > best_arr)) {
+        best = net.driver;
+        best_arr = arrival[static_cast<std::size_t>(net.driver)];
+      }
+    }
+    cur = best;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+std::string format_timing_report(const Netlist& netlist,
+                                 const TimingReport& report) {
+  std::ostringstream out;
+  out << "module " << netlist.module_name() << ": clock "
+      << util::to_string(report.clock_period) << ", worst slack "
+      << util::to_string(report.worst_slack) << " ("
+      << (report.met() ? "MET" : "VIOLATED") << "), fmax "
+      << util::to_string(report.fmax()) << ", endpoints "
+      << report.endpoint_count << ", violations " << report.violation_count
+      << "\ncritical path (" << report.critical_path.size() << " stages) -> "
+      << report.critical_endpoint << ":\n";
+  for (const auto& node : report.critical_path) {
+    const auto& cell = netlist.cell(node.cell);
+    out << "  " << cell.name << " (" << cell.type->name << ") arr "
+        << util::to_string(node.arrival) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace serdes::flow

@@ -1,0 +1,62 @@
+// Static timing analysis.
+//
+// The OpenSTA step of the paper's OpenLANE flow (Fig 12): levelizes the
+// gate-level netlist, propagates arrival times from timing start points
+// (primary inputs and flop Q pins) through the combinational fan-in cones,
+// and checks flop D pins and primary outputs against the clock period.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/netlist.h"
+
+namespace serdes::flow {
+
+struct TimingPathNode {
+  CellId cell;
+  util::Second arrival{0.0};
+};
+
+struct TimingReport {
+  util::Second clock_period{0.0};
+  /// Worst slack across all endpoints (negative = violation).
+  util::Second worst_slack{0.0};
+  /// Arrival time of the critical path.
+  util::Second critical_arrival{0.0};
+  /// Longest path, start to end (cell ids in order).
+  std::vector<TimingPathNode> critical_path;
+  /// Endpoint description for the critical path.
+  std::string critical_endpoint;
+  int endpoint_count = 0;
+  int violation_count = 0;
+
+  [[nodiscard]] bool met() const { return worst_slack.value() >= 0.0; }
+  /// Maximum clock frequency implied by the critical path.
+  [[nodiscard]] util::Hertz fmax() const;
+};
+
+class StaEngine {
+ public:
+  explicit StaEngine(const Netlist& netlist);
+
+  /// Runs STA against `clock_period`.  Throws std::runtime_error if the
+  /// combinational graph has a cycle (broken netlist).
+  [[nodiscard]] TimingReport analyze(util::Second clock_period) const;
+
+  /// Per-cell worst arrival times from the last analyze() call structure
+  /// (recomputed; exposed for tests/ECO passes).
+  [[nodiscard]] std::vector<util::Second> arrival_times() const;
+
+ private:
+  void levelize();
+
+  const Netlist* netlist_;
+  std::vector<int> topo_order_;  // cell ids in topological order
+};
+
+/// Renders a human-readable timing summary (one-line + critical path).
+std::string format_timing_report(const Netlist& netlist,
+                                 const TimingReport& report);
+
+}  // namespace serdes::flow

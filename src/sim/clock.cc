@@ -1,0 +1,54 @@
+#include "sim/clock.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace serdes::sim {
+
+Clock::Clock(Kernel& kernel, Wire& out, const Config& config)
+    : kernel_(&kernel),
+      out_(&out),
+      config_(config),
+      rng_(config.jitter_seed) {
+  if (config_.period.femtoseconds() == 0) {
+    throw std::invalid_argument("Clock: zero period");
+  }
+  if (config_.duty_cycle <= 0.0 || config_.duty_cycle >= 1.0) {
+    throw std::invalid_argument("Clock: duty cycle must be in (0,1)");
+  }
+  const auto period_fs = static_cast<double>(config_.period.femtoseconds());
+  high_time_ = SimTime{static_cast<std::uint64_t>(
+      std::llround(period_fs * config_.duty_cycle))};
+  low_time_ = config_.period - high_time_;
+}
+
+void Clock::start() {
+  out_->init(false);
+  schedule_rise(config_.phase_offset);
+}
+
+SimTime Clock::jittered(SimTime nominal) {
+  if (config_.jitter_rms_fs <= 0.0) return nominal;
+  const double jitter = rng_.gaussian(0.0, config_.jitter_rms_fs);
+  const double fs = std::max(
+      1.0, static_cast<double>(nominal.femtoseconds()) + jitter);
+  return SimTime{static_cast<std::uint64_t>(std::llround(fs))};
+}
+
+void Clock::schedule_rise(SimTime delay) {
+  kernel_->schedule(jittered(delay), [this] {
+    out_->write(true);
+    ++rising_edges_;
+    schedule_fall(high_time_);
+  });
+}
+
+void Clock::schedule_fall(SimTime delay) {
+  kernel_->schedule(delay, [this] {
+    out_->write(false);
+    schedule_rise(low_time_);
+  });
+}
+
+}  // namespace serdes::sim

@@ -1,0 +1,51 @@
+// Clock generators for the simulation kernel.
+//
+// Supports phase-offset clocks (the CDR's multi-phase sampling clocks are N
+// copies of the reference shifted by UI/N) and optional cycle-to-cycle
+// gaussian jitter for stress tests.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/kernel.h"
+#include "sim/signal.h"
+#include "util/random.h"
+
+namespace serdes::sim {
+
+class Clock {
+ public:
+  struct Config {
+    SimTime period{sim_ps(500)};   // 2 GHz default
+    SimTime phase_offset{sim_fs(0)};
+    double duty_cycle = 0.5;
+    /// RMS cycle-to-cycle jitter in femtoseconds (0 = ideal clock).
+    double jitter_rms_fs = 0.0;
+    std::uint64_t jitter_seed = 1;
+  };
+
+  /// Creates a clock driving `out`. The first rising edge happens at
+  /// phase_offset (plus jitter); the signal starts low.
+  Clock(Kernel& kernel, Wire& out, const Config& config);
+
+  /// Starts toggling. Must be called once before the simulation runs.
+  void start();
+
+  [[nodiscard]] std::uint64_t rising_edges() const { return rising_edges_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  void schedule_rise(SimTime delay);
+  void schedule_fall(SimTime delay);
+  SimTime jittered(SimTime nominal);
+
+  Kernel* kernel_;
+  Wire* out_;
+  Config config_;
+  util::Rng rng_;
+  std::uint64_t rising_edges_ = 0;
+  SimTime high_time_{0};
+  SimTime low_time_{0};
+};
+
+}  // namespace serdes::sim

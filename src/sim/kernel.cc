@@ -1,0 +1,82 @@
+#include "sim/kernel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace serdes::sim {
+
+void Kernel::schedule(SimTime delay, Callback fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Kernel::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("Kernel::schedule_at: event scheduled in the past");
+  }
+  if (when == now_) {
+    // Same-timestamp work joins the next delta cycle rather than creating a
+    // stale timed entry at `now_` that would never be popped again.
+    next_eval_queue_.push_back(std::move(fn));
+    return;
+  }
+  timed_[when].push_back(std::move(fn));
+}
+
+void Kernel::schedule_delta(Callback fn) {
+  next_eval_queue_.push_back(std::move(fn));
+}
+
+void Kernel::schedule_update(Callback fn) {
+  update_queue_.push_back(std::move(fn));
+}
+
+void Kernel::run_delta_loop() {
+  // Alternate evaluation and update phases until the timestamp quiesces.
+  while (!eval_queue_.empty() || !update_queue_.empty() ||
+         !next_eval_queue_.empty()) {
+    ++delta_cycles_;
+    if (eval_queue_.empty()) {
+      eval_queue_.swap(next_eval_queue_);
+    }
+    // Evaluation phase: processes run, writing signals (which enqueue
+    // updates) and scheduling future events.
+    std::vector<Callback> evals;
+    evals.swap(eval_queue_);
+    for (auto& fn : evals) fn();
+    // Update phase: commit all signal writes; sensitivity callbacks land in
+    // next_eval_queue_ for the following delta.
+    std::vector<Callback> updates;
+    updates.swap(update_queue_);
+    for (auto& fn : updates) fn();
+    if (eval_queue_.empty()) {
+      eval_queue_.swap(next_eval_queue_);
+    }
+  }
+}
+
+bool Kernel::step() {
+  if (timed_.empty()) return false;
+  auto it = timed_.begin();
+  now_ = it->first;
+  eval_queue_ = std::move(it->second);
+  timed_.erase(it);
+  run_delta_loop();
+  return true;
+}
+
+std::uint64_t Kernel::run_until(SimTime end) {
+  stop_requested_ = false;
+  std::uint64_t steps = 0;
+  // Work staged at the current timestamp before the run started (e.g. a
+  // clock whose first edge has zero delay) must execute first.
+  run_delta_loop();
+  while (!timed_.empty() && !stop_requested_) {
+    if (timed_.begin()->first > end) break;
+    step();
+    ++steps;
+  }
+  if (now_ < end) now_ = end;
+  return steps;
+}
+
+}  // namespace serdes::sim

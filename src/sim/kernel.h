@@ -1,0 +1,73 @@
+// Event-driven simulation kernel.
+//
+// A miniature SystemC-like scheduler: timed events are queued on a
+// femtosecond timeline; within one timestamp, evaluation and update phases
+// alternate as delta cycles so that non-blocking signal semantics (all
+// flip-flops sample their D inputs before any Q output moves) hold exactly
+// as in an HDL simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace serdes::sim {
+
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time (evaluation phase).
+  void schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at an absolute timestamp (must be >= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` in the next evaluation phase of the *current* timestamp
+  /// (i.e. after the pending update phase) — a delta-cycle notification.
+  void schedule_delta(Callback fn);
+
+  /// Registers a signal-commit action for the update phase of the current
+  /// delta cycle.  Used by Signal<T>::write.
+  void schedule_update(Callback fn);
+
+  /// Runs until the event queue drains or `end` is passed.
+  /// Returns the number of timestamps processed.
+  std::uint64_t run_until(SimTime end);
+
+  /// Runs a single timestamp (all its delta cycles). Returns false when the
+  /// queue is empty.
+  bool step();
+
+  /// True if no timed events remain.
+  [[nodiscard]] bool idle() const { return timed_.empty(); }
+
+  /// Total delta cycles executed (for diagnostics and tests).
+  [[nodiscard]] std::uint64_t delta_cycles() const { return delta_cycles_; }
+
+  /// Stops an in-progress run_until at the end of the current timestamp.
+  void request_stop() { stop_requested_ = true; }
+
+ private:
+  void run_delta_loop();
+
+  SimTime now_{0};
+  std::map<SimTime, std::vector<Callback>> timed_;
+  std::vector<Callback> eval_queue_;
+  std::vector<Callback> next_eval_queue_;
+  std::vector<Callback> update_queue_;
+  std::uint64_t delta_cycles_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace serdes::sim

@@ -1,0 +1,94 @@
+// HDL-style signals with non-blocking update semantics.
+//
+// Signal<T>::write stages a new value; the kernel commits it in the update
+// phase of the current delta cycle, after every process at this timestamp
+// has observed the old value.  Edge-sensitive callbacks fire in the next
+// evaluation phase, exactly like always @(posedge clk) blocks.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/kernel.h"
+
+namespace serdes::sim {
+
+template <class T>
+class Signal {
+ public:
+  Signal(Kernel& kernel, T initial = T{})
+      : kernel_(&kernel), value_(initial), pending_(initial) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Current committed value.
+  [[nodiscard]] const T& read() const { return value_; }
+
+  /// Stages `v` for commit at the end of this delta cycle.
+  void write(T v) {
+    pending_ = std::move(v);
+    if (!update_scheduled_) {
+      update_scheduled_ = true;
+      kernel_->schedule_update([this] { commit(); });
+    }
+  }
+
+  /// Immediately sets the value without delta semantics.  Only for
+  /// initialisation before the simulation starts.
+  void init(T v) {
+    value_ = v;
+    pending_ = std::move(v);
+  }
+
+  /// Registers a callback invoked (next delta) whenever the committed value
+  /// changes.  The callback receives old and new values.
+  void on_change(std::function<void(const T&, const T&)> fn) {
+    watchers_.push_back(std::move(fn));
+  }
+
+  /// Registers a callback for value changes, ignoring the values.
+  void on_change(std::function<void()> fn) {
+    watchers_.push_back(
+        [fn = std::move(fn)](const T&, const T&) { fn(); });
+  }
+
+  [[nodiscard]] Kernel& kernel() const { return *kernel_; }
+
+ private:
+  void commit() {
+    update_scheduled_ = false;
+    if (pending_ == value_) return;
+    T old = std::exchange(value_, pending_);
+    for (auto& w : watchers_) {
+      kernel_->schedule_delta(
+          [w, old, now = value_] { w(old, now); });
+    }
+  }
+
+  Kernel* kernel_;
+  T value_;
+  T pending_;
+  bool update_scheduled_ = false;
+  std::vector<std::function<void(const T&, const T&)>> watchers_;
+};
+
+/// Boolean signal helpers for clock/data lines.
+using Wire = Signal<bool>;
+
+/// Registers `fn` to run on every rising edge of `wire`.
+inline void on_posedge(Wire& wire, std::function<void()> fn) {
+  wire.on_change([fn = std::move(fn)](const bool& was, const bool& is) {
+    if (!was && is) fn();
+  });
+}
+
+/// Registers `fn` to run on every falling edge of `wire`.
+inline void on_negedge(Wire& wire, std::function<void()> fn) {
+  wire.on_change([fn = std::move(fn)](const bool& was, const bool& is) {
+    if (was && !is) fn();
+  });
+}
+
+}  // namespace serdes::sim

@@ -1,0 +1,26 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace serdes::sim {
+
+SimTime SimTime::from_seconds(double s) {
+  if (s <= 0.0) return SimTime{0};
+  return SimTime{static_cast<std::uint64_t>(std::llround(s * 1e15))};
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (fs_ >= 1000000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f ns", static_cast<double>(fs_) / 1e6);
+  } else if (fs_ >= 1000ull) {
+    std::snprintf(buf, sizeof buf, "%.3f ps", static_cast<double>(fs_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu fs",
+                  static_cast<unsigned long long>(fs_));
+  }
+  return buf;
+}
+
+}  // namespace serdes::sim

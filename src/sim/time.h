@@ -1,0 +1,60 @@
+// Discrete simulation time.
+//
+// The kernel advances in integer femtoseconds.  64-bit femtoseconds cover
+// ~5.1 hours of simulated time, far beyond any link run, while avoiding the
+// floating-point comparison hazards of double-valued event times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace serdes::sim {
+
+/// Integer simulation timestamp in femtoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::uint64_t femtoseconds)
+      : fs_(femtoseconds) {}
+
+  [[nodiscard]] constexpr std::uint64_t femtoseconds() const { return fs_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(fs_) * 1e-15;
+  }
+  [[nodiscard]] util::Second to_unit() const {
+    return util::seconds(to_seconds());
+  }
+
+  static SimTime from_seconds(double s);
+  static SimTime from_unit(util::Second s) { return from_seconds(s.value()); }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.fs_ + b.fs_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.fs_ - b.fs_};
+  }
+  friend constexpr SimTime operator*(SimTime a, std::uint64_t k) {
+    return SimTime{a.fs_ * k};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    fs_ += o.fs_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t fs_ = 0;
+};
+
+constexpr SimTime sim_fs(std::uint64_t v) { return SimTime{v}; }
+constexpr SimTime sim_ps(std::uint64_t v) { return SimTime{v * 1000ull}; }
+constexpr SimTime sim_ns(std::uint64_t v) { return SimTime{v * 1000000ull}; }
+constexpr SimTime sim_us(std::uint64_t v) { return SimTime{v * 1000000000ull}; }
+
+}  // namespace serdes::sim

@@ -1,0 +1,103 @@
+#include "sim/vcd.h"
+
+#include <bitset>
+#include <stdexcept>
+
+namespace serdes::sim {
+
+namespace {
+std::string bus_to_binary(std::uint64_t value, int width) {
+  std::string s(width, '0');
+  for (int i = 0; i < width; ++i) {
+    if ((value >> i) & 1ull) s[width - 1 - i] = '1';
+  }
+  return s;
+}
+}  // namespace
+
+VcdWriter::VcdWriter(Kernel& kernel, const std::string& path)
+    : kernel_(&kernel), out_(path) {
+  if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+std::string VcdWriter::next_id() {
+  // Printable identifier codes ! .. ~ ; two characters once exhausted.
+  std::string id;
+  int n = id_counter_++;
+  do {
+    id.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+void VcdWriter::timestamp() {
+  const std::uint64_t now = kernel_->now().femtoseconds();
+  if (now != last_dumped_fs_) {
+    out_ << '#' << now << '\n';
+    last_dumped_fs_ = now;
+  }
+}
+
+void VcdWriter::trace(Wire& wire, const std::string& name) {
+  const std::string id = next_id();
+  vars_.push_back({id, name, 1, wire.read() ? "1" : "0"});
+  wire.on_change([this, id](const bool&, const bool& now) {
+    timestamp();
+    out_ << (now ? '1' : '0') << id << '\n';
+  });
+}
+
+void VcdWriter::trace(Signal<std::uint64_t>& bus, const std::string& name,
+                      int width) {
+  const std::string id = next_id();
+  vars_.push_back({id, name, width, "b" + bus_to_binary(bus.read(), width)});
+  bus.on_change([this, id, width](const std::uint64_t&,
+                                  const std::uint64_t& now) {
+    timestamp();
+    out_ << 'b' << bus_to_binary(now, width) << ' ' << id << '\n';
+  });
+}
+
+void VcdWriter::trace(Signal<double>& sig, const std::string& name) {
+  const std::string id = next_id();
+  vars_.push_back({id, name, 0, "r" + std::to_string(sig.read())});
+  sig.on_change([this, id](const double&, const double& now) {
+    timestamp();
+    out_ << 'r' << now << ' ' << id << '\n';
+  });
+}
+
+void VcdWriter::begin() {
+  if (header_written_) return;
+  header_written_ = true;
+  out_ << "$date openserdes simulation $end\n"
+       << "$version openserdes vcd writer $end\n"
+       << "$timescale 1fs $end\n"
+       << "$scope module serdes $end\n";
+  for (const Var& v : vars_) {
+    if (v.width == 0) {
+      out_ << "$var real 64 " << v.id << ' ' << v.name << " $end\n";
+    } else {
+      out_ << "$var wire " << v.width << ' ' << v.id << ' ' << v.name
+           << " $end\n";
+    }
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const Var& v : vars_) {
+    if (v.width == 0 || v.width > 1) {
+      out_ << v.initial << ' ' << v.id << '\n';
+    } else {
+      out_ << v.initial << v.id << '\n';
+    }
+  }
+  out_ << "$end\n";
+}
+
+void VcdWriter::finish() {
+  if (out_.is_open()) out_.flush();
+}
+
+}  // namespace serdes::sim

@@ -1,0 +1,62 @@
+// Value Change Dump (VCD) trace writer.
+//
+// Hooks Signal<T> watchers and emits an IEEE-1364 VCD file that can be
+// opened in GTKWave — the same way the paper's authors inspected their RTL
+// testbench waveforms.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.h"
+#include "sim/signal.h"
+
+namespace serdes::sim {
+
+class VcdWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  VcdWriter(Kernel& kernel, const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Traces a 1-bit signal.
+  void trace(Wire& wire, const std::string& name);
+
+  /// Traces a multi-bit bus (dumped as a binary vector of `width` bits).
+  void trace(Signal<std::uint64_t>& bus, const std::string& name, int width);
+
+  /// Traces an analog value as a VCD real.
+  void trace(Signal<double>& sig, const std::string& name);
+
+  /// Writes the header and initial values.  Call after all trace() calls and
+  /// before running the kernel.
+  void begin();
+
+  /// Flushes the file (also called by the destructor).
+  void finish();
+
+ private:
+  std::string next_id();
+  void timestamp();
+
+  struct Var {
+    std::string id;
+    std::string name;
+    int width;       // 0 = real
+    std::string initial;
+  };
+
+  Kernel* kernel_;
+  std::ofstream out_;
+  std::vector<Var> vars_;
+  std::uint64_t last_dumped_fs_ = ~0ull;
+  int id_counter_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace serdes::sim

@@ -1,0 +1,156 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace serdes::util {
+
+double lerp(double x0, double y0, double x1, double y1, double x) {
+  if (x1 == x0) return 0.5 * (y0 + y1);
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+double interp_table(const std::vector<double>& xs,
+                    const std::vector<double>& ys, double x) {
+  if (xs.empty() || xs.size() != ys.size()) return 0.0;
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  return lerp(xs[lo], ys[lo], xs[hi], ys[hi], x);
+}
+
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0) == (fhi > 0)) return std::nullopt;
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::optional<double> newton_bisect(const std::function<double(double)>& f,
+                                    const std::function<double(double)>& dfdx,
+                                    double x0, double lo, double hi, double tol,
+                                    int max_iter) {
+  double x = clamp(x0, lo, hi);
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) < tol) return x;
+    const double d = dfdx(x);
+    double next;
+    if (d == 0.0) {
+      next = 0.5 * (lo + hi);  // flat derivative: fall back to bisection step
+    } else {
+      next = x - fx / d;
+      if (next <= lo || next >= hi) next = 0.5 * (lo + hi);
+    }
+    // Maintain the bracket using the sign of f.
+    if ((f(lo) > 0) == (fx > 0)) {
+      lo = x;
+    } else {
+      hi = x;
+    }
+    if (std::fabs(next - x) < tol) return next;
+    x = next;
+  }
+  return x;
+}
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+double q_inverse(double p) {
+  // Newton iteration on Q(x) - p = 0; Q'(x) = -phi(x).
+  double x = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const double err = q_function(x) - p;
+    const double phi =
+        std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.141592653589793);
+    if (phi == 0.0) break;
+    const double step = err / phi;
+    x += step;
+    if (std::fabs(step) < 1e-12) break;
+  }
+  return x;
+}
+
+double clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> out(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<double>> solve_linear(std::vector<double> a,
+                                                std::vector<double> b, int n) {
+  if (n <= 0 || a.size() != static_cast<std::size_t>(n) * n ||
+      b.size() != static_cast<std::size_t>(n)) {
+    return std::nullopt;
+  }
+  auto at = [&](int r, int c) -> double& { return a[r * n + c]; };
+  for (int col = 0; col < n; ++col) {
+    // Partial pivot.
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(at(r, col)) > std::fabs(at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(at(pivot, col)) < 1e-300) return std::nullopt;
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(at(pivot, c), at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double factor = at(r, col) / at(col, col);
+      if (factor == 0.0) continue;
+      for (int c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (int r = n - 1; r >= 0; --r) {
+    double acc = b[r];
+    for (int c = r + 1; c < n; ++c) acc -= at(r, c) * x[c];
+    x[r] = acc / at(r, r);
+  }
+  return x;
+}
+
+}  // namespace serdes::util

@@ -1,0 +1,55 @@
+// Small numerical helpers shared by the analog solver and link analysis.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace serdes::util {
+
+/// Linear interpolation between (x0,y0) and (x1,y1) at x.
+double lerp(double x0, double y0, double x1, double y1, double x);
+
+/// Piecewise-linear interpolation over sorted sample points.
+/// Outside the table the end values are held (no extrapolation).
+double interp_table(const std::vector<double>& xs,
+                    const std::vector<double>& ys, double x);
+
+/// Robust bisection root finder for f(x)=0 on [lo, hi].
+/// Requires sign(f(lo)) != sign(f(hi)); returns nullopt otherwise.
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double tol = 1e-12,
+                             int max_iter = 200);
+
+/// Newton-Raphson with bisection fallback bracket [lo, hi].
+std::optional<double> newton_bisect(const std::function<double(double)>& f,
+                                    const std::function<double(double)>& dfdx,
+                                    double x0, double lo, double hi,
+                                    double tol = 1e-12, int max_iter = 100);
+
+/// Gaussian tail probability Q(x) = P(N(0,1) > x).
+double q_function(double x);
+
+/// Inverse of the Q function (via Newton on erfc); valid for p in (0, 0.5).
+double q_inverse(double p);
+
+/// Clamps x into [lo, hi].
+double clamp(double x, double lo, double hi);
+
+/// Mean of a vector (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Population standard deviation (0 for fewer than 2 samples).
+double stddev(const std::vector<double>& xs);
+
+/// Dense real-valued convolution: out[n] = sum_k a[k] * b[n-k].
+std::vector<double> convolve(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Solves a small dense linear system A·x = b by partial-pivot Gaussian
+/// elimination.  A is row-major n×n and is destroyed.  Returns nullopt for
+/// (numerically) singular systems.
+std::optional<std::vector<double>> solve_linear(std::vector<double> a,
+                                                std::vector<double> b, int n);
+
+}  // namespace serdes::util

@@ -1,0 +1,109 @@
+#include "util/prbs.h"
+
+#include <stdexcept>
+
+namespace serdes::util {
+
+namespace {
+/// Recurrence a[i] = a[i-p] XOR a[i-q] for the ITU-T primitive polynomials.
+struct Taps {
+  int p;
+  int q;
+};
+
+Taps taps_for(PrbsOrder order) {
+  switch (order) {
+    case PrbsOrder::kPrbs7:
+      return {7, 6};
+    case PrbsOrder::kPrbs9:
+      return {9, 5};
+    case PrbsOrder::kPrbs15:
+      return {15, 14};
+    case PrbsOrder::kPrbs23:
+      return {23, 18};
+    case PrbsOrder::kPrbs31:
+      return {31, 28};
+  }
+  throw std::invalid_argument("unknown PRBS order");
+}
+}  // namespace
+
+PrbsGenerator::PrbsGenerator(PrbsOrder order, std::uint32_t seed)
+    : order_(order) {
+  const Taps t = taps_for(order);
+  tap_a_ = t.p;
+  tap_b_ = t.q;
+  mask_ = (t.p == 31) ? 0x7fffffffu : ((1u << t.p) - 1u);
+  state_ = seed & mask_;
+  if (state_ == 0) state_ = mask_;  // avoid the all-zero lock-up state
+}
+
+bool PrbsGenerator::next() {
+  // state_ bit k (0-based) holds a[i-1-k]: bit 0 is the newest emitted bit.
+  const bool a_p = (state_ >> (tap_a_ - 1)) & 1u;
+  const bool a_q = (state_ >> (tap_b_ - 1)) & 1u;
+  const bool out = a_p ^ a_q;
+  state_ = ((state_ << 1) | static_cast<std::uint32_t>(out)) & mask_;
+  return out;
+}
+
+std::vector<std::uint8_t> PrbsGenerator::next_bits(std::size_t n) {
+  std::vector<std::uint8_t> bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = next() ? 1 : 0;
+  return bits;
+}
+
+std::uint64_t PrbsGenerator::period() const {
+  return (1ull << static_cast<int>(order_)) - 1ull;
+}
+
+PrbsChecker::PrbsChecker(PrbsOrder order)
+    : order_(order), n_(static_cast<int>(order)) {
+  const Taps t = taps_for(order);
+  tap_a_ = t.p;
+  tap_b_ = t.q;
+}
+
+bool PrbsChecker::feed(bool bit) {
+  if (filled_ >= n_) {
+    // Predict from the received history using the same recurrence the
+    // transmitter used; any mismatch is a channel bit error.
+    const bool a_p = (history_ >> (tap_a_ - 1)) & 1ull;
+    const bool a_q = (history_ >> (tap_b_ - 1)) & 1ull;
+    const bool predicted = a_p ^ a_q;
+    locked_ = true;
+    ++bits_checked_;
+    if (predicted != bit) ++errors_;
+  } else {
+    ++filled_;
+  }
+  history_ = (history_ << 1) | static_cast<std::uint64_t>(bit);
+  return locked_;
+}
+
+double PrbsChecker::ber() const {
+  if (bits_checked_ == 0) return 0.0;
+  return static_cast<double>(errors_) / static_cast<double>(bits_checked_);
+}
+
+std::vector<std::uint32_t> pack_bits_to_words(
+    const std::vector<std::uint8_t>& bits) {
+  std::vector<std::uint32_t> words((bits.size() + 31) / 32, 0u);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) words[i / 32] |= (1u << (i % 32));
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> unpack_words_to_bits(
+    const std::vector<std::uint32_t>& words) {
+  std::vector<std::uint8_t> bits(words.size() * 32);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    for (int b = 0; b < 32; ++b) {
+      bits[w * 32 + b] = (words[w] >> b) & 1u;
+    }
+  }
+  return bits;
+}
+
+}  // namespace serdes::util

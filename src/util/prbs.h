@@ -1,0 +1,89 @@
+// Pseudo-random binary sequence generators.
+//
+// The paper evaluates the link with a PRBS-31 pattern (Fig 8).  This module
+// provides the standard ITU-T PRBS polynomials as Fibonacci LFSRs, bit-exact
+// with hardware pattern generators, plus helpers for packing sequences into
+// the 8x32-bit parallel words the serializer consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace serdes::util {
+
+/// Standard PRBS polynomial selection (ITU-T O.150 family).
+enum class PrbsOrder : int {
+  kPrbs7 = 7,    // x^7 + x^6 + 1
+  kPrbs9 = 9,    // x^9 + x^5 + 1
+  kPrbs15 = 15,  // x^15 + x^14 + 1
+  kPrbs23 = 23,  // x^23 + x^18 + 1
+  kPrbs31 = 31,  // x^31 + x^28 + 1
+};
+
+/// Fibonacci LFSR producing the selected PRBS sequence, one bit per call.
+class PrbsGenerator {
+ public:
+  /// A zero seed is invalid for an LFSR (all-zero lock-up) and is replaced
+  /// by the canonical all-ones state.
+  explicit PrbsGenerator(PrbsOrder order, std::uint32_t seed = 0xffffffffu);
+
+  /// Next bit of the sequence.
+  bool next();
+
+  /// Next `n` bits, MSB-first packed into a vector<bool>-free container.
+  std::vector<std::uint8_t> next_bits(std::size_t n);
+
+  /// Sequence period: 2^order - 1.
+  [[nodiscard]] std::uint64_t period() const;
+
+  [[nodiscard]] PrbsOrder order() const { return order_; }
+
+  /// Current LFSR state (for checkpointing / tests).
+  [[nodiscard]] std::uint32_t state() const { return state_; }
+
+ private:
+  PrbsOrder order_;
+  std::uint32_t state_;
+  std::uint32_t mask_;
+  int tap_a_;  // feedback taps (1-based bit positions)
+  int tap_b_;
+};
+
+/// Self-synchronising PRBS checker: locks onto an incoming PRBS stream and
+/// counts bit errors thereafter.  Mirrors how BERT instruments verify links.
+class PrbsChecker {
+ public:
+  explicit PrbsChecker(PrbsOrder order);
+
+  /// Feed one received bit. Returns true once the checker is locked.
+  bool feed(bool bit);
+
+  [[nodiscard]] bool locked() const { return locked_; }
+  [[nodiscard]] std::uint64_t bits_checked() const { return bits_checked_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+
+  /// Bit error ratio over the checked (post-lock) bits; 0 if none checked.
+  [[nodiscard]] double ber() const;
+
+ private:
+  PrbsOrder order_;
+  int n_;
+  std::uint64_t history_ = 0;  // last n_ received bits (LSB = newest)
+  int filled_ = 0;
+  bool locked_ = false;
+  std::uint64_t bits_checked_ = 0;
+  std::uint64_t errors_ = 0;
+  int tap_a_;
+  int tap_b_;
+};
+
+/// Packs a bit stream into `words_per_frame` 32-bit words (the serializer's
+/// 8x32 input format). Bits fill each word LSB-first.
+std::vector<std::uint32_t> pack_bits_to_words(
+    const std::vector<std::uint8_t>& bits);
+
+/// Unpacks 32-bit words back into a bit stream (LSB-first per word).
+std::vector<std::uint8_t> unpack_words_to_bits(
+    const std::vector<std::uint32_t>& words);
+
+}  // namespace serdes::util

@@ -1,0 +1,48 @@
+// Plain-text table and CSV emission for benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's figures as rows of a
+// table printed to stdout (and optionally a CSV for plotting).  This tiny
+// formatter keeps that output consistent across benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace serdes::util {
+
+/// Column-aligned text table with a title, header row and data rows.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.4g.
+  void add_row_numeric(const std::vector<double>& row);
+
+  /// Renders the aligned table.
+  [[nodiscard]] std::string render() const;
+
+  /// Renders as CSV (header + rows, comma-separated, no alignment).
+  [[nodiscard]] std::string render_csv() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  /// Writes CSV to a file; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with %.4g (the table default).
+std::string num(double v);
+
+/// Formats a double with fixed decimals.
+std::string num_fixed(double v, int decimals);
+
+}  // namespace serdes::util

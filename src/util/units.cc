@@ -1,0 +1,51 @@
+#include "util/units.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace serdes::util {
+
+SiScaled si_scale(double value) {
+  struct Band {
+    double threshold;
+    double divisor;
+    const char* prefix;
+  };
+  static constexpr std::array<Band, 10> kBands{{
+      {1e12, 1e12, "T"},
+      {1e9, 1e9, "G"},
+      {1e6, 1e6, "M"},
+      {1e3, 1e3, "k"},
+      {1.0, 1.0, ""},
+      {1e-3, 1e-3, "m"},
+      {1e-6, 1e-6, "u"},
+      {1e-9, 1e-9, "n"},
+      {1e-12, 1e-12, "p"},
+      {1e-15, 1e-15, "f"},
+  }};
+  const double mag = std::fabs(value);
+  if (mag == 0.0) return {0.0, ""};
+  for (const Band& b : kBands) {
+    if (mag >= b.threshold) return {value / b.divisor, b.prefix};
+  }
+  return {value / 1e-15, "f"};
+}
+
+namespace {
+std::string format(double value, const char* unit) {
+  const SiScaled s = si_scale(value);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s%s", s.mantissa, s.prefix, unit);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Volt v) { return format(v.value(), "V"); }
+std::string to_string(Second t) { return format(t.value(), "s"); }
+std::string to_string(Hertz f) { return format(f.value(), "Hz"); }
+std::string to_string(Farad c) { return format(c.value(), "F"); }
+std::string to_string(Watt p) { return format(p.value(), "W"); }
+std::string to_string(Joule e) { return format(e.value(), "J"); }
+
+}  // namespace serdes::util

@@ -1,0 +1,188 @@
+// Strong unit types for electrical quantities.
+//
+// The simulator mixes voltages, times, frequencies, capacitances and power
+// numbers in nearly every API.  Raw doubles invite unit bugs (ns vs s,
+// mV vs V), so every public interface uses these thin strong types.  They
+// carry a single double in SI base units and compile away entirely.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace serdes::util {
+
+/// CRTP-free strong typedef over double. `Tag` makes each unit distinct.
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.value_ + b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.value_ - b.value_};
+  }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity{-a.value_}; }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity{a.value_ * s};
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity{a.value_ / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+struct VoltTag {};
+struct SecondTag {};
+struct HertzTag {};
+struct FaradTag {};
+struct OhmTag {};
+struct AmpereTag {};
+struct WattTag {};
+struct JouleTag {};
+struct AreaTag {};      // square micrometres
+struct DecibelTag {};   // power/amplitude ratio in dB (context-dependent)
+
+using Volt = Quantity<VoltTag>;
+using Second = Quantity<SecondTag>;
+using Hertz = Quantity<HertzTag>;
+using Farad = Quantity<FaradTag>;
+using Ohm = Quantity<OhmTag>;
+using Ampere = Quantity<AmpereTag>;
+using Watt = Quantity<WattTag>;
+using Joule = Quantity<JouleTag>;
+using AreaUm2 = Quantity<AreaTag>;
+using Decibel = Quantity<DecibelTag>;
+
+// ---- Construction helpers (SI prefixes) ------------------------------------
+
+constexpr Volt volts(double v) { return Volt{v}; }
+constexpr Volt millivolts(double v) { return Volt{v * 1e-3}; }
+constexpr Volt microvolts(double v) { return Volt{v * 1e-6}; }
+
+constexpr Second seconds(double v) { return Second{v}; }
+constexpr Second milliseconds(double v) { return Second{v * 1e-3}; }
+constexpr Second microseconds(double v) { return Second{v * 1e-6}; }
+constexpr Second nanoseconds(double v) { return Second{v * 1e-9}; }
+constexpr Second picoseconds(double v) { return Second{v * 1e-12}; }
+constexpr Second femtoseconds(double v) { return Second{v * 1e-15}; }
+
+constexpr Hertz hertz(double v) { return Hertz{v}; }
+constexpr Hertz kilohertz(double v) { return Hertz{v * 1e3}; }
+constexpr Hertz megahertz(double v) { return Hertz{v * 1e6}; }
+constexpr Hertz gigahertz(double v) { return Hertz{v * 1e9}; }
+
+constexpr Farad farads(double v) { return Farad{v}; }
+constexpr Farad picofarads(double v) { return Farad{v * 1e-12}; }
+constexpr Farad femtofarads(double v) { return Farad{v * 1e-15}; }
+
+constexpr Ohm ohms(double v) { return Ohm{v}; }
+constexpr Ohm kiloohms(double v) { return Ohm{v * 1e3}; }
+constexpr Ohm megaohms(double v) { return Ohm{v * 1e6}; }
+
+constexpr Ampere amperes(double v) { return Ampere{v}; }
+constexpr Ampere milliamperes(double v) { return Ampere{v * 1e-3}; }
+constexpr Ampere microamperes(double v) { return Ampere{v * 1e-6}; }
+
+constexpr Watt watts(double v) { return Watt{v}; }
+constexpr Watt milliwatts(double v) { return Watt{v * 1e-3}; }
+constexpr Watt microwatts(double v) { return Watt{v * 1e-6}; }
+constexpr Watt nanowatts(double v) { return Watt{v * 1e-9}; }
+
+constexpr Joule joules(double v) { return Joule{v}; }
+constexpr Joule picojoules(double v) { return Joule{v * 1e-12}; }
+
+constexpr AreaUm2 square_microns(double v) { return AreaUm2{v}; }
+constexpr Decibel decibels(double v) { return Decibel{v}; }
+
+// ---- Cross-unit relations ---------------------------------------------------
+
+/// Period of a frequency. f must be > 0.
+constexpr Second period(Hertz f) { return Second{1.0 / f.value()}; }
+/// Frequency of a period. t must be > 0.
+constexpr Hertz frequency(Second t) { return Hertz{1.0 / t.value()}; }
+
+constexpr Volt operator*(Ampere i, Ohm r) { return Volt{i.value() * r.value()}; }
+constexpr Volt operator*(Ohm r, Ampere i) { return i * r; }
+constexpr Ampere operator/(Volt v, Ohm r) { return Ampere{v.value() / r.value()}; }
+constexpr Ohm operator/(Volt v, Ampere i) { return Ohm{v.value() / i.value()}; }
+constexpr Watt operator*(Volt v, Ampere i) { return Watt{v.value() * i.value()}; }
+constexpr Watt operator*(Ampere i, Volt v) { return v * i; }
+constexpr Joule operator*(Watt p, Second t) { return Joule{p.value() * t.value()}; }
+constexpr Joule operator*(Second t, Watt p) { return p * t; }
+constexpr Watt operator/(Joule e, Second t) { return Watt{e.value() / t.value()}; }
+
+/// RC time constant.
+constexpr Second operator*(Ohm r, Farad c) { return Second{r.value() * c.value()}; }
+constexpr Second operator*(Farad c, Ohm r) { return r * c; }
+
+// ---- Decibel helpers --------------------------------------------------------
+
+/// Amplitude (20·log10) dB from a linear voltage gain.
+inline Decibel amplitude_db(double linear_gain) {
+  return Decibel{20.0 * std::log10(linear_gain)};
+}
+/// Linear voltage gain from amplitude dB.
+inline double db_to_amplitude(Decibel db) {
+  return std::pow(10.0, db.value() / 20.0);
+}
+/// Power (10·log10) dB from a linear power ratio.
+inline Decibel power_db(double linear_ratio) {
+  return Decibel{10.0 * std::log10(linear_ratio)};
+}
+/// Linear power ratio from power dB.
+inline double db_to_power(Decibel db) {
+  return std::pow(10.0, db.value() / 10.0);
+}
+
+// ---- Formatting -------------------------------------------------------------
+
+/// Pretty-print with an auto-selected SI prefix, e.g. "2.00 GHz", "32.1 mV".
+std::string to_string(Volt v);
+std::string to_string(Second t);
+std::string to_string(Hertz f);
+std::string to_string(Farad c);
+std::string to_string(Watt p);
+std::string to_string(Joule e);
+
+/// Scale a raw double by the best SI prefix: returns e.g. {2.0, "G"}.
+struct SiScaled {
+  double mantissa;
+  const char* prefix;
+};
+SiScaled si_scale(double value);
+
+}  // namespace serdes::util

@@ -1,0 +1,126 @@
+#include "analog/driver.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::analog {
+namespace {
+
+TEST(Driver, DefaultDesignIsThreeStages) {
+  const InverterChainDriver driver;
+  EXPECT_EQ(driver.chain().size(), 3u);
+  // Tapered: each stage wider than the last.
+  EXPECT_GT(driver.chain()[1].nmos().width_um(),
+            driver.chain()[0].nmos().width_um());
+  EXPECT_GT(driver.chain()[2].nmos().width_um(),
+            driver.chain()[1].nmos().width_um());
+}
+
+TEST(Driver, InvalidDesignsThrow) {
+  DriverDesign zero_stages;
+  zero_stages.stages = 0;
+  EXPECT_THROW(InverterChainDriver{zero_stages}, std::invalid_argument);
+  DriverDesign flat_taper;
+  flat_taper.taper = 1.0;
+  EXPECT_THROW(InverterChainDriver{flat_taper}, std::invalid_argument);
+}
+
+TEST(Driver, RiseTimeFastEnoughFor2Gbps) {
+  const InverterChainDriver driver;
+  const double tr = driver.output_rise_time().value();
+  EXPECT_GT(tr, 10e-12);
+  EXPECT_LT(tr, 250e-12);  // < half the 500 ps UI
+}
+
+TEST(Driver, MoreTaperMeansFasterOutput) {
+  DriverDesign slow;
+  slow.taper = 2.0;
+  DriverDesign fast;
+  fast.taper = 5.0;
+  EXPECT_GT(InverterChainDriver(slow).output_rise_time().value(),
+            InverterChainDriver(fast).output_rise_time().value());
+}
+
+TEST(Driver, PowerScalesWithRateAndActivity) {
+  const InverterChainDriver driver;
+  const double p1 = driver.dynamic_power(util::gigahertz(1.0)).value();
+  const double p2 = driver.dynamic_power(util::gigahertz(2.0)).value();
+  EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+  const double p_half =
+      driver.dynamic_power(util::gigahertz(2.0), 0.25).value();
+  EXPECT_NEAR(p_half / p2, 0.5, 1e-9);
+}
+
+TEST(Driver, PaperPowerBallpark) {
+  // Paper Fig 10: CMOS driver ~4.5 mW at 2 Gbps into 2 pF.
+  const InverterChainDriver driver;
+  const double p = driver.dynamic_power(util::gigahertz(2.0), 0.25).value();
+  EXPECT_GT(p, 1e-3);
+  EXPECT_LT(p, 10e-3);
+}
+
+TEST(Driver, DelayPositiveAndOrdered) {
+  const InverterChainDriver driver;
+  EXPECT_GT(driver.total_delay().value(), 0.0);
+  EXPECT_LT(driver.total_delay().value(), 2e-9);
+}
+
+TEST(Driver, BehavioralWaveformSwingsRailToRail) {
+  const InverterChainDriver driver;
+  const std::vector<std::uint8_t> bits = {0, 1, 1, 0, 1, 0, 0, 1};
+  const auto w = driver.drive(bits, util::gigahertz(2.0), 16);
+  EXPECT_NEAR(w.max_value(), 1.8, 0.01);
+  EXPECT_NEAR(w.min_value(), 0.0, 0.01);
+  EXPECT_EQ(w.size(), bits.size() * 16u);
+}
+
+TEST(Driver, TransientDrives2pFRailToRail) {
+  // Fig 4b: the transistor-level chain drives the 2 pF load rail to rail at
+  // 2 Gbps.  (Coarser time step keeps the test fast.)
+  const InverterChainDriver driver;
+  const std::vector<std::uint8_t> bits = {0, 1, 1, 0};
+  auto in = Waveform::nrz(bits, util::nanoseconds(0.5), 32, 0.0, 1.8,
+                          util::picoseconds(50.0));
+  const auto out = driver.transient(in, util::picoseconds(5.0));
+  EXPECT_GT(out.max_value(), 1.6);
+  EXPECT_LT(out.min_value(), 0.2);
+}
+
+TEST(Driver, TransientPolarityMatchesStageCount) {
+  // Three inverting stages: output is the logical complement of the input.
+  const InverterChainDriver driver;
+  const std::vector<std::uint8_t> bits = {0, 0, 1, 1};
+  auto in = Waveform::nrz(bits, util::nanoseconds(1.0), 32, 0.0, 1.8,
+                          util::picoseconds(50.0));
+  const auto out = driver.transient(in, util::picoseconds(5.0));
+  // Sample late in each bit (chain delay ~100 ps).
+  EXPECT_GT(out.value_at(util::nanoseconds(1.8)), 1.5);  // in=0 -> out high
+  EXPECT_LT(out.value_at(util::nanoseconds(3.8)), 0.3);  // in=1 -> out low
+}
+
+TEST(Driver, TotalWidthGrowsWithStages) {
+  DriverDesign two;
+  two.stages = 2;
+  DriverDesign four;
+  four.stages = 4;
+  EXPECT_GT(InverterChainDriver(four).total_width_um(),
+            InverterChainDriver(two).total_width_um());
+}
+
+// Property sweep: across stage counts the behavioural model stays
+// rail-to-rail and the delay grows with the chain length at fixed taper.
+class DriverStagesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DriverStagesTest, BehavioralRailToRail) {
+  DriverDesign d;
+  d.stages = GetParam();
+  const InverterChainDriver driver(d);
+  const auto w = driver.drive({0, 1, 0, 1, 1, 0}, util::gigahertz(1.0), 16);
+  EXPECT_NEAR(w.max_value(), 1.8, 0.05);
+  EXPECT_NEAR(w.min_value(), 0.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stages, DriverStagesTest, ::testing::Values(1, 2, 3,
+                                                                     4, 5));
+
+}  // namespace
+}  // namespace serdes::analog

@@ -1,0 +1,138 @@
+#include "analog/inverter.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::analog {
+namespace {
+
+InverterCell make_cell(double wn = 4.0, double wp = 6.0) {
+  return InverterCell(wn, wp, util::volts(1.8));
+}
+
+TEST(Inverter, VtcEndpointsAreRails) {
+  const auto inv = make_cell();
+  EXPECT_GT(inv.vtc(0.0), 1.75);   // output high for input low
+  EXPECT_LT(inv.vtc(1.8), 0.05);   // output low for input high
+}
+
+TEST(Inverter, VtcIsMonotoneDecreasing) {
+  const auto inv = make_cell();
+  double prev = inv.vtc(0.0);
+  for (double vin = 0.02; vin <= 1.8; vin += 0.02) {
+    const double vout = inv.vtc(vin);
+    EXPECT_LE(vout, prev + 1e-9) << "VTC rose at vin=" << vin;
+    prev = vout;
+  }
+}
+
+TEST(Inverter, SwitchingThresholdIsFixedPoint) {
+  const auto inv = make_cell();
+  const double vm = inv.switching_threshold();
+  EXPECT_GT(vm, 0.5);
+  EXPECT_LT(vm, 1.1);
+  EXPECT_NEAR(inv.vtc(vm), vm, 1e-6);
+}
+
+TEST(Inverter, ThresholdShiftsWithSizing) {
+  // Stronger PMOS pulls the threshold up.
+  const auto weak_p = make_cell(4.0, 4.0);
+  const auto strong_p = make_cell(4.0, 12.0);
+  EXPECT_LT(weak_p.switching_threshold(), strong_p.switching_threshold());
+}
+
+TEST(Inverter, GainIsNegativeAndPeaksNearThreshold) {
+  const auto inv = make_cell();
+  const double vm = inv.switching_threshold();
+  const double gain_at_vm = inv.small_signal_gain(vm);
+  EXPECT_LT(gain_at_vm, -5.0);  // strongly inverting at the bias point
+  EXPECT_GT(std::abs(gain_at_vm), std::abs(inv.small_signal_gain(0.3)));
+  EXPECT_GT(std::abs(gain_at_vm), std::abs(inv.small_signal_gain(1.6)));
+}
+
+TEST(Inverter, StaticCurrentPeaksNearThreshold) {
+  const auto inv = make_cell();
+  const double vm = inv.switching_threshold();
+  const double i_vm = inv.static_current(vm).value();
+  EXPECT_GT(i_vm, inv.static_current(0.1).value());
+  EXPECT_GT(i_vm, inv.static_current(1.7).value());
+  EXPECT_GT(i_vm, 1e-5);  // hundreds of uA scale for these widths
+}
+
+TEST(Inverter, OutputResistanceFiniteAtBias) {
+  const auto inv = make_cell();
+  const double vm = inv.switching_threshold();
+  const double rout = inv.output_resistance(vm).value();
+  EXPECT_GT(rout, 100.0);
+  EXPECT_LT(rout, 1e6);
+}
+
+TEST(Inverter, CapsScaleWithWidths) {
+  const auto small = make_cell(2.0, 3.0);
+  const auto big = make_cell(4.0, 6.0);
+  EXPECT_NEAR(big.input_cap().value() / small.input_cap().value(), 2.0, 1e-9);
+  EXPECT_GT(big.output_cap().value(), small.output_cap().value());
+}
+
+TEST(Inverter, DelayIncreasesWithLoad) {
+  const auto inv = make_cell();
+  const double d1 = inv.propagation_delay(util::femtofarads(10.0)).value();
+  const double d2 = inv.propagation_delay(util::femtofarads(100.0)).value();
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(Inverter, DelayDecreasesWithDrive) {
+  const auto weak = make_cell(2.0, 3.0);
+  const auto strong = make_cell(8.0, 12.0);
+  const util::Farad load = util::femtofarads(50.0);
+  EXPECT_GT(weak.propagation_delay(load).value(),
+            strong.propagation_delay(load).value());
+}
+
+TEST(Inverter, SwitchingEnergyScalesWithLoad) {
+  const auto inv = make_cell();
+  const double e1 = inv.switching_energy(util::femtofarads(10.0)).value();
+  const double e2 = inv.switching_energy(util::femtofarads(110.0)).value();
+  // Adding 100 fF at 1.8 V adds C*V^2 = 324 fJ.
+  EXPECT_NEAR(e2 - e1, 100e-15 * 1.8 * 1.8, 1e-17);
+}
+
+TEST(Inverter, DriveResistancesReasonable) {
+  const auto inv = make_cell();
+  EXPECT_GT(inv.drive_resistance_n().value(), 50.0);
+  EXPECT_LT(inv.drive_resistance_n().value(), 20e3);
+  // PMOS weaker per um but wider here; still same order.
+  EXPECT_GT(inv.drive_resistance_p().value(), 50.0);
+  EXPECT_LT(inv.drive_resistance_p().value(), 30e3);
+}
+
+TEST(Inverter, ConstructionValidation) {
+  EXPECT_THROW(InverterCell(4.0, 6.0, util::volts(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(InverterCell(4.0, 6.0, util::volts(1.8), sky130_pfet(),
+                            sky130_nfet()),
+               std::invalid_argument);
+}
+
+// Property: for any sizing, the threshold stays strictly inside the rails
+// and the VTC passes through it.
+class InverterSizingTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(InverterSizingTest, ThresholdInsideRails) {
+  const auto [wn, wp] = GetParam();
+  const InverterCell inv(wn, wp, util::volts(1.8));
+  const double vm = inv.switching_threshold();
+  EXPECT_GT(vm, 0.2);
+  EXPECT_LT(vm, 1.6);
+  EXPECT_NEAR(inv.vtc(vm), vm, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizings, InverterSizingTest,
+    ::testing::Values(std::pair{1.0, 1.0}, std::pair{1.0, 4.0},
+                      std::pair{4.0, 1.0}, std::pair{8.0, 12.0},
+                      std::pair{24.0, 36.0}, std::pair{0.5, 0.8}));
+
+}  // namespace
+}  // namespace serdes::analog

@@ -1,0 +1,138 @@
+#include "analog/mosfet.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::analog {
+namespace {
+
+TEST(Mosfet, CutoffRegionLeaksOnly) {
+  const Mosfet n(sky130_nfet(), 1.0);
+  const double id = n.drain_current(0.0, 1.8);
+  EXPECT_GT(id, 0.0);         // subthreshold floor exists
+  EXPECT_LT(id, 1e-7);        // but it is nanoamp-scale
+}
+
+TEST(Mosfet, SaturationCurrentMagnitude) {
+  // sky130-like NFET: hundreds of uA per um at full drive.
+  const Mosfet n(sky130_nfet(), 1.0);
+  const double id = n.drain_current(1.8, 1.8);
+  EXPECT_GT(id, 3e-4);
+  EXPECT_LT(id, 1.5e-3);
+}
+
+TEST(Mosfet, CurrentScalesWithWidth) {
+  const Mosfet w1(sky130_nfet(), 1.0);
+  const Mosfet w4(sky130_nfet(), 4.0);
+  EXPECT_NEAR(w4.drain_current(1.8, 1.8) / w1.drain_current(1.8, 1.8), 4.0,
+              1e-9);
+}
+
+TEST(Mosfet, MonotoneInVgs) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.8; vgs += 0.05) {
+    const double id = n.drain_current(vgs, 1.2);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, MonotoneInVds) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 1.8; vds += 0.05) {
+    const double id = n.drain_current(1.2, vds);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+}
+
+TEST(Mosfet, ZeroVdsZeroCurrent) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  EXPECT_DOUBLE_EQ(n.drain_current(1.8, 0.0), 0.0);
+}
+
+TEST(Mosfet, ReverseVdsSymmetry) {
+  // Swapping source and drain mirrors the current.
+  const Mosfet n(sky130_nfet(), 2.0);
+  const double fwd = n.drain_current(1.8, 0.3);
+  const double rev = n.drain_current(1.8 - 0.3 * 0 - 0.3 + 1.8 * 0, -0.3);
+  (void)rev;
+  // Exact relation: I(vgs, -vds) = -I(vgs + vds, vds).
+  EXPECT_NEAR(n.drain_current(1.5, -0.3), -n.drain_current(1.8, 0.3), 1e-12);
+  EXPECT_GT(fwd, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmosConventions) {
+  const Mosfet p(sky130_pfet(), 2.0);
+  // PMOS on: gate below source.
+  const double id_on = p.drain_current(-1.8, -1.8);
+  EXPECT_LT(id_on, 0.0);  // conventional current flows out of the drain
+  // PMOS off.
+  EXPECT_GT(std::abs(p.drain_current(0.0, -1.8)), 0.0);
+  EXPECT_LT(std::abs(p.drain_current(0.0, -1.8)), 1e-7);
+}
+
+TEST(Mosfet, PmosWeakerThanNmos) {
+  const Mosfet n(sky130_nfet(), 1.0);
+  const Mosfet p(sky130_pfet(), 1.0);
+  EXPECT_GT(n.drain_current(1.8, 1.8),
+            std::abs(p.drain_current(-1.8, -1.8)));
+}
+
+TEST(Mosfet, TransconductancePositiveInSaturation) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  EXPECT_GT(n.gm(1.0, 1.5), 0.0);
+  EXPECT_GT(n.gm(0.9, 1.5), 0.0);
+}
+
+TEST(Mosfet, OutputConductanceSmallInSaturation) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  const double gds_sat = n.gds(1.0, 1.5);
+  const double gds_lin = n.gds(1.8, 0.05);
+  EXPECT_GT(gds_sat, 0.0);
+  EXPECT_GT(gds_lin, gds_sat);  // triode slope is much steeper
+}
+
+TEST(Mosfet, CapacitancesScaleWithWidth) {
+  const Mosfet n(sky130_nfet(), 3.0);
+  EXPECT_NEAR(n.gate_cap().value(), 3.0 * 1.3e-15, 1e-20);
+  EXPECT_NEAR(n.drain_cap().value(), 3.0 * 0.8e-15, 1e-20);
+}
+
+TEST(Mosfet, InvalidWidthThrows) {
+  EXPECT_THROW(Mosfet(sky130_nfet(), 0.0), std::invalid_argument);
+  EXPECT_THROW(Mosfet(sky130_nfet(), -1.0), std::invalid_argument);
+}
+
+// Continuity sweep: current must be continuous across the
+// subthreshold/saturation and linear/saturation boundaries.
+class MosfetContinuityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetContinuityTest, CurrentIsContinuousInVgs) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  const double vds = GetParam();
+  double prev = n.drain_current(0.0, vds);
+  for (double vgs = 0.001; vgs <= 1.8; vgs += 0.001) {
+    const double id = n.drain_current(vgs, vds);
+    EXPECT_LT(std::abs(id - prev), 2e-5) << "jump at vgs=" << vgs;
+    prev = id;
+  }
+}
+
+TEST_P(MosfetContinuityTest, CurrentIsContinuousInVds) {
+  const Mosfet n(sky130_nfet(), 2.0);
+  const double vgs = GetParam();
+  double prev = n.drain_current(vgs, 0.0);
+  for (double vds = 0.001; vds <= 1.8; vds += 0.001) {
+    const double id = n.drain_current(vgs, vds);
+    EXPECT_LT(std::abs(id - prev), 2e-5) << "jump at vds=" << vds;
+    prev = id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, MosfetContinuityTest,
+                         ::testing::Values(0.2, 0.5, 0.9, 1.2, 1.8));
+
+}  // namespace
+}  // namespace serdes::analog

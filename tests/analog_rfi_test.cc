@@ -1,0 +1,119 @@
+#include "analog/rfi.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::analog {
+namespace {
+
+TEST(Rfi, SelfBiasNearPaperValue) {
+  // Paper Fig 6: the RFI biases around 0.83 V (slightly below Vdd/2 + Vth
+  // asymmetry).  Our calibrated devices land within a few tens of mV.
+  const RfiCircuit rfi;
+  EXPECT_GT(rfi.self_bias(), 0.76);
+  EXPECT_LT(rfi.self_bias(), 0.90);
+}
+
+TEST(Rfi, GainAndBandwidthInDesignRange) {
+  const RfiCircuit rfi;
+  EXPECT_GT(rfi.gain_at_bias(), 5.0);    // paper's 32 mV -> ~300 mV => ~10x
+  EXPECT_LT(rfi.gain_at_bias(), 40.0);
+  EXPECT_GT(rfi.bandwidth().value(), 0.3e9);
+  EXPECT_LT(rfi.bandwidth().value(), 20e9);
+}
+
+TEST(Rfi, PseudoResistorIsVeryLarge) {
+  const RfiCircuit rfi;
+  EXPECT_GT(rfi.pseudo_resistance().value(), 1e6);  // megohms and up
+}
+
+TEST(Rfi, StaticCurrentIsClassA) {
+  // Both devices saturated at the bias point: milliamp-scale static draw —
+  // the reason the paper's RX front end burns 6.7 mW.
+  const RfiCircuit rfi;
+  const double i = rfi.static_current().value();
+  EXPECT_GT(i, 1e-4);
+  EXPECT_LT(i, 2e-2);
+}
+
+TEST(Rfi, DcTransferInverts) {
+  const RfiCircuit rfi;
+  EXPECT_GT(rfi.dc_transfer(0.2), 1.6);
+  EXPECT_LT(rfi.dc_transfer(1.6), 0.2);
+}
+
+TEST(RfiTransient, SmallSignalRidesOnBias) {
+  // Fig 6b: a 32 mV input is re-centred around the self-bias voltage.
+  const RfiCircuit rfi;
+  const std::vector<std::uint8_t> bits = {0, 1, 0, 1, 1, 0, 1, 0};
+  auto input = Waveform::nrz(bits, util::nanoseconds(1.0), 32, -0.016, 0.016,
+                             util::picoseconds(100.0));
+  const auto waves = rfi.transient(input, util::picoseconds(10.0));
+  // Biased input: mean near the self-bias, excursion ~ +/-16 mV.
+  const double bias = rfi.self_bias();
+  // Skip the settling prefix before measuring.
+  double vmin = 1e9;
+  double vmax = -1e9;
+  for (std::size_t i = waves.biased_input.size() / 4;
+       i < waves.biased_input.size(); ++i) {
+    vmin = std::min(vmin, waves.biased_input[i]);
+    vmax = std::max(vmax, waves.biased_input[i]);
+  }
+  EXPECT_NEAR(0.5 * (vmin + vmax), bias, 0.05);
+  EXPECT_NEAR(vmax - vmin, 0.032, 0.012);
+  // Output swings around the bias with gain.
+  EXPECT_GT(waves.output.peak_to_peak(), 0.10);  // ~ gain * 32 mV
+}
+
+TEST(RfiStage, BehavioralMatchesCircuitAtDc) {
+  const RfiCircuit circuit;
+  const RfiStage stage(circuit, util::picoseconds(31.25));
+  EXPECT_DOUBLE_EQ(stage.bias(), circuit.self_bias());
+  EXPECT_DOUBLE_EQ(stage.gain(), circuit.gain_at_bias());
+  EXPECT_DOUBLE_EQ(stage.bandwidth().value(), circuit.bandwidth().value());
+}
+
+TEST(RfiStage, AmplifiesAndInverts) {
+  const RfiCircuit circuit;
+  const util::Second dt = util::picoseconds(31.25);
+  const RfiStage stage(circuit, dt);
+  // Slow square wave well within bandwidth.
+  const std::vector<std::uint8_t> bits = {0, 0, 1, 1, 0, 0, 1, 1};
+  auto in = Waveform::nrz(bits, util::nanoseconds(4.0), 128, -0.01, 0.01,
+                          util::picoseconds(200.0));
+  const auto out = stage.process(in);
+  // Gain ~ >5x on a 20 mV swing.
+  EXPECT_GT(out.peak_to_peak(), 0.1);
+  // Inversion: input high (bit 1) -> output below bias.
+  const double v_high_in = out.value_at(util::nanoseconds(10.0));  // bit=1
+  const double v_low_in = out.value_at(util::nanoseconds(18.0));   // bit=0
+  EXPECT_LT(v_high_in, v_low_in);
+}
+
+TEST(RfiStage, SaturatesInsideRails) {
+  const RfiCircuit circuit;
+  const RfiStage stage(circuit, util::picoseconds(31.25));
+  auto in = Waveform::nrz({0, 1, 0, 1}, util::nanoseconds(2.0), 64, -0.5, 0.5,
+                          util::picoseconds(100.0));
+  const auto out = stage.process(in);
+  EXPECT_GE(out.min_value(), 0.0);
+  EXPECT_LE(out.max_value(), 1.8);
+  EXPECT_GT(out.peak_to_peak(), 1.0);  // hard-driven: near rail-to-rail
+}
+
+TEST(RfiStage, RemovesInputDc) {
+  // The AC coupling makes the output independent of the input's DC level.
+  const RfiCircuit circuit;
+  const RfiStage stage(circuit, util::picoseconds(31.25));
+  auto in_a = Waveform::nrz({0, 1, 0, 1, 0, 1}, util::nanoseconds(2.0), 64,
+                            0.0, 0.02, util::picoseconds(100.0));
+  auto in_b = in_a;
+  in_b.offset(0.7);  // large common-mode shift
+  const auto out_a = stage.process(in_a);
+  const auto out_b = stage.process(in_b);
+  for (std::size_t i = 0; i < out_a.size(); i += 37) {
+    EXPECT_NEAR(out_a[i], out_b[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace serdes::analog

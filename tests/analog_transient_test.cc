@@ -1,0 +1,142 @@
+#include "analog/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analog/inverter.h"
+
+namespace serdes::analog {
+namespace {
+
+TEST(Dc, ResistiveDividerSolvesExactly) {
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId mid = ckt.add_node("mid");
+  ckt.drive_dc(vdd, util::volts(1.8));
+  ckt.add_resistor(vdd, mid, util::kiloohms(1.0));
+  ckt.add_resistor(mid, Circuit::kGround, util::kiloohms(3.0));
+  const auto v = solve_dc(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(mid)], 1.35, 1e-9);
+}
+
+TEST(Dc, InverterOutputMatchesCellVtc) {
+  // The nodal solver and the InverterCell bisection must agree.
+  const InverterCell cell(4.0, 6.0, util::volts(1.8));
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.drive_dc(vdd, util::volts(1.8));
+  ckt.drive_dc(in, util::volts(0.7));
+  ckt.add_mosfet(cell.nmos(), out, in, Circuit::kGround);
+  ckt.add_mosfet(cell.pmos(), out, in, vdd);
+  const auto v = solve_dc(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)], cell.vtc(0.7), 1e-5);
+}
+
+TEST(Dc, SelfBiasedInverterSitsAtThreshold) {
+  // Resistive feedback forces Vin = Vout = the switching threshold.
+  const InverterCell cell(24.0, 36.0, util::volts(1.8));
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId io = ckt.add_node("io");
+  const NodeId out = ckt.add_node("out");
+  ckt.drive_dc(vdd, util::volts(1.8));
+  ckt.add_mosfet(cell.nmos(), out, io, Circuit::kGround);
+  ckt.add_mosfet(cell.pmos(), out, io, vdd);
+  ckt.add_resistor(out, io, util::megaohms(80.0));
+  const auto v = solve_dc(ckt);
+  EXPECT_NEAR(v[static_cast<std::size_t>(io)], cell.switching_threshold(),
+              5e-3);
+  EXPECT_NEAR(v[static_cast<std::size_t>(out)],
+              v[static_cast<std::size_t>(io)], 5e-3);
+}
+
+TEST(Transient, RcChargeMatchesAnalytic) {
+  Circuit ckt;
+  const NodeId src = ckt.add_node("src");
+  const NodeId cap = ckt.add_node("cap");
+  ckt.drive(src, [](double t) { return t > 0.0 ? 1.0 : 0.0; });
+  ckt.add_resistor(src, cap, util::kiloohms(1.0));
+  ckt.add_capacitor(cap, Circuit::kGround, util::picofarads(1.0));
+  // tau = 1 ns; run 5 ns at 5 ps steps.
+  const auto result = solve_transient(ckt, util::nanoseconds(5.0),
+                                      util::picoseconds(5.0));
+  const auto w = result.node_waveform(cap);
+  // Compare against 1 - exp(-t/tau) at a few points (backward Euler is
+  // first order; 5 ps steps on a 1 ns tau are plenty accurate).
+  for (double t_ns : {0.5, 1.0, 2.0, 4.0}) {
+    const double expected = 1.0 - std::exp(-t_ns);
+    EXPECT_NEAR(w.value_at(util::nanoseconds(t_ns)), expected, 0.01)
+        << "at t=" << t_ns;
+  }
+}
+
+TEST(Transient, CapacitorDividerSteadyState) {
+  Circuit ckt;
+  const NodeId src = ckt.add_node("src");
+  const NodeId mid = ckt.add_node("mid");
+  ckt.drive(src, [](double) { return 1.0; });
+  ckt.add_resistor(src, mid, util::kiloohms(10.0));
+  ckt.add_resistor(mid, Circuit::kGround, util::kiloohms(10.0));
+  ckt.add_capacitor(mid, Circuit::kGround, util::femtofarads(100.0));
+  const auto result = solve_transient(ckt, util::nanoseconds(20.0),
+                                      util::picoseconds(20.0));
+  const auto w = result.node_waveform(mid);
+  EXPECT_NEAR(w.samples().back(), 0.5, 1e-3);
+}
+
+TEST(Transient, InverterSwitchesRailToRail) {
+  const InverterCell cell(4.0, 6.0, util::volts(1.8));
+  Circuit ckt;
+  const NodeId vdd = ckt.add_node("vdd");
+  const NodeId in = ckt.add_node("in");
+  const NodeId out = ckt.add_node("out");
+  ckt.drive_dc(vdd, util::volts(1.8));
+  // 1 GHz square wave input.
+  ckt.drive(in, [](double t) {
+    return std::fmod(t, 1e-9) < 0.5e-9 ? 0.0 : 1.8;
+  });
+  ckt.add_mosfet(cell.nmos(), out, in, Circuit::kGround);
+  ckt.add_mosfet(cell.pmos(), out, in, vdd);
+  ckt.add_capacitor(out, Circuit::kGround, util::femtofarads(20.0));
+  const auto result = solve_transient(ckt, util::nanoseconds(4.0),
+                                      util::picoseconds(2.0));
+  const auto w = result.node_waveform(out);
+  EXPECT_GT(w.max_value(), 1.7);
+  EXPECT_LT(w.min_value(), 0.1);
+  // Output must be inverted relative to input at bit centres.
+  EXPECT_GT(w.value_at(util::picoseconds(250.0)), 1.5);   // in low -> out high
+  EXPECT_LT(w.value_at(util::picoseconds(750.0)), 0.3);   // in high -> out low
+}
+
+TEST(Transient, InvalidArgumentsThrow) {
+  Circuit ckt;
+  const NodeId n = ckt.add_node("n");
+  ckt.drive_dc(n, util::volts(1.0));
+  EXPECT_THROW(solve_transient(ckt, util::seconds(0.0), util::picoseconds(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      solve_transient(ckt, util::nanoseconds(1.0), util::seconds(0.0)),
+      std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor(n, Circuit::kGround, util::ohms(0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add_capacitor(n, Circuit::kGround, util::farads(0.0)),
+               std::invalid_argument);
+}
+
+TEST(Circuit, NodeBookkeeping) {
+  Circuit ckt;
+  EXPECT_EQ(ckt.node_count(), 1);  // ground pre-exists
+  const NodeId a = ckt.add_node("a");
+  EXPECT_EQ(ckt.node_count(), 2);
+  EXPECT_EQ(ckt.node_name(a), "a");
+  EXPECT_TRUE(ckt.is_driven(Circuit::kGround));
+  EXPECT_FALSE(ckt.is_driven(a));
+  ckt.drive_dc(a, util::volts(1.0));
+  EXPECT_TRUE(ckt.is_driven(a));
+}
+
+}  // namespace
+}  // namespace serdes::analog

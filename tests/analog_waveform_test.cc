@@ -1,0 +1,122 @@
+#include "analog/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace serdes::analog {
+namespace {
+
+using util::nanoseconds;
+using util::picoseconds;
+using util::seconds;
+
+TEST(Waveform, ConstantLevels) {
+  const auto w = Waveform::constant(seconds(0.0), picoseconds(10.0), 100, 0.9);
+  EXPECT_EQ(w.size(), 100u);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.9);
+  EXPECT_DOUBLE_EQ(w.max_value(), 0.9);
+  EXPECT_DOUBLE_EQ(w.peak_to_peak(), 0.0);
+  EXPECT_NEAR(w.mean_value(), 0.9, 1e-12);
+  EXPECT_NEAR(w.ac_rms(), 0.0, 1e-9);
+}
+
+TEST(Waveform, InvalidSamplePeriodThrows) {
+  EXPECT_THROW(Waveform(seconds(0.0), seconds(0.0), {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Waveform, NrzLevelsMatchBits) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0};
+  const auto w = Waveform::nrz(bits, nanoseconds(1.0), 8, 0.0, 1.8,
+                               picoseconds(0.0));
+  EXPECT_EQ(w.size(), 40u);
+  // Sample each bit centre.
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double v = w.value_at(nanoseconds(static_cast<double>(i) + 0.5));
+    EXPECT_NEAR(v, bits[i] ? 1.8 : 0.0, 1e-9) << "bit " << i;
+  }
+}
+
+TEST(Waveform, NrzEdgesRamp) {
+  const std::vector<std::uint8_t> bits = {0, 1};
+  const auto w = Waveform::nrz(bits, nanoseconds(1.0), 64, 0.0, 1.0,
+                               picoseconds(400.0));
+  // Mid-transition (at the bit boundary) should be near half swing.
+  EXPECT_NEAR(w.value_at(nanoseconds(1.0)), 0.5, 0.15);
+}
+
+TEST(Waveform, NrzNeedsTwoSamplesPerUi) {
+  EXPECT_THROW(Waveform::nrz({1, 0}, nanoseconds(1.0), 1, 0.0, 1.0,
+                             picoseconds(0.0)),
+               std::invalid_argument);
+}
+
+TEST(Waveform, ValueAtInterpolatesAndClamps) {
+  Waveform w(seconds(0.0), nanoseconds(1.0), {0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(w.value_at(nanoseconds(0.5)), 0.5);
+  EXPECT_DOUBLE_EQ(w.value_at(nanoseconds(-5.0)), 0.0);   // clamp front
+  EXPECT_DOUBLE_EQ(w.value_at(nanoseconds(99.0)), 2.0);   // clamp back
+}
+
+TEST(Waveform, ScaleOffsetClampMap) {
+  Waveform w(seconds(0.0), nanoseconds(1.0), {1.0, -1.0, 3.0});
+  w.scale(2.0).offset(1.0);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], -1.0);
+  EXPECT_DOUBLE_EQ(w[2], 7.0);
+  w.clamp(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 5.0);
+  w.map([](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(w[0], 9.0);
+}
+
+TEST(Waveform, DelayShiftsTimeAxis) {
+  Waveform w(seconds(0.0), nanoseconds(1.0), {0.0, 1.0});
+  w.delay(nanoseconds(5.0));
+  EXPECT_DOUBLE_EQ(w.start_time().value(), 5e-9);
+  EXPECT_DOUBLE_EQ(w.value_at(nanoseconds(5.5)), 0.5);
+}
+
+TEST(Waveform, NoiseHasRequestedRms) {
+  util::Rng rng(3);
+  auto w = Waveform::constant(seconds(0.0), picoseconds(10.0), 50000, 0.0);
+  w.add_noise(rng, 0.01);
+  EXPECT_NEAR(w.ac_rms(), 0.01, 0.0005);
+  EXPECT_NEAR(w.mean_value(), 0.0, 0.001);
+}
+
+TEST(Waveform, CrossingsFound) {
+  const std::vector<std::uint8_t> bits = {0, 1, 0, 1};
+  const auto w = Waveform::nrz(bits, nanoseconds(1.0), 32, 0.0, 1.0,
+                               picoseconds(100.0));
+  const auto crossings = w.crossings(0.5);
+  EXPECT_EQ(crossings.size(), 3u);  // 0->1, 1->0, 0->1
+  EXPECT_NEAR(crossings[0].value(), 1e-9, 0.1e-9);
+  EXPECT_NEAR(crossings[1].value(), 2e-9, 0.1e-9);
+}
+
+TEST(Waveform, RiseTimeOfLinearRamp) {
+  // Linear 0->1 ramp over 1 ns: 20-80% spans 0.6 ns.
+  std::vector<double> samples(101);
+  for (int i = 0; i <= 100; ++i) samples[static_cast<std::size_t>(i)] = i / 100.0;
+  Waveform w(seconds(0.0), picoseconds(10.0), samples);
+  const double tr = w.rise_time_20_80(seconds(0.0)).value();
+  EXPECT_NEAR(tr, 0.6e-9, 0.05e-9);
+}
+
+TEST(Waveform, RiseTimeZeroWhenNoEdge) {
+  const auto w = Waveform::constant(seconds(0.0), picoseconds(10.0), 100, 1.0);
+  EXPECT_DOUBLE_EQ(w.rise_time_20_80(seconds(0.0)).value(), 0.0);
+}
+
+TEST(Waveform, TimeBookkeeping) {
+  Waveform w(nanoseconds(2.0), picoseconds(500.0), std::vector<double>(10, 0.0));
+  EXPECT_DOUBLE_EQ(w.start_time().value(), 2e-9);
+  EXPECT_DOUBLE_EQ(w.end_time().value(), 7e-9);
+  EXPECT_DOUBLE_EQ(w.time_at(4).value(), 4e-9);
+}
+
+}  // namespace
+}  // namespace serdes::analog

@@ -1,0 +1,179 @@
+#include "channel/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "channel/noise.h"
+
+namespace serdes::channel {
+namespace {
+
+constexpr util::Second kDt = util::Second{31.25e-12};
+
+analog::Waveform test_wave() {
+  return analog::Waveform::nrz({0, 1, 0, 1, 1, 0}, util::nanoseconds(0.5), 16,
+                               0.0, 1.8, util::picoseconds(100.0));
+}
+
+TEST(FlatChannel, AttenuatesExactly) {
+  const FlatChannel ch(util::decibels(34.0));
+  const auto out = ch.transmit(test_wave());
+  EXPECT_NEAR(out.peak_to_peak(), 1.8 * 0.019953, 1e-4);
+  EXPECT_NEAR(ch.attenuation_at(util::gigahertz(1.0)), 0.019953, 1e-5);
+  EXPECT_NEAR(ch.loss_at(util::megahertz(10.0)).value(), 34.0, 1e-9);
+}
+
+TEST(FlatChannel, ZeroLossIsIdentity) {
+  const FlatChannel ch(util::decibels(0.0));
+  const auto in = test_wave();
+  const auto out = ch.transmit(in);
+  for (std::size_t i = 0; i < in.size(); i += 13) {
+    EXPECT_DOUBLE_EQ(out[i], in[i]);
+  }
+}
+
+TEST(FlatChannel, NegativeLossThrows) {
+  EXPECT_THROW(FlatChannel(util::decibels(-1.0)), std::invalid_argument);
+}
+
+TEST(RcChannel, LowPassBehaviour) {
+  const RcChannel ch(util::megahertz(200.0), kDt, util::decibels(6.0));
+  EXPECT_NEAR(ch.attenuation_at(util::hertz(1.0)), 0.501, 1e-2);
+  // -3 dB at the pole on top of the dc loss.
+  EXPECT_NEAR(ch.attenuation_at(util::megahertz(200.0)), 0.501 / std::sqrt(2.0),
+              1e-2);
+  const auto out = ch.transmit(test_wave());
+  EXPECT_LT(out.peak_to_peak(), 1.8 * 0.55);
+}
+
+TEST(LossyLine, MatchesAnalyticLossAtReference) {
+  LossyLineChannel::Params p;
+  p.dc_loss_db = 2.0;
+  p.skin_loss_db_at_1ghz = 10.0;
+  p.dielectric_loss_db_at_1ghz = 8.0;
+  const LossyLineChannel ch(p, kDt);
+  // At 1 GHz the pole cascade is fitted to the analytic total (2+10+8 dB).
+  const double loss_1g =
+      -util::amplitude_db(ch.attenuation_at(util::gigahertz(1.0))).value();
+  EXPECT_NEAR(loss_1g, 20.0, 1.5);
+  // At dc only the flat term remains (plus the fitting correction).
+  const double loss_dc =
+      -util::amplitude_db(ch.attenuation_at(util::hertz(1.0))).value();
+  EXPECT_LT(loss_dc, 8.0);
+  EXPECT_GT(loss_dc, 1.0);
+}
+
+TEST(LossyLine, LossGrowsWithFrequency) {
+  const LossyLineChannel ch({}, kDt);
+  double prev = ch.attenuation_at(util::megahertz(1.0));
+  for (double f = 10e6; f <= 5e9; f *= 2.0) {
+    const double a = ch.attenuation_at(util::hertz(f));
+    EXPECT_LE(a, prev * 1.0001);
+    prev = a;
+  }
+}
+
+TEST(LossyLine, TimeDomainAttenuatesHighRateMore) {
+  const LossyLineChannel ch({}, kDt);
+  auto slow = analog::Waveform::nrz({0, 1, 0, 1}, util::nanoseconds(8.0), 256,
+                                    0.0, 1.0, util::picoseconds(100.0));
+  auto fast = analog::Waveform::nrz({0, 1, 0, 1}, util::nanoseconds(0.5), 16,
+                                    0.0, 1.0, util::picoseconds(100.0));
+  const double slow_pp = ch.transmit(slow).peak_to_peak();
+  const double fast_pp = ch.transmit(fast).peak_to_peak();
+  EXPECT_GT(slow_pp, fast_pp);
+}
+
+TEST(FirChannel, ExpandsTapsToSamples) {
+  // Main tap + one UI-spaced post-cursor echo.
+  FirChannel ch({1.0, 0.25}, 4);
+  analog::Waveform impulse(util::seconds(0.0), kDt,
+                           {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const auto out = ch.transmit(impulse);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[4], 0.25);  // echo lands one UI (4 samples) later
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+TEST(FirChannel, Validation) {
+  EXPECT_THROW(FirChannel({}, 4), std::invalid_argument);
+  EXPECT_THROW(FirChannel({1.0}, 0), std::invalid_argument);
+}
+
+TEST(CompositeChannel, GainIsProduct) {
+  CompositeChannel comp;
+  comp.add(std::make_unique<FlatChannel>(util::decibels(10.0)));
+  comp.add(std::make_unique<FlatChannel>(util::decibels(24.0)));
+  EXPECT_EQ(comp.stage_count(), 2u);
+  EXPECT_NEAR(-util::amplitude_db(
+                  comp.attenuation_at(util::gigahertz(1.0))).value(),
+              34.0, 1e-9);
+  const auto out = comp.transmit(test_wave());
+  EXPECT_NEAR(out.peak_to_peak(), 1.8 * util::db_to_amplitude(
+                                            util::decibels(-34.0)),
+              1e-4);
+}
+
+TEST(Awgn, RmsAndDeterminism) {
+  AwgnSource a(0.01, 5);
+  AwgnSource b(0.01, 5);
+  auto wa = analog::Waveform::constant(util::seconds(0.0), kDt, 20000, 0.0);
+  auto wb = wa;
+  a.apply(wa);
+  b.apply(wb);
+  EXPECT_NEAR(wa.ac_rms(), 0.01, 0.001);
+  for (std::size_t i = 0; i < wa.size(); i += 101) {
+    EXPECT_DOUBLE_EQ(wa[i], wb[i]);
+  }
+  EXPECT_THROW(AwgnSource(-0.1), std::invalid_argument);
+}
+
+TEST(ToneInterferer, AddsBoundedTone) {
+  ToneInterferer tone(0.05, util::megahertz(100.0));
+  auto w = analog::Waveform::constant(util::seconds(0.0), kDt, 4000, 0.5);
+  tone.apply(w);
+  EXPECT_NEAR(w.max_value(), 0.55, 0.002);
+  EXPECT_NEAR(w.min_value(), 0.45, 0.002);
+}
+
+TEST(Jitter, RandomJitterStatistics) {
+  JitterModel::Config cfg;
+  cfg.random_rms = util::picoseconds(5.0);
+  JitterModel jm(cfg);
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = util::nanoseconds(static_cast<double>(i));
+    const double delta = (jm.perturb(t) - t).value();
+    sum2 += delta * delta;
+  }
+  EXPECT_NEAR(std::sqrt(sum2 / n), 5e-12, 0.4e-12);
+}
+
+TEST(Jitter, SinusoidalBounded) {
+  JitterModel::Config cfg;
+  cfg.sinusoidal_amplitude = util::picoseconds(20.0);
+  cfg.sinusoidal_freq = util::megahertz(50.0);
+  JitterModel jm(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const auto t = util::nanoseconds(0.37 * i);
+    const double delta = (jm.perturb(t) - t).value();
+    EXPECT_LE(std::abs(delta), 20.5e-12);
+  }
+}
+
+// Property: every channel's attenuation is <= 1 at all queried frequencies
+// (they are passive).
+class PassivityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PassivityTest, LossyLinePassive) {
+  const LossyLineChannel ch({}, kDt);
+  EXPECT_LE(ch.attenuation_at(util::hertz(GetParam())), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, PassivityTest,
+                         ::testing::Values(1e3, 1e6, 1e8, 1e9, 5e9, 2e10));
+
+}  // namespace
+}  // namespace serdes::channel

@@ -1,0 +1,45 @@
+#include "core/jitter_tolerance.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::core {
+namespace {
+
+JitterToleranceConfig fast_cfg() {
+  JitterToleranceConfig cfg;
+  cfg.bits_per_trial = 1500;
+  cfg.amplitude_tolerance_ui = 0.02;
+  return cfg;
+}
+
+TEST(JitterTolerance, NonZeroAtModerateFrequency) {
+  const double tol = measure_jitter_tolerance(LinkConfig::paper_default(),
+                                              0.01, fast_cfg());
+  EXPECT_GT(tol, 0.03);  // at least a few percent of a UI
+  EXPECT_LE(tol, 2.0);
+}
+
+TEST(JitterTolerance, LowFrequencyJitterIsTracked) {
+  // Jitter much slower than the CDR vote window is tracked by phase
+  // updates, so the tolerated amplitude is higher than for fast jitter.
+  const LinkConfig cfg = LinkConfig::paper_default();
+  const auto jt_cfg = fast_cfg();
+  const double slow = measure_jitter_tolerance(cfg, 0.0005, jt_cfg);
+  const double fast = measure_jitter_tolerance(cfg, 0.08, jt_cfg);
+  EXPECT_GE(slow, fast);
+}
+
+TEST(JitterTolerance, SweepShapeMonotoneEnough) {
+  const auto points = jitter_tolerance_sweep(
+      LinkConfig::paper_default(), {0.0005, 0.01, 0.08}, fast_cfg());
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& p : points) {
+    EXPECT_GE(p.tolerance_ui, 0.0);
+    EXPECT_LE(p.tolerance_ui, 2.0);
+  }
+  // The mask never rises from slow to fast by a large factor.
+  EXPECT_GE(points.front().tolerance_ui, 0.5 * points.back().tolerance_ui);
+}
+
+}  // namespace
+}  // namespace serdes::core

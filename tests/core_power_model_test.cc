@@ -1,0 +1,107 @@
+#include "core/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::core {
+namespace {
+
+/// The full budget takes a few seconds (places ~15k cells); compute once.
+const LinkBudget& budget() {
+  static const LinkBudget b =
+      compute_link_budget(LinkConfig::paper_default());
+  return b;
+}
+
+TEST(PowerModel, AllEntriesPositive) {
+  const auto& b = budget();
+  for (const auto& blk : b.blocks()) {
+    EXPECT_GT(blk.power.value(), 0.0) << blk.name;
+    EXPECT_GT(blk.area.value(), 0.0) << blk.name;
+  }
+}
+
+TEST(PowerModel, DigitalBlocksDominatePower) {
+  // Paper Fig 10: serializer/deserializer/CDR take ~97% of the 437.7 mW.
+  const auto& b = budget();
+  const double digital = b.serializer_power.value() +
+                         b.deserializer_power.value() + b.cdr_power.value();
+  EXPECT_GT(digital, 5.0 * b.link_core_power().value());
+}
+
+TEST(PowerModel, BlockOrderingMatchesPaper) {
+  // Serializer > deserializer > CDR (235 > 128 > 59 mW in the paper).
+  const auto& b = budget();
+  EXPECT_GT(b.serializer_power.value(), b.deserializer_power.value());
+  EXPECT_GT(b.deserializer_power.value(), b.cdr_power.value());
+}
+
+TEST(PowerModel, FrontEndPiecesInPaperBallpark) {
+  const auto& b = budget();
+  // Driver ~4.5 mW, RFI ~6.7 mW, restoring ~1.4 mW, sampling DFFs ~3.1 mW.
+  EXPECT_GT(b.driver_power.value(), 1e-3);
+  EXPECT_LT(b.driver_power.value(), 12e-3);
+  EXPECT_GT(b.rfi_power.value(), 2e-3);
+  EXPECT_LT(b.rfi_power.value(), 15e-3);
+  EXPECT_GT(b.restoring_power.value(), 0.2e-3);
+  EXPECT_LT(b.restoring_power.value(), 5e-3);
+  EXPECT_GT(b.sampler_dff_power.value(), 0.5e-3);
+  EXPECT_LT(b.sampler_dff_power.value(), 8e-3);
+}
+
+TEST(PowerModel, DeserializerDominatesArea) {
+  // Paper Fig 11: the deserializer holds ~60% of the 0.24 mm^2 die.
+  const auto& b = budget();
+  EXPECT_GT(b.deserializer_area.value(), b.serializer_area.value());
+  EXPECT_GT(b.deserializer_area.value(), b.cdr_area.value());
+  const double share =
+      b.deserializer_area.value() / b.total_area().value();
+  EXPECT_GT(share, 0.40);
+  EXPECT_LT(share, 0.75);
+}
+
+TEST(PowerModel, AnalogBlocksAreTinyAreaShare) {
+  // Driver 0.2%, RX FE 1.1% in the paper.
+  const auto& b = budget();
+  EXPECT_LT(b.driver_area.value(), 0.01 * b.total_area().value());
+  EXPECT_LT((b.rfi_area + b.restoring_area).value(),
+            0.05 * b.total_area().value());
+}
+
+TEST(PowerModel, TotalAreaOrderOfPaper) {
+  // 0.24 mm^2 = 240k um^2; the model lands within ~2x.
+  const auto& b = budget();
+  EXPECT_GT(b.total_area().value(), 100e3);
+  EXPECT_LT(b.total_area().value(), 500e3);
+}
+
+TEST(PowerModel, TotalPowerSameOrderAsPaper) {
+  // 437.7 mW in the paper; a physical alpha-C-V^2-f model lands within a
+  // small factor (the paper's numbers come from unannotated tool defaults).
+  const auto& b = budget();
+  EXPECT_GT(b.total_power().value(), 50e-3);
+  EXPECT_LT(b.total_power().value(), 900e-3);
+}
+
+TEST(PowerModel, EnergyPerBitConsistent) {
+  const auto& b = budget();
+  const double epb = b.energy_per_bit(util::gigahertz(2.0)).value();
+  EXPECT_NEAR(epb, b.total_power().value() / 2e9, 1e-18);
+  EXPECT_GT(epb, 20e-12);   // tens to hundreds of pJ/bit
+  EXPECT_LT(epb, 500e-12);
+}
+
+TEST(PowerModel, BlocksListComplete) {
+  const auto blocks = budget().blocks();
+  ASSERT_EQ(blocks.size(), 7u);
+  EXPECT_EQ(blocks[0].name, "cmos_driver");
+  EXPECT_EQ(blocks[5].name, "deserializer");
+}
+
+TEST(PowerModel, TxRxSplit) {
+  const auto& b = budget();
+  // Paper: RX front end (11.2 mW) above TX (4.5 mW).
+  EXPECT_GT(b.rx_frontend_power().value(), b.tx_power().value());
+}
+
+}  // namespace
+}  // namespace serdes::core

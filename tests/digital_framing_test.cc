@@ -1,0 +1,79 @@
+#include "digital/framing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prbs.h"
+
+namespace serdes::digital {
+namespace {
+
+TEST(Framing, RoundTrip) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(777);
+  const FramingConfig cfg;
+  const auto wire = frame_stream(payload, cfg);
+  EXPECT_EQ(wire.size(),
+            static_cast<std::size_t>(cfg.preamble_bits) + 32 + payload.size());
+  const auto recovered = deframe_stream(wire, cfg);
+  EXPECT_EQ(recovered, payload);
+}
+
+TEST(Framing, PreambleAlternates) {
+  const FramingConfig cfg;
+  const auto wire = frame_stream({}, cfg);
+  for (int i = 0; i < cfg.preamble_bits; ++i) {
+    EXPECT_EQ(wire[static_cast<std::size_t>(i)], i & 1);
+  }
+}
+
+TEST(Framing, ToleratesSyncBitErrors) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(100);
+  const FramingConfig cfg;
+  auto wire = frame_stream(payload, cfg);
+  // Corrupt two bits inside the sync word.
+  wire[static_cast<std::size_t>(cfg.preamble_bits) + 3] ^= 1;
+  wire[static_cast<std::size_t>(cfg.preamble_bits) + 17] ^= 1;
+  EXPECT_EQ(deframe_stream(wire, cfg, 2), payload);
+}
+
+TEST(Framing, RejectsTooManySyncErrors) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(100);
+  FramingConfig cfg;
+  cfg.preamble_bits = 32;
+  auto wire = frame_stream(payload, cfg);
+  for (int i : {1, 5, 9, 13, 21, 25, 29}) {
+    wire[static_cast<std::size_t>(cfg.preamble_bits + i)] ^= 1;
+  }
+  // With 7 errors and tolerance 2, alignment must fail (the payload would
+  // have to contain a lucky sync match, which this PRBS segment does not).
+  EXPECT_TRUE(deframe_stream(wire, cfg, 2).empty());
+}
+
+TEST(Framing, FindPayloadStartIndex) {
+  const FramingConfig cfg;
+  const auto wire = frame_stream({1, 0, 1}, cfg);
+  const auto start = find_payload_start(wire, cfg);
+  ASSERT_TRUE(start.has_value());
+  EXPECT_EQ(*start, static_cast<std::size_t>(cfg.preamble_bits) + 32);
+}
+
+TEST(Framing, ShortStreamFailsGracefully) {
+  const FramingConfig cfg;
+  EXPECT_FALSE(find_payload_start({1, 0, 1}, cfg).has_value());
+  EXPECT_TRUE(deframe_stream({}, cfg).empty());
+}
+
+TEST(Framing, ToleratesLeadingGarbage) {
+  // CDR lock-in mangles the first preamble bits; alignment must survive.
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(64);
+  const FramingConfig cfg;
+  auto wire = frame_stream(payload, cfg);
+  for (int i = 0; i < 20; ++i) wire[static_cast<std::size_t>(i)] ^= (i % 3 == 0);
+  EXPECT_EQ(deframe_stream(wire, cfg), payload);
+}
+
+}  // namespace
+}  // namespace serdes::digital

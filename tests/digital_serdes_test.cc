@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "digital/deserializer.h"
+#include "digital/serializer.h"
+#include "util/random.h"
+
+namespace serdes::digital {
+namespace {
+
+ParallelFrame random_frame(util::Rng& rng) {
+  ParallelFrame f;
+  for (auto& lane : f.lanes) lane = static_cast<std::uint32_t>(rng.next_u64());
+  return f;
+}
+
+TEST(Serializer, FrameIs256Bits) {
+  ParallelFrame f;
+  f.lanes[0] = 0x1;
+  const auto bits = Serializer::serialize(f);
+  EXPECT_EQ(bits.size(), 256u);
+  EXPECT_EQ(bits[0], 1);  // lane 0, LSB first
+  for (std::size_t i = 1; i < bits.size(); ++i) EXPECT_EQ(bits[i], 0);
+}
+
+TEST(Serializer, LaneOrderAndBitOrder) {
+  ParallelFrame f;
+  f.lanes[1] = 0x80000000u;  // lane 1, MSB
+  const auto bits = Serializer::serialize(f);
+  // Lane 1 occupies bits 32..63; its MSB is the last of those.
+  EXPECT_EQ(bits[63], 1);
+  int ones = 0;
+  for (auto b : bits) ones += b;
+  EXPECT_EQ(ones, 1);
+}
+
+TEST(Deserializer, InvertsSerializer) {
+  util::Rng rng(77);
+  std::vector<ParallelFrame> frames;
+  for (int i = 0; i < 17; ++i) frames.push_back(random_frame(rng));
+  const auto bits = Serializer::serialize(frames);
+  const auto decoded = Deserializer::deserialize(bits);
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(decoded[i], frames[i]) << "frame " << i;
+  }
+}
+
+TEST(Deserializer, DropsIncompleteTail) {
+  util::Rng rng(78);
+  auto bits = Serializer::serialize(random_frame(rng));
+  bits.resize(bits.size() - 10);  // truncate
+  const auto decoded = Deserializer::deserialize(bits);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(Deserializer, StreamingInterface) {
+  util::Rng rng(79);
+  const auto frame = random_frame(rng);
+  const auto bits = Serializer::serialize(frame);
+  Deserializer d;
+  for (std::size_t i = 0; i < 100; ++i) d.push(bits[i] != 0);
+  EXPECT_TRUE(d.frames().empty());
+  EXPECT_EQ(d.pending_bits(), 100);
+  for (std::size_t i = 100; i < bits.size(); ++i) d.push(bits[i] != 0);
+  ASSERT_EQ(d.frames().size(), 1u);
+  EXPECT_EQ(d.frames()[0], frame);
+  EXPECT_EQ(d.pending_bits(), 0);
+}
+
+TEST(Deserializer, ResetDiscardsPartialFrame) {
+  Deserializer d;
+  for (int i = 0; i < 50; ++i) d.push(true);
+  d.reset();
+  EXPECT_EQ(d.pending_bits(), 0);
+  // A full frame of zeros then decodes cleanly.
+  for (int i = 0; i < ParallelFrame::kBits; ++i) d.push(false);
+  ASSERT_EQ(d.frames().size(), 1u);
+  EXPECT_EQ(d.frames()[0], ParallelFrame{});
+}
+
+TEST(Serializer, FramesFromBitsInverse) {
+  util::Rng rng(80);
+  std::vector<std::uint8_t> payload(256 * 5);
+  for (auto& b : payload) b = rng.chance(0.5) ? 1 : 0;
+  const auto frames = Serializer::frames_from_bits(payload);
+  EXPECT_EQ(frames.size(), 5u);
+  const auto bits = Serializer::serialize(frames);
+  EXPECT_EQ(bits, payload);
+}
+
+TEST(Serializer, FramesFromBitsZeroPadsTail) {
+  std::vector<std::uint8_t> payload(300, 1);
+  const auto frames = Serializer::frames_from_bits(payload);
+  EXPECT_EQ(frames.size(), 2u);
+  const auto bits = Serializer::serialize(frames);
+  EXPECT_EQ(bits.size(), 512u);
+  for (std::size_t i = 0; i < 300; ++i) EXPECT_EQ(bits[i], 1);
+  for (std::size_t i = 300; i < 512; ++i) EXPECT_EQ(bits[i], 0);
+}
+
+// Property: round trip holds for many random frame batches.
+class SerdesRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdesRoundTripTest, RoundTrip) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<ParallelFrame> frames;
+  const int count = 1 + GetParam() % 7;
+  for (int i = 0; i < count; ++i) frames.push_back(random_frame(rng));
+  EXPECT_EQ(Deserializer::deserialize(Serializer::serialize(frames)), frames);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdesRoundTripTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace serdes::digital

@@ -1,0 +1,136 @@
+#include "flow/gds.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "flow/rtlgen.h"
+
+namespace serdes::flow {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(Gds, WritesValidStreamStructure) {
+  const std::string path = ::testing::TempDir() + "/test.gds";
+  std::vector<LayoutRect> rects = {
+      {0.0, 0.0, 10.0, 2.72, 1, "cell_a"},
+      {10.0, 0.0, 5.0, 2.72, 2, "cell_b"},
+  };
+  GdsWriter::write(path, "top", rects);
+  const auto bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 40u);
+  // HEADER record: length 6, type 0x00, datatype 0x02, version 600.
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(bytes[1], 0x06);
+  EXPECT_EQ(bytes[2], 0x00);
+  EXPECT_EQ(bytes[3], 0x02);
+  EXPECT_EQ((bytes[4] << 8) | bytes[5], 600);
+  // File ends with ENDLIB (length 4, type 0x04).
+  EXPECT_EQ(bytes[bytes.size() - 4], 0x00);
+  EXPECT_EQ(bytes[bytes.size() - 3], 0x04);
+  EXPECT_EQ(bytes[bytes.size() - 2], 0x04);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, RecordWalkCoversWholeFile) {
+  // Every GDS record has a big-endian length; walking them must land
+  // exactly at EOF and find the expected record types in order.
+  const std::string path = ::testing::TempDir() + "/walk.gds";
+  GdsWriter::write(path, "unit", {{1.0, 2.0, 3.0, 4.0, 1, "r"}});
+  const auto bytes = read_file(path);
+  std::size_t pos = 0;
+  std::vector<int> types;
+  int boundaries = 0;
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len =
+        (static_cast<std::size_t>(bytes[pos]) << 8) | bytes[pos + 1];
+    ASSERT_GE(len, 4u);
+    types.push_back(bytes[pos + 2]);
+    if (bytes[pos + 2] == 0x08) ++boundaries;
+    pos += len;
+  }
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(boundaries, 1);
+  // Must start HEADER, BGNLIB, LIBNAME, UNITS and end ENDSTR, ENDLIB.
+  ASSERT_GE(types.size(), 6u);
+  EXPECT_EQ(types[0], 0x00);
+  EXPECT_EQ(types[1], 0x01);
+  EXPECT_EQ(types[2], 0x02);
+  EXPECT_EQ(types[3], 0x03);
+  EXPECT_EQ(types[types.size() - 2], 0x07);
+  EXPECT_EQ(types.back(), 0x04);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, XyCoordinatesInDatabaseUnits) {
+  const std::string path = ::testing::TempDir() + "/xy.gds";
+  GdsWriter::write(path, "unit", {{1.0, 0.0, 2.0, 3.0, 5, "r"}}, 0.001);
+  const auto bytes = read_file(path);
+  // Find the XY record (type 0x10) and check the first coordinate pair:
+  // x0 = 1.0 um / 0.001 = 1000 dbu.
+  std::size_t pos = 0;
+  bool found = false;
+  while (pos + 4 <= bytes.size()) {
+    const std::size_t len =
+        (static_cast<std::size_t>(bytes[pos]) << 8) | bytes[pos + 1];
+    if (bytes[pos + 2] == 0x10) {
+      const std::size_t data = pos + 4;
+      const std::int32_t x0 =
+          (bytes[data] << 24) | (bytes[data + 1] << 16) |
+          (bytes[data + 2] << 8) | bytes[data + 3];
+      EXPECT_EQ(x0, 1000);
+      found = true;
+      break;
+    }
+    pos += len;
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST(Gds, RectsFromNetlistAfterPlacement) {
+  SerdesRtlConfig cfg;
+  cfg.lanes = 2;
+  cfg.bits_per_lane = 4;
+  cfg.fifo_depth = 1;
+  Netlist n = generate_cdr(cfg);
+  place(n);
+  const auto rects = rects_from_netlist(n);
+  EXPECT_EQ(rects.size(), n.cells().size());
+  for (const auto& r : rects) {
+    EXPECT_GT(r.w_um, 0.0);
+    EXPECT_NEAR(r.h_um, n.library().row_height_um(), 1e-9);
+  }
+}
+
+TEST(Gds, RectsFromFloorplanIncludeDie) {
+  std::vector<FloorplanBlock> blocks(2);
+  blocks[0] = {"a", util::square_microns(1000.0)};
+  blocks[1] = {"b", util::square_microns(500.0)};
+  const auto plan = floorplan(blocks);
+  const auto rects = rects_from_floorplan(plan);
+  ASSERT_EQ(rects.size(), 3u);
+  EXPECT_EQ(rects[0].label, "die");
+  EXPECT_EQ(rects[0].layer, 0);
+}
+
+TEST(Svg, WritesWellFormedFile) {
+  const std::string path = ::testing::TempDir() + "/test.svg";
+  SvgWriter::write(path, {{0.0, 0.0, 100.0, 50.0, 1, "blk"}});
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("<svg"), std::string::npos);
+  EXPECT_NE(contents.find("<rect"), std::string::npos);
+  EXPECT_NE(contents.find("blk"), std::string::npos);
+  EXPECT_NE(contents.find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace serdes::flow

@@ -1,0 +1,191 @@
+// Functional verification of the generated netlists through the gate-level
+// simulator: the structures that STA/power/area run on must actually
+// compute the right logic.
+#include "flow/netlist_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "digital/serializer.h"
+#include "flow/rtlgen.h"
+#include "util/random.h"
+
+namespace serdes::flow {
+namespace {
+
+TEST(NetlistSim, CombinationalGates) {
+  Netlist n("gates");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  const NetId b = n.add_input_port("b");
+  const NetId s = n.add_input_port("s");
+  const NetId y_nand = n.add_cell(lib.get("nand2_x1"), "u_nand", {a, b});
+  const NetId y_xor = n.add_cell(lib.get("xor2_x1"), "u_xor", {a, b});
+  const NetId y_mux = n.add_cell(lib.get("mux2_x1"), "u_mux", {a, b, s});
+  const NetId y_inv = n.add_cell(lib.get("inv_x1"), "u_inv", {a});
+
+  NetlistSimulator sim(n);
+  for (int va = 0; va <= 1; ++va) {
+    for (int vb = 0; vb <= 1; ++vb) {
+      for (int vs = 0; vs <= 1; ++vs) {
+        sim.set_input(a, va);
+        sim.set_input(b, vb);
+        sim.set_input(s, vs);
+        sim.settle();
+        EXPECT_EQ(sim.value(y_nand), !(va && vb));
+        EXPECT_EQ(sim.value(y_xor), va != vb);
+        EXPECT_EQ(sim.value(y_mux), vs ? vb : va);
+        EXPECT_EQ(sim.value(y_inv), !va);
+      }
+    }
+  }
+}
+
+TEST(NetlistSim, FlopCapturesOnStep) {
+  Netlist n("ff");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId d = n.add_input_port("d");
+  const NetId q = n.add_cell(lib.get("dff_x1"), "ff", {d, clk});
+  NetlistSimulator sim(n);
+  sim.set_input(d, true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(q));  // no edge yet
+  sim.step();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(d, false);
+  sim.step();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(NetlistSim, ShiftRegisterHasNbaSemantics) {
+  // Two back-to-back flops must shift, not race.
+  Netlist n("shift");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId d = n.add_input_port("d");
+  const NetId q0 = n.add_cell(lib.get("dff_x1"), "ff0", {d, clk});
+  const NetId q1 = n.add_cell(lib.get("dff_x1"), "ff1", {q0, clk});
+  NetlistSimulator sim(n);
+  sim.set_input(d, true);
+  sim.step();
+  EXPECT_TRUE(sim.value(q0));
+  EXPECT_FALSE(sim.value(q1));  // old q0, not the new one
+  sim.step();
+  EXPECT_TRUE(sim.value(q1));
+}
+
+TEST(NetlistSim, GeneratedCounterCounts) {
+  Netlist n("cnt");
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const auto q = build_counter(n, 5, clk, "c");
+  NetlistSimulator sim(n);
+  sim.settle();
+  for (std::uint64_t expected = 0; expected < 40; ++expected) {
+    EXPECT_EQ(sim.bus_value(q), expected % 32) << "cycle " << expected;
+    sim.step();
+  }
+}
+
+TEST(NetlistSim, GeneratedMuxTreeSelects) {
+  Netlist n("mux");
+  std::vector<NetId> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(n.add_input_port("i" + std::to_string(i)));
+  }
+  std::vector<NetId> sel;
+  for (int i = 0; i < 3; ++i) {
+    sel.push_back(n.add_input_port("s" + std::to_string(i)));
+  }
+  const NetId y = build_mux_tree(n, inputs, sel, "m");
+  NetlistSimulator sim(n);
+  for (int pick = 0; pick < 8; ++pick) {
+    for (int i = 0; i < 8; ++i) sim.set_input(inputs[i], i == pick);
+    for (int b = 0; b < 3; ++b) sim.set_input(sel[b], (pick >> b) & 1);
+    sim.settle();
+    EXPECT_TRUE(sim.value(y)) << "one-hot select " << pick;
+    // And the complement pattern must give 0.
+    for (int i = 0; i < 8; ++i) sim.set_input(inputs[i], i != pick);
+    sim.settle();
+    EXPECT_FALSE(sim.value(y)) << "complement select " << pick;
+  }
+}
+
+TEST(NetlistSim, GeneratedSerializerSerializes) {
+  // End-to-end functional proof: load a frame into the serializer netlist's
+  // input ports and check the serial output matches the functional model.
+  SerdesRtlConfig cfg;
+  cfg.lanes = 2;
+  cfg.bits_per_lane = 8;  // 16-bit frames keep the sim fast
+  cfg.fifo_depth = 1;
+  Netlist n = generate_serializer(cfg);
+
+  // Locate the ports.
+  NetId clk = kNoNet;
+  NetId load = kNoNet;
+  NetId out = kNoNet;
+  std::vector<NetId> din(16, kNoNet);
+  for (std::size_t i = 0; i < n.nets().size(); ++i) {
+    const Net& net = n.nets()[i];
+    if (net.name == "clk") clk = static_cast<NetId>(i);
+    if (net.name == "load") load = static_cast<NetId>(i);
+    if (net.is_primary_output && net.name == "out_buf_o") {
+      out = static_cast<NetId>(i);
+    }
+    for (int b = 0; b < 16; ++b) {
+      if (net.name == "din_" + std::to_string(b)) {
+        din[static_cast<std::size_t>(b)] = static_cast<NetId>(i);
+      }
+    }
+  }
+  ASSERT_NE(load, kNoNet);
+  ASSERT_NE(out, kNoNet);
+  (void)clk;
+
+  // Frame pattern: lane0 = 0xB5, lane1 = 0x3C (LSB-first per lane).
+  util::Rng rng(4);
+  std::vector<std::uint8_t> frame_bits(16);
+  for (auto& b : frame_bits) b = rng.chance(0.5) ? 1 : 0;
+
+  NetlistSimulator sim(n);
+  for (int b = 0; b < 16; ++b) {
+    sim.set_input(din[static_cast<std::size_t>(b)], frame_bits[b] != 0);
+  }
+  // Load the FIFO, then stop loading and let the counter walk the mux tree.
+  sim.set_input(load, true);
+  sim.step();
+  sim.set_input(load, false);
+
+  // The pipelined read path (4 mux levels + output flop) delays the data;
+  // run a warm-up, then sample 16 outputs and look for the frame sequence.
+  std::vector<std::uint8_t> observed;
+  for (int cyc = 0; cyc < 64; ++cyc) {
+    sim.step();
+    observed.push_back(sim.value(out) ? 1 : 0);
+  }
+  // The counter keeps cycling the same held frame, so the 16-bit pattern
+  // must appear periodically in the output stream.
+  bool found = false;
+  for (std::size_t start = 0; !found && start + 16 <= observed.size();
+       ++start) {
+    bool match = true;
+    for (int b = 0; b < 16 && match; ++b) {
+      match = observed[start + static_cast<std::size_t>(b)] == frame_bits[b];
+    }
+    found = match;
+  }
+  EXPECT_TRUE(found) << "serial pattern not found in netlist output";
+}
+
+TEST(NetlistSim, RejectsPokingNonInputs) {
+  Netlist n("guard");
+  const NetId a = n.add_input_port("a");
+  const NetId y = n.add_cell(n.library().get("inv_x1"), "u", {a});
+  NetlistSimulator sim(n);
+  EXPECT_THROW(sim.set_input(y, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace serdes::flow

@@ -1,0 +1,85 @@
+#include "flow/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::flow {
+namespace {
+
+TEST(Netlist, BuildSmallCircuit) {
+  Netlist n("test");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  const NetId b = n.add_input_port("b");
+  const NetId y = n.add_cell(lib.get("nand2_x1"), "u1", {a, b});
+  const NetId z = n.add_cell(lib.get("inv_x1"), "u2", {y});
+  n.mark_output(z);
+
+  EXPECT_EQ(n.cells().size(), 2u);
+  EXPECT_EQ(n.net(y).driver, 0);
+  EXPECT_EQ(n.net(z).driver, 1);
+  ASSERT_EQ(n.net(y).sinks.size(), 1u);
+  EXPECT_EQ(n.net(y).sinks[0].first, 1);
+  EXPECT_TRUE(n.net(a).is_primary_input);
+  EXPECT_TRUE(n.net(z).is_primary_output);
+}
+
+TEST(Netlist, PinCountValidation) {
+  Netlist n("test");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  EXPECT_THROW(n.add_cell(lib.get("nand2_x1"), "u1", {a}),
+               std::invalid_argument);
+  EXPECT_THROW(n.add_cell(lib.get("inv_x1"), "u2", {a, a}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, PinLoadSumsSinkCaps) {
+  Netlist n("test");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  n.add_cell(lib.get("inv_x1"), "u1", {a});
+  n.add_cell(lib.get("inv_x4"), "u2", {a});
+  const double expected = lib.get("inv_x1").input_cap.value() +
+                          lib.get("inv_x4").input_cap.value();
+  EXPECT_NEAR(n.pin_load(a).value(), expected, 1e-21);
+  // total_load adds wire cap.
+  n.nets()[static_cast<std::size_t>(a)].wire_cap = util::femtofarads(5.0);
+  EXPECT_NEAR(n.total_load(a).value(), expected + 5e-15, 1e-21);
+}
+
+TEST(Netlist, StatsRollup) {
+  Netlist n("test");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId d = n.add_input_port("d");
+  const NetId q = n.add_cell(lib.get("dff_x1"), "ff", {d, clk});
+  n.add_cell(lib.get("inv_x1"), "inv", {q});
+  const auto stats = n.stats();
+  EXPECT_EQ(stats.cell_count, 2);
+  EXPECT_EQ(stats.dff_count, 1);
+  EXPECT_NEAR(stats.cell_area.value(),
+              lib.get("dff_x1").area.value() + lib.get("inv_x1").area.value(),
+              1e-9);
+  EXPECT_GT(stats.leakage.value(), 0.0);
+  EXPECT_EQ(n.count_function(CellFunction::kDff), 1);
+  EXPECT_EQ(n.count_function(CellFunction::kInv), 1);
+  EXPECT_EQ(n.count_function(CellFunction::kMux2), 0);
+  EXPECT_TRUE(n.net(clk).is_clock);
+}
+
+TEST(Netlist, OutputNetNamedAfterInstance) {
+  Netlist n("test");
+  const NetId a = n.add_input_port("a");
+  const NetId y = n.add_cell(n.library().get("inv_x1"), "my_inv", {a});
+  EXPECT_EQ(n.net(y).name, "my_inv_o");
+}
+
+TEST(Netlist, ActivityAnnotationDefaultsOff) {
+  Netlist n("test");
+  const NetId a = n.add_net("a");
+  EXPECT_LT(n.net(a).activity, 0.0);
+}
+
+}  // namespace
+}  // namespace serdes::flow

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "flow/place.h"
+#include "flow/power.h"
+#include "flow/rtlgen.h"
+
+namespace serdes::flow {
+namespace {
+
+Netlist small_block() {
+  SerdesRtlConfig cfg;
+  cfg.lanes = 2;
+  cfg.bits_per_lane = 8;
+  cfg.fifo_depth = 2;
+  return generate_serializer(cfg);
+}
+
+TEST(Place, DieAreaMatchesUtilization) {
+  Netlist n = small_block();
+  PlacementConfig cfg;
+  cfg.utilization = 0.5;
+  const auto result = place(n, cfg);
+  EXPECT_NEAR(result.die_area.value(),
+              result.cell_area.value() / 0.5, 1.0);
+  EXPECT_GT(result.rows, 0);
+  EXPECT_NEAR(result.width_um * result.height_um, result.die_area.value(),
+              result.die_area.value() * 0.1);
+}
+
+TEST(Place, AllCellsPlacedInsideRegion) {
+  Netlist n = small_block();
+  const auto result = place(n);
+  for (const auto& cell : n.cells()) {
+    EXPECT_TRUE(cell.placed);
+    EXPECT_GE(cell.x_um, 0.0);
+    EXPECT_LE(cell.x_um, result.width_um + 1e-6);
+    EXPECT_GE(cell.y_um, 0.0);
+    EXPECT_LE(cell.y_um, result.height_um + 1e-6);
+    // y lands on a row boundary.
+    const double row = cell.y_um / n.library().row_height_um();
+    EXPECT_NEAR(row, std::round(row), 1e-6);
+  }
+}
+
+TEST(Place, WireCapsAnnotated) {
+  Netlist n = small_block();
+  const auto result = place(n);
+  EXPECT_GT(result.total_hpwl_um, 0.0);
+  int annotated = 0;
+  for (const auto& net : n.nets()) {
+    if (net.wire_cap.value() > 0.0) ++annotated;
+  }
+  EXPECT_GT(annotated, 10);
+}
+
+TEST(Place, UtilizationValidation) {
+  Netlist n = small_block();
+  PlacementConfig bad;
+  bad.utilization = 0.0;
+  EXPECT_THROW(place(n, bad), std::invalid_argument);
+  bad.utilization = 1.5;
+  EXPECT_THROW(place(n, bad), std::invalid_argument);
+}
+
+TEST(Place, LowerUtilizationMeansBiggerDie) {
+  Netlist a = small_block();
+  Netlist b = small_block();
+  PlacementConfig dense;
+  dense.utilization = 0.8;
+  PlacementConfig sparse;
+  sparse.utilization = 0.3;
+  EXPECT_GT(place(b, sparse).die_area.value(),
+            place(a, dense).die_area.value());
+}
+
+TEST(Floorplan, ShelfPackingContainsBlocks) {
+  std::vector<FloorplanBlock> blocks(4);
+  blocks[0] = {"deserializer", util::square_microns(144000.0)};
+  blocks[1] = {"serializer", util::square_microns(60000.0)};
+  blocks[2] = {"cdr", util::square_microns(18000.0)};
+  blocks[3] = {"rx_fe", util::square_microns(2600.0)};
+  const auto plan = floorplan(blocks, 0.15);
+  EXPECT_EQ(plan.blocks.size(), 4u);
+  double blocks_area = 0.0;
+  for (const auto& b : plan.blocks) {
+    EXPECT_GE(b.x_um, 0.0);
+    EXPECT_GE(b.y_um, 0.0);
+    EXPECT_LE(b.x_um + b.width_um, plan.die_width_um + 1e-6);
+    EXPECT_LE(b.y_um + b.height_um, plan.die_height_um + 1e-6);
+    blocks_area += b.width_um * b.height_um;
+  }
+  // Die must at least hold all blocks.
+  EXPECT_GE(plan.die_area().value(), blocks_area * 0.999);
+}
+
+TEST(Floorplan, BlocksDoNotOverlap) {
+  std::vector<FloorplanBlock> blocks(3);
+  blocks[0] = {"a", util::square_microns(10000.0)};
+  blocks[1] = {"b", util::square_microns(8000.0)};
+  blocks[2] = {"c", util::square_microns(5000.0)};
+  const auto plan = floorplan(blocks);
+  for (std::size_t i = 0; i < plan.blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.blocks.size(); ++j) {
+      const auto& p = plan.blocks[i];
+      const auto& q = plan.blocks[j];
+      const bool overlap_x = p.x_um < q.x_um + q.width_um - 1e-9 &&
+                             q.x_um < p.x_um + p.width_um - 1e-9;
+      const bool overlap_y = p.y_um < q.y_um + q.height_um - 1e-9 &&
+                             q.y_um < p.y_um + p.height_um - 1e-9;
+      EXPECT_FALSE(overlap_x && overlap_y)
+          << p.name << " overlaps " << q.name;
+    }
+  }
+}
+
+TEST(Power, ScalesWithFrequencyAndVoltage) {
+  Netlist n = small_block();
+  place(n);
+  PowerConfig base;
+  base.clock = util::gigahertz(1.0);
+  const double p1 = analyze_power(n, base).dynamic.value();
+  PowerConfig faster = base;
+  faster.clock = util::gigahertz(2.0);
+  EXPECT_NEAR(analyze_power(n, faster).dynamic.value() / p1, 2.0, 1e-9);
+  PowerConfig lower_v = base;
+  lower_v.vdd = util::volts(0.9);
+  EXPECT_NEAR(analyze_power(n, lower_v).dynamic.value() / p1, 0.25, 1e-9);
+}
+
+TEST(Power, ClockTreeIsLargeShare) {
+  // Un-gated 2 GHz clocking of a register-dominated block: the clock tree
+  // burns a large fraction of total dynamic power.
+  Netlist n = small_block();
+  place(n);
+  const auto report = analyze_power(n, {});
+  EXPECT_GT(report.clock_tree.value(), 0.2 * report.dynamic.value());
+  EXPECT_LE(report.clock_tree.value(), report.dynamic.value());
+}
+
+TEST(Power, LeakageIsCellSum) {
+  Netlist n = small_block();
+  const auto report = analyze_power(n, {});
+  EXPECT_NEAR(report.leakage.value(), n.stats().leakage.value(), 1e-12);
+  EXPECT_LT(report.leakage.value(), 0.01 * report.total().value());
+}
+
+TEST(Power, ActivityAnnotationLowersDataPower) {
+  // Setting every data net to zero activity must reduce dynamic power to
+  // the clock component only.
+  Netlist n = small_block();
+  place(n);
+  const auto before = analyze_power(n, {});
+  for (auto& net : n.nets()) {
+    if (!net.is_clock) net.activity = 0.0;
+  }
+  const auto after = analyze_power(n, {});
+  EXPECT_LT(after.dynamic.value(), before.dynamic.value());
+  EXPECT_NEAR(after.dynamic.value(), after.clock_tree.value(),
+              after.dynamic.value() * 0.35);  // driver self-load remains
+}
+
+TEST(Power, EnergyPerBit) {
+  PowerReport r;
+  r.dynamic = util::milliwatts(400.0);
+  r.short_circuit = util::milliwatts(30.0);
+  r.leakage = util::milliwatts(7.7);
+  EXPECT_NEAR(energy_per_bit(r, util::gigahertz(2.0)).value(), 218.85e-12,
+              1e-14);
+}
+
+}  // namespace
+}  // namespace serdes::flow

@@ -1,0 +1,140 @@
+#include "flow/sta.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::flow {
+namespace {
+
+TEST(Sta, HandComputedChain) {
+  // in -> inv_x1 -> inv_x1 -> DFF.D, all on one clock.
+  Netlist n("chain");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId in = n.add_input_port("in");
+  const NetId y1 = n.add_cell(lib.get("inv_x1"), "u1", {in});
+  const NetId y2 = n.add_cell(lib.get("inv_x1"), "u2", {y1});
+  n.add_cell(lib.get("dff_x1"), "ff", {y2, clk});
+
+  StaEngine sta(n);
+  const auto arrivals = sta.arrival_times();
+  const CellType& inv = lib.get("inv_x1");
+  const CellType& dff = lib.get("dff_x1");
+  const double d1 = inv.delay(util::Farad{inv.input_cap.value()}).value();
+  const double d2 = inv.delay(util::Farad{dff.input_cap.value()}).value();
+  EXPECT_NEAR(arrivals[0].value(), d1, 1e-15);
+  EXPECT_NEAR(arrivals[1].value(), d1 + d2, 1e-15);
+
+  const auto report = sta.analyze(util::picoseconds(500.0));
+  EXPECT_EQ(report.endpoint_count, 1);
+  const double setup = n.library().dff_timing().setup.value();
+  EXPECT_NEAR(report.worst_slack.value(), 500e-12 - setup - (d1 + d2), 1e-15);
+  EXPECT_TRUE(report.met());
+  EXPECT_EQ(report.critical_endpoint, "ff/D");
+  EXPECT_EQ(report.critical_path.size(), 2u);  // u1 -> u2
+}
+
+TEST(Sta, ViolationDetected) {
+  // A long chain cannot run at an absurdly fast clock.
+  Netlist n("slow");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  NetId net = n.add_input_port("in");
+  for (int i = 0; i < 20; ++i) {
+    net = n.add_cell(lib.get("inv_x1"), "u" + std::to_string(i), {net});
+  }
+  n.add_cell(lib.get("dff_x1"), "ff", {net, clk});
+  StaEngine sta(n);
+  const auto report = sta.analyze(util::picoseconds(200.0));
+  EXPECT_FALSE(report.met());
+  EXPECT_GT(report.violation_count, 0);
+  EXPECT_LT(report.worst_slack.value(), 0.0);
+  EXPECT_GT(report.fmax().value(), 0.0);
+  EXPECT_LT(report.fmax().value(), 5e9);
+}
+
+TEST(Sta, FlopToFlopPathRestartsAtClock) {
+  // FF1 -> inv -> FF2: the path length is clk->Q + inv + setup, regardless
+  // of anything before FF1.
+  Netlist n("f2f");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId d = n.add_input_port("d");
+  const NetId q1 = n.add_cell(lib.get("dff_x1"), "ff1", {d, clk});
+  const NetId y = n.add_cell(lib.get("inv_x1"), "u1", {q1});
+  n.add_cell(lib.get("dff_x1"), "ff2", {y, clk});
+  StaEngine sta(n);
+  const auto report = sta.analyze(util::picoseconds(500.0));
+  // Critical endpoint is ff2's D through ff1 -> u1.
+  EXPECT_EQ(report.endpoint_count, 2);  // both flop D pins
+  const auto arrivals = sta.arrival_times();
+  const CellType& dff = lib.get("dff_x1");
+  const CellType& inv = lib.get("inv_x1");
+  const double clk_to_q = dff.delay(util::Farad{inv.input_cap.value()}).value();
+  EXPECT_NEAR(arrivals[0].value(), clk_to_q, 1e-15);
+}
+
+TEST(Sta, CombinationalLoopThrows) {
+  Netlist n("loop");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  // u1 output feeds u2; patch u1's input to u2's output to close a loop.
+  const NetId y1 = n.add_cell(lib.get("inv_x1"), "u1", {a});
+  const NetId y2 = n.add_cell(lib.get("inv_x1"), "u2", {y1});
+  auto& u1 = n.cells()[0];
+  u1.inputs[0] = y2;
+  n.nets()[static_cast<std::size_t>(y2)].sinks.emplace_back(0, 0);
+  EXPECT_THROW(StaEngine{n}, std::runtime_error);
+}
+
+TEST(Sta, PrimaryOutputIsEndpoint) {
+  Netlist n("po");
+  const auto& lib = n.library();
+  const NetId a = n.add_input_port("a");
+  const NetId y = n.add_cell(lib.get("buf_x1"), "u1", {a});
+  n.mark_output(y);
+  StaEngine sta(n);
+  const auto report = sta.analyze(util::nanoseconds(1.0));
+  EXPECT_EQ(report.endpoint_count, 1);
+  EXPECT_EQ(report.critical_endpoint, "port:u1_o");
+  EXPECT_TRUE(report.met());
+}
+
+TEST(Sta, WireCapSlowsPath) {
+  Netlist n("wire");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId in = n.add_input_port("in");
+  const NetId y = n.add_cell(lib.get("inv_x1"), "u1", {in});
+  n.add_cell(lib.get("dff_x1"), "ff", {y, clk});
+  StaEngine sta(n);
+  const double slack_before =
+      sta.analyze(util::picoseconds(500.0)).worst_slack.value();
+  n.nets()[static_cast<std::size_t>(y)].wire_cap = util::femtofarads(50.0);
+  StaEngine sta2(n);
+  const double slack_after =
+      sta2.analyze(util::picoseconds(500.0)).worst_slack.value();
+  EXPECT_LT(slack_after, slack_before);
+}
+
+TEST(Sta, ReportFormatting) {
+  Netlist n("fmt");
+  const auto& lib = n.library();
+  const NetId clk = n.add_input_port("clk");
+  n.mark_clock(clk);
+  const NetId in = n.add_input_port("in");
+  const NetId y = n.add_cell(lib.get("inv_x2"), "u1", {in});
+  n.add_cell(lib.get("dff_x1"), "ff", {y, clk});
+  StaEngine sta(n);
+  const auto report = sta.analyze(util::picoseconds(500.0));
+  const std::string text = format_timing_report(n, report);
+  EXPECT_NE(text.find("module fmt"), std::string::npos);
+  EXPECT_NE(text.find("MET"), std::string::npos);
+  EXPECT_NE(text.find("u1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace serdes::flow

@@ -1,0 +1,178 @@
+// Cross-module integration: full link over dispersive channels, PCIe-class
+// rates, eye/BER consistency, and the digital flow driven by link config.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "channel/channel.h"
+#include "core/ber.h"
+#include "core/eye.h"
+#include "core/link.h"
+#include "core/power_model.h"
+#include "flow/gds.h"
+#include "flow/place.h"
+#include "flow/rtlgen.h"
+#include "flow/sta.h"
+
+namespace serdes {
+namespace {
+
+TEST(Integration, LinkOverLossyLine) {
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  channel::LossyLineChannel::Params p;
+  p.dc_loss_db = 2.0;
+  p.skin_loss_db_at_1ghz = 6.0;
+  p.dielectric_loss_db_at_1ghz = 3.0;
+  auto line =
+      std::make_unique<channel::LossyLineChannel>(p, cfg.sample_period());
+  core::SerDesLink link(cfg, std::move(line));
+  const auto r = link.run_prbs(3000);
+  EXPECT_TRUE(r.error_free());
+}
+
+TEST(Integration, LinkOverCompositeChannel) {
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  auto comp = std::make_unique<channel::CompositeChannel>();
+  comp->add(std::make_unique<channel::RcChannel>(
+      util::gigahertz(2.5), cfg.sample_period(), util::decibels(3.0)));
+  comp->add(std::make_unique<channel::FlatChannel>(util::decibels(20.0)));
+  core::SerDesLink link(cfg, std::move(comp));
+  const auto r = link.run_prbs(3000);
+  EXPECT_TRUE(r.error_free());
+}
+
+TEST(Integration, PcieClassRatesRunClean) {
+  // Discussion section: PCIe 1.x-4.0 lanes need 250 Mbps - 2 Gbps.
+  for (double rate_mbps : {250.0, 500.0, 1000.0, 2000.0}) {
+    core::LinkConfig cfg = core::LinkConfig::paper_default();
+    cfg.bit_rate = util::megahertz(rate_mbps);
+    core::SerDesLink link(
+        cfg, std::make_unique<channel::FlatChannel>(util::decibels(30.0)));
+    const auto r = link.run_prbs(2000);
+    EXPECT_TRUE(r.error_free()) << rate_mbps << " Mbps";
+  }
+}
+
+TEST(Integration, ChipletShortReachLowLoss) {
+  // EMIB-style: 1-5 dB loss, 1-4 GHz; at 3 GHz the link keeps working in
+  // the benign channel even beyond the paper's 2 GHz headline.
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  cfg.bit_rate = util::gigahertz(3.0);
+  core::SerDesLink link(
+      cfg, std::make_unique<channel::FlatChannel>(util::decibels(3.0)));
+  const auto r = link.run_prbs(2000);
+  EXPECT_TRUE(r.aligned);
+  EXPECT_LT(r.ber, 1e-2);
+}
+
+TEST(Integration, EyeAndBerAgree) {
+  // If the restored eye is open at the decision threshold, the measured
+  // BER must be zero over the same run, and vice versa at huge loss.
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  {
+    core::SerDesLink link(
+        cfg, std::make_unique<channel::FlatChannel>(util::decibels(28.0)));
+    const auto r = link.run_prbs(2000);
+    core::EyeAnalyzer eye(cfg.bit_rate);
+    const auto m =
+        eye.analyze(r.rx.restored, link.receiver().decision_threshold());
+    EXPECT_TRUE(m.open());
+    EXPECT_EQ(r.bit_errors, 0u);
+  }
+  {
+    core::SerDesLink link(
+        cfg, std::make_unique<channel::FlatChannel>(util::decibels(68.0)));
+    const auto r = link.run_prbs(2000);
+    core::EyeAnalyzer eye(cfg.bit_rate);
+    const auto m =
+        eye.analyze(r.rx.restored, link.receiver().decision_threshold());
+    EXPECT_FALSE(m.open() && r.bit_errors == 0 && r.aligned);
+  }
+}
+
+TEST(Integration, CdrScanKnobsAffectLink) {
+  // Glitch correction off vs on under heavy noise: on must not be worse.
+  core::LinkConfig with_scan = core::LinkConfig::paper_default();
+  with_scan.channel_noise_rms = 0.004;
+  core::LinkConfig no_scan = with_scan;
+  no_scan.cdr.glitch_filter_radius = 0;
+
+  core::SerDesLink link_scan(
+      with_scan, std::make_unique<channel::FlatChannel>(util::decibels(40.0)));
+  core::SerDesLink link_plain(
+      no_scan, std::make_unique<channel::FlatChannel>(util::decibels(40.0)));
+  const auto r_scan = link_scan.run_prbs(4000);
+  const auto r_plain = link_plain.run_prbs(4000);
+  EXPECT_LE(r_scan.bit_errors, r_plain.bit_errors + 5);
+}
+
+TEST(Integration, FlowProducesLayoutForLinkConfig) {
+  // Drive the digital flow end-to-end from the link configuration the same
+  // way bench_fig11 does: generate -> place -> floorplan -> GDS/SVG.
+  flow::SerdesRtlConfig rtl;
+  rtl.lanes = 2;
+  rtl.bits_per_lane = 8;
+  rtl.fifo_depth = 2;
+  flow::Netlist ser = flow::generate_serializer(rtl);
+  flow::Netlist des = flow::generate_deserializer(rtl);
+  const auto pr_ser = flow::place(ser);
+  const auto pr_des = flow::place(des);
+
+  std::vector<flow::FloorplanBlock> blocks(2);
+  blocks[0] = {"serializer", pr_ser.die_area};
+  blocks[1] = {"deserializer", pr_des.die_area};
+  const auto plan = flow::floorplan(blocks);
+  EXPECT_GT(plan.die_area().value(), pr_ser.die_area.value());
+
+  const std::string gds_path = ::testing::TempDir() + "/serdes_int.gds";
+  flow::GdsWriter::write(gds_path, "serdes",
+                         flow::rects_from_floorplan(plan));
+  std::ifstream check(gds_path, std::ios::binary);
+  EXPECT_TRUE(check.good());
+  std::remove(gds_path.c_str());
+}
+
+TEST(Integration, TimingClosesAtPaperClockForAllBlocks) {
+  flow::SerdesRtlConfig rtl;
+  rtl.lanes = 2;
+  rtl.bits_per_lane = 8;
+  rtl.fifo_depth = 2;
+  rtl.cdr_window_uis = 8;
+  // Serializer and deserializer datapaths live in the 2 GHz bit-clock
+  // domain (500 ps).  The CDR's samplers are clocked per-phase at the bit
+  // rate but its vote/decision logic runs demultiplexed at half rate, so
+  // its netlist is checked at 1 ns.
+  struct Target {
+    flow::Netlist netlist;
+    double period_ps;
+  };
+  std::vector<Target> targets;
+  targets.push_back({flow::generate_serializer(rtl), 500.0});
+  targets.push_back({flow::generate_deserializer(rtl), 500.0});
+  targets.push_back({flow::generate_cdr(rtl), 1000.0});
+  for (auto& t : targets) {
+    flow::place(t.netlist);
+    flow::StaEngine sta(t.netlist);
+    const auto report = sta.analyze(util::picoseconds(t.period_ps));
+    EXPECT_TRUE(report.met())
+        << t.netlist.module_name() << ": "
+        << flow::format_timing_report(t.netlist, report);
+  }
+}
+
+TEST(Integration, BudgetMatchesStandaloneFlowNumbers) {
+  // The core power model must agree with directly driving the flow.
+  core::BudgetModelConfig model;
+  model.rtl.lanes = 2;
+  model.rtl.bits_per_lane = 8;
+  model.rtl.fifo_depth = 2;
+  model.rtl.cdr_window_uis = 8;
+  const auto budget =
+      core::compute_link_budget(core::LinkConfig::paper_default(), model);
+  EXPECT_GT(budget.serializer_power.value(), 0.0);
+  EXPECT_GT(budget.total_area().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace serdes

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/signal.h"
+#include "sim/vcd.h"
+
+namespace serdes::sim {
+namespace {
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(sim_ns(1).femtoseconds(), 1000000ull);
+  EXPECT_EQ(sim_ps(500).femtoseconds(), 500000ull);
+  EXPECT_DOUBLE_EQ(sim_ns(2).to_seconds(), 2e-9);
+  EXPECT_EQ(SimTime::from_seconds(0.5e-9), sim_ps(500));
+  EXPECT_EQ(sim_ns(1) + sim_ps(500), SimTime{1500000ull});
+  EXPECT_LT(sim_ps(499), sim_ps(500));
+  EXPECT_EQ(sim_ps(2) * 3, sim_ps(6));
+}
+
+TEST(Kernel, EventsRunInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(sim_ns(3), [&] { order.push_back(3); });
+  k.schedule(sim_ns(1), [&] { order.push_back(1); });
+  k.schedule(sim_ns(2), [&] { order.push_back(2); });
+  k.run_until(sim_ns(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), sim_ns(10));
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  Kernel k;
+  int fired = 0;
+  k.schedule(sim_ns(1), [&] { ++fired; });
+  k.schedule(sim_ns(5), [&] { ++fired; });
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(fired, 1);
+  k.run_until(sim_ns(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, SchedulingInThePastThrows) {
+  Kernel k;
+  k.schedule(sim_ns(5), [] {});
+  k.run_until(sim_ns(6));
+  EXPECT_THROW(k.schedule_at(sim_ns(2), [] {}), std::logic_error);
+}
+
+TEST(Kernel, EventsCanScheduleMoreEvents) {
+  Kernel k;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    if (++count < 5) k.schedule(sim_ns(1), reschedule);
+  };
+  k.schedule(sim_ns(1), reschedule);
+  k.run_until(sim_us(1));
+  EXPECT_EQ(count, 5);
+  EXPECT_TRUE(k.idle());
+}
+
+TEST(Signal, NonBlockingUpdateSemantics) {
+  // Two back-to-back "flops": both processes read old values before either
+  // commit happens — the classic shift-register test for NBA semantics.
+  Kernel k;
+  Signal<int> a(k, 1);
+  Signal<int> b(k, 2);
+  k.schedule(sim_ns(1), [&] {
+    a.write(b.read());  // must see b == 2
+    b.write(a.read());  // must see a == 1 (not the staged b value)
+  });
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(a.read(), 2);
+  EXPECT_EQ(b.read(), 1);
+}
+
+TEST(Signal, WatchersSeeOldAndNewValues) {
+  Kernel k;
+  Signal<int> s(k, 0);
+  int observed_old = -1;
+  int observed_new = -1;
+  s.on_change([&](const int& o, const int& n) {
+    observed_old = o;
+    observed_new = n;
+  });
+  k.schedule(sim_ns(1), [&] { s.write(42); });
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(observed_old, 0);
+  EXPECT_EQ(observed_new, 42);
+}
+
+TEST(Signal, NoNotificationWhenValueUnchanged) {
+  Kernel k;
+  Signal<int> s(k, 7);
+  int notifications = 0;
+  s.on_change([&] { ++notifications; });
+  k.schedule(sim_ns(1), [&] { s.write(7); });
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(notifications, 0);
+}
+
+TEST(Signal, LastWritePerDeltaWins) {
+  Kernel k;
+  Signal<int> s(k, 0);
+  k.schedule(sim_ns(1), [&] {
+    s.write(1);
+    s.write(2);
+  });
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(s.read(), 2);
+}
+
+TEST(Wire, EdgeCallbacks) {
+  Kernel k;
+  Wire w(k, false);
+  int rises = 0;
+  int falls = 0;
+  on_posedge(w, [&] { ++rises; });
+  on_negedge(w, [&] { ++falls; });
+  k.schedule(sim_ns(1), [&] { w.write(true); });
+  k.schedule(sim_ns(2), [&] { w.write(false); });
+  k.schedule(sim_ns(3), [&] { w.write(true); });
+  k.run_until(sim_ns(5));
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 1);
+}
+
+TEST(Clock, GeneratesExpectedEdgeCount) {
+  Kernel k;
+  Wire clk(k);
+  Clock::Config cfg;
+  cfg.period = sim_ns(1);
+  Clock clock(k, clk, cfg);
+  int rises = 0;
+  on_posedge(clk, [&] { ++rises; });
+  clock.start();
+  k.run_until(sim_ns(10));
+  EXPECT_NEAR(rises, 10, 1);
+  EXPECT_EQ(clock.rising_edges(), static_cast<std::uint64_t>(rises));
+}
+
+TEST(Clock, PhaseOffsetDelaysFirstEdge) {
+  Kernel k;
+  Wire clk(k);
+  Clock::Config cfg;
+  cfg.period = sim_ns(1);
+  cfg.phase_offset = sim_ps(300);
+  Clock clock(k, clk, cfg);
+  SimTime first_edge{0};
+  on_posedge(clk, [&] {
+    if (first_edge == SimTime{0}) first_edge = k.now();
+  });
+  clock.start();
+  k.run_until(sim_ns(2));
+  EXPECT_EQ(first_edge, sim_ps(300));
+}
+
+TEST(Clock, InvalidConfigThrows) {
+  Kernel k;
+  Wire clk(k);
+  Clock::Config zero_period;
+  zero_period.period = SimTime{0};
+  EXPECT_THROW(Clock(k, clk, zero_period), std::invalid_argument);
+  Clock::Config bad_duty;
+  bad_duty.duty_cycle = 1.5;
+  EXPECT_THROW(Clock(k, clk, bad_duty), std::invalid_argument);
+}
+
+TEST(Clock, JitterPerturbsButKeepsRunning) {
+  Kernel k;
+  Wire clk(k);
+  Clock::Config cfg;
+  cfg.period = sim_ns(1);
+  cfg.jitter_rms_fs = 20000.0;  // 20 ps
+  Clock clock(k, clk, cfg);
+  clock.start();
+  k.run_until(sim_ns(100));
+  EXPECT_NEAR(static_cast<double>(clock.rising_edges()), 100.0, 5.0);
+}
+
+TEST(Vcd, WritesParsableFile) {
+  const std::string path = ::testing::TempDir() + "/kernel_test.vcd";
+  Kernel k;
+  Wire w(k, false);
+  Signal<double> analog(k, 0.0);
+  {
+    VcdWriter vcd(k, path);
+    vcd.trace(w, "data");
+    vcd.trace(analog, "vout");
+    vcd.begin();
+    k.schedule(sim_ns(1), [&] {
+      w.write(true);
+      analog.write(0.9);
+    });
+    k.run_until(sim_ns(2));
+    vcd.finish();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("$timescale 1fs $end"), std::string::npos);
+  EXPECT_NE(contents.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(contents.find("$var real 64"), std::string::npos);
+  EXPECT_NE(contents.find("#1000000"), std::string::npos);  // 1 ns timestamp
+  std::remove(path.c_str());
+}
+
+TEST(Kernel, DeltaCycleCountAdvances) {
+  Kernel k;
+  Signal<int> s(k, 0);
+  k.schedule(sim_ns(1), [&] { s.write(1); });
+  k.run_until(sim_ns(2));
+  EXPECT_GT(k.delta_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace serdes::sim

@@ -1,0 +1,120 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace serdes::util {
+namespace {
+
+TEST(Math, Lerp) {
+  EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 1.0, 10.0, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(lerp(1.0, 2.0, 3.0, 4.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(lerp(1.0, 2.0, 1.0, 8.0, 1.0), 5.0);  // degenerate span
+}
+
+TEST(Math, InterpTableHoldsEnds) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0};
+  const std::vector<double> ys = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 9.0), 40.0);
+  EXPECT_DOUBLE_EQ(interp_table(xs, ys, 3.0), 30.0);
+  EXPECT_DOUBLE_EQ(interp_table({}, {}, 3.0), 0.0);
+}
+
+TEST(Math, BisectFindsRoot) {
+  const auto root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Math, BisectRejectsSameSignBracket) {
+  EXPECT_FALSE(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0));
+}
+
+TEST(Math, BisectExactEndpoints) {
+  const auto root = bisect([](double x) { return x; }, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_DOUBLE_EQ(*root, 0.0);
+}
+
+TEST(Math, NewtonBisectConverges) {
+  const auto root = newton_bisect([](double x) { return x * x * x - 8.0; },
+                                  [](double x) { return 3.0 * x * x; }, 1.0,
+                                  0.0, 10.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(*root, 2.0, 1e-6);
+}
+
+TEST(Math, QFunctionKnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.15866, 1e-4);
+  EXPECT_NEAR(q_function(3.0), 1.3499e-3, 1e-6);
+  EXPECT_NEAR(q_function(6.0), 9.87e-10, 1e-11);
+}
+
+TEST(Math, QInverseRoundTrip) {
+  for (double p : {0.1, 0.01, 1e-3, 1e-6, 1e-9}) {
+    EXPECT_NEAR(q_function(q_inverse(p)), p, p * 1e-3);
+  }
+}
+
+TEST(Math, Clamp) {
+  EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(Math, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(Math, Convolve) {
+  const auto out = convolve({1.0, 2.0}, {3.0, 4.0});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 10.0);
+  EXPECT_DOUBLE_EQ(out[2], 8.0);
+  EXPECT_TRUE(convolve({}, {1.0}).empty());
+}
+
+TEST(Math, SolveLinearExact) {
+  // 2x + y = 5; x - y = 1  => x = 2, y = 1
+  auto x = solve_linear({2.0, 1.0, 1.0, -1.0}, {5.0, 1.0}, 2);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.0, 1e-12);
+}
+
+TEST(Math, SolveLinearSingular) {
+  EXPECT_FALSE(solve_linear({1.0, 1.0, 1.0, 1.0}, {1.0, 2.0}, 2).has_value());
+  EXPECT_FALSE(solve_linear({1.0}, {1.0, 2.0}, 2).has_value());  // bad shape
+}
+
+TEST(Math, SolveLinearRandomRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    std::vector<double> x_true(static_cast<std::size_t>(n));
+    for (auto& v : a) v = rng.uniform(-2.0, 2.0);
+    for (int i = 0; i < n; ++i) a[i * n + i] += 4.0;  // diagonally dominant
+    for (auto& v : x_true) v = rng.uniform(-5.0, 5.0);
+    std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) b[r] += a[r * n + c] * x_true[c];
+    }
+    const auto solved = solve_linear(a, b, n);
+    ASSERT_TRUE(solved.has_value());
+    for (int i = 0; i < n; ++i) EXPECT_NEAR((*solved)[i], x_true[i], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace serdes::util

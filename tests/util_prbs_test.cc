@@ -1,0 +1,144 @@
+#include "util/prbs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+namespace serdes::util {
+namespace {
+
+TEST(Prbs, Prbs7HasFullPeriod) {
+  PrbsGenerator gen(PrbsOrder::kPrbs7);
+  const auto first = gen.next_bits(127);
+  const auto second = gen.next_bits(127);
+  EXPECT_EQ(first, second);  // exact repetition after one period
+  EXPECT_EQ(gen.period(), 127u);
+}
+
+TEST(Prbs, Prbs7DoesNotRepeatEarly) {
+  PrbsGenerator gen(PrbsOrder::kPrbs7);
+  const auto seq = gen.next_bits(254);
+  for (std::size_t shift = 1; shift < 127; ++shift) {
+    bool equal = true;
+    for (std::size_t i = 0; i < 127 && equal; ++i) {
+      equal = seq[i] == seq[i + shift];
+    }
+    EXPECT_FALSE(equal) << "period divides " << shift;
+  }
+}
+
+TEST(Prbs, Prbs7IsBalanced) {
+  PrbsGenerator gen(PrbsOrder::kPrbs7);
+  const auto seq = gen.next_bits(127);
+  const int ones = std::accumulate(seq.begin(), seq.end(), 0);
+  EXPECT_EQ(ones, 64);  // maximal-length LFSR: 2^(n-1) ones
+}
+
+TEST(Prbs, Prbs9IsBalanced) {
+  PrbsGenerator gen(PrbsOrder::kPrbs9);
+  const auto seq = gen.next_bits(511);
+  const int ones = std::accumulate(seq.begin(), seq.end(), 0);
+  EXPECT_EQ(ones, 256);
+}
+
+TEST(Prbs, ZeroSeedIsRemapped) {
+  PrbsGenerator gen(PrbsOrder::kPrbs15, 0);
+  EXPECT_NE(gen.state(), 0u);
+  // The sequence must not be stuck at zero.
+  const auto bits = gen.next_bits(64);
+  EXPECT_GT(std::accumulate(bits.begin(), bits.end(), 0), 0);
+}
+
+TEST(Prbs, DifferentSeedsGiveShiftedSequences) {
+  PrbsGenerator a(PrbsOrder::kPrbs7, 0x5a);
+  PrbsGenerator b(PrbsOrder::kPrbs7, 0x33);
+  EXPECT_NE(a.next_bits(32), b.next_bits(32));
+}
+
+TEST(PrbsChecker, LocksAndCountsNoErrorsOnCleanStream) {
+  PrbsGenerator gen(PrbsOrder::kPrbs15);
+  PrbsChecker checker(PrbsOrder::kPrbs15);
+  for (int i = 0; i < 5000; ++i) checker.feed(gen.next());
+  EXPECT_TRUE(checker.locked());
+  EXPECT_EQ(checker.errors(), 0u);
+  EXPECT_GT(checker.bits_checked(), 4900u);
+  EXPECT_DOUBLE_EQ(checker.ber(), 0.0);
+}
+
+TEST(PrbsChecker, DetectsInjectedErrors) {
+  PrbsGenerator gen(PrbsOrder::kPrbs15);
+  PrbsChecker checker(PrbsOrder::kPrbs15);
+  int injected = 0;
+  for (int i = 0; i < 20000; ++i) {
+    bool bit = gen.next();
+    if (i > 1000 && i % 1501 == 0) {
+      bit = !bit;
+      ++injected;
+    }
+    checker.feed(bit);
+  }
+  EXPECT_GT(injected, 0);
+  // Each isolated flipped bit corrupts the checker's prediction up to three
+  // times (once as received, twice through the recurrence history).
+  EXPECT_GE(checker.errors(), static_cast<std::uint64_t>(injected));
+  EXPECT_LE(checker.errors(), static_cast<std::uint64_t>(3 * injected));
+  EXPECT_GT(checker.ber(), 0.0);
+}
+
+TEST(PrbsPacking, RoundTrip) {
+  PrbsGenerator gen(PrbsOrder::kPrbs23);
+  const auto bits = gen.next_bits(256 * 3);
+  const auto words = pack_bits_to_words(bits);
+  EXPECT_EQ(words.size(), 24u);
+  const auto back = unpack_words_to_bits(words);
+  EXPECT_EQ(back, bits);
+}
+
+TEST(PrbsPacking, PartialWordZeroPads) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1};
+  const auto words = pack_bits_to_words(bits);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0], 0b101u);
+}
+
+// Property sweep: every supported order locks, is balanced over windows,
+// and round-trips the checker.
+class PrbsOrderTest : public ::testing::TestWithParam<PrbsOrder> {};
+
+TEST_P(PrbsOrderTest, CheckerLocksCleanly) {
+  PrbsGenerator gen(GetParam());
+  PrbsChecker checker(GetParam());
+  for (int i = 0; i < 4096; ++i) checker.feed(gen.next());
+  EXPECT_TRUE(checker.locked());
+  EXPECT_EQ(checker.errors(), 0u);
+}
+
+TEST_P(PrbsOrderTest, WindowIsRoughlyBalanced) {
+  PrbsGenerator gen(GetParam());
+  const auto bits = gen.next_bits(8192);
+  const int ones = std::accumulate(bits.begin(), bits.end(), 0);
+  EXPECT_NEAR(static_cast<double>(ones) / 8192.0, 0.5, 0.05);
+}
+
+TEST_P(PrbsOrderTest, RunLengthsBoundedByOrder) {
+  PrbsGenerator gen(GetParam());
+  const auto bits = gen.next_bits(1 << 16);
+  int run = 1;
+  int max_run = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i) {
+    run = bits[i] == bits[i - 1] ? run + 1 : 1;
+    max_run = std::max(max_run, run);
+  }
+  EXPECT_LE(max_run, static_cast<int>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, PrbsOrderTest,
+                         ::testing::Values(PrbsOrder::kPrbs7,
+                                           PrbsOrder::kPrbs9,
+                                           PrbsOrder::kPrbs15,
+                                           PrbsOrder::kPrbs23,
+                                           PrbsOrder::kPrbs31));
+
+}  // namespace
+}  // namespace serdes::util

@@ -1,0 +1,101 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace serdes::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsBoundedAndCoversRange) {
+  Rng rng(11);
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[static_cast<std::size_t>(v)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, 2000, 300);  // roughly uniform
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaledMoments) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(3.0, 2.0);
+    sum += g;
+    sum2 += (g - 3.0) * (g - 3.0);
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 2.0, 0.05);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 50000.0, 0.25, 0.01);
+  Rng rng2(21);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng2.chance(0.0));
+}
+
+}  // namespace
+}  // namespace serdes::util

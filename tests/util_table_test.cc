@@ -1,0 +1,72 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace serdes::util {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta_long_name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("beta_long_name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumericRows) {
+  TextTable t("nums");
+  t.set_header({"a", "b"});
+  t.add_row_numeric({1.5, 2e9});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("2e+09"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t("csv");
+  t.set_header({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, WriteCsvFile) {
+  TextTable t("file");
+  t.set_header({"k"});
+  t.add_row({"v"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "k\nv\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(t.write_csv("/nonexistent_dir_xyz/out.csv"),
+               std::runtime_error);
+}
+
+TEST(TextTable, RaggedRowsHandled) {
+  TextTable t("ragged");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only_one"});
+  const std::string out = t.render();  // must not crash or misalign
+  EXPECT_NE(out.find("only_one"), std::string::npos);
+}
+
+TEST(NumFormatting, Helpers) {
+  EXPECT_EQ(num(437.7e-3), "0.4377");
+  EXPECT_EQ(num(219.0), "219");
+  EXPECT_EQ(num_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(num_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace serdes::util

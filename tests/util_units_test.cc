@@ -1,0 +1,94 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace serdes::util {
+namespace {
+
+TEST(Units, ArithmeticOnLikeQuantities) {
+  const Volt a = volts(1.0);
+  const Volt b = millivolts(500.0);
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);  // dimensionless ratio
+  EXPECT_DOUBLE_EQ((-b).value(), -0.5);
+}
+
+TEST(Units, CompoundAssignment) {
+  Volt v = volts(1.0);
+  v += millivolts(250.0);
+  v -= millivolts(50.0);
+  v *= 2.0;
+  v /= 4.0;
+  EXPECT_NEAR(v.value(), 0.6, 1e-12);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(millivolts(999.0), volts(1.0));
+  EXPECT_NEAR(microseconds(1.0).value(), nanoseconds(1000.0).value(), 1e-18);
+  EXPECT_GT(gigahertz(1.0), megahertz(999.0));
+}
+
+TEST(Units, PeriodFrequencyInverse) {
+  EXPECT_DOUBLE_EQ(period(gigahertz(2.0)).value(), 0.5e-9);
+  EXPECT_DOUBLE_EQ(frequency(nanoseconds(1.0)).value(), 1e9);
+  const Hertz f = gigahertz(1.25);
+  EXPECT_NEAR(frequency(period(f)).value(), f.value(), 1e-3);
+}
+
+TEST(Units, OhmsLawRelations) {
+  const Volt v = amperes(0.002) * kiloohms(1.0);
+  EXPECT_DOUBLE_EQ(v.value(), 2.0);
+  EXPECT_DOUBLE_EQ((volts(1.8) / ohms(90.0)).value(), 0.02);
+  EXPECT_DOUBLE_EQ((volts(3.0) / amperes(0.001)).value(), 3000.0);
+  EXPECT_DOUBLE_EQ((volts(1.8) * amperes(0.01)).value(), 0.018);
+  EXPECT_DOUBLE_EQ((watts(2.0) * seconds(3.0)).value(), 6.0);
+  EXPECT_DOUBLE_EQ((joules(6.0) / seconds(3.0)).value(), 2.0);
+}
+
+TEST(Units, RcTimeConstant) {
+  const Second tau = kiloohms(1.0) * picofarads(2.0);
+  EXPECT_DOUBLE_EQ(tau.value(), 2e-9);
+  EXPECT_DOUBLE_EQ((picofarads(2.0) * kiloohms(1.0)).value(), 2e-9);
+}
+
+TEST(Units, DecibelAmplitudeConversions) {
+  EXPECT_NEAR(amplitude_db(10.0).value(), 20.0, 1e-9);
+  EXPECT_NEAR(amplitude_db(0.5).value(), -6.0206, 1e-3);
+  EXPECT_NEAR(db_to_amplitude(decibels(-34.0)), 0.01995, 1e-4);
+  EXPECT_NEAR(db_to_amplitude(decibels(0.0)), 1.0, 1e-12);
+  // Round trip.
+  for (double g : {0.01, 0.5, 1.0, 3.3, 100.0}) {
+    EXPECT_NEAR(db_to_amplitude(amplitude_db(g)), g, 1e-9 * g);
+  }
+}
+
+TEST(Units, DecibelPowerConversions) {
+  EXPECT_NEAR(power_db(100.0).value(), 20.0, 1e-9);
+  EXPECT_NEAR(db_to_power(decibels(3.0)), 1.9953, 1e-3);
+}
+
+TEST(Units, SiScaleSelectsPrefix) {
+  EXPECT_STREQ(si_scale(2e9).prefix, "G");
+  EXPECT_NEAR(si_scale(2e9).mantissa, 2.0, 1e-12);
+  EXPECT_STREQ(si_scale(0.032).prefix, "m");
+  EXPECT_STREQ(si_scale(1.5e-12).prefix, "p");
+  EXPECT_STREQ(si_scale(42.0).prefix, "");
+  EXPECT_STREQ(si_scale(0.0).prefix, "");
+  EXPECT_STREQ(si_scale(-3e6).prefix, "M");
+  EXPECT_NEAR(si_scale(-3e6).mantissa, -3.0, 1e-12);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(to_string(gigahertz(2.0)), "2 GHz");
+  EXPECT_EQ(to_string(millivolts(32.0)), "32 mV");
+  EXPECT_EQ(to_string(picofarads(2.0)), "2 pF");
+  EXPECT_EQ(to_string(milliwatts(437.7)), "437.7 mW");
+  EXPECT_EQ(to_string(picojoules(219.0)), "219 pJ");
+}
+
+}  // namespace
+}  // namespace serdes::util
