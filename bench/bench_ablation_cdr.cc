@@ -1,73 +1,115 @@
 // Ablation: CDR design choices — oversampling factor and the paper's
 // glitch/jitter correction scan knobs, measured as link error rate under a
-// stressed channel.
+// stressed channel.  All scenarios are declared as LinkSpecs and fanned
+// out through the multi-lane batch runner.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
-#include "channel/channel.h"
-#include "core/link.h"
+#include "api/api.h"
 #include "util/table.h"
 
 namespace {
 
-serdes::core::LinkResult run_with(const serdes::core::LinkConfig& cfg,
-                                  double loss_db, std::size_t bits) {
-  using namespace serdes;
-  core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
-                                 util::decibels(loss_db)));
-  return link.run_prbs(bits);
+using namespace serdes;
+
+/// The stressed operating point every ablation lane starts from: 40 dB
+/// loss, extra noise, fast sinusoidal jitter, 6000 bits per lane.
+api::LinkBuilder stressed_lane() {
+  api::LinkBuilder lane;
+  const double ui_s = 1.0 / lane.spec().bit_rate_hz;
+  return lane.flat_channel(util::decibels(40.0))
+      .noise_rms(0.003)
+      .sinusoidal_jitter(util::seconds(0.08 * ui_s))
+      .payload_bits(6000)
+      .chunk_bits(6000);
+}
+
+/// Ablation tables compare knobs, so every lane must face the identical
+/// noise realization: per-lane seed derivation stays off.
+api::Simulator paired_simulator() {
+  api::Simulator::Options opts;
+  opts.derive_lane_seeds = false;
+  return api::Simulator(opts);
 }
 
 }  // namespace
 
 int main() {
   using namespace serdes;
-  constexpr std::size_t kBits = 6000;
-  constexpr double kLoss = 40.0;  // stressed operating point
+  const api::Simulator sim = paired_simulator();
 
-  // Stress: extra noise + fast sinusoidal jitter.
-  core::LinkConfig stressed = core::LinkConfig::paper_default();
-  stressed.channel_noise_rms = 0.003;
-  stressed.rx_sinusoidal_jitter =
-      util::seconds(0.08 * stressed.unit_interval().value());
+  // A1: oversampling factor.
+  const std::vector<int> os_values = {2, 3, 4, 5, 7};
+  std::vector<api::LinkSpec> os_specs;
+  for (int os : os_values) {
+    os_specs.push_back(stressed_lane()
+                           .name("os_" + std::to_string(os))
+                           .cdr_oversampling(os)
+                           .cdr_glitch_filter(os >= 3 ? 1 : 0)
+                           .build_spec());
+  }
+  const auto os_reports = sim.run_batch(os_specs);
 
   util::TextTable os_table("Ablation A1 - CDR oversampling factor");
   os_table.set_header({"oversampling", "aligned", "bit_errors", "ber"});
-  for (int os : {2, 3, 4, 5, 7}) {
-    core::LinkConfig cfg = stressed;
-    cfg.cdr.oversampling = os;
-    cfg.cdr.glitch_filter_radius = os >= 3 ? 1 : 0;
-    const auto r = run_with(cfg, kLoss, kBits);
-    os_table.add_row({std::to_string(os), r.aligned ? "yes" : "no",
-                      std::to_string(r.bit_errors), util::num(r.ber)});
+  for (std::size_t i = 0; i < os_reports.size(); ++i) {
+    os_table.add_row({std::to_string(os_values[i]),
+                      os_reports[i].aligned ? "yes" : "no",
+                      std::to_string(os_reports[i].errors),
+                      util::num(os_reports[i].ber)});
   }
   os_table.print();
+
+  // A2: glitch/jitter correction scan bits.
+  struct ScanPoint {
+    int glitch;
+    int hysteresis;
+  };
+  std::vector<ScanPoint> scan_points;
+  std::vector<api::LinkSpec> scan_specs;
+  for (int g : {0, 1, 2}) {
+    for (int j : {1, 2, 4}) {
+      scan_points.push_back({g, j});
+      scan_specs.push_back(stressed_lane()
+                               .name("scan_g" + std::to_string(g) + "_j" +
+                                     std::to_string(j))
+                               .cdr_glitch_filter(g)
+                               .cdr_jitter_hysteresis(j)
+                               .build_spec());
+    }
+  }
+  const auto scan_reports = sim.run_batch(scan_specs);
 
   util::TextTable scan_table(
       "Ablation A2 - glitch/jitter correction scan bits");
   scan_table.set_header(
       {"glitch_radius", "jitter_hysteresis", "aligned", "bit_errors"});
-  for (int g : {0, 1, 2}) {
-    for (int j : {1, 2, 4}) {
-      core::LinkConfig cfg = stressed;
-      cfg.cdr.glitch_filter_radius = g;
-      cfg.cdr.jitter_hysteresis = j;
-      const auto r = run_with(cfg, kLoss, kBits);
-      scan_table.add_row({std::to_string(g), std::to_string(j),
-                          r.aligned ? "yes" : "no",
-                          std::to_string(r.bit_errors)});
-    }
+  for (std::size_t i = 0; i < scan_reports.size(); ++i) {
+    scan_table.add_row({std::to_string(scan_points[i].glitch),
+                        std::to_string(scan_points[i].hysteresis),
+                        scan_reports[i].aligned ? "yes" : "no",
+                        std::to_string(scan_reports[i].errors)});
   }
   scan_table.print();
 
+  // A3: boundary vote window.
+  const std::vector<int> windows = {4, 8, 16, 32, 64};
+  std::vector<api::LinkSpec> win_specs;
+  for (int w : windows) {
+    win_specs.push_back(stressed_lane()
+                            .name("window_" + std::to_string(w))
+                            .cdr_window(w)
+                            .build_spec());
+  }
+  const auto win_reports = sim.run_batch(win_specs);
+
   util::TextTable win_table("Ablation A3 - boundary vote window");
   win_table.set_header({"window_uis", "aligned", "bit_errors"});
-  for (int w : {4, 8, 16, 32, 64}) {
-    core::LinkConfig cfg = stressed;
-    cfg.cdr.window_uis = w;
-    const auto r = run_with(cfg, kLoss, kBits);
-    win_table.add_row({std::to_string(w), r.aligned ? "yes" : "no",
-                       std::to_string(r.bit_errors)});
+  for (std::size_t i = 0; i < win_reports.size(); ++i) {
+    win_table.add_row({std::to_string(windows[i]),
+                       win_reports[i].aligned ? "yes" : "no",
+                       std::to_string(win_reports[i].errors)});
   }
   win_table.print();
 

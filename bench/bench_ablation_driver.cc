@@ -4,12 +4,13 @@
 #include <cstdio>
 
 #include "analog/driver.h"
-#include "core/config.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const util::Hertz rate = util::gigahertz(2.0);
+  // Operating rate from the declarative paper spec.
+  const util::Hertz rate{api::LinkSpec::paper_default().bit_rate_hz};
 
   util::TextTable stages("Ablation B1 - driver stage count (taper 3.4)");
   stages.set_header({"stages", "rise_20_80_ps", "delay_ps", "power_mW",

@@ -1,79 +1,65 @@
 // Extension bench: equalization ablation — how much dispersive-channel
 // reach TX FFE de-emphasis and an RX CTLE buy back for the all-digital
 // link (the blocks the paper's generic architecture lists but its
-// implementation omits).
+// implementation omits).  Each (line loss, EQ combination) cell is one
+// declarative lane in a single batch run.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "channel/channel.h"
-#include "channel/equalizer.h"
-#include "core/link.h"
-#include "util/prbs.h"
+#include "api/api.h"
 #include "util/table.h"
-
-namespace {
-
-using namespace serdes;
-
-/// Runs the receive chain on a pre-shaped line waveform and counts errors.
-std::uint64_t run_errors(const core::LinkConfig& cfg,
-                         const std::vector<std::uint8_t>& payload,
-                         const analog::Waveform& rx_wave, bool use_ctle,
-                         double ctle_boost_db) {
-  analog::Waveform wave = rx_wave;
-  if (use_ctle) {
-    const channel::RxCtle ctle(util::decibels(ctle_boost_db),
-                               util::megahertz(700.0), cfg.sample_period());
-    wave = ctle.equalize(wave);
-  }
-  core::Receiver rx(cfg);
-  const auto res = rx.receive(wave);
-  if (!res.aligned) return payload.size();
-  std::uint64_t errors = 0;
-  const std::size_t n = std::min(payload.size(), res.payload.size());
-  // The CDR pipeline truncates a few tail bits; only count real shortfalls.
-  if (payload.size() - n > 8) errors += payload.size() - n - 8;
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((payload[i] != 0) != (res.payload[i] != 0)) ++errors;
-  }
-  return errors;
-}
-
-}  // namespace
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
 
-  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
-  const auto payload = prbs.next_bits(4000);
-  core::Transmitter tx(cfg);
-  const auto wire = tx.wire_bits(payload);
+  const std::vector<double> hf_losses = {12.0, 18.0, 24.0, 30.0};
+  struct EqCombo {
+    const char* label;
+    double ffe_alpha;
+    double ctle_db;
+  };
+  const std::vector<EqCombo> combos = {
+      {"raw", 0.0, 0.0},
+      {"tx_ffe", 0.33, 0.0},
+      {"rx_ctle", 0.0, 6.0},
+      {"ffe+ctle", 0.33, 6.0},
+  };
 
-  const channel::TxFfe flat({1.0}, cfg.driver.vdd);
-  const channel::TxFfe ffe = channel::TxFfe::de_emphasis(0.33, cfg.driver.vdd);
+  // One lane per (line, combo) cell, all fanned out together.
+  std::vector<api::LinkSpec> specs;
+  for (double hf_loss : hf_losses) {
+    for (const auto& combo : combos) {
+      api::LinkBuilder lane;
+      lane.name(std::string(combo.label) + "@" + util::num(hf_loss))
+          .channel(api::ChannelSpec::lossy_line(4.0, hf_loss * 0.6,
+                                                hf_loss * 0.4))
+          .payload_bits(4000)
+          .chunk_bits(4000);
+      if (combo.ffe_alpha > 0.0) lane.tx_ffe_deemphasis(combo.ffe_alpha);
+      if (combo.ctle_db > 0.0) {
+        lane.rx_ctle(util::decibels(combo.ctle_db), util::megahertz(700.0));
+      }
+      specs.push_back(lane.build_spec());
+    }
+  }
+  // Paired comparison: every EQ cell must face the identical noise
+  // realization, so per-lane seed derivation stays off.
+  api::Simulator::Options opts;
+  opts.derive_lane_seeds = false;
+  const auto reports = api::Simulator(opts).run_batch(specs);
 
   util::TextTable table(
       "Equalization ablation: errors/4000 bits over a dispersive line");
   table.set_header({"line_loss_dB_at_1GHz", "raw", "tx_ffe", "rx_ctle",
                     "ffe+ctle"});
-  for (double hf_loss : {12.0, 18.0, 24.0, 30.0}) {
-    channel::LossyLineChannel::Params line_params;
-    line_params.dc_loss_db = 4.0;
-    line_params.skin_loss_db_at_1ghz = hf_loss * 0.6;
-    line_params.dielectric_loss_db_at_1ghz = hf_loss * 0.4;
-    const channel::LossyLineChannel line(line_params, cfg.sample_period());
-
-    const auto raw_wave = line.transmit(flat.shape(
-        wire, cfg.bit_rate, cfg.samples_per_ui, util::picoseconds(100.0)));
-    const auto ffe_wave = line.transmit(ffe.shape(
-        wire, cfg.bit_rate, cfg.samples_per_ui, util::picoseconds(100.0)));
-
-    table.add_row(
-        {util::num(4.0 + hf_loss),
-         std::to_string(run_errors(cfg, payload, raw_wave, false, 0.0)),
-         std::to_string(run_errors(cfg, payload, ffe_wave, false, 0.0)),
-         std::to_string(run_errors(cfg, payload, raw_wave, true, 6.0)),
-         std::to_string(run_errors(cfg, payload, ffe_wave, true, 6.0))});
+  for (std::size_t row = 0; row < hf_losses.size(); ++row) {
+    const auto* cells = &reports[row * combos.size()];
+    table.add_row({util::num(4.0 + hf_losses[row]),
+                   std::to_string(cells[0].errors),
+                   std::to_string(cells[1].errors),
+                   std::to_string(cells[2].errors),
+                   std::to_string(cells[3].errors)});
   }
   table.print();
 

@@ -1,43 +1,61 @@
 // Extension bench: eye diagram metrics vs channel loss, and a BER waterfall
-// vs received swing — the signal-integrity view behind Figs 8/9.
+// vs received swing — the signal-integrity view behind Figs 8/9.  Both
+// sweeps run as declarative lanes through the batch runner; eye metrics
+// come straight out of the RunReport.
+#include <cmath>
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "channel/channel.h"
-#include "core/ber.h"
-#include "core/eye.h"
-#include "core/link.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const api::Simulator sim;
+
+  const std::vector<double> losses = {10.0, 20.0, 30.0, 34.0,
+                                      40.0, 46.0, 52.0, 58.0};
+  std::vector<api::LinkSpec> eye_specs;
+  for (double loss : losses) {
+    eye_specs.push_back(api::LinkBuilder()
+                            .name("eye_" + util::num(loss))
+                            .flat_channel(util::decibels(loss))
+                            .payload_bits(4000)
+                            .chunk_bits(4000)
+                            .build_spec());
+  }
+  const auto eye_reports = sim.run_batch(eye_specs);
 
   util::TextTable eye_table("Eye metrics vs channel loss @ 2 Gbps");
   eye_table.set_header({"loss_dB", "rx_swing_mV", "eye_height_V",
                         "eye_width_UI", "bit_errors"});
-  for (double loss : {10.0, 20.0, 30.0, 34.0, 40.0, 46.0, 52.0, 58.0}) {
-    core::SerDesLink link(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(loss)));
-    const auto r = link.run_prbs(4000);
-    core::EyeAnalyzer eye(cfg.bit_rate);
-    const auto m =
-        eye.analyze(r.rx.restored, 0.9);
-    eye_table.add_row_numeric({loss, r.channel_out.peak_to_peak() * 1e3,
-                               m.eye_height, m.eye_width_ui,
-                               static_cast<double>(
-                                   r.aligned ? r.bit_errors : 4000)});
+  for (std::size_t i = 0; i < eye_reports.size(); ++i) {
+    const auto& r = eye_reports[i];
+    eye_table.add_row_numeric(
+        {losses[i], r.rx_swing_pp * 1e3, r.eye.eye_height, r.eye.eye_width_ui,
+         static_cast<double>(r.aligned ? r.errors : 4000)});
   }
   eye_table.print();
 
+  const std::vector<double> swings_mv = {6.0, 8.0, 10.0, 14.0,
+                                         20.0, 30.0, 45.0};
+  std::vector<api::LinkSpec> waterfall_specs;
+  for (double swing_mv : swings_mv) {
+    const double loss_db = 20.0 * std::log10(1.8 / (swing_mv * 1e-3));
+    waterfall_specs.push_back(api::LinkBuilder()
+                                  .name("swing_" + util::num(swing_mv))
+                                  .flat_channel(util::decibels(loss_db))
+                                  .payload_bits(20000)
+                                  .chunk_bits(4000)
+                                  .build_spec());
+  }
+  const auto waterfall_reports = sim.run_batch(waterfall_specs);
+
   util::TextTable waterfall("BER waterfall vs received swing @ 2 Gbps");
   waterfall.set_header({"swing_mV", "bits", "errors", "ber", "ber_95_bound"});
-  for (double swing_mv : {6.0, 8.0, 10.0, 14.0, 20.0, 30.0, 45.0}) {
-    const double loss_db = 20.0 * std::log10(1.8 / (swing_mv * 1e-3));
-    core::SerDesLink link(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(loss_db)));
-    const auto m = core::measure_ber(link, 20000, 4000);
-    waterfall.add_row({util::num(swing_mv), std::to_string(m.bits),
+  for (std::size_t i = 0; i < waterfall_reports.size(); ++i) {
+    const auto& m = waterfall_reports[i];
+    waterfall.add_row({util::num(swings_mv[i]), std::to_string(m.bits),
                        std::to_string(m.errors), util::num(m.ber),
                        util::num(m.ber_upper_bound)});
   }

@@ -2,12 +2,13 @@
 // regenerated through the analog models plus the netlist flow.
 #include <cstdio>
 
+#include "api/api.h"
 #include "core/power_model.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const core::LinkConfig cfg = api::LinkBuilder().build_config();
   const auto budget = core::compute_link_budget(cfg);
 
   util::TextTable power("Fig 10a - Power budget @ 2 Gbps, 1.8 V");

@@ -2,6 +2,7 @@
 // area percentages, and export GDSII + SVG like the paper's flow does.
 #include <cstdio>
 
+#include "api/api.h"
 #include "core/power_model.h"
 #include "flow/gds.h"
 #include "flow/place.h"
@@ -9,7 +10,7 @@
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const core::LinkConfig cfg = api::LinkBuilder().build_config();
   const auto budget = core::compute_link_budget(cfg);
 
   std::vector<flow::FloorplanBlock> blocks(5);

@@ -3,12 +3,12 @@
 #include <cstdio>
 
 #include "analog/driver.h"
-#include "core/config.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const core::LinkConfig cfg = api::LinkBuilder().build_config();
   const analog::InverterChainDriver driver(cfg.driver);
 
   // The paper's Fig 4b window: 20 ns of alternating data at 2 Gbps.

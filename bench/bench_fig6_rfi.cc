@@ -4,12 +4,12 @@
 #include <cstdio>
 
 #include "analog/rfi.h"
-#include "core/config.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const core::LinkConfig cfg = api::LinkBuilder().build_config();
   const analog::RfiCircuit rfi(cfg.rfi);
 
   util::TextTable dc("Fig 6a - RFI DC characteristics (1.8 V supply)");

@@ -1,22 +1,23 @@
 // Fig 8: end-to-end link waveforms at 2 Gbps with PRBS-31 through 34 dB of
 // channel loss — transmitted, received (channel output) and decoded.
 #include <cstdio>
-#include <memory>
 
-#include "channel/channel.h"
-#include "core/ber.h"
-#include "core/link.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
-  core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
-                                 util::decibels(34.0)));
 
-  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
-  const auto payload = prbs.next_bits(4096);
-  const auto r = link.run(payload);
+  // Waveform view: one 4096-bit chunk with capture enabled.
+  const api::LinkSpec wave_spec = api::LinkBuilder()
+                                      .name("fig8_waveforms")
+                                      .flat_channel(util::decibels(34.0))
+                                      .payload_bits(4096)
+                                      .chunk_bits(4096)
+                                      .capture_waveforms()
+                                      .build_spec();
+  const api::Simulator sim;
+  const auto r = sim.run(wave_spec);
 
   util::TextTable table(
       "Fig 8 - Link waveforms @ 2 Gbps, PRBS-31, 34 dB channel loss");
@@ -25,25 +26,28 @@ int main() {
     const auto t = util::nanoseconds(t_ns);
     table.add_row_numeric({t_ns, r.tx_out.value_at(t),
                            r.channel_out.value_at(t),
-                           r.rx.restored.value_at(t)});
+                           r.restored.value_at(t)});
   }
   table.print();
 
   std::printf("\nreceived swing      : %.1f mV  (paper: 32 mV sensitivity"
               " at 34 dB -> ~36 mV)\n",
-              r.channel_out.peak_to_peak() * 1e3);
+              r.rx_swing_pp * 1e3);
   std::printf("aligned             : %s\n", r.aligned ? "yes" : "NO");
   std::printf("payload bits checked: %llu\n",
-              static_cast<unsigned long long>(r.payload_bits_compared));
+              static_cast<unsigned long long>(r.bits));
   std::printf("bit errors          : %llu  (paper: error-free decode)\n",
-              static_cast<unsigned long long>(r.bit_errors));
+              static_cast<unsigned long long>(r.errors));
   std::printf("CDR decision phase  : %d/%d, %llu phase updates\n",
-              r.rx.cdr_decision_phase, cfg.cdr.oversampling,
-              static_cast<unsigned long long>(r.rx.cdr_phase_updates));
+              r.cdr_decision_phase, wave_spec.cdr_oversampling,
+              static_cast<unsigned long long>(r.cdr_phase_updates));
 
-  core::SerDesLink link2(cfg, std::make_unique<channel::FlatChannel>(
-                                  util::decibels(34.0)));
-  const auto ber = core::measure_ber(link2, 100000);
+  // BER view: 100k bits through the same operating point, no capture.
+  const auto ber = sim.run(api::LinkBuilder()
+                               .name("fig8_ber")
+                               .flat_channel(util::decibels(34.0))
+                               .payload_bits(100000)
+                               .build_spec());
   std::printf("BER over %llu bits  : %g (95%% upper bound %.2e)\n",
               static_cast<unsigned long long>(ber.bits), ber.ber,
               ber.ber_upper_bound);

@@ -2,12 +2,13 @@
 // frequency (1 MHz .. 2 GHz sweep).
 #include <cstdio>
 
+#include "api/api.h"
 #include "core/sensitivity.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const core::LinkConfig cfg = api::LinkBuilder().build_config();
   core::SensitivitySweepConfig sweep;
   sweep.bits_per_trial = 2000;
 

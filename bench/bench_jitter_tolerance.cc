@@ -2,12 +2,13 @@
 // CDR — the acceptance view of the paper's jitter-correction scan logic.
 #include <cstdio>
 
+#include "api/api.h"
 #include "core/jitter_tolerance.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig base = core::LinkConfig::paper_default();
+  const core::LinkConfig base = api::LinkBuilder().build_config();
   core::JitterToleranceConfig cfg;
   cfg.bits_per_trial = 2500;
 

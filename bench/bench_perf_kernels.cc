@@ -6,7 +6,7 @@
 
 #include "analog/rfi.h"
 #include "analog/transient.h"
-#include "channel/channel.h"
+#include "api/api.h"
 #include "core/link.h"
 #include "digital/cdr.h"
 #include "flow/place.h"
@@ -57,15 +57,44 @@ void BM_TransientRfiStep(benchmark::State& state) {
 BENCHMARK(BM_TransientRfiStep);
 
 void BM_FullLinkRun(benchmark::State& state) {
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const api::LinkBuilder builder;
   for (auto _ : state) {
-    core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
-                                   util::decibels(34.0)));
+    core::SerDesLink link = builder.build_link();
     benchmark::DoNotOptimize(link.run_prbs(1024));
   }
   state.SetItemsProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_FullLinkRun);
+
+void BM_SimulatorRunNoCapture(benchmark::State& state) {
+  // The façade path benches / sweeps use: spec -> report, waveforms dropped.
+  const api::LinkSpec spec = api::LinkBuilder()
+                                 .payload_bits(1024)
+                                 .chunk_bits(1024)
+                                 .build_spec();
+  const api::Simulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SimulatorRunNoCapture);
+
+void BM_SimulatorRunBatch(benchmark::State& state) {
+  // Multi-lane fan-out: lanes per batch on the x axis.
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<api::LinkSpec> specs(lanes, api::LinkBuilder()
+                                              .payload_bits(1024)
+                                              .chunk_bits(1024)
+                                              .build_spec());
+  const api::Simulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run_batch(specs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(lanes) * 1024);
+}
+BENCHMARK(BM_SimulatorRunBatch)->Arg(1)->Arg(4)->Arg(16);
 
 void BM_NetlistGeneration(benchmark::State& state) {
   flow::SerdesRtlConfig rtl;

@@ -1,23 +1,22 @@
 // Headline summary ("Table 1"): the paper's Results-section numbers in one
 // table — operating point, sensitivity, power, efficiency, area.
 #include <cstdio>
-#include <memory>
 
-#include "channel/channel.h"
-#include "core/ber.h"
-#include "core/link.h"
+#include "api/api.h"
 #include "core/power_model.h"
 #include "core/sensitivity.h"
 #include "util/table.h"
 
 int main() {
   using namespace serdes;
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const api::LinkSpec spec = api::LinkSpec::paper_default();
+  const core::LinkConfig cfg = spec.to_link_config();
 
-  // Operating point check.
-  core::SerDesLink link(cfg, std::make_unique<channel::FlatChannel>(
-                                 util::decibels(34.0)));
-  const auto ber = core::measure_ber(link, 60000);
+  // Operating point check: 60k bits through 34 dB of loss.
+  const auto ber = api::Simulator().run(api::LinkBuilder(spec)
+                                            .name("table1_operating_point")
+                                            .payload_bits(60000)
+                                            .build_spec());
 
   // Sensitivity at the operating rate.
   core::SensitivitySweepConfig sweep;

@@ -1,15 +1,14 @@
 // PCIe-class lane evaluation (paper Discussion, Applications): the link at
 // the 250 Mbps .. 2 Gbps per-lane rates of PCIe 1.x-4.0, with margin
-// reporting per rate.
+// reporting per rate.  Each generation is one declarative lane over a
+// composite channel (dispersive trace + bulk attenuation); the batch
+// runner executes them all in parallel.
 //
 // Build & run:  ./build/examples/pcie_lane
 #include <cstdio>
-#include <memory>
+#include <vector>
 
-#include "channel/channel.h"
-#include "core/ber.h"
-#include "core/eye.h"
-#include "core/link.h"
+#include "api/api.h"
 #include "util/table.h"
 
 int main() {
@@ -27,45 +26,53 @@ int main() {
       {"PCIe 4.0 lane", 2000.0},
   };
 
-  util::TextTable table("OpenSerDes as a PCIe-class lane (dispersive trace + 8 dB)");
+  // A PCB trace: mild dispersion plus bulk attenuation, as one channel
+  // spec reused by every lane.
+  const api::ChannelSpec trace = api::ChannelSpec::cascade(
+      {api::ChannelSpec::lossy_line(1.0, 3.0, 2.0),
+       api::ChannelSpec::flat(8.0)});
+
+  std::vector<api::LinkSpec> ber_specs;
+  std::vector<api::LinkSpec> eye_specs;
+  for (const auto& lane : lanes) {
+    api::LinkBuilder base;
+    base.name(lane.generation)
+        .bit_rate(util::megahertz(lane.rate_mbps))
+        .preamble_bits(512);  // generous CDR training for the sweep
+    ber_specs.push_back(api::LinkBuilder(base.spec())
+                            .channel(trace)
+                            .payload_bits(30000)
+                            .chunk_bits(6000)
+                            .build_spec());
+    // Margin view on a 24 dB flat channel, eye measured on 2000 bits.
+    eye_specs.push_back(api::LinkBuilder(base.spec())
+                            .flat_channel(util::decibels(24.0))
+                            .payload_bits(2000)
+                            .build_spec());
+  }
+
+  const api::Simulator sim;
+  const auto ber_reports = sim.run_batch(ber_specs);
+  const auto eye_reports = sim.run_batch(eye_specs);
+
+  util::TextTable table(
+      "OpenSerDes as a PCIe-class lane (dispersive trace + 8 dB)");
   table.set_header({"interface", "rate_Mbps", "error_free", "ber_95_bound",
                     "eye_height_V", "eye_width_UI"});
   bool all_clean = true;
-  for (const auto& lane : lanes) {
-    core::LinkConfig cfg = core::LinkConfig::paper_default();
-    cfg.bit_rate = util::megahertz(lane.rate_mbps);
-    cfg.framing.preamble_bits = 512;  // generous CDR training for the sweep
-    // A PCB trace: mild dispersion plus bulk attenuation.
-    auto channel = std::make_unique<channel::CompositeChannel>();
-    channel::LossyLineChannel::Params trace;
-    trace.dc_loss_db = 1.0;
-    trace.skin_loss_db_at_1ghz = 3.0;
-    trace.dielectric_loss_db_at_1ghz = 2.0;
-    channel->add(std::make_unique<channel::LossyLineChannel>(
-        trace, cfg.sample_period()));
-    channel->add(
-        std::make_unique<channel::FlatChannel>(util::decibels(8.0)));
-
-    core::SerDesLink link(cfg, std::move(channel));
-    const auto ber = core::measure_ber(link, 30000, 6000);
-
-    core::SerDesLink link2(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(24.0)));
-    const auto r = link2.run_prbs(2000);
-    core::EyeAnalyzer eye(cfg.bit_rate);
-    const auto m = eye.analyze(r.rx.restored,
-                               link2.receiver().decision_threshold());
-
+  for (std::size_t i = 0; i < ber_reports.size(); ++i) {
+    const auto& ber = ber_reports[i];
+    const auto& eye = eye_reports[i].eye;
     // The top 2 Gbps rate is the design's margin edge: PRBS-31 run-length
     // corners over a dispersive trace cost a handful of errors in 3e4 bits
     // (real PCIe adds TX/RX equalization precisely for this).  The example
     // requires the comfortably-in-spec lanes to be error-free and reports
     // the 2 Gbps lane's measured BER bound.
-    if (lane.rate_mbps < 1500.0) all_clean = all_clean && ber.error_free();
-    table.add_row({lane.generation, util::num(lane.rate_mbps),
+    if (lanes[i].rate_mbps < 1500.0) all_clean = all_clean && ber.error_free();
+    table.add_row({lanes[i].generation, util::num(lanes[i].rate_mbps),
                    ber.error_free() ? "yes" : "NO",
-                   util::num(ber.ber_upper_bound), util::num(m.eye_height),
-                   util::num(m.eye_width_ui)});
+                   util::num(ber.ber_upper_bound), util::num(eye.eye_height),
+                   util::num(eye.eye_width_ui)});
   }
   table.print();
   std::printf("\nLanes within margin clean: %s (2 Gbps lane runs at its"

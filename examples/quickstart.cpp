@@ -1,26 +1,30 @@
 // Quickstart: bring up the OpenSerDes link at its paper operating point —
-// 2 Gbps PRBS-31 across a 34 dB channel — and print what the receiver saw.
+// 2 Gbps PRBS-31 across a 34 dB channel — through the declarative API.
+//
+// A scenario is a LinkSpec (plain data); api::Simulator turns specs into
+// RunReports.  LinkBuilder authors specs fluently, starting from the paper
+// defaults so you name only what you change.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
-#include <memory>
 
-#include "channel/channel.h"
-#include "core/ber.h"
-#include "core/link.h"
+#include "api/api.h"
 
 int main() {
   using namespace serdes;
 
-  // 1. Configure the link exactly as the paper operates it.
-  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  // 1. Declare the scenario.  The defaults ARE the paper operating point;
+  //    the builder calls below are spelled out for the tour.
+  const api::LinkSpec spec = api::LinkBuilder()
+                                 .name("paper_operating_point")
+                                 .bit_rate(util::gigahertz(2.0))
+                                 .flat_channel(util::decibels(34.0))
+                                 .payload_bits(4096)
+                                 .build_spec();
 
-  // 2. A 34 dB-loss channel (the paper's headline operating condition).
-  auto channel = std::make_unique<channel::FlatChannel>(util::decibels(34.0));
-
-  core::SerDesLink link(cfg, std::move(channel));
-
-  // 3. Inspect the receiver front end the way Fig 6 does.
+  // 2. Inspect the receiver front end the way Fig 6 does: build the link
+  //    object itself when you want the circuit models, not just results.
+  core::SerDesLink link = api::LinkBuilder(spec).build_link();
   const auto& rfi = link.receiver().rfi();
   std::printf("receiver front end:\n");
   std::printf("  RFI self-bias        : %.3f V   (paper: 0.83 V)\n",
@@ -31,23 +35,26 @@ int main() {
   std::printf("  decision threshold   : %.3f V\n",
               link.receiver().decision_threshold());
 
-  // 4. Send PRBS-31 payload and check it (Fig 8 conditions).
-  const core::LinkResult r = link.run_prbs(4096);
+  // 3. Run it (Fig 8 conditions) and read the structured report.
+  const api::Simulator sim;
+  const api::RunReport r = sim.run(spec);
   std::printf("\nlink run @ 2 Gbps, 34 dB loss, PRBS-31:\n");
   std::printf("  aligned              : %s\n", r.aligned ? "yes" : "NO");
   std::printf("  payload bits checked : %llu\n",
-              static_cast<unsigned long long>(r.payload_bits_compared));
+              static_cast<unsigned long long>(r.bits));
   std::printf("  bit errors           : %llu\n",
-              static_cast<unsigned long long>(r.bit_errors));
-  std::printf("  received swing       : %.1f mV\n",
-              r.channel_out.peak_to_peak() * 1e3);
-  std::printf("  CDR decision phase   : %d / %d\n", r.rx.cdr_decision_phase,
-              cfg.cdr.oversampling);
+              static_cast<unsigned long long>(r.errors));
+  std::printf("  received swing       : %.1f mV\n", r.rx_swing_pp * 1e3);
+  std::printf("  eye height / width   : %.2f V / %.2f UI\n",
+              r.eye.eye_height, r.eye.eye_width_ui);
+  std::printf("  CDR decision phase   : %d / %d\n", r.cdr_decision_phase,
+              spec.cdr_oversampling);
 
-  // 5. Quantify "zero BER" with a confidence bound.
-  core::SerDesLink link2(cfg, std::make_unique<channel::FlatChannel>(
-                                  util::decibels(34.0)));
-  const auto ber = core::measure_ber(link2, 50000);
+  // 4. Quantify "zero BER" with a confidence bound: same spec, more bits.
+  const auto ber = sim.run(api::LinkBuilder(spec)
+                               .name("ber_bound")
+                               .payload_bits(50000)
+                               .build_spec());
   std::printf("\nBER over %llu bits: %g (95%% upper bound %.2e)\n",
               static_cast<unsigned long long>(ber.bits), ber.ber,
               ber.ber_upper_bound);

@@ -1,0 +1,15 @@
+// Umbrella header for the declarative link API — the one include benches,
+// examples and downstream users need:
+//
+//   #include "api/api.h"
+//
+//   const auto report = serdes::api::Simulator().run(
+//       serdes::api::LinkBuilder().flat_channel(util::decibels(34.0))
+//                                 .payload_bits(100000)
+//                                 .build_spec());
+#pragma once
+
+#include "api/channel_factory.h"  // IWYU pragma: export
+#include "api/link_builder.h"     // IWYU pragma: export
+#include "api/link_spec.h"        // IWYU pragma: export
+#include "api/simulator.h"        // IWYU pragma: export

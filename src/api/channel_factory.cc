@@ -1,0 +1,115 @@
+#include "api/channel_factory.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace serdes::api {
+
+namespace {
+
+std::unique_ptr<channel::Channel> make_flat(const ChannelSpec& spec,
+                                            const core::LinkConfig&) {
+  return std::make_unique<channel::FlatChannel>(util::decibels(spec.loss_db));
+}
+
+std::unique_ptr<channel::Channel> make_rc(const ChannelSpec& spec,
+                                          const core::LinkConfig& cfg) {
+  return std::make_unique<channel::RcChannel>(util::Hertz{spec.pole_hz},
+                                              cfg.sample_period(),
+                                              util::decibels(spec.loss_db));
+}
+
+std::unique_ptr<channel::Channel> make_lossy_line(const ChannelSpec& spec,
+                                                  const core::LinkConfig& cfg) {
+  channel::LossyLineChannel::Params p;
+  p.dc_loss_db = spec.loss_db;
+  p.skin_loss_db_at_1ghz = spec.skin_loss_db_at_1ghz;
+  p.dielectric_loss_db_at_1ghz = spec.dielectric_loss_db_at_1ghz;
+  return std::make_unique<channel::LossyLineChannel>(p, cfg.sample_period());
+}
+
+std::unique_ptr<channel::Channel> make_fir(const ChannelSpec& spec,
+                                           const core::LinkConfig& cfg) {
+  const int samples_per_tap = spec.fir_samples_per_tap > 0
+                                  ? spec.fir_samples_per_tap
+                                  : cfg.samples_per_ui;
+  return std::make_unique<channel::FirChannel>(spec.fir_taps, samples_per_tap);
+}
+
+}  // namespace
+
+ChannelFactory::ChannelFactory() {
+  creators_.emplace_back("flat", make_flat);
+  creators_.emplace_back("rc", make_rc);
+  creators_.emplace_back("lossy_line", make_lossy_line);
+  creators_.emplace_back("fir", make_fir);
+  creators_.emplace_back(
+      "composite",
+      [this](const ChannelSpec& spec, const core::LinkConfig& cfg) {
+        auto composite = std::make_unique<channel::CompositeChannel>();
+        for (const auto& stage : spec.stages) {
+          composite->add(create(stage, cfg));
+        }
+        return std::unique_ptr<channel::Channel>(std::move(composite));
+      });
+}
+
+ChannelFactory& ChannelFactory::instance() {
+  static ChannelFactory factory;
+  return factory;
+}
+
+void ChannelFactory::register_kind(const std::string& kind, Creator creator) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, fn] : creators_) {
+    if (name == kind) {
+      fn = std::move(creator);
+      return;
+    }
+  }
+  creators_.emplace_back(kind, std::move(creator));
+}
+
+bool ChannelFactory::knows(const std::string& kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(creators_.begin(), creators_.end(),
+                     [&](const auto& entry) { return entry.first == kind; });
+}
+
+std::vector<std::string> ChannelFactory::kinds() const {
+  std::vector<std::string> names;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    names.reserve(creators_.size());
+    for (const auto& [name, fn] : creators_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<channel::Channel> ChannelFactory::create(
+    const ChannelSpec& spec, const core::LinkConfig& cfg) const {
+  Creator creator;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, fn] : creators_) {
+      if (name == spec.kind) {
+        creator = fn;
+        break;
+      }
+    }
+  }
+  if (!creator) {
+    std::string known;
+    for (const auto& name : kinds()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    throw std::invalid_argument("ChannelFactory: unknown channel kind '" +
+                                spec.kind + "' (registered: " + known + ")");
+  }
+  return creator(spec, cfg);
+}
+
+}  // namespace serdes::api

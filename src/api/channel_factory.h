@@ -1,0 +1,53 @@
+// String-keyed registry of channel models.
+//
+// Decouples scenario code from the concrete channel classes: a
+// `ChannelSpec` names its model by kind ("flat", "rc", "lossy_line",
+// "fir", "composite") and the factory instantiates it, so benches, sweeps
+// and config files never `#include` a concrete channel type.  New models
+// (a measured S-parameter channel, an optical link, ...) plug in through
+// `register_kind` without touching any caller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/link_spec.h"
+#include "channel/channel.h"
+#include "core/config.h"
+
+namespace serdes::api {
+
+class ChannelFactory {
+ public:
+  /// Builds a channel from its spec; `cfg` supplies link-level context
+  /// (sample period, samples per UI) some models need.
+  using Creator = std::function<std::unique_ptr<channel::Channel>(
+      const ChannelSpec&, const core::LinkConfig&)>;
+
+  /// The process-wide registry, pre-loaded with the five built-in kinds.
+  static ChannelFactory& instance();
+
+  /// Registers (or replaces) a kind.  Thread-safe.
+  void register_kind(const std::string& kind, Creator creator);
+
+  [[nodiscard]] bool knows(const std::string& kind) const;
+
+  /// Registered kinds, sorted (for error messages and introspection).
+  [[nodiscard]] std::vector<std::string> kinds() const;
+
+  /// Instantiates the channel for `spec`.  Throws std::invalid_argument
+  /// for an unknown kind, naming the kinds that are registered.
+  [[nodiscard]] std::unique_ptr<channel::Channel> create(
+      const ChannelSpec& spec, const core::LinkConfig& cfg) const;
+
+ private:
+  ChannelFactory();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Creator>> creators_;
+};
+
+}  // namespace serdes::api

@@ -1,0 +1,143 @@
+#include "api/link_spec.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace serdes::api {
+
+ChannelSpec ChannelSpec::flat(double loss_db) {
+  ChannelSpec c;
+  c.kind = "flat";
+  c.loss_db = loss_db;
+  return c;
+}
+
+ChannelSpec ChannelSpec::rc(double pole_hz, double dc_loss_db) {
+  ChannelSpec c;
+  c.kind = "rc";
+  c.pole_hz = pole_hz;
+  c.loss_db = dc_loss_db;
+  return c;
+}
+
+ChannelSpec ChannelSpec::lossy_line(double dc_loss_db, double skin_db_at_1ghz,
+                                    double dielectric_db_at_1ghz) {
+  ChannelSpec c;
+  c.kind = "lossy_line";
+  c.loss_db = dc_loss_db;
+  c.skin_loss_db_at_1ghz = skin_db_at_1ghz;
+  c.dielectric_loss_db_at_1ghz = dielectric_db_at_1ghz;
+  return c;
+}
+
+ChannelSpec ChannelSpec::fir(std::vector<double> taps, int samples_per_tap) {
+  ChannelSpec c;
+  c.kind = "fir";
+  c.fir_taps = std::move(taps);
+  c.fir_samples_per_tap = samples_per_tap;
+  return c;
+}
+
+ChannelSpec ChannelSpec::cascade(std::vector<ChannelSpec> stages) {
+  ChannelSpec c;
+  c.kind = "composite";
+  c.stages = std::move(stages);
+  return c;
+}
+
+LinkSpec LinkSpec::paper_default() { return LinkSpec{}; }
+
+namespace {
+
+std::string validate_channel(const ChannelSpec& ch, int depth) {
+  if (ch.kind.empty()) return "channel kind is empty";
+  if (depth > 4) return "composite channel nested deeper than 4 levels";
+  if (ch.kind == "fir" && ch.fir_taps.empty()) {
+    return "fir channel needs at least one tap";
+  }
+  if (ch.kind == "composite") {
+    if (ch.stages.empty()) return "composite channel needs at least one stage";
+    for (const auto& stage : ch.stages) {
+      if (auto err = validate_channel(stage, depth + 1); !err.empty()) {
+        return err;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string LinkSpec::validate() const {
+  if (bit_rate_hz <= 0.0) return "bit_rate_hz must be positive";
+  if (samples_per_ui < 2) return "samples_per_ui must be at least 2";
+  if (auto err = validate_channel(channel, 0); !err.empty()) return err;
+  if (noise_rms_v < 0.0) return "noise_rms_v must be non-negative";
+  if (noise_reference_bandwidth_hz <= 0.0) {
+    return "noise_reference_bandwidth_hz must be positive";
+  }
+  if (random_jitter_s < 0.0) return "random_jitter_s must be non-negative";
+  if (sinusoidal_jitter_s < 0.0) {
+    return "sinusoidal_jitter_s must be non-negative";
+  }
+  if (sinusoidal_jitter_s > 0.0 && sj_freq_ratio <= 0.0) {
+    return "sj_freq_ratio must be positive when sinusoidal jitter is on";
+  }
+  if (cdr_oversampling < 2) return "cdr_oversampling must be at least 2";
+  if (cdr_window_uis < 1) return "cdr_window_uis must be at least 1";
+  if (cdr_glitch_filter_radius < 0) {
+    return "cdr_glitch_filter_radius must be non-negative";
+  }
+  if (cdr_jitter_hysteresis < 1) {
+    return "cdr_jitter_hysteresis must be at least 1";
+  }
+  if (tx_ffe_deemphasis < 0.0 || tx_ffe_deemphasis >= 1.0) {
+    return "tx_ffe_deemphasis must be in [0, 1)";
+  }
+  if (rx_ctle_boost_db < 0.0) return "rx_ctle_boost_db must be non-negative";
+  if (rx_ctle_boost_db > 0.0 && rx_ctle_pole_hz <= 0.0) {
+    return "rx_ctle_pole_hz must be positive when the CTLE is enabled";
+  }
+  if (preamble_bits < 8) return "preamble_bits must be at least 8";
+  if (payload_bits == 0) return "payload_bits must be positive";
+  if (chunk_bits == 0) return "chunk_bits must be positive";
+  return {};
+}
+
+void LinkSpec::validate_or_throw() const {
+  if (auto err = validate(); !err.empty()) {
+    throw std::invalid_argument("LinkSpec '" + name + "': " + err);
+  }
+}
+
+core::LinkConfig LinkSpec::to_link_config() const {
+  validate_or_throw();
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  cfg.bit_rate = util::Hertz{bit_rate_hz};
+  cfg.samples_per_ui = samples_per_ui;
+
+  cfg.channel_noise_rms = noise_rms_v;
+  cfg.noise_reference_bandwidth = util::Hertz{noise_reference_bandwidth_hz};
+  cfg.rx_random_jitter = util::Second{random_jitter_s};
+  cfg.rx_sinusoidal_jitter = util::Second{sinusoidal_jitter_s};
+  cfg.sj_freq_ratio = sj_freq_ratio;
+  cfg.ppm_offset = ppm_offset;
+  cfg.rx_phase_offset_ui = rx_phase_offset_ui;
+
+  cfg.cdr.oversampling = cdr_oversampling;
+  cfg.cdr.window_uis = cdr_window_uis;
+  cfg.cdr.glitch_filter_radius = cdr_glitch_filter_radius;
+  cfg.cdr.jitter_hysteresis = cdr_jitter_hysteresis;
+
+  cfg.tx_ffe_deemphasis = tx_ffe_deemphasis;
+  cfg.rx_ctle_boost = util::Decibel{rx_ctle_boost_db};
+  cfg.rx_ctle_pole = util::Hertz{rx_ctle_pole_hz};
+
+  cfg.framing.preamble_bits = preamble_bits;
+  cfg.prbs_order = prbs_order;
+  cfg.noise_seed = seed;
+  cfg.capture_waveforms = capture_waveforms;
+  return cfg;
+}
+
+}  // namespace serdes::api

@@ -1,0 +1,122 @@
+// Declarative description of one SerDes link scenario.
+//
+// The paper's evaluation is a matrix of scenarios — one link swept across
+// channel loss (Fig 9), jitter tolerance, RFI/CDR/EQ ablations — and every
+// scenario is fully described by a `LinkSpec`: rate, channel kind and
+// parameters, impairments, CDR and equalization knobs, and the payload to
+// push through.  A spec is plain data (doubles in SI units, strings, no
+// owning pointers), so it can be stored in tables, swept programmatically
+// and shipped across threads; `api::Simulator` turns specs into results
+// and `api::LinkBuilder` offers a fluent way to author them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "util/prbs.h"
+
+namespace serdes::api {
+
+/// Plain-data description of the channel a link runs over.  `kind` names a
+/// model registered in `ChannelFactory` ("flat", "rc", "lossy_line", "fir",
+/// "composite"); only the parameters that kind reads need to be set.
+struct ChannelSpec {
+  std::string kind = "flat";
+
+  /// flat: total attenuation; rc / lossy_line: the dc loss term.
+  double loss_db = 34.0;
+
+  /// rc: pole frequency of the single-pole trace model.
+  double pole_hz = 2.5e9;
+
+  /// lossy_line: skin-effect and dielectric loss coefficients at 1 GHz.
+  double skin_loss_db_at_1ghz = 18.0;
+  double dielectric_loss_db_at_1ghz = 14.0;
+
+  /// fir: UI-spaced impulse-response taps; `fir_samples_per_tap` <= 0 means
+  /// one tap per unit interval at the link's sampling density.
+  std::vector<double> fir_taps;
+  int fir_samples_per_tap = 0;
+
+  /// composite: stages cascaded in order.
+  std::vector<ChannelSpec> stages;
+
+  // ---- Convenience constructors for the built-in kinds ----
+  static ChannelSpec flat(double loss_db);
+  static ChannelSpec rc(double pole_hz, double dc_loss_db = 0.0);
+  static ChannelSpec lossy_line(double dc_loss_db, double skin_db_at_1ghz,
+                                double dielectric_db_at_1ghz);
+  static ChannelSpec fir(std::vector<double> taps, int samples_per_tap = 0);
+  static ChannelSpec cascade(std::vector<ChannelSpec> stages);
+};
+
+/// Everything needed to construct and run one link, with the analog blocks
+/// held at the paper's design point.  Defaults reproduce the headline
+/// operating condition: 2 Gbps PRBS-31 through 34 dB of flat loss.
+struct LinkSpec {
+  /// Label carried into the RunReport (sweep axis value, lane name, ...).
+  std::string name = "link";
+
+  // ---- Rate / resolution ----
+  double bit_rate_hz = 2e9;
+  int samples_per_ui = 16;
+
+  // ---- Channel ----
+  ChannelSpec channel{};
+
+  // ---- Impairments ----
+  double noise_rms_v = 0.001;
+  double noise_reference_bandwidth_hz = 3e9;
+  double random_jitter_s = 2e-12;
+  double sinusoidal_jitter_s = 0.0;
+  double sj_freq_ratio = 0.04;
+  double ppm_offset = 0.0;
+  double rx_phase_offset_ui = 0.37;
+
+  // ---- CDR knobs ----
+  int cdr_oversampling = 5;
+  int cdr_window_uis = 32;
+  int cdr_glitch_filter_radius = 1;
+  int cdr_jitter_hysteresis = 2;
+
+  // ---- Equalization knobs (0 disables) ----
+  double tx_ffe_deemphasis = 0.0;
+  double rx_ctle_boost_db = 0.0;
+  double rx_ctle_pole_hz = 700e6;
+
+  // ---- Framing / payload ----
+  int preamble_bits = 256;
+  util::PrbsOrder prbs_order = util::PrbsOrder::kPrbs31;
+  /// Total payload bits pushed through the link, split into independent
+  /// chunks of `chunk_bits` (each chunk gets fresh noise).
+  std::uint64_t payload_bits = 4096;
+  std::uint64_t chunk_bits = 4096;
+
+  /// Base seed for all stochastic pieces; `Simulator::run_batch` derives a
+  /// distinct deterministic seed per lane from it.
+  std::uint64_t seed = 1234;
+
+  /// Opt-in: retain the tx / channel / restored waveforms in the report.
+  /// Off by default so batch sweeps don't carry megabytes of samples.
+  bool capture_waveforms = false;
+
+  /// The paper's operating point (identical to the defaults; spelled out
+  /// for call-site readability).
+  static LinkSpec paper_default();
+
+  /// Returns an empty string if the spec is runnable, else a description
+  /// of the first problem found.
+  [[nodiscard]] std::string validate() const;
+
+  /// Throws std::invalid_argument naming the spec and the first problem.
+  void validate_or_throw() const;
+
+  /// Lowers the spec onto the core link configuration (analog blocks at
+  /// their paper design point).  Throws std::invalid_argument if
+  /// validate() fails.
+  [[nodiscard]] core::LinkConfig to_link_config() const;
+};
+
+}  // namespace serdes::api

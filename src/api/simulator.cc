@@ -1,0 +1,140 @@
+#include "api/simulator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "api/channel_factory.h"
+#include "core/ber.h"
+#include "core/link.h"
+#include "util/prbs.h"
+
+namespace serdes::api {
+
+std::uint64_t Simulator::derive_lane_seed(std::uint64_t base_seed,
+                                          std::size_t lane) {
+  // splitmix64 step (Steele/Lea/Flood) over base ^ lane: well-mixed,
+  // collision-free per lane, and stable across platforms and thread
+  // schedules.
+  std::uint64_t z = base_seed ^ (0x9e3779b97f4a7c15ull *
+                                 (static_cast<std::uint64_t>(lane) + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+RunReport Simulator::run(const LinkSpec& spec) const {
+  RunReport report;
+  report.spec = spec;
+  report.confidence_level = options_.confidence_level;
+
+  core::LinkConfig cfg = spec.to_link_config();
+  // The first chunk always captures waveforms: lock diagnostics and eye
+  // metrics come from it.  Whether they stay in the report is the spec's
+  // capture_waveforms choice.
+  cfg.capture_waveforms = true;
+  core::SerDesLink link(cfg,
+                        ChannelFactory::instance().create(spec.channel, cfg));
+
+  // The chunked-BER accounting lives in core::measure_ber; the observer
+  // lifts the diagnostics off the first chunk and turns capture off for
+  // the bulk chunks.
+  bool first_chunk = true;
+  const core::BerMeasurement m = core::measure_ber(
+      link, spec.payload_bits, spec.chunk_bits, options_.confidence_level,
+      spec.prbs_order, [&](const core::LinkResult& r) {
+        if (!first_chunk) return;
+        first_chunk = false;
+        report.cdr_decision_phase = r.rx.cdr_decision_phase;
+        report.cdr_phase_updates = r.rx.cdr_phase_updates;
+        report.rx_swing_pp = r.rx_swing_pp;
+        report.decision_threshold = link.receiver().decision_threshold();
+        const core::EyeAnalyzer eye(cfg.bit_rate, options_.eye_bins_per_ui);
+        report.eye = eye.analyze(r.rx.restored, report.decision_threshold);
+        if (spec.capture_waveforms) {
+          report.tx_out = r.tx_out;
+          report.channel_out = r.channel_out;
+          report.restored = r.rx.restored;
+        }
+        link.set_capture_waveforms(false);
+      });
+
+  report.aligned = m.aligned;
+  report.bits = m.bits;
+  report.errors = m.errors;
+  report.ber = m.ber;
+  report.ber_upper_bound = m.ber_upper_bound;
+  return report;
+}
+
+std::vector<RunReport> Simulator::run_batch(const std::vector<LinkSpec>& specs,
+                                            int n_threads) const {
+  // Fail fast, before any lane burns cycles.  Constructing each lane's
+  // channel up front also catches unknown kinds nested inside composite
+  // stages (channel construction is cheap next to running a lane).
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (auto err = specs[i].validate(); !err.empty()) {
+      throw std::invalid_argument("run_batch lane " + std::to_string(i) +
+                                  " ('" + specs[i].name + "'): " + err);
+    }
+    try {
+      (void)ChannelFactory::instance().create(specs[i].channel,
+                                              specs[i].to_link_config());
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("run_batch lane " + std::to_string(i) +
+                                  " ('" + specs[i].name + "'): " + e.what());
+    }
+  }
+
+  std::vector<RunReport> reports(specs.size());
+  if (specs.empty()) return reports;
+
+  unsigned workers = n_threads > 0
+                         ? static_cast<unsigned>(n_threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers,
+                               static_cast<unsigned>(specs.size()));
+
+  std::atomic<std::size_t> next_lane{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      // A thrown lane voids the whole batch, so stop picking up new lanes.
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t lane = next_lane.fetch_add(1);
+      if (lane >= specs.size()) return;
+      try {
+        LinkSpec lane_spec = specs[lane];
+        if (options_.derive_lane_seeds) {
+          lane_spec.seed = derive_lane_seed(lane_spec.seed, lane);
+        }
+        reports[lane] = run(lane_spec);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return reports;
+}
+
+}  // namespace serdes::api

@@ -1,0 +1,98 @@
+// Simulator façade: turns declarative LinkSpecs into structured reports.
+//
+// `run(spec)` executes one link scenario — chunked PRBS traffic with
+// fresh per-chunk noise, exactly like core::measure_ber — and returns a
+// RunReport with BER statistics (with the confidence-bound treatment),
+// CDR lock diagnostics and eye metrics.  `run_batch(specs, n_threads)`
+// fans independent lanes out across worker threads; each lane derives a
+// deterministic seed from its base seed and lane index (splitmix64), so
+// results are bit-identical whatever the thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analog/waveform.h"
+#include "api/link_spec.h"
+#include "core/eye.h"
+
+namespace serdes::api {
+
+/// Structured outcome of one lane.
+struct RunReport {
+  /// The spec that produced this report (seed shows the derived per-lane
+  /// value when the report came from run_batch).
+  LinkSpec spec;
+
+  // ---- BER ----
+  bool aligned = false;
+  std::uint64_t bits = 0;
+  std::uint64_t errors = 0;
+  double ber = 0.0;
+  /// Upper bound on the true BER at `confidence_level`.
+  double ber_upper_bound = 1.0;
+  double confidence_level = 0.95;
+
+  // ---- Lock / front-end diagnostics (from the first chunk) ----
+  int cdr_decision_phase = 0;
+  std::uint64_t cdr_phase_updates = 0;
+  double rx_swing_pp = 0.0;
+  double decision_threshold = 0.0;
+
+  // ---- Eye metrics on the restored waveform (first chunk) ----
+  core::EyeMetrics eye{};
+
+  // ---- Waveforms (only when spec.capture_waveforms) ----
+  analog::Waveform tx_out;
+  analog::Waveform channel_out;
+  analog::Waveform restored;
+
+  [[nodiscard]] bool error_free() const {
+    return aligned && errors == 0 && bits > 0;
+  }
+  [[nodiscard]] const std::string& name() const { return spec.name; }
+};
+
+class Simulator {
+ public:
+  struct Options {
+    /// Confidence level for the BER upper bound.
+    double confidence_level = 0.95;
+    /// Eye-folding resolution (bins per unit interval).
+    int eye_bins_per_ui = 64;
+    /// When true (default), run_batch gives lane i the seed
+    /// derive_lane_seed(spec.seed, i) so lanes with the same base seed see
+    /// uncorrelated noise.  Turn off for paired comparisons (ablations)
+    /// where every lane must face the identical noise realization.
+    bool derive_lane_seeds = true;
+  };
+
+  Simulator() = default;
+  explicit Simulator(Options options) : options_(options) {}
+
+  /// Runs one scenario.  Throws std::invalid_argument on an invalid spec
+  /// or unknown channel kind.
+  [[nodiscard]] RunReport run(const LinkSpec& spec) const;
+
+  /// Runs every lane of a sweep, `n_threads` lanes in flight at a time
+  /// (n_threads <= 0 picks the hardware concurrency).  All specs are
+  /// validated before any lane starts.  Lane i runs with seed
+  /// derive_lane_seed(specs[i].seed, i) (or its own seed unchanged when
+  /// Options::derive_lane_seeds is off); reports come back in spec order
+  /// and are bit-identical for any thread count.
+  [[nodiscard]] std::vector<RunReport> run_batch(
+      const std::vector<LinkSpec>& specs, int n_threads = 0) const;
+
+  /// Deterministic per-lane seed: one splitmix64 step over
+  /// base ^ (0x9e3779b97f4a7c15 * (lane + 1)).
+  [[nodiscard]] static std::uint64_t derive_lane_seed(std::uint64_t base_seed,
+                                                      std::size_t lane);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace serdes::api

@@ -39,9 +39,10 @@ double ber_upper_bound(std::uint64_t bits, std::uint64_t errors,
   return std::min(1.0, mu_up / static_cast<double>(bits));
 }
 
-BerMeasurement measure_ber(SerDesLink& link, std::uint64_t total_bits,
-                           std::uint64_t chunk_bits, double confidence_level,
-                           util::PrbsOrder order) {
+BerMeasurement measure_ber(
+    SerDesLink& link, std::uint64_t total_bits, std::uint64_t chunk_bits,
+    double confidence_level, util::PrbsOrder order,
+    const std::function<void(const LinkResult&)>& on_chunk) {
   BerMeasurement m;
   m.confidence_level = confidence_level;
   util::PrbsGenerator prbs(order);
@@ -49,6 +50,7 @@ BerMeasurement measure_ber(SerDesLink& link, std::uint64_t total_bits,
     const std::uint64_t n = std::min(chunk_bits, total_bits - m.bits);
     const auto payload = prbs.next_bits(static_cast<std::size_t>(n));
     const LinkResult r = link.run(payload);
+    if (on_chunk) on_chunk(r);
     if (!r.aligned) {
       // Alignment failure: every payload bit in the chunk is lost.
       m.aligned = false;

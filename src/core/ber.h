@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/link.h"
 
@@ -26,10 +27,14 @@ struct BerMeasurement {
 
 /// Runs the link over `total_bits` of PRBS data split into chunks (each
 /// chunk is an independent waveform with fresh noise), accumulating errors.
-BerMeasurement measure_ber(SerDesLink& link, std::uint64_t total_bits,
-                           std::uint64_t chunk_bits = 4096,
-                           double confidence_level = 0.95,
-                           util::PrbsOrder order = util::PrbsOrder::kPrbs31);
+/// `on_chunk`, if set, sees every chunk's LinkResult as it completes —
+/// api::Simulator uses it to lift diagnostics off the first chunk while
+/// sharing this loop's BER accounting.
+BerMeasurement measure_ber(
+    SerDesLink& link, std::uint64_t total_bits,
+    std::uint64_t chunk_bits = 4096, double confidence_level = 0.95,
+    util::PrbsOrder order = util::PrbsOrder::kPrbs31,
+    const std::function<void(const LinkResult&)>& on_chunk = {});
 
 /// Upper bound of true BER given an observation (Poisson/chi-square based;
 /// exact for zero errors, a good approximation otherwise).

@@ -56,10 +56,24 @@ struct LinkConfig {
   /// CDR-untrackable jitter sits at a few percent of the rate).
   double sj_freq_ratio = 0.04;
 
-  // ---- Framing ----
+  // ---- Equalization (extension blocks; disabled by default) ----
+  /// TX FFE 2-tap de-emphasis factor alpha (0 disables the FFE path).
+  double tx_ffe_deemphasis = 0.0;
+  /// RX CTLE high-frequency boost above `rx_ctle_pole` (0 dB disables).
+  util::Decibel rx_ctle_boost = util::decibels(0.0);
+  util::Hertz rx_ctle_pole = util::megahertz(700.0);
+
+  // ---- Framing / payload ----
   digital::FramingConfig framing{};
+  /// Pattern used by SerDesLink::run_prbs when no order is given.
+  util::PrbsOrder prbs_order = util::PrbsOrder::kPrbs31;
 
   std::uint64_t noise_seed = 1234;
+
+  /// When false, LinkResult comes back without the tx/channel/restored
+  /// waveforms — batch sweeps that only read BER skip retaining two full
+  /// analog::Waveforms per run.
+  bool capture_waveforms = true;
 
   /// Unit interval.
   [[nodiscard]] util::Second unit_interval() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "channel/equalizer.h"
 #include "channel/noise.h"
 
 namespace serdes::core {
@@ -18,7 +19,17 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
   LinkResult result;
   result.payload_bits_sent = payload.size();
 
-  result.tx_out = tx_.transmit_bits(payload);
+  if (config_.tx_ffe_deemphasis != 0.0) {
+    // FFE path: pre-distorted multi-level launch instead of the plain
+    // rail-to-rail driver waveform.
+    const channel::TxFfe ffe = channel::TxFfe::de_emphasis(
+        config_.tx_ffe_deemphasis, config_.driver.vdd);
+    result.tx_out =
+        ffe.shape(tx_.wire_bits(payload), config_.bit_rate,
+                  config_.samples_per_ui, tx_.driver().output_rise_time());
+  } else {
+    result.tx_out = tx_.transmit_bits(payload);
+  }
   result.channel_out = channel_->transmit(result.tx_out);
 
   // Receiver-input AWGN; a fresh seed per run keeps repeated runs
@@ -32,8 +43,15 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
   channel::AwgnSource noise(config_.channel_noise_rms * density_scale,
                             config_.noise_seed + 100 + run_counter_++);
   noise.apply(result.channel_out);
+  result.rx_swing_pp = result.channel_out.peak_to_peak();
 
-  result.rx = rx_.receive(result.channel_out);
+  if (config_.rx_ctle_boost.value() > 0.0) {
+    const channel::RxCtle ctle(config_.rx_ctle_boost, config_.rx_ctle_pole,
+                               config_.sample_period());
+    result.rx = rx_.receive(ctle.equalize(result.channel_out));
+  } else {
+    result.rx = rx_.receive(result.channel_out);
+  }
   result.aligned = result.rx.aligned;
 
   const auto& got = result.rx.payload;
@@ -48,7 +66,17 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
     result.ber = static_cast<double>(result.bit_errors) /
                  static_cast<double>(result.payload_bits_compared);
   }
+  if (!config_.capture_waveforms) {
+    result.tx_out = {};
+    result.channel_out = {};
+    result.rx.rfi_out = {};
+    result.rx.restored = {};
+  }
   return result;
+}
+
+LinkResult SerDesLink::run_prbs(std::size_t nbits) {
+  return run_prbs(nbits, config_.prbs_order);
 }
 
 LinkResult SerDesLink::run_prbs(std::size_t nbits, util::PrbsOrder order) {

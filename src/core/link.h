@@ -21,8 +21,12 @@ struct LinkResult {
   std::uint64_t payload_bits_compared = 0;
   std::uint64_t bit_errors = 0;
   double ber = 0.0;
+  /// Peak-to-peak swing at the receiver input (always populated, even when
+  /// waveform capture is off).
+  double rx_swing_pp = 0.0;
   ReceiveResult rx;
   /// TX output and channel output waveforms (for plotting / eye analysis).
+  /// Empty when `LinkConfig::capture_waveforms` is false.
   analog::Waveform tx_out;
   analog::Waveform channel_out;
 
@@ -39,15 +43,21 @@ class SerDesLink {
   /// Transmits `payload` and compares what the receiver recovered.
   [[nodiscard]] LinkResult run(const std::vector<std::uint8_t>& payload);
 
-  /// Convenience: PRBS payload of `nbits`.
-  [[nodiscard]] LinkResult run_prbs(std::size_t nbits,
-                                    util::PrbsOrder order =
-                                        util::PrbsOrder::kPrbs31);
+  /// Convenience: PRBS payload of `nbits` using the config's pattern order.
+  [[nodiscard]] LinkResult run_prbs(std::size_t nbits);
+  [[nodiscard]] LinkResult run_prbs(std::size_t nbits, util::PrbsOrder order);
 
   [[nodiscard]] const Transmitter& transmitter() const { return tx_; }
   [[nodiscard]] Receiver& receiver() { return rx_; }
   [[nodiscard]] const channel::Channel& channel() const { return *channel_; }
   [[nodiscard]] const LinkConfig& config() const { return config_; }
+
+  /// Toggles waveform capture after construction (see
+  /// LinkConfig::capture_waveforms); api::Simulator keeps the first
+  /// diagnostic chunk and drops waveforms for the bulk BER chunks.
+  void set_capture_waveforms(bool capture) {
+    config_.capture_waveforms = capture;
+  }
 
  private:
   LinkConfig config_;

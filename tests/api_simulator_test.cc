@@ -1,0 +1,183 @@
+#include "api/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/link_builder.h"
+
+namespace serdes::api {
+namespace {
+
+TEST(Simulator, PaperOperatingPointIsErrorFree) {
+  const Simulator sim;
+  const auto report = sim.run(LinkSpec::paper_default());
+  EXPECT_TRUE(report.aligned);
+  EXPECT_TRUE(report.error_free());
+  EXPECT_GT(report.bits, 4000u);
+  EXPECT_GT(report.ber_upper_bound, 0.0);
+  EXPECT_LT(report.ber_upper_bound, 1e-2);
+  // Lock and eye diagnostics ride along even without waveform capture.
+  EXPECT_TRUE(report.eye.open());
+  EXPECT_GT(report.rx_swing_pp, 0.01);
+  EXPECT_LT(report.rx_swing_pp, 0.08);  // ~36 mV at 34 dB
+  EXPECT_GT(report.decision_threshold, 0.0);
+}
+
+TEST(Simulator, WaveformCaptureIsOptIn) {
+  const Simulator sim;
+  const auto spec =
+      LinkBuilder().payload_bits(1024).chunk_bits(1024).build_spec();
+  const auto lean = sim.run(spec);
+  EXPECT_TRUE(lean.tx_out.empty());
+  EXPECT_TRUE(lean.channel_out.empty());
+  EXPECT_TRUE(lean.restored.empty());
+
+  const auto rich = sim.run(LinkBuilder(spec).capture_waveforms().build_spec());
+  EXPECT_FALSE(rich.tx_out.empty());
+  EXPECT_FALSE(rich.channel_out.empty());
+  EXPECT_FALSE(rich.restored.empty());
+  // Same traffic either way.
+  EXPECT_EQ(rich.bits, lean.bits);
+  EXPECT_EQ(rich.errors, lean.errors);
+}
+
+TEST(Simulator, ChunkedRunMatchesTotalBits) {
+  const Simulator sim;
+  const auto report = sim.run(
+      LinkBuilder().payload_bits(10000).chunk_bits(3000).build_spec());
+  EXPECT_GE(report.bits, 10000u - 64u);  // CDR pipeline tail allowance
+  EXPECT_TRUE(report.aligned);
+}
+
+TEST(Simulator, HighLossLaneReportsErrors) {
+  const Simulator sim;
+  const auto report = sim.run(LinkBuilder()
+                                  .flat_channel(util::decibels(75.0))
+                                  .payload_bits(2048)
+                                  .build_spec());
+  EXPECT_FALSE(report.error_free());
+  EXPECT_GT(report.ber, 0.0);
+}
+
+TEST(Simulator, LaneSeedsAreDistinctAndStable) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    seeds.insert(Simulator::derive_lane_seed(1234, lane));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+  // Pinned: the derivation is part of the reproducibility contract.
+  EXPECT_EQ(Simulator::derive_lane_seed(1234, 0),
+            Simulator::derive_lane_seed(1234, 0));
+  EXPECT_NE(Simulator::derive_lane_seed(1234, 0),
+            Simulator::derive_lane_seed(4321, 0));
+}
+
+TEST(Simulator, RunBatchDeterministicAcrossThreadCounts) {
+  // The acceptance criterion: same specs + seeds => identical BERs
+  // whatever the thread count.
+  std::vector<LinkSpec> specs;
+  for (double loss : {20.0, 34.0, 40.0, 46.0, 52.0}) {
+    specs.push_back(LinkBuilder()
+                        .name("loss_" + std::to_string(loss))
+                        .flat_channel(util::decibels(loss))
+                        .payload_bits(3000)
+                        .chunk_bits(1500)
+                        .build_spec());
+  }
+
+  const Simulator sim;
+  const auto serial = sim.run_batch(specs, 1);
+  const auto parallel = sim.run_batch(specs, 4);
+
+  ASSERT_EQ(serial.size(), specs.size());
+  ASSERT_EQ(parallel.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(serial[i].name(), specs[i].name);
+    EXPECT_EQ(parallel[i].name(), serial[i].name());
+    EXPECT_EQ(parallel[i].bits, serial[i].bits) << i;
+    EXPECT_EQ(parallel[i].errors, serial[i].errors) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].ber, serial[i].ber) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].ber_upper_bound, serial[i].ber_upper_bound)
+        << i;
+    EXPECT_EQ(parallel[i].aligned, serial[i].aligned) << i;
+    EXPECT_EQ(parallel[i].cdr_decision_phase, serial[i].cdr_decision_phase)
+        << i;
+    EXPECT_DOUBLE_EQ(parallel[i].eye.eye_height, serial[i].eye.eye_height)
+        << i;
+    EXPECT_DOUBLE_EQ(parallel[i].rx_swing_pp, serial[i].rx_swing_pp) << i;
+  }
+  // Default-thread-count run agrees too.
+  const auto auto_threads = sim.run_batch(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(auto_threads[i].errors, serial[i].errors) << i;
+    EXPECT_DOUBLE_EQ(auto_threads[i].ber, serial[i].ber) << i;
+  }
+}
+
+TEST(Simulator, LanesWithSameBaseSeedStayIndependent) {
+  // Two identical specs in one batch get different derived seeds, so their
+  // noise is uncorrelated — but each lane is itself reproducible.
+  std::vector<LinkSpec> specs(2, LinkBuilder()
+                                     .flat_channel(util::decibels(34.0))
+                                     .payload_bits(2048)
+                                     .build_spec());
+  const Simulator sim;
+  const auto a = sim.run_batch(specs, 2);
+  const auto b = sim.run_batch(specs, 1);
+  EXPECT_EQ(a[0].spec.seed, b[0].spec.seed);
+  EXPECT_EQ(a[1].spec.seed, b[1].spec.seed);
+  EXPECT_NE(a[0].spec.seed, a[1].spec.seed);
+}
+
+TEST(Simulator, PairedSeedsForAblationComparisons) {
+  // With derive_lane_seeds off, identical specs face the identical noise
+  // realization — the paired-comparison mode the ablation benches use.
+  Simulator::Options opts;
+  opts.derive_lane_seeds = false;
+  std::vector<LinkSpec> specs(2, LinkBuilder()
+                                     .flat_channel(util::decibels(50.0))
+                                     .payload_bits(2048)
+                                     .build_spec());
+  const auto r = Simulator(opts).run_batch(specs, 2);
+  EXPECT_EQ(r[0].spec.seed, r[1].spec.seed);
+  EXPECT_EQ(r[0].errors, r[1].errors);
+  EXPECT_DOUBLE_EQ(r[0].ber, r[1].ber);
+}
+
+TEST(Simulator, RunBatchValidatesBeforeRunning) {
+  std::vector<LinkSpec> specs = {LinkSpec::paper_default()};
+  specs.push_back(LinkSpec::paper_default());
+  specs[1].channel.kind = "wormhole";
+  EXPECT_THROW((void)Simulator().run_batch(specs, 2), std::invalid_argument);
+
+  specs[1] = LinkSpec::paper_default();
+  specs[1].samples_per_ui = 0;
+  EXPECT_THROW((void)Simulator().run_batch(specs, 2), std::invalid_argument);
+
+  // An unknown kind hiding inside a composite stage must also fail fast.
+  specs[1] = LinkSpec::paper_default();
+  specs[1].channel = ChannelSpec::cascade({ChannelSpec::flat(10.0)});
+  specs[1].channel.stages[0].kind = "wormhole";
+  EXPECT_THROW((void)Simulator().run_batch(specs, 2), std::invalid_argument);
+}
+
+TEST(Simulator, EqualizationKnobsReachTheLink) {
+  // A dispersive line that defeats the raw link but passes with TX FFE +
+  // RX CTLE — the bench_ablation_eq story through the declarative API.
+  const auto base = LinkBuilder()
+                        .channel(ChannelSpec::cascade(
+                            {ChannelSpec::lossy_line(4.0, 14.4, 9.6)}))
+                        .payload_bits(2000)
+                        .build_spec();
+  const Simulator sim;
+  const auto raw = sim.run(base);
+  const auto equalized = sim.run(LinkBuilder(base)
+                                     .tx_ffe_deemphasis(0.33)
+                                     .rx_ctle(util::decibels(6.0))
+                                     .build_spec());
+  EXPECT_LE(equalized.errors, raw.errors);
+}
+
+}  // namespace
+}  // namespace serdes::api

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "api/link_builder.h"
 #include "channel/channel.h"
 #include "core/cost_model.h"
 #include "core/eye.h"
@@ -73,8 +74,8 @@ TEST(Eye, ValidatesBins) {
 }
 
 TEST(Eye, LinkEyeOpenAtPaperPoint) {
-  SerDesLink link(LinkConfig::paper_default(),
-                  std::make_unique<channel::FlatChannel>(util::decibels(34.0)));
+  SerDesLink link =
+      api::LinkBuilder().flat_channel(util::decibels(34.0)).build_link();
   const auto r = link.run_prbs(1024);
   EyeAnalyzer eye(util::gigahertz(2.0));
   const auto m = eye.analyze(r.rx.restored, link.receiver().decision_threshold());

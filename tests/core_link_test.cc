@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "api/channel_factory.h"
 #include "channel/channel.h"
 #include "core/ber.h"
 #include "util/prbs.h"
@@ -12,7 +13,8 @@ namespace serdes::core {
 namespace {
 
 std::unique_ptr<channel::Channel> flat(double db) {
-  return std::make_unique<channel::FlatChannel>(util::decibels(db));
+  return api::ChannelFactory::instance().create(api::ChannelSpec::flat(db),
+                                                LinkConfig::paper_default());
 }
 
 TEST(Link, PaperOperatingPointIsErrorFree) {

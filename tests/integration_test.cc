@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 
+#include "api/api.h"
 #include "channel/channel.h"
 #include "core/ber.h"
 #include "core/eye.h"
@@ -19,48 +20,48 @@ namespace serdes {
 namespace {
 
 TEST(Integration, LinkOverLossyLine) {
-  core::LinkConfig cfg = core::LinkConfig::paper_default();
-  channel::LossyLineChannel::Params p;
-  p.dc_loss_db = 2.0;
-  p.skin_loss_db_at_1ghz = 6.0;
-  p.dielectric_loss_db_at_1ghz = 3.0;
-  auto line =
-      std::make_unique<channel::LossyLineChannel>(p, cfg.sample_period());
-  core::SerDesLink link(cfg, std::move(line));
+  core::SerDesLink link =
+      api::LinkBuilder()
+          .channel(api::ChannelSpec::lossy_line(2.0, 6.0, 3.0))
+          .build_link();
   const auto r = link.run_prbs(3000);
   EXPECT_TRUE(r.error_free());
 }
 
 TEST(Integration, LinkOverCompositeChannel) {
-  core::LinkConfig cfg = core::LinkConfig::paper_default();
-  auto comp = std::make_unique<channel::CompositeChannel>();
-  comp->add(std::make_unique<channel::RcChannel>(
-      util::gigahertz(2.5), cfg.sample_period(), util::decibels(3.0)));
-  comp->add(std::make_unique<channel::FlatChannel>(util::decibels(20.0)));
-  core::SerDesLink link(cfg, std::move(comp));
+  core::SerDesLink link =
+      api::LinkBuilder()
+          .channel(api::ChannelSpec::cascade(
+              {api::ChannelSpec::rc(2.5e9, 3.0), api::ChannelSpec::flat(20.0)}))
+          .build_link();
   const auto r = link.run_prbs(3000);
   EXPECT_TRUE(r.error_free());
 }
 
 TEST(Integration, PcieClassRatesRunClean) {
-  // Discussion section: PCIe 1.x-4.0 lanes need 250 Mbps - 2 Gbps.
+  // Discussion section: PCIe 1.x-4.0 lanes need 250 Mbps - 2 Gbps.  The
+  // whole rate sweep runs as one multi-lane batch.
+  std::vector<api::LinkSpec> specs;
   for (double rate_mbps : {250.0, 500.0, 1000.0, 2000.0}) {
-    core::LinkConfig cfg = core::LinkConfig::paper_default();
-    cfg.bit_rate = util::megahertz(rate_mbps);
-    core::SerDesLink link(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(30.0)));
-    const auto r = link.run_prbs(2000);
-    EXPECT_TRUE(r.error_free()) << rate_mbps << " Mbps";
+    specs.push_back(api::LinkBuilder()
+                        .name(std::to_string(rate_mbps) + " Mbps")
+                        .bit_rate(util::megahertz(rate_mbps))
+                        .flat_channel(util::decibels(30.0))
+                        .payload_bits(2000)
+                        .build_spec());
+  }
+  for (const auto& r : api::Simulator().run_batch(specs, 2)) {
+    EXPECT_TRUE(r.error_free()) << r.name();
   }
 }
 
 TEST(Integration, ChipletShortReachLowLoss) {
   // EMIB-style: 1-5 dB loss, 1-4 GHz; at 3 GHz the link keeps working in
   // the benign channel even beyond the paper's 2 GHz headline.
-  core::LinkConfig cfg = core::LinkConfig::paper_default();
-  cfg.bit_rate = util::gigahertz(3.0);
-  core::SerDesLink link(
-      cfg, std::make_unique<channel::FlatChannel>(util::decibels(3.0)));
+  core::SerDesLink link = api::LinkBuilder()
+                              .bit_rate(util::gigahertz(3.0))
+                              .flat_channel(util::decibels(3.0))
+                              .build_link();
   const auto r = link.run_prbs(2000);
   EXPECT_TRUE(r.aligned);
   EXPECT_LT(r.ber, 1e-2);
@@ -69,39 +70,32 @@ TEST(Integration, ChipletShortReachLowLoss) {
 TEST(Integration, EyeAndBerAgree) {
   // If the restored eye is open at the decision threshold, the measured
   // BER must be zero over the same run, and vice versa at huge loss.
-  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  const api::Simulator sim;
   {
-    core::SerDesLink link(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(28.0)));
-    const auto r = link.run_prbs(2000);
-    core::EyeAnalyzer eye(cfg.bit_rate);
-    const auto m =
-        eye.analyze(r.rx.restored, link.receiver().decision_threshold());
-    EXPECT_TRUE(m.open());
-    EXPECT_EQ(r.bit_errors, 0u);
+    const auto r = sim.run(api::LinkBuilder()
+                               .flat_channel(util::decibels(28.0))
+                               .payload_bits(2000)
+                               .build_spec());
+    EXPECT_TRUE(r.eye.open());
+    EXPECT_EQ(r.errors, 0u);
   }
   {
-    core::SerDesLink link(
-        cfg, std::make_unique<channel::FlatChannel>(util::decibels(68.0)));
-    const auto r = link.run_prbs(2000);
-    core::EyeAnalyzer eye(cfg.bit_rate);
-    const auto m =
-        eye.analyze(r.rx.restored, link.receiver().decision_threshold());
-    EXPECT_FALSE(m.open() && r.bit_errors == 0 && r.aligned);
+    const auto r = sim.run(api::LinkBuilder()
+                               .flat_channel(util::decibels(68.0))
+                               .payload_bits(2000)
+                               .build_spec());
+    EXPECT_FALSE(r.eye.open() && r.errors == 0 && r.aligned);
   }
 }
 
 TEST(Integration, CdrScanKnobsAffectLink) {
   // Glitch correction off vs on under heavy noise: on must not be worse.
-  core::LinkConfig with_scan = core::LinkConfig::paper_default();
-  with_scan.channel_noise_rms = 0.004;
-  core::LinkConfig no_scan = with_scan;
-  no_scan.cdr.glitch_filter_radius = 0;
-
-  core::SerDesLink link_scan(
-      with_scan, std::make_unique<channel::FlatChannel>(util::decibels(40.0)));
-  core::SerDesLink link_plain(
-      no_scan, std::make_unique<channel::FlatChannel>(util::decibels(40.0)));
+  const api::LinkBuilder stressed = api::LinkBuilder()
+                                        .noise_rms(0.004)
+                                        .flat_channel(util::decibels(40.0));
+  core::SerDesLink link_scan = stressed.build_link();
+  core::SerDesLink link_plain =
+      api::LinkBuilder(stressed.spec()).cdr_glitch_filter(0).build_link();
   const auto r_scan = link_scan.run_prbs(4000);
   const auto r_plain = link_plain.run_prbs(4000);
   EXPECT_LE(r_scan.bit_errors, r_plain.bit_errors + 5);
