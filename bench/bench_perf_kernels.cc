@@ -1,11 +1,26 @@
-// google-benchmark microbenchmarks of the simulation kernels: how fast the
-// library itself runs (not a paper figure — engineering data for users).
-#include <benchmark/benchmark.h>
-
-#include <memory>
+// Microbenchmarks of the simulation kernels: how fast the library itself
+// runs (not a paper figure — engineering data for users).
+//
+// Self-contained timing harness (no external benchmark dependency, so this
+// always builds) that prints a table and writes machine-readable
+// BENCH_perf.json — {name, items_per_s, ns_per_item, ...} per kernel — so
+// the performance trajectory is tracked across PRs.
+//
+// The headline entries are the batch-vs-streaming comparison on the deep
+// BER kernel: one Simulator::run over a single 2^20-bit chunk in each
+// execution mode, with the process peak-RSS sampled around each so the
+// O(payload) vs O(block) memory behaviour is visible in the JSON.
+//
+// Usage: bench_perf_kernels [output.json] [--deep-bits=N]
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "analog/rfi.h"
-#include "analog/transient.h"
 #include "api/api.h"
 #include "core/link.h"
 #include "digital/cdr.h"
@@ -19,112 +34,250 @@ namespace {
 
 using namespace serdes;
 
-void BM_PrbsGeneration(benchmark::State& state) {
-  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(prbs.next());
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PrbsGeneration);
+struct BenchResult {
+  std::string name;
+  std::uint64_t items = 0;     // per iteration
+  std::uint64_t iterations = 0;
+  double seconds = 0.0;
+  double peak_rss_kb = 0.0;    // VmHWM after the run (0 if unavailable)
 
-void BM_CdrRecovery(benchmark::State& state) {
-  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
-  const auto bits = prbs.next_bits(4096);
-  std::vector<std::uint8_t> samples;
-  samples.reserve(bits.size() * 5);
-  for (auto b : bits) {
-    for (int p = 0; p < 5; ++p) samples.push_back(b);
+  [[nodiscard]] double items_per_s() const {
+    return seconds > 0.0
+               ? static_cast<double>(items * iterations) / seconds
+               : 0.0;
   }
-  for (auto _ : state) {
-    digital::OversamplingCdr cdr(digital::CdrConfig{});
-    benchmark::DoNotOptimize(cdr.recover(samples));
+  [[nodiscard]] double ns_per_item() const {
+    const double total = static_cast<double>(items * iterations);
+    return total > 0.0 ? seconds * 1e9 / total : 0.0;
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(bits.size()));
-}
-BENCHMARK(BM_CdrRecovery);
+};
 
-void BM_TransientRfiStep(benchmark::State& state) {
-  const analog::RfiCircuit rfi;
-  const std::vector<std::uint8_t> bits = {0, 1, 1, 0, 1, 0, 0, 1};
-  auto input = analog::Waveform::nrz(bits, util::nanoseconds(0.5), 16,
-                                     -0.016, 0.016, util::picoseconds(60.0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rfi.transient(input, util::picoseconds(20.0)));
+double read_peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr);
+    }
   }
+  return 0.0;
 }
-BENCHMARK(BM_TransientRfiStep);
 
-void BM_FullLinkRun(benchmark::State& state) {
-  const api::LinkBuilder builder;
-  for (auto _ : state) {
-    core::SerDesLink link = builder.build_link();
-    benchmark::DoNotOptimize(link.run_prbs(1024));
-  }
-  state.SetItemsProcessed(state.iterations() * 1024);
+/// Runs `fn` repeatedly until `min_seconds` of wall time accumulates
+/// (at least once), then records throughput.
+template <class F>
+BenchResult run_bench(std::vector<BenchResult>& results, std::string name,
+                      std::uint64_t items_per_iter, F&& fn,
+                      double min_seconds = 0.25) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup (excluded)
+  BenchResult r;
+  r.name = std::move(name);
+  r.items = items_per_iter;
+  const auto start = clock::now();
+  do {
+    fn();
+    ++r.iterations;
+    r.seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+  } while (r.seconds < min_seconds);
+  r.peak_rss_kb = read_peak_rss_kb();
+  std::printf("%-34s %12.0f items/s %12.1f ns/item  (%llu x %llu items)\n",
+              r.name.c_str(), r.items_per_s(), r.ns_per_item(),
+              static_cast<unsigned long long>(r.iterations),
+              static_cast<unsigned long long>(r.items));
+  std::fflush(stdout);
+  results.push_back(r);
+  return r;
 }
-BENCHMARK(BM_FullLinkRun);
 
-void BM_SimulatorRunNoCapture(benchmark::State& state) {
-  // The façade path benches / sweeps use: spec -> report, waveforms dropped.
-  const api::LinkSpec spec = api::LinkBuilder()
-                                 .payload_bits(1024)
-                                 .chunk_bits(1024)
-                                 .build_spec();
-  const api::Simulator sim;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run(spec));
+void write_json(const std::vector<BenchResult>& results,
+                const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"items_per_s\": %.1f, "
+                  "\"ns_per_item\": %.3f, \"items\": %llu, "
+                  "\"iterations\": %llu, \"seconds\": %.6f, "
+                  "\"peak_rss_kb\": %.0f}%s\n",
+                  r.name.c_str(), r.items_per_s(), r.ns_per_item(),
+                  static_cast<unsigned long long>(r.items),
+                  static_cast<unsigned long long>(r.iterations), r.seconds,
+                  r.peak_rss_kb, i + 1 < results.size() ? "," : "");
+    out << buf;
   }
-  state.SetItemsProcessed(state.iterations() * 1024);
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
 }
-BENCHMARK(BM_SimulatorRunNoCapture);
 
-void BM_SimulatorRunBatch(benchmark::State& state) {
-  // Multi-lane fan-out: lanes per batch on the x axis.
-  const auto lanes = static_cast<std::size_t>(state.range(0));
-  std::vector<api::LinkSpec> specs(lanes, api::LinkBuilder()
-                                              .payload_bits(1024)
-                                              .chunk_bits(1024)
-                                              .build_spec());
-  const api::Simulator sim;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.run_batch(specs));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(lanes) * 1024);
+api::LinkSpec deep_ber_spec(std::uint64_t bits, bool streaming) {
+  api::LinkSpec spec;
+  spec.name = streaming ? "deep_ber_streaming" : "deep_ber_batch";
+  spec.payload_bits = bits;
+  spec.chunk_bits = bits;  // one chunk: the memory-behaviour stress case
+  spec.prbs_order = util::PrbsOrder::kPrbs15;
+  spec.streaming = streaming;
+  return spec;
 }
-BENCHMARK(BM_SimulatorRunBatch)->Arg(1)->Arg(4)->Arg(16);
-
-void BM_NetlistGeneration(benchmark::State& state) {
-  flow::SerdesRtlConfig rtl;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flow::generate_serializer(rtl));
-  }
-}
-BENCHMARK(BM_NetlistGeneration);
-
-void BM_StaAnalysis(benchmark::State& state) {
-  flow::SerdesRtlConfig rtl;
-  flow::Netlist n = flow::generate_serializer(rtl);
-  flow::place(n);
-  for (auto _ : state) {
-    flow::StaEngine sta(n);
-    benchmark::DoNotOptimize(sta.analyze(util::picoseconds(500.0)));
-  }
-}
-BENCHMARK(BM_StaAnalysis);
-
-void BM_PowerAnalysis(benchmark::State& state) {
-  flow::SerdesRtlConfig rtl;
-  flow::Netlist n = flow::generate_deserializer(rtl);
-  flow::place(n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(flow::analyze_power(n, {}));
-  }
-}
-BENCHMARK(BM_PowerAnalysis);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_perf.json";
+  std::uint64_t deep_bits = std::uint64_t{1} << 20;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--deep-bits=", 12) == 0) {
+      deep_bits = std::strtoull(argv[i] + 12, nullptr, 10);
+      if (deep_bits == 0) {
+        std::fprintf(stderr, "invalid --deep-bits value: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "unknown option: %s\n"
+                   "usage: bench_perf_kernels [output.json] [--deep-bits=N]\n",
+                   argv[i]);
+      return 2;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  std::vector<BenchResult> results;
+
+  run_bench(results, "prbs_generation_bit", 65536, [] {
+    static util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
+    for (int i = 0; i < 65536; ++i) {
+      volatile bool b = prbs.next();
+      (void)b;
+    }
+  });
+
+  {
+    util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+    const auto bits = prbs.next_bits(4096);
+    std::vector<std::uint8_t> samples;
+    samples.reserve(bits.size() * 5);
+    for (auto b : bits) {
+      for (int p = 0; p < 5; ++p) samples.push_back(b);
+    }
+    run_bench(results, "cdr_recovery_bit", bits.size(), [&] {
+      digital::OversamplingCdr cdr(digital::CdrConfig{});
+      volatile std::size_t n = cdr.recover(samples).size();
+      (void)n;
+    });
+  }
+
+  {
+    const analog::RfiCircuit rfi;
+    const std::vector<std::uint8_t> bits = {0, 1, 1, 0, 1, 0, 0, 1};
+    const auto input = analog::Waveform::nrz(
+        bits, util::nanoseconds(0.5), 16, -0.016, 0.016,
+        util::picoseconds(60.0));
+    run_bench(results, "transient_rfi_8bit", bits.size(), [&] {
+      volatile std::size_t n =
+          rfi.transient(input, util::picoseconds(20.0)).output.size();
+      (void)n;
+    });
+  }
+
+  {
+    const api::LinkBuilder builder;
+    run_bench(results, "full_link_run_bit", 1024, [&] {
+      core::SerDesLink link = builder.build_link();
+      volatile std::uint64_t e = link.run_prbs(1024).bit_errors;
+      (void)e;
+    });
+  }
+
+  {
+    const api::LinkSpec spec = api::LinkBuilder()
+                                   .payload_bits(1024)
+                                   .chunk_bits(1024)
+                                   .build_spec();
+    const api::Simulator sim;
+    run_bench(results, "simulator_run_nocapture_bit", 1024, [&] {
+      volatile std::uint64_t b = sim.run(spec).bits;
+      (void)b;
+    });
+  }
+
+  {
+    std::vector<api::LinkSpec> specs(4, api::LinkBuilder()
+                                            .payload_bits(1024)
+                                            .chunk_bits(1024)
+                                            .build_spec());
+    const api::Simulator sim;
+    run_bench(results, "simulator_run_batch4_bit",
+              specs.size() * 1024, [&] {
+                volatile std::size_t n = sim.run_batch(specs).size();
+                (void)n;
+              });
+  }
+
+  // ---- Batch vs streaming on the deep BER kernel ---------------------------
+  // One Simulator::run per mode over a single deep chunk.  Streaming runs
+  // first so its peak-RSS sample is not polluted by the batch path's
+  // full-payload waveforms (VmHWM is monotone).
+  {
+    const api::Simulator sim;
+    std::printf("deep BER kernel: %llu bits per run\n",
+                static_cast<unsigned long long>(deep_bits));
+    const BenchResult streaming =
+        run_bench(results, "deep_ber_streaming_bit", deep_bits,
+                  [&] {
+                    volatile std::uint64_t b =
+                        sim.run(deep_ber_spec(deep_bits, true)).bits;
+                    (void)b;
+                  },
+                  0.0);
+    const BenchResult batch =
+        run_bench(results, "deep_ber_batch_bit", deep_bits,
+                  [&] {
+                    volatile std::uint64_t b =
+                        sim.run(deep_ber_spec(deep_bits, false)).bits;
+                    (void)b;
+                  },
+                  0.0);
+    std::printf(
+        "streaming/batch throughput: %.2fx, peak RSS %0.f MB vs %0.f MB\n",
+        streaming.items_per_s() / batch.items_per_s(),
+        streaming.peak_rss_kb / 1024.0, batch.peak_rss_kb / 1024.0);
+  }
+
+  {
+    flow::SerdesRtlConfig rtl;
+    run_bench(results, "netlist_generation", 1, [&] {
+      volatile std::size_t n = flow::generate_serializer(rtl).cells().size();
+      (void)n;
+    });
+  }
+
+  {
+    flow::SerdesRtlConfig rtl;
+    flow::Netlist n = flow::generate_serializer(rtl);
+    flow::place(n);
+    run_bench(results, "sta_analysis", 1, [&] {
+      flow::StaEngine sta(n);
+      volatile double t = sta.analyze(util::picoseconds(500.0))
+                              .worst_slack.value();
+      (void)t;
+    });
+  }
+
+  {
+    flow::SerdesRtlConfig rtl;
+    flow::Netlist n = flow::generate_deserializer(rtl);
+    flow::place(n);
+    run_bench(results, "power_analysis", 1, [&] {
+      volatile double p = flow::analyze_power(n, {}).total().value();
+      (void)p;
+    });
+  }
+
+  write_json(results, json_path);
+  return 0;
+}

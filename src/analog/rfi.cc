@@ -83,6 +83,15 @@ RfiStage::RfiStage(const RfiCircuit& circuit, util::Second sample_period)
       1.0 / (2.0 * std::numbers::pi * r_in * circuit.design().coupling_cap.value()));
 }
 
+double RfiStage::saturate(double v) const {
+  // Smooth saturation: inverting gain around the bias point, clipped to
+  // the rails with a tanh knee like the real VTC.
+  const double linear = bias_ - gain_ * v;
+  const double centered = linear - vdd_ / 2.0;
+  const double half = vdd_ / 2.0;
+  return half + half * std::tanh(centered / half);
+}
+
 Waveform RfiStage::process(const Waveform& in) const {
   Waveform out = in;
   // AC coupling, in its established steady state: the off-chip capacitor has
@@ -94,17 +103,7 @@ Waveform RfiStage::process(const Waveform& in) const {
   // Linear gain with the dominant output pole, then rail saturation.
   OnePoleLowPass lpf(bandwidth_, dt_);
   lpf.process(out);
-  const double bias = bias_;
-  const double gain = gain_;
-  const double vdd = vdd_;
-  out.map([bias, gain, vdd](double v) {
-    // Smooth saturation: inverting gain around the bias point, clipped to
-    // the rails with a tanh knee like the real VTC.
-    const double linear = bias - gain * v;
-    const double centered = linear - vdd / 2.0;
-    const double half = vdd / 2.0;
-    return half + half * std::tanh(centered / half);
-  });
+  out.map([this](double v) { return saturate(v); });
   return out;
 }
 

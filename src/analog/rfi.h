@@ -88,9 +88,15 @@ class RfiStage {
   /// the RFI output waveform (large signal around the bias).
   [[nodiscard]] Waveform process(const Waveform& in) const;
 
+  /// The per-sample saturating map applied after the output pole: inverting
+  /// gain around the bias point with a tanh knee into the rails.  Exposed so
+  /// the streaming RFI stage applies the identical arithmetic block-wise.
+  [[nodiscard]] double saturate(double v) const;
+
   [[nodiscard]] double bias() const { return bias_; }
   [[nodiscard]] double gain() const { return gain_; }
   [[nodiscard]] util::Hertz bandwidth() const { return bandwidth_; }
+  [[nodiscard]] double vdd() const { return vdd_; }
 
  private:
   double bias_;

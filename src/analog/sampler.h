@@ -27,6 +27,11 @@ class RestoringInverter {
   /// Applies the VTC (precomputed lookup) and the output pole.
   [[nodiscard]] Waveform process(const Waveform& in) const;
 
+  /// One point of the VTC lookup (the per-sample map `process` applies
+  /// before its output pole) — the streaming restoring stage uses this so
+  /// block-wise restoration is bit-identical to `process`.
+  [[nodiscard]] double restore_level(double v) const;
+
   [[nodiscard]] double threshold() const { return threshold_; }
   [[nodiscard]] util::Hertz bandwidth() const { return bandwidth_; }
   [[nodiscard]] const InverterCell& cell() const { return cell_; }
@@ -55,6 +60,12 @@ class DffSampler {
   /// Samples `w` at time `t`.  If the input is inside the noise/aperture
   /// ambiguity band the result is random (metastable resolution).
   bool sample(const Waveform& w, util::Second t);
+
+  /// The decision itself, given the waveform values at the sampling
+  /// instant and at the aperture edges (t -/+ aperture/2).  `sample` is
+  /// this applied to `Waveform::value_at`; the streaming receiver sink
+  /// feeds it values interpolated from its rolling block window.
+  bool decide(double v, double v_before, double v_after);
 
   /// Number of metastable (randomly resolved) samples so far.
   [[nodiscard]] std::uint64_t metastable_count() const {

@@ -119,6 +119,16 @@ LinkBuilder& LinkBuilder::seed(std::uint64_t seed) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::streaming(bool on) {
+  spec_.streaming = on;
+  return *this;
+}
+
+LinkBuilder& LinkBuilder::stream_block_samples(std::uint64_t samples) {
+  spec_.stream_block_samples = samples;
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::capture_waveforms(bool capture) {
   spec_.capture_waveforms = capture;
   capture_set_explicitly_ = true;

@@ -62,6 +62,11 @@ class LinkBuilder {
   LinkBuilder& payload_bits(std::uint64_t bits);
   LinkBuilder& chunk_bits(std::uint64_t bits);
   LinkBuilder& seed(std::uint64_t seed);
+  /// Streaming block-pipeline execution (on by default); off selects the
+  /// legacy whole-waveform batch path.  Bit-identical either way.
+  LinkBuilder& streaming(bool on = true);
+  /// Samples per streaming block (memory knob; results invariant).
+  LinkBuilder& stream_block_samples(std::uint64_t samples);
   /// Explicit capture choice: honored by build_spec() and build_link()
   /// alike.  When never called, build_link() defaults capture ON (a link
   /// object is for inspection) while specs stay lean for Simulator sweeps.

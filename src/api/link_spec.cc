@@ -101,6 +101,9 @@ std::string LinkSpec::validate() const {
   if (preamble_bits < 8) return "preamble_bits must be at least 8";
   if (payload_bits == 0) return "payload_bits must be positive";
   if (chunk_bits == 0) return "chunk_bits must be positive";
+  if (stream_block_samples == 0) {
+    return "stream_block_samples must be positive";
+  }
   return {};
 }
 
@@ -137,6 +140,10 @@ core::LinkConfig LinkSpec::to_link_config() const {
   cfg.prbs_order = prbs_order;
   cfg.noise_seed = seed;
   cfg.capture_waveforms = capture_waveforms;
+  cfg.execution = streaming ? core::LinkConfig::Execution::kStreaming
+                            : core::LinkConfig::Execution::kBatch;
+  cfg.stream_block_samples =
+      static_cast<std::size_t>(stream_block_samples);
   return cfg;
 }
 

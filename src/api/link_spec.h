@@ -98,6 +98,16 @@ struct LinkSpec {
   /// distinct deterministic seed per lane from it.
   std::uint64_t seed = 1234;
 
+  // ---- Execution ----
+  /// Streaming block-pipeline execution (default): every stage holds one
+  /// block of `stream_block_samples` samples, so per-lane waveform memory
+  /// is O(block) instead of O(chunk_bits * samples_per_ui).  Turning this
+  /// off selects the legacy whole-waveform batch path; both produce
+  /// bit-identical reports.
+  bool streaming = true;
+  /// Samples per streaming block; results are invariant to this value.
+  std::uint64_t stream_block_samples = 16384;
+
   /// Opt-in: retain the tx / channel / restored waveforms in the report.
   /// Off by default so batch sweeps don't carry megabytes of samples.
   bool capture_waveforms = false;

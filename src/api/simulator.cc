@@ -35,8 +35,12 @@ RunReport Simulator::run(const LinkSpec& spec) const {
   core::LinkConfig cfg = spec.to_link_config();
   // The first chunk always captures waveforms: lock diagnostics and eye
   // metrics come from it.  Whether they stay in the report is the spec's
-  // capture_waveforms choice.
+  // capture_waveforms choice.  Capture is bounded to the diagnostic window
+  // so a deep first chunk does not cost O(chunk) memory.
   cfg.capture_waveforms = true;
+  cfg.capture_max_samples = static_cast<std::size_t>(
+      options_.diagnostic_window_uis *
+      static_cast<std::uint64_t>(cfg.samples_per_ui));
   core::SerDesLink link(cfg,
                         ChannelFactory::instance().create(spec.channel, cfg));
 

@@ -61,6 +61,11 @@ class Simulator {
     double confidence_level = 0.95;
     /// Eye-folding resolution (bins per unit interval).
     int eye_bins_per_ui = 64;
+    /// Diagnostics (lock, eye metrics, report waveforms) come from the
+    /// first `diagnostic_window_uis` unit intervals of the first chunk, so
+    /// per-lane capture memory stays bounded however deep the chunk is.
+    /// 0 retains the whole first chunk.
+    std::uint64_t diagnostic_window_uis = 4096;
     /// When true (default), run_batch gives lane i the seed
     /// derive_lane_seed(spec.seed, i) so lanes with the same base seed see
     /// uncorrelated noise.  Turn off for paired comparisons (ablations)

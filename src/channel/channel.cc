@@ -3,10 +3,42 @@
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 namespace serdes::channel {
 
+// ---- Channel (batch wrapper over the streaming form) ------------------------
+
+analog::Waveform Channel::transmit(const analog::Waveform& in) const {
+  analog::Waveform out = in;
+  if (!out.empty()) {
+    const auto stream = open_stream();
+    double* data = out.samples().data();
+    stream->transmit_block(data, data, out.size());
+  }
+  return out;
+}
+
 // ---- FlatChannel ------------------------------------------------------------
+
+namespace {
+
+class FlatStream final : public Channel::Stream {
+ public:
+  explicit FlatStream(double gain) : gain_(gain) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i] * gain_;
+  }
+
+  void reset() override {}
+
+ private:
+  double gain_;
+};
+
+}  // namespace
 
 FlatChannel::FlatChannel(util::Decibel loss)
     : loss_(loss), gain_(util::db_to_amplitude(util::decibels(-loss.value()))) {
@@ -15,15 +47,34 @@ FlatChannel::FlatChannel(util::Decibel loss)
   }
 }
 
-analog::Waveform FlatChannel::transmit(const analog::Waveform& in) const {
-  analog::Waveform out = in;
-  out.scale(gain_);
-  return out;
+std::unique_ptr<Channel::Stream> FlatChannel::open_stream() const {
+  return std::make_unique<FlatStream>(gain_);
 }
 
 double FlatChannel::attenuation_at(util::Hertz) const { return gain_; }
 
 // ---- RcChannel --------------------------------------------------------------
+
+namespace {
+
+class RcStream final : public Channel::Stream {
+ public:
+  RcStream(double dc_gain, util::Hertz pole, util::Second dt)
+      : dc_gain_(dc_gain), lpf_(pole, dt) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = lpf_.step(in[i] * dc_gain_);
+  }
+
+  void reset() override { lpf_.reset(); }
+
+ private:
+  double dc_gain_;
+  analog::OnePoleLowPass lpf_;
+};
+
+}  // namespace
 
 RcChannel::RcChannel(util::Hertz pole, util::Second sample_period,
                      util::Decibel dc_loss)
@@ -31,12 +82,8 @@ RcChannel::RcChannel(util::Hertz pole, util::Second sample_period,
       dt_(sample_period),
       dc_gain_(util::db_to_amplitude(util::decibels(-dc_loss.value()))) {}
 
-analog::Waveform RcChannel::transmit(const analog::Waveform& in) const {
-  analog::Waveform out = in;
-  out.scale(dc_gain_);
-  analog::OnePoleLowPass lpf(pole_, dt_);
-  lpf.process(out);
-  return out;
+std::unique_ptr<Channel::Stream> RcChannel::open_stream() const {
+  return std::make_unique<RcStream>(dc_gain_, pole_, dt_);
 }
 
 double RcChannel::attenuation_at(util::Hertz f) const {
@@ -48,7 +95,32 @@ double RcChannel::attenuation_at(util::Hertz f) const {
 
 namespace {
 constexpr double kRefFreq = 1e9;  // f0 for the loss coefficients
-}
+
+class LossyLineStream final : public Channel::Stream {
+ public:
+  LossyLineStream(double flat_gain, util::Hertz pole1, util::Hertz pole2,
+                  util::Second dt)
+      : flat_gain_(flat_gain), p1_(pole1, dt), p2_(pole2, dt) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = p2_.step(p1_.step(in[i] * flat_gain_));
+    }
+  }
+
+  void reset() override {
+    p1_.reset();
+    p2_.reset();
+  }
+
+ private:
+  double flat_gain_;
+  analog::OnePoleLowPass p1_;
+  analog::OnePoleLowPass p2_;
+};
+
+}  // namespace
 
 LossyLineChannel::LossyLineChannel(const Params& params,
                                    util::Second sample_period)
@@ -73,14 +145,8 @@ LossyLineChannel::LossyLineChannel(const Params& params,
         10.0 * std::log10(1.0 + (x / 1.6) * (x / 1.6)))));
 }
 
-analog::Waveform LossyLineChannel::transmit(const analog::Waveform& in) const {
-  analog::Waveform out = in;
-  out.scale(flat_gain_);
-  analog::OnePoleLowPass p1(pole1_, dt_);
-  analog::OnePoleLowPass p2(pole2_, dt_);
-  p1.process(out);
-  p2.process(out);
-  return out;
+std::unique_ptr<Channel::Stream> LossyLineChannel::open_stream() const {
+  return std::make_unique<LossyLineStream>(flat_gain_, pole1_, pole2_, dt_);
 }
 
 double LossyLineChannel::attenuation_at(util::Hertz f) const {
@@ -106,6 +172,26 @@ LossyLineChannel::Params LossyLineChannel::fit(util::Decibel loss,
 
 // ---- FirChannel -------------------------------------------------------------
 
+namespace {
+
+class FirStream final : public Channel::Stream {
+ public:
+  explicit FirStream(std::vector<double> expanded_taps)
+      : fir_(std::move(expanded_taps)) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    for (std::size_t i = 0; i < n; ++i) out[i] = fir_.step(in[i]);
+  }
+
+  void reset() override { fir_.reset(); }
+
+ private:
+  analog::FirFilter fir_;
+};
+
+}  // namespace
+
 FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap)
     : taps_(std::move(taps)), samples_per_tap_(samples_per_tap) {
   if (taps_.empty()) throw std::invalid_argument("FirChannel: no taps");
@@ -114,7 +200,7 @@ FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap)
   }
 }
 
-analog::Waveform FirChannel::transmit(const analog::Waveform& in) const {
+std::unique_ptr<Channel::Stream> FirChannel::open_stream() const {
   // Expand UI-spaced taps to sample-spaced impulse response.
   std::vector<double> expanded;
   expanded.reserve(taps_.size() * static_cast<std::size_t>(samples_per_tap_));
@@ -122,10 +208,7 @@ analog::Waveform FirChannel::transmit(const analog::Waveform& in) const {
     expanded.push_back(t);
     for (int i = 1; i < samples_per_tap_; ++i) expanded.push_back(0.0);
   }
-  analog::FirFilter fir(std::move(expanded));
-  analog::Waveform out = in;
-  fir.process(out);
-  return out;
+  return std::make_unique<FirStream>(std::move(expanded));
 }
 
 double FirChannel::attenuation_at(util::Hertz f) const {
@@ -148,14 +231,46 @@ double FirChannel::attenuation_at(util::Hertz f) const {
 
 // ---- CompositeChannel -------------------------------------------------------
 
+namespace {
+
+class CompositeStream final : public Channel::Stream {
+ public:
+  explicit CompositeStream(std::vector<std::unique_ptr<Channel::Stream>> kids)
+      : children_(std::move(kids)) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    if (children_.empty()) {
+      if (out != in) {
+        for (std::size_t i = 0; i < n; ++i) out[i] = in[i];
+      }
+      return;
+    }
+    children_.front()->transmit_block(in, out, n);
+    for (std::size_t k = 1; k < children_.size(); ++k) {
+      children_[k]->transmit_block(out, out, n);
+    }
+  }
+
+  void reset() override {
+    for (auto& c : children_) c->reset();
+  }
+
+ private:
+  std::vector<std::unique_ptr<Channel::Stream>> children_;
+};
+
+}  // namespace
+
 void CompositeChannel::add(std::unique_ptr<Channel> stage) {
   stages_.push_back(std::move(stage));
 }
 
-analog::Waveform CompositeChannel::transmit(const analog::Waveform& in) const {
-  analog::Waveform out = in;
-  for (const auto& s : stages_) out = s->transmit(out);
-  return out;
+std::unique_ptr<Channel::Stream> CompositeChannel::open_stream() const {
+  std::vector<std::unique_ptr<Stream>> kids;
+  kids.reserve(stages_.size());
+  for (const auto& s : stages_) kids.push_back(s->open_stream());
+  return std::make_unique<CompositeStream>(std::move(kids));
 }
 
 double CompositeChannel::attenuation_at(util::Hertz f) const {

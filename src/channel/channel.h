@@ -10,8 +10,18 @@
 //   * FirChannel         — explicit tap response (measured-channel style)
 //   * CompositeChannel   — cascade of any of the above
 // plus AWGN and sinusoidal-interference noise injection.
+//
+// Every channel supports two execution forms over the same arithmetic:
+//   * streaming — `open_stream()` returns a `Channel::Stream` whose
+//     `transmit_block` processes fixed-size sample blocks while carrying
+//     filter state (IIR memories, FIR delay lines, child streams) across
+//     calls, so a waveform chunked at any block size produces bit-identical
+//     output;
+//   * batch — `transmit()` is a thin wrapper that opens a stream and pushes
+//     the whole waveform through as a single block.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -25,11 +35,31 @@ namespace serdes::channel {
 /// Interface: transforms the transmitted waveform into the received one.
 class Channel {
  public:
+  /// Stateful block-wise transmission through one channel instance.  A
+  /// stream starts from quiescent (zero-state) filters; feeding it a
+  /// waveform in blocks of any size yields exactly the samples `transmit`
+  /// produces for the whole waveform.
+  class Stream {
+   public:
+    virtual ~Stream() = default;
+
+    /// Processes `n` samples, carrying state across calls.  `in` and `out`
+    /// may alias (in-place operation is supported by every model).
+    virtual void transmit_block(const double* in, double* out,
+                                std::size_t n) = 0;
+
+    /// Returns the stream to its start-of-stream (zero) state.
+    virtual void reset() = 0;
+  };
+
   virtual ~Channel() = default;
 
-  /// Propagates `in` through the channel.
-  [[nodiscard]] virtual analog::Waveform transmit(
-      const analog::Waveform& in) const = 0;
+  /// Opens a fresh streaming transmission (state at zero).
+  [[nodiscard]] virtual std::unique_ptr<Stream> open_stream() const = 0;
+
+  /// Propagates `in` through the channel: a thin wrapper that pushes the
+  /// whole waveform through `open_stream()` as one block.
+  [[nodiscard]] analog::Waveform transmit(const analog::Waveform& in) const;
 
   /// Amplitude attenuation (|H|, linear <= 1) at the given frequency.
   [[nodiscard]] virtual double attenuation_at(util::Hertz f) const = 0;
@@ -46,8 +76,7 @@ class FlatChannel : public Channel {
   /// `loss` is a positive dB number (34 => output = input / 10^(34/20)).
   explicit FlatChannel(util::Decibel loss);
 
-  [[nodiscard]] analog::Waveform transmit(
-      const analog::Waveform& in) const override;
+  [[nodiscard]] std::unique_ptr<Stream> open_stream() const override;
   [[nodiscard]] double attenuation_at(util::Hertz f) const override;
 
   [[nodiscard]] util::Decibel loss() const { return loss_; }
@@ -63,8 +92,7 @@ class RcChannel : public Channel {
   RcChannel(util::Hertz pole, util::Second sample_period,
             util::Decibel dc_loss = util::decibels(0.0));
 
-  [[nodiscard]] analog::Waveform transmit(
-      const analog::Waveform& in) const override;
+  [[nodiscard]] std::unique_ptr<Stream> open_stream() const override;
   [[nodiscard]] double attenuation_at(util::Hertz f) const override;
 
  private:
@@ -87,8 +115,7 @@ class LossyLineChannel : public Channel {
 
   LossyLineChannel(const Params& params, util::Second sample_period);
 
-  [[nodiscard]] analog::Waveform transmit(
-      const analog::Waveform& in) const override;
+  [[nodiscard]] std::unique_ptr<Stream> open_stream() const override;
   [[nodiscard]] double attenuation_at(util::Hertz f) const override;
 
   /// Scales the loss coefficients so that total loss at `f` equals `loss`.
@@ -111,8 +138,7 @@ class FirChannel : public Channel {
  public:
   FirChannel(std::vector<double> taps, int samples_per_tap);
 
-  [[nodiscard]] analog::Waveform transmit(
-      const analog::Waveform& in) const override;
+  [[nodiscard]] std::unique_ptr<Stream> open_stream() const override;
   [[nodiscard]] double attenuation_at(util::Hertz f) const override;
 
   [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
@@ -127,8 +153,7 @@ class CompositeChannel : public Channel {
  public:
   void add(std::unique_ptr<Channel> stage);
 
-  [[nodiscard]] analog::Waveform transmit(
-      const analog::Waveform& in) const override;
+  [[nodiscard]] std::unique_ptr<Stream> open_stream() const override;
   [[nodiscard]] double attenuation_at(util::Hertz f) const override;
 
   [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }

@@ -18,14 +18,12 @@ TxFfe TxFfe::de_emphasis(double alpha, util::Volt vdd) {
   return TxFfe({1.0 - alpha, -alpha}, vdd);
 }
 
-analog::Waveform TxFfe::shape(const std::vector<std::uint8_t>& bits,
-                              util::Hertz bit_rate, int samples_per_ui,
-                              util::Second rise_time) const {
+std::vector<double> TxFfe::levels(const std::vector<std::uint8_t>& bits) const {
   // Per-bit level: sum of taps against the +/-1 representation of the
   // current and previous bits, mapped back to the [0, vdd] single-ended
   // range around mid-rail.
   const double half = 0.5 * vdd_.value();
-  std::vector<double> levels(bits.size(), 0.0);
+  std::vector<double> out(bits.size(), 0.0);
   for (std::size_t i = 0; i < bits.size(); ++i) {
     double acc = 0.0;
     for (std::size_t t = 0; t < taps_.size(); ++t) {
@@ -33,8 +31,15 @@ analog::Waveform TxFfe::shape(const std::vector<std::uint8_t>& bits,
       const double symbol = bits[i - t] ? 1.0 : -1.0;
       acc += taps_[t] * symbol;
     }
-    levels[i] = half + half * acc;
+    out[i] = half + half * acc;
   }
+  return out;
+}
+
+analog::Waveform TxFfe::shape(const std::vector<std::uint8_t>& bits,
+                              util::Hertz bit_rate, int samples_per_ui,
+                              util::Second rise_time) const {
+  const std::vector<double> levels = this->levels(bits);
   // Build the waveform by linear interpolation across the edge window,
   // mirroring Waveform::nrz but with per-bit analog levels.
   const util::Second ui = util::period(bit_rate);

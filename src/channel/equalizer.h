@@ -39,6 +39,11 @@ class TxFfe {
                                        int samples_per_ui,
                                        util::Second rise_time) const;
 
+  /// Per-bit pre-distorted launch levels (volts) — the discrete values
+  /// `shape` interpolates between; the streaming TX source consumes these.
+  [[nodiscard]] std::vector<double> levels(
+      const std::vector<std::uint8_t>& bits) const;
+
   [[nodiscard]] const std::vector<double>& taps() const { return taps_; }
 
  private:

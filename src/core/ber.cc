@@ -60,8 +60,9 @@ BerMeasurement measure_ber(
     }
     m.bits += r.payload_bits_compared;
     m.errors += r.bit_errors;
-    // Bits the receiver truncated (pipeline tail) are excluded from both
-    // counts by construction of LinkResult.
+    // Bits the receiver truncated (pipeline tail) beyond the CDR allowance
+    // are already charged as errors inside LinkResult (SerDesLink::finalize);
+    // only the small allowance itself is excluded from both counts.
   }
   if (m.bits > 0) {
     m.ber = static_cast<double>(m.errors) / static_cast<double>(m.bits);

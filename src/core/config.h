@@ -2,6 +2,7 @@
 // experiment harnesses.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "analog/driver.h"
@@ -74,6 +75,27 @@ struct LinkConfig {
   /// waveforms — batch sweeps that only read BER skip retaining two full
   /// analog::Waveforms per run.
   bool capture_waveforms = true;
+  /// When capturing, retain at most this many samples per waveform (the
+  /// diagnostic window); 0 keeps everything.  Lets the streaming pipeline
+  /// bound capture memory on deep chunks — api::Simulator sets it from its
+  /// diagnostic window option.  Applied identically on both execution
+  /// paths, so captured waveforms stay bit-identical.
+  std::size_t capture_max_samples = 0;
+
+  // ---- Execution strategy ----
+  /// How SerDesLink::run executes the datapath.  Both modes produce
+  /// bit-identical results (same seeds, same BER, same waveforms when
+  /// captured); they differ only in memory behaviour:
+  ///   * kStreaming — block pipeline; every stage holds one block of
+  ///     `stream_block_samples` samples, so peak waveform memory is
+  ///     O(block) regardless of payload length.
+  ///   * kBatch — legacy whole-waveform path; each stage materializes a
+  ///     full-payload waveform (O(payload_bits * samples_per_ui)).
+  enum class Execution { kStreaming, kBatch };
+  Execution execution = Execution::kStreaming;
+  /// Samples per streaming block (the O(block) memory knob).  Results are
+  /// invariant to this value by construction.
+  std::size_t stream_block_samples = 16384;
 
   /// Unit interval.
   [[nodiscard]] util::Second unit_interval() const {

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "channel/equalizer.h"
 #include "channel/noise.h"
+#include "digital/framing.h"
+#include "pipe/stages.h"
 
 namespace serdes::core {
 
@@ -16,6 +21,32 @@ SerDesLink::SerDesLink(const LinkConfig& config,
 }
 
 LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
+  // Receiver-input AWGN: a fresh seed per run keeps repeated runs
+  // statistically independent while the whole experiment stays
+  // deterministic.  Both execution paths consume the same per-run seed.
+  const std::uint64_t noise_run_seed =
+      config_.noise_seed + 100 + run_counter_++;
+  return config_.execution == LinkConfig::Execution::kBatch
+             ? run_batch(payload, noise_run_seed)
+             : run_streaming(payload, noise_run_seed);
+}
+
+namespace {
+
+/// Per-sample AWGN sigma: scaled so the noise spectral density (and thus
+/// the post-front-end RMS) is independent of the waveform sample rate —
+/// see LinkConfig::channel_noise_rms.
+double noise_sigma(const LinkConfig& config) {
+  const double nyquist = 0.5 / config.sample_period().value();
+  const double density_scale = std::sqrt(std::max(
+      1.0, nyquist / config.noise_reference_bandwidth.value()));
+  return config.channel_noise_rms * density_scale;
+}
+
+}  // namespace
+
+LinkResult SerDesLink::run_batch(const std::vector<std::uint8_t>& payload,
+                                 std::uint64_t noise_run_seed) {
   LinkResult result;
   result.payload_bits_sent = payload.size();
 
@@ -32,16 +63,7 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
   }
   result.channel_out = channel_->transmit(result.tx_out);
 
-  // Receiver-input AWGN; a fresh seed per run keeps repeated runs
-  // statistically independent while the whole experiment stays
-  // deterministic.  The per-sample sigma is scaled so the noise spectral
-  // density (and thus the post-front-end RMS) is independent of the
-  // waveform sample rate — see LinkConfig::channel_noise_rms.
-  const double nyquist = 0.5 / config_.sample_period().value();
-  const double density_scale = std::sqrt(
-      std::max(1.0, nyquist / config_.noise_reference_bandwidth.value()));
-  channel::AwgnSource noise(config_.channel_noise_rms * density_scale,
-                            config_.noise_seed + 100 + run_counter_++);
+  channel::AwgnSource noise(noise_sigma(config_), noise_run_seed);
   noise.apply(result.channel_out);
   result.rx_swing_pp = result.channel_out.peak_to_peak();
 
@@ -54,14 +76,196 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
   }
   result.aligned = result.rx.aligned;
 
+  finalize(payload, result);
+  return result;
+}
+
+LinkResult SerDesLink::run_streaming(const std::vector<std::uint8_t>& payload,
+                                     std::uint64_t noise_run_seed) {
+  LinkResult result;
+  result.payload_bits_sent = payload.size();
+
+  const std::vector<std::uint8_t> bits = tx_.wire_bits(payload);
+  const int spu = config_.samples_per_ui;
+  const util::Second ui = config_.unit_interval();
+  const util::Second rise = tx_.driver().output_rise_time();
+
+  // Per-bit launch levels and stream time base, matching the batch TX
+  // exactly: plain NRZ carries the driver delay, the FFE path launches the
+  // pre-distorted levels at t0 = 0 (as TxFfe::shape does).
+  std::vector<double> levels(bits.size());
+  util::Second stream_t0 = util::seconds(0.0);
+  double fill = 0.0;
+  if (config_.tx_ffe_deemphasis != 0.0) {
+    const channel::TxFfe ffe = channel::TxFfe::de_emphasis(
+        config_.tx_ffe_deemphasis, config_.driver.vdd);
+    levels = ffe.levels(bits);
+  } else {
+    const double vdd = config_.driver.vdd.value();
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      levels[i] = bits[i] ? vdd : 0.0;
+    }
+    stream_t0 = tx_.driver().total_delay();
+  }
+
+  pipe::LevelPulseSource source(std::move(levels), ui, spu, rise, stream_t0,
+                                fill);
+  const std::uint64_t total = source.total_samples();
+  const util::Second dt = source.dt();
+  const std::size_t block =
+      std::max<std::size_t>(1, config_.stream_block_samples);
+  const double sigma = noise_sigma(config_);
+  const bool use_ctle = config_.rx_ctle_boost.value() > 0.0;
+  const bool capture = config_.capture_waveforms;
+  const std::size_t capture_cap = config_.capture_max_samples > 0
+                                      ? config_.capture_max_samples
+                                      : static_cast<std::size_t>(-1);
+
+  // ---- Pass 1: DC mean and swing over the receiver input -------------------
+  // The RFI front end subtracts the whole-stream mean (the AC coupling in
+  // steady state); streaming can only know it after a full pass.  The first
+  // pass runs the cheap front half of the datapath (TX levels, channel
+  // IIR/FIR state, noise, CTLE) block by block, accumulating the mean in
+  // sample order — the exact sum the batch path's mean_value() computes —
+  // plus the pre-CTLE min/max for rx_swing_pp.  The second pass re-runs the
+  // same deterministic front half and carries on through the RFI, restoring
+  // stage, sampler and CDR.
+  double sum = 0.0;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  {
+    // Reuse the exact stage implementations pass 2 runs, so the two passes
+    // cannot drift apart: front = channel + noise (the swing point), then
+    // the optional CTLE (the mean point).
+    pipe::Pipeline front;
+    front.add(std::make_unique<pipe::ChannelStage>(channel_->open_stream()));
+    front.add(std::make_unique<pipe::AwgnStage>(sigma, noise_run_seed));
+    pipe::Pipeline eq;
+    if (use_ctle) {
+      eq.add(std::make_unique<pipe::CtleStage>(
+          config_.rx_ctle_boost, config_.rx_ctle_pole,
+          config_.sample_period()));
+    }
+    pipe::Block blk;
+    while (source.produce(blk, block) > 0) {
+      const pipe::BlockView noisy = front.process(blk.view());
+      for (std::size_t i = 0; i < noisy.size; ++i) {
+        min_v = std::min(min_v, noisy[i]);
+        max_v = std::max(max_v, noisy[i]);
+      }
+      const pipe::BlockView rx_in = eq.process(noisy);
+      for (std::size_t i = 0; i < rx_in.size; ++i) sum += rx_in[i];
+    }
+  }
+  result.rx_swing_pp = total > 0 ? max_v - min_v : 0.0;
+  const double mean = total > 0 ? sum / static_cast<double>(total) : 0.0;
+
+  // ---- Pass 2: full datapath into the sampler/CDR sink ---------------------
+  source.reset();
+  pipe::Pipeline pipeline;
+  pipeline.add(std::make_unique<pipe::ChannelStage>(channel_->open_stream()));
+  pipeline.add(std::make_unique<pipe::AwgnStage>(sigma, noise_run_seed));
+  pipe::WaveformTapStage* tap_channel = nullptr;
+  pipe::WaveformTapStage* tap_rfi = nullptr;
+  pipe::WaveformTapStage* tap_restored = nullptr;
+  if (capture) {
+    tap_channel = static_cast<pipe::WaveformTapStage*>(&pipeline.add(
+        std::make_unique<pipe::WaveformTapStage>(capture_cap)));
+  }
+  if (use_ctle) {
+    pipeline.add(std::make_unique<pipe::CtleStage>(
+        config_.rx_ctle_boost, config_.rx_ctle_pole, config_.sample_period()));
+  }
+  auto rfi_stage = std::make_unique<pipe::RfiFrontEndStage>(
+      rx_.rfi_stage(), config_.sample_period());
+  rfi_stage->set_mean(mean);
+  pipeline.add(std::move(rfi_stage));
+  if (capture) {
+    tap_rfi = static_cast<pipe::WaveformTapStage*>(&pipeline.add(
+        std::make_unique<pipe::WaveformTapStage>(capture_cap)));
+  }
+  pipeline.add(std::make_unique<pipe::RestoringStage>(
+      rx_.restoring(), config_.sample_period()));
+  if (capture) {
+    tap_restored = static_cast<pipe::WaveformTapStage*>(&pipeline.add(
+        std::make_unique<pipe::WaveformTapStage>(capture_cap)));
+  }
+
+  pipe::SamplerCdrSink::Config sink_cfg;
+  sink_cfg.bit_rate = config_.bit_rate;
+  sink_cfg.oversampling = config_.cdr.oversampling;
+  sink_cfg.phase_offset = util::seconds(config_.rx_phase_offset_ui *
+                                        config_.unit_interval().value());
+  sink_cfg.ppm_offset = config_.ppm_offset;
+  sink_cfg.jitter.random_rms = config_.rx_random_jitter;
+  sink_cfg.jitter.sinusoidal_amplitude = config_.rx_sinusoidal_jitter;
+  sink_cfg.jitter.sinusoidal_freq =
+      util::hertz(config_.sj_freq_ratio * config_.bit_rate.value());
+  sink_cfg.jitter.seed = config_.noise_seed + 1;
+  sink_cfg.sampler = config_.sampler;
+  sink_cfg.sampler.threshold = rx_.decision_threshold();
+  sink_cfg.sampler.seed = config_.noise_seed + 2;
+  sink_cfg.cdr = config_.cdr;
+  sink_cfg.total_samples = total;
+  sink_cfg.stream_t0 = stream_t0;
+  sink_cfg.dt = dt;
+  sink_cfg.block_samples = block;
+  pipe::SamplerCdrSink sink(sink_cfg);
+
+  std::vector<double> tx_capture;
+  pipe::Block blk;
+  while (source.produce(blk, block) > 0) {
+    const pipe::BlockView tx_view = blk.view();
+    if (capture && tx_capture.size() < capture_cap) {
+      const std::size_t take =
+          std::min(capture_cap - tx_capture.size(), tx_view.size);
+      tx_capture.insert(tx_capture.end(), tx_view.data, tx_view.data + take);
+    }
+    sink.consume(pipeline.process(tx_view));
+  }
+  sink.finish();
+
+  ReceiveResult rx;
+  rx.recovered_bits = sink.cdr().recovered();
+  rx.payload = digital::deframe_stream(rx.recovered_bits, config_.framing);
+  rx.aligned = !rx.payload.empty();
+  rx.frames = digital::Deserializer::deserialize(rx.payload);
+  rx.cdr_decision_phase = sink.cdr().decision_phase();
+  rx.cdr_phase_updates = sink.cdr().phase_updates();
+  rx.metastable_samples = sink.metastable_count();
+  if (capture) {
+    result.tx_out = analog::Waveform{stream_t0, dt, std::move(tx_capture)};
+    result.channel_out = tap_channel->take();
+    rx.rfi_out = tap_rfi->take();
+    rx.restored = tap_restored->take();
+  }
+  result.rx = std::move(rx);
+  result.aligned = result.rx.aligned;
+
+  finalize(payload, result);
+  return result;
+}
+
+void SerDesLink::finalize(const std::vector<std::uint8_t>& payload,
+                          LinkResult& result) {
   const auto& got = result.rx.payload;
   const std::size_t n = std::min(payload.size(), got.size());
   for (std::size_t i = 0; i < n; ++i) {
     if ((payload[i] != 0) != (got[i] != 0)) ++result.bit_errors;
   }
-  // Bits the receiver never produced (truncated tail) count as errors only
-  // beyond the CDR pipeline allowance of a couple of UIs.
   result.payload_bits_compared = n;
+  // Bits the receiver never produced (truncated tail) count as errors once
+  // they exceed the CDR pipeline allowance of a couple of UIs.  Unaligned
+  // runs are excluded: there the whole chunk is already charged as lost by
+  // the BER accounting in measure_ber.
+  if (result.aligned && payload.size() > got.size()) {
+    const std::uint64_t missing = payload.size() - got.size();
+    if (missing > kCdrTailAllowanceBits) {
+      const std::uint64_t lost = missing - kCdrTailAllowanceBits;
+      result.bit_errors += lost;
+      result.payload_bits_compared += lost;
+    }
+  }
   if (result.payload_bits_compared > 0) {
     result.ber = static_cast<double>(result.bit_errors) /
                  static_cast<double>(result.payload_bits_compared);
@@ -71,8 +275,16 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
     result.channel_out = {};
     result.rx.rfi_out = {};
     result.rx.restored = {};
+  } else if (config_.capture_max_samples > 0) {
+    // Trim to the diagnostic window (the streaming taps never retained
+    // more; the batch path materialized everything, so cut it here to keep
+    // the two paths' observable results identical).
+    const std::size_t cap = config_.capture_max_samples;
+    for (analog::Waveform* w : {&result.tx_out, &result.channel_out,
+                                &result.rx.rfi_out, &result.rx.restored}) {
+      if (w->size() > cap) w->samples().resize(cap);
+    }
   }
-  return result;
 }
 
 LinkResult SerDesLink::run_prbs(std::size_t nbits) {

@@ -37,10 +37,17 @@ struct LinkResult {
 
 class SerDesLink {
  public:
+  /// Receiver bits missing at the end of an aligned run are tolerated up to
+  /// this CDR pipeline allowance; anything beyond it counts as errors.
+  static constexpr std::uint64_t kCdrTailAllowanceBits = 2;
+
   /// The link takes ownership of the channel model.
   SerDesLink(const LinkConfig& config, std::unique_ptr<channel::Channel> ch);
 
   /// Transmits `payload` and compares what the receiver recovered.
+  /// Dispatches on LinkConfig::execution: the streaming block pipeline
+  /// (default, O(block) waveform memory) or the legacy whole-waveform
+  /// batch path.  Both are bit-identical.
   [[nodiscard]] LinkResult run(const std::vector<std::uint8_t>& payload);
 
   /// Convenience: PRBS payload of `nbits` using the config's pattern order.
@@ -60,6 +67,14 @@ class SerDesLink {
   }
 
  private:
+  [[nodiscard]] LinkResult run_batch(const std::vector<std::uint8_t>& payload,
+                                     std::uint64_t noise_run_seed);
+  [[nodiscard]] LinkResult run_streaming(
+      const std::vector<std::uint8_t>& payload, std::uint64_t noise_run_seed);
+  /// Shared tail of both paths: payload comparison, truncated-tail error
+  /// accounting, BER, and waveform dropping when capture is off.
+  void finalize(const std::vector<std::uint8_t>& payload, LinkResult& result);
+
   LinkConfig config_;
   Transmitter tx_;
   Receiver rx_;

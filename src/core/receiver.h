@@ -43,6 +43,11 @@ class Receiver {
 
   /// The RFI model in use (bias/gain/bandwidth introspection).
   [[nodiscard]] const analog::RfiCircuit& rfi() const { return rfi_circuit_; }
+  /// The calibrated behavioural RFI front end (the streaming pipeline
+  /// builds its block-wise equivalent from this).
+  [[nodiscard]] const analog::RfiStage& rfi_stage() const {
+    return rfi_stage_;
+  }
   [[nodiscard]] const analog::RestoringInverter& restoring() const {
     return restoring_;
   }

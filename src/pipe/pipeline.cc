@@ -1,0 +1,26 @@
+#include "pipe/stage.h"
+
+namespace serdes::pipe {
+
+Stage& Pipeline::add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *stages_.back();
+}
+
+BlockView Pipeline::process(const BlockView& in) {
+  BlockView view = in;
+  bool use_ping = true;
+  for (auto& stage : stages_) {
+    Block& out = use_ping ? ping_ : pong_;
+    stage->process(view, out);
+    view = out.view();
+    use_ping = !use_ping;
+  }
+  return view;
+}
+
+void Pipeline::reset() {
+  for (auto& stage : stages_) stage->reset();
+}
+
+}  // namespace serdes::pipe

@@ -1,0 +1,56 @@
+// Stage interface and pipeline composer for the streaming link datapath.
+//
+// A Stage maps one input block to one output block, carrying whatever
+// state it needs (IIR filter memories, RNG streams, tap delay lines)
+// across calls so that processing a stream block-by-block is bit-identical
+// to processing it as one waveform.  A Pipeline chains stages and
+// ping-pongs between two scratch blocks, so the whole datapath holds at
+// most two blocks of samples regardless of stream length.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pipe/block.h"
+
+namespace serdes::pipe {
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Transforms one block.  `out` must be sized/stamped via
+  /// `out.match(in)`; `in` stays valid only for the duration of the call.
+  virtual void process(const BlockView& in, Block& out) = 0;
+
+  /// Returns the stage to its start-of-stream state.
+  virtual void reset() = 0;
+
+  /// Diagnostic label.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Runs blocks through an ordered chain of stages.  Owns the stages and
+/// two scratch blocks (the only per-pipeline sample storage).
+class Pipeline {
+ public:
+  /// Appends a stage; returns it for optional post-wiring.
+  Stage& add(std::unique_ptr<Stage> stage);
+
+  /// Pushes one block through every stage; the returned view aliases one
+  /// of the internal scratch blocks and is valid until the next call.
+  [[nodiscard]] BlockView process(const BlockView& in);
+
+  /// Resets every stage to its start-of-stream state.
+  void reset();
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+  Block ping_;
+  Block pong_;
+};
+
+}  // namespace serdes::pipe

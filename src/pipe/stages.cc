@@ -1,0 +1,265 @@
+#include "pipe/stages.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace serdes::pipe {
+
+// ---- LevelPulseSource -------------------------------------------------------
+
+LevelPulseSource::LevelPulseSource(std::vector<double> levels,
+                                   util::Second unit_interval,
+                                   int samples_per_ui, util::Second rise_time,
+                                   util::Second stream_t0, double fill_level)
+    : levels_(std::move(levels)),
+      ui_(unit_interval),
+      dt_(unit_interval / static_cast<double>(samples_per_ui)),
+      t0_(stream_t0),
+      tr_(rise_time.value()),
+      fill_(fill_level),
+      total_(levels_.size() * static_cast<std::uint64_t>(samples_per_ui)) {
+  if (samples_per_ui < 2) {
+    throw std::invalid_argument("LevelPulseSource: need >= 2 samples per UI");
+  }
+}
+
+std::size_t LevelPulseSource::produce(Block& out, std::size_t max_samples) {
+  const std::uint64_t remaining = total_ - pos_;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(max_samples, remaining));
+  if (n == 0) return 0;
+
+  out.samples().resize(n);
+  out.set_start_index(pos_);
+  out.set_stream_t0(t0_);
+  out.set_dt(dt_);
+  double* samples = out.data();
+
+  // Identical per-sample arithmetic to Waveform::nrz / TxFfe::shape, indexed
+  // by the absolute stream position so block boundaries are invisible.
+  const double ui = ui_.value();
+  const double tr = tr_;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t i = pos_ + j;
+    const double t = (static_cast<double>(i) + 0.5) * dt_.value();
+    const auto bit = static_cast<std::size_t>(t / ui);
+    if (bit >= levels_.size()) {
+      samples[j] = fill_;
+      continue;
+    }
+    const double lvl = levels_[bit];
+    double v = lvl;
+    if (tr > 0.0) {
+      // Blend across the transition centred at the bit boundary.
+      const double t_in_bit = t - static_cast<double>(bit) * ui;
+      if (bit > 0 && t_in_bit < tr / 2.0) {
+        const double prev = levels_[bit - 1];
+        const double x = (t_in_bit + tr / 2.0) / tr;  // 0..1 across the edge
+        v = prev + (lvl - prev) * x;
+      } else if (bit + 1 < levels_.size() && t_in_bit > ui - tr / 2.0) {
+        const double next = levels_[bit + 1];
+        const double x = (t_in_bit - (ui - tr / 2.0)) / tr;
+        v = lvl + (next - lvl) * x;
+      }
+    }
+    samples[j] = v;
+  }
+
+  pos_ += n;
+  out.set_last(pos_ == total_);
+  return n;
+}
+
+// ---- AwgnStage --------------------------------------------------------------
+
+void AwgnStage::process(const BlockView& in, Block& out) {
+  out.match(in);
+  double* samples = out.data();
+  if (sigma_ > 0.0) {
+    for (std::size_t i = 0; i < in.size; ++i) {
+      samples[i] = in.data[i] + rng_.gaussian(0.0, sigma_);
+    }
+  } else {
+    std::copy(in.data, in.data + in.size, samples);
+  }
+}
+
+// ---- CtleStage --------------------------------------------------------------
+
+void CtleStage::process(const BlockView& in, Block& out) {
+  out.match(in);
+  double* samples = out.data();
+  for (std::size_t i = 0; i < in.size; ++i) {
+    const double x = in.data[i];
+    const double low = lpf_.step(x);
+    samples[i] = x + k_ * (x - low);
+  }
+}
+
+// ---- RfiFrontEndStage -------------------------------------------------------
+
+void RfiFrontEndStage::process(const BlockView& in, Block& out) {
+  out.match(in);
+  double* samples = out.data();
+  for (std::size_t i = 0; i < in.size; ++i) {
+    const double biased = in.data[i] + delta_;
+    samples[i] = rfi_->saturate(lpf_.step(biased));
+  }
+}
+
+// ---- RestoringStage ---------------------------------------------------------
+
+void RestoringStage::process(const BlockView& in, Block& out) {
+  out.match(in);
+  double* samples = out.data();
+  for (std::size_t i = 0; i < in.size; ++i) {
+    samples[i] = pole_.step(inv_->restore_level(in.data[i]));
+  }
+}
+
+// ---- WaveformTapStage -------------------------------------------------------
+
+void WaveformTapStage::process(const BlockView& in, Block& out) {
+  out.match(in);
+  std::copy(in.data, in.data + in.size, out.data());
+  if (captured_.empty()) {
+    t0_ = in.stream_t0;
+    dt_ = in.dt;
+  }
+  if (captured_.size() < max_samples_) {
+    const std::size_t room = max_samples_ - captured_.size();
+    const std::size_t take = std::min(room, in.size);
+    captured_.insert(captured_.end(), in.data, in.data + take);
+  }
+}
+
+analog::Waveform WaveformTapStage::take() {
+  return analog::Waveform{t0_, dt_, std::move(captured_)};
+}
+
+// ---- SamplerCdrSink ---------------------------------------------------------
+
+SamplerCdrSink::SamplerCdrSink(const Config& config)
+    : clocks_(config.bit_rate, config.oversampling, config.phase_offset,
+              config.ppm_offset),
+      jitter_(config.jitter),
+      sampler_(config.sampler),
+      cdr_(config.cdr),
+      total_(config.total_samples),
+      t0_(config.stream_t0),
+      dt_(config.dt),
+      end_(config.stream_t0 +
+           config.dt * static_cast<double>(config.total_samples)),
+      ap_half_(config.sampler.aperture * 0.5) {
+  // The rolling window must span one appended block plus the worst-case
+  // backward reach of a jittered aperture edge; anything older can be
+  // discarded because instants are evaluated in order, as soon as their
+  // forward neighbourhood arrives.
+  const double dt_s = config.dt.value();
+  const double back_span_s = config.sampler.aperture.value() +
+                             24.0 * config.jitter.random_rms.value() +
+                             2.0 * config.jitter.sinusoidal_amplitude.value() +
+                             4.0 * util::period(config.bit_rate).value();
+  back_samples_ =
+      static_cast<std::size_t>(back_span_s / dt_s) + 64;
+  ring_.assign(std::max<std::size_t>(config.block_samples, 1) + back_samples_,
+               0.0);
+  if (total_ == 0) done_ = true;
+}
+
+void SamplerCdrSink::consume(const BlockView& in) {
+  if (in.size + back_samples_ > ring_.size()) {
+    // A block larger than the sizing hint arrived: grow the window before
+    // writing, re-placing the live span under the new modulus, so oversized
+    // blocks can never overwrite samples pending instants still need.
+    std::vector<double> bigger(in.size + back_samples_, 0.0);
+    const std::uint64_t live =
+        std::min<std::uint64_t>(appended_, ring_.size());
+    for (std::uint64_t k = appended_ - live; k < appended_; ++k) {
+      bigger[k % bigger.size()] = ring_[k % ring_.size()];
+    }
+    ring_ = std::move(bigger);
+  }
+  const std::size_t w = ring_.size();
+  for (std::size_t i = 0; i < in.size; ++i) {
+    ring_[(in.start_index + i) % w] = in.data[i];
+  }
+  if (in.size > 0) {
+    if (in.start_index == 0) {
+      first_sample_ = in.data[0];
+      has_first_ = true;
+    }
+    appended_ = in.start_index + in.size;
+    if (appended_ == total_) {
+      last_sample_ = in.data[in.size - 1];
+      final_ = true;
+    }
+  }
+  drain();
+}
+
+void SamplerCdrSink::finish() {
+  if (!final_ && total_ > 0 && appended_ == total_) {
+    last_sample_ = ring_[(total_ - 1) % ring_.size()];
+    final_ = true;
+  }
+  drain();
+}
+
+bool SamplerCdrSink::available(util::Second t) const {
+  const double idx = (t - t0_) / dt_;
+  if (idx <= 0.0) return has_first_;
+  const auto lo = static_cast<std::uint64_t>(idx);
+  if (lo + 1 >= total_) return final_;
+  return lo + 1 < appended_;
+}
+
+double SamplerCdrSink::value_at(util::Second t) const {
+  // Mirrors Waveform::value_at over the logical full-stream waveform, with
+  // samples fetched from the rolling window by absolute index.
+  const double idx = (t - t0_) / dt_;
+  if (idx <= 0.0) return first_sample_;
+  const auto lo = static_cast<std::uint64_t>(idx);
+  if (lo + 1 >= total_) return last_sample_;
+  const double frac = idx - static_cast<double>(lo);
+  const std::size_t w = ring_.size();
+  const double a = ring_[lo % w];
+  const double b = ring_[(lo + 1) % w];
+  return a + frac * (b - a);
+}
+
+void SamplerCdrSink::drain() {
+  while (!done_) {
+    if (!pending_) {
+      if (phase_ == 0) {
+        const util::Second ui_start = clocks_.instant(ui_, 0);
+        if (ui_start >= end_) {
+          done_ = true;
+          break;
+        }
+      }
+      // Perturb exactly once per instant; the jitter RNG stream therefore
+      // advances in the same order as the batch sampling loop even when an
+      // instant has to wait for the next block.
+      pending_ = jitter_.perturb(clocks_.instant(ui_, phase_));
+    }
+    const util::Second t = *pending_;
+    if (!available(t) || !available(t - ap_half_) ||
+        !available(t + ap_half_)) {
+      break;  // wait for more samples (or the end of the stream)
+    }
+    const double v = value_at(t);
+    const double v_before = value_at(t - ap_half_);
+    const double v_after = value_at(t + ap_half_);
+    cdr_.push(sampler_.decide(v, v_before, v_after));
+    pending_.reset();
+    if (++phase_ == clocks_.phases()) {
+      phase_ = 0;
+      ++ui_;
+    }
+  }
+}
+
+}  // namespace serdes::pipe

@@ -170,6 +170,38 @@ TEST(ChannelFactory, UnknownKindThrowsWithRegisteredKindsListed) {
   }
 }
 
+TEST(ChannelFactory, UnknownKindMessageListsEveryRegisteredKind) {
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  ChannelSpec bogus;
+  bogus.kind = "definitely_not_a_channel";
+  try {
+    (void)ChannelFactory::instance().create(bogus, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    // Every registered kind must appear, sorted, so callers can self-serve.
+    for (const auto& kind : ChannelFactory::instance().kinds()) {
+      EXPECT_NE(what.find(kind), std::string::npos)
+          << "'" << kind << "' missing from: " << what;
+    }
+    EXPECT_NE(what.find("registered:"), std::string::npos) << what;
+  }
+}
+
+TEST(ChannelFactory, UnknownKindSuggestsNearestMatch) {
+  const core::LinkConfig cfg = core::LinkConfig::paper_default();
+  ChannelSpec typo;
+  typo.kind = "lossy_lien";
+  try {
+    (void)ChannelFactory::instance().create(typo, cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean 'lossy_line'?"), std::string::npos)
+        << what;
+  }
+}
+
 TEST(ChannelFactory, CustomKindRegistersAndResolves) {
   auto& factory = ChannelFactory::instance();
   // A custom kind can delegate to existing kinds (or construct its own

@@ -93,6 +93,40 @@ TEST(Link, TracksPpmOffsetModuloBitSlips) {
   EXPECT_TRUE(found);
 }
 
+TEST(Link, TruncatedTailCountsAsErrorsBeyondCdrAllowance) {
+  // A negative ppm offset stretches the receiver UI, so the sampling grid
+  // produces fewer recovered bits than were sent: the tail of the payload
+  // is never delivered.  Those missing bits must count as errors (beyond
+  // the small CDR pipeline allowance), or deep BER sweeps would silently
+  // credit truncated chunks as error-free coverage.
+  LinkConfig cfg = LinkConfig::paper_default();
+  cfg.ppm_offset = -500.0;
+  SerDesLink link(cfg, flat(10.0));
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(2048);
+  const auto r = link.run(payload);
+  ASSERT_TRUE(r.aligned);
+  ASSERT_LT(r.rx.payload.size(),
+            payload.size() - SerDesLink::kCdrTailAllowanceBits);
+  const std::uint64_t missing = payload.size() - r.rx.payload.size();
+  // Every missing bit beyond the allowance is charged as a compared error.
+  EXPECT_EQ(r.payload_bits_compared,
+            payload.size() - SerDesLink::kCdrTailAllowanceBits);
+  EXPECT_GE(r.bit_errors, missing - SerDesLink::kCdrTailAllowanceBits);
+  EXPECT_GT(r.ber, 0.0);
+}
+
+TEST(Link, HealthyRunHasNoTailPenalty) {
+  SerDesLink link(LinkConfig::paper_default(), flat(34.0));
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs31);
+  const auto payload = prbs.next_bits(2048);
+  const auto r = link.run(payload);
+  ASSERT_TRUE(r.aligned);
+  EXPECT_EQ(r.rx.payload.size(), payload.size());
+  EXPECT_EQ(r.payload_bits_compared, payload.size());
+  EXPECT_EQ(r.bit_errors, 0u);
+}
+
 TEST(Link, NullChannelThrows) {
   EXPECT_THROW(SerDesLink(LinkConfig::paper_default(), nullptr),
                std::invalid_argument);

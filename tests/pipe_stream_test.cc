@@ -1,0 +1,261 @@
+// Streaming-equivalence suite: the block pipeline must be bit-identical to
+// the whole-waveform batch path — per channel kind, per block size, and
+// end-to-end through SerDesLink and api::Simulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "api/api.h"
+#include "channel/channel.h"
+#include "core/link.h"
+#include "pipe/stage.h"
+#include "pipe/stages.h"
+#include "util/prbs.h"
+
+namespace serdes {
+namespace {
+
+constexpr util::Second kDt = util::Second{31.25e-12};  // 2 Gbps, 16 s/UI
+
+analog::Waveform test_wave(std::size_t nbits = 512) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  return analog::Waveform::nrz(prbs.next_bits(nbits), util::nanoseconds(0.5),
+                               16, 0.0, 1.8, util::picoseconds(100.0));
+}
+
+/// Streams `in` through the channel in `chunk`-sample blocks.
+analog::Waveform stream_chunked(const channel::Channel& ch,
+                                const analog::Waveform& in,
+                                std::size_t chunk) {
+  analog::Waveform out = in;
+  const auto stream = ch.open_stream();
+  auto& samples = out.samples();
+  for (std::size_t i = 0; i < samples.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, samples.size() - i);
+    stream->transmit_block(samples.data() + i, samples.data() + i, n);
+  }
+  return out;
+}
+
+void expect_identical(const analog::Waveform& a, const analog::Waveform& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(a.start_time().value(), b.start_time().value()) << what;
+  EXPECT_EQ(a.sample_period().value(), b.sample_period().value()) << what;
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u) << what << ": " << mismatches << " of "
+                            << a.size() << " samples differ";
+}
+
+std::vector<api::ChannelSpec> all_channel_kinds() {
+  return {
+      api::ChannelSpec::flat(34.0),
+      api::ChannelSpec::rc(2.5e9, 3.0),
+      api::ChannelSpec::lossy_line(2.0, 10.0, 8.0),
+      api::ChannelSpec::fir({0.1, 0.7, 0.25, -0.1}, 16),
+      api::ChannelSpec::cascade({api::ChannelSpec::flat(6.0),
+                                 api::ChannelSpec::rc(3e9),
+                                 api::ChannelSpec::fir({0.8, 0.2}, 16)}),
+  };
+}
+
+TEST(ChannelStreaming, BlockChunkingIsBitIdenticalForEveryKind) {
+  const auto cfg = core::LinkConfig::paper_default();
+  const analog::Waveform in = test_wave();
+  for (const auto& spec : all_channel_kinds()) {
+    const auto ch = api::ChannelFactory::instance().create(spec, cfg);
+    const analog::Waveform batch = ch->transmit(in);
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                              std::size_t{4096}}) {
+      const analog::Waveform streamed = stream_chunked(*ch, in, chunk);
+      expect_identical(batch, streamed,
+                       (spec.kind + " @" + std::to_string(chunk)).c_str());
+    }
+  }
+}
+
+TEST(ChannelStreaming, StreamResetRestartsFromZeroState) {
+  const auto cfg = core::LinkConfig::paper_default();
+  const auto ch = api::ChannelFactory::instance().create(
+      api::ChannelSpec::lossy_line(2.0, 10.0, 8.0), cfg);
+  const analog::Waveform in = test_wave(64);
+  const analog::Waveform batch = ch->transmit(in);
+
+  const auto stream = ch->open_stream();
+  std::vector<double> first(in.samples());
+  stream->transmit_block(first.data(), first.data(), first.size());
+  stream->reset();
+  std::vector<double> second(in.samples());
+  stream->transmit_block(second.data(), second.data(), second.size());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_EQ(second[i], batch[i]) << "sample " << i;
+  }
+}
+
+TEST(SamplerCdrSink, GrowsWindowForBlocksBeyondTheSizingHint) {
+  // A block far larger than Config::block_samples must not wrap the rolling
+  // window over itself — the sink grows it and stays bit-identical to the
+  // batch sampling chain.
+  const analog::Waveform w = test_wave(128);
+  pipe::SamplerCdrSink::Config c;
+  c.bit_rate = util::gigahertz(2.0);
+  c.oversampling = 5;
+  c.total_samples = w.size();
+  c.stream_t0 = w.start_time();
+  c.dt = w.sample_period();
+  c.block_samples = 64;  // hint far below the block actually fed
+  pipe::SamplerCdrSink sink(c);
+
+  pipe::Block blk;
+  blk.samples() = w.samples();
+  blk.set_start_index(0);
+  blk.set_stream_t0(w.start_time());
+  blk.set_dt(w.sample_period());
+  blk.set_last(true);
+  sink.consume(blk.view());
+  sink.finish();
+
+  digital::MultiphaseClockGenerator clocks(c.bit_rate, c.oversampling,
+                                           c.phase_offset, c.ppm_offset);
+  channel::JitterModel jitter(c.jitter);
+  analog::DffSampler sampler(c.sampler);
+  const auto samples = digital::sample_waveform(w, clocks, sampler, &jitter);
+  digital::OversamplingCdr cdr(c.cdr);
+  EXPECT_EQ(sink.cdr().recovered(), cdr.recover(samples));
+}
+
+/// End-to-end: batch and streaming LinkResults must match exactly,
+/// including captured waveforms and CDR diagnostics.
+void expect_identical_runs(core::LinkConfig cfg, const api::ChannelSpec& ch,
+                           std::size_t payload_bits,
+                           std::size_t block_samples) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto payload = prbs.next_bits(payload_bits);
+
+  cfg.capture_waveforms = true;
+  cfg.execution = core::LinkConfig::Execution::kBatch;
+  core::SerDesLink batch_link(
+      cfg, api::ChannelFactory::instance().create(ch, cfg));
+  const core::LinkResult batch = batch_link.run(payload);
+
+  cfg.execution = core::LinkConfig::Execution::kStreaming;
+  cfg.stream_block_samples = block_samples;
+  core::SerDesLink stream_link(
+      cfg, api::ChannelFactory::instance().create(ch, cfg));
+  const core::LinkResult streamed = stream_link.run(payload);
+
+  EXPECT_EQ(batch.aligned, streamed.aligned);
+  EXPECT_EQ(batch.bit_errors, streamed.bit_errors);
+  EXPECT_EQ(batch.payload_bits_compared, streamed.payload_bits_compared);
+  EXPECT_EQ(batch.ber, streamed.ber);
+  EXPECT_EQ(batch.rx_swing_pp, streamed.rx_swing_pp);
+  EXPECT_EQ(batch.rx.recovered_bits, streamed.rx.recovered_bits);
+  EXPECT_EQ(batch.rx.payload, streamed.rx.payload);
+  EXPECT_EQ(batch.rx.cdr_decision_phase, streamed.rx.cdr_decision_phase);
+  EXPECT_EQ(batch.rx.cdr_phase_updates, streamed.rx.cdr_phase_updates);
+  EXPECT_EQ(batch.rx.metastable_samples, streamed.rx.metastable_samples);
+  expect_identical(batch.tx_out, streamed.tx_out, "tx_out");
+  expect_identical(batch.channel_out, streamed.channel_out, "channel_out");
+  expect_identical(batch.rx.rfi_out, streamed.rx.rfi_out, "rfi_out");
+  expect_identical(batch.rx.restored, streamed.rx.restored, "restored");
+}
+
+TEST(LinkStreaming, BitIdenticalToBatchForEveryChannelKind) {
+  for (const auto& ch : all_channel_kinds()) {
+    expect_identical_runs(core::LinkConfig::paper_default(), ch, 512, 16384);
+  }
+}
+
+TEST(LinkStreaming, BitIdenticalAcrossBlockSizes) {
+  const auto ch = api::ChannelSpec::flat(34.0);
+  for (std::size_t block : {std::size_t{1}, std::size_t{7},
+                            std::size_t{4096}, std::size_t{1} << 20}) {
+    expect_identical_runs(core::LinkConfig::paper_default(), ch, 256, block);
+  }
+}
+
+TEST(LinkStreaming, BitIdenticalWithEqualizationAndImpairments) {
+  core::LinkConfig cfg = core::LinkConfig::paper_default();
+  cfg.tx_ffe_deemphasis = 0.15;
+  cfg.rx_ctle_boost = util::decibels(4.0);
+  cfg.rx_sinusoidal_jitter = util::picoseconds(3.0);
+  cfg.ppm_offset = 150.0;
+  expect_identical_runs(cfg, api::ChannelSpec::lossy_line(2.0, 14.0, 10.0),
+                        512, 2048);
+}
+
+TEST(SimulatorStreaming, ReportsMatchBatchExactly) {
+  api::LinkSpec spec;
+  spec.payload_bits = 8192;
+  spec.chunk_bits = 2048;
+  spec.channel = api::ChannelSpec::flat(34.0);
+  spec.streaming = false;
+  const api::Simulator sim;
+  const api::RunReport batch = sim.run(spec);
+
+  spec.streaming = true;
+  for (std::uint64_t block : {std::uint64_t{1024}, std::uint64_t{16384}}) {
+    spec.stream_block_samples = block;
+    const api::RunReport streamed = sim.run(spec);
+    EXPECT_EQ(batch.aligned, streamed.aligned);
+    EXPECT_EQ(batch.bits, streamed.bits);
+    EXPECT_EQ(batch.errors, streamed.errors);
+    EXPECT_EQ(batch.ber, streamed.ber);
+    EXPECT_EQ(batch.ber_upper_bound, streamed.ber_upper_bound);
+    EXPECT_EQ(batch.cdr_decision_phase, streamed.cdr_decision_phase);
+    EXPECT_EQ(batch.cdr_phase_updates, streamed.cdr_phase_updates);
+    EXPECT_EQ(batch.rx_swing_pp, streamed.rx_swing_pp);
+    EXPECT_EQ(batch.decision_threshold, streamed.decision_threshold);
+    EXPECT_EQ(batch.eye.eye_height, streamed.eye.eye_height);
+    EXPECT_EQ(batch.eye.eye_width_ui, streamed.eye.eye_width_ui);
+    EXPECT_EQ(batch.eye.best_phase_ui, streamed.eye.best_phase_ui);
+  }
+}
+
+TEST(SimulatorStreaming, DiagnosticCaptureIsBoundedOnDeepChunks) {
+  // Capture memory must not scale with chunk depth: the tap stages retain
+  // only the diagnostic window however deep the (single) chunk is.
+  api::LinkSpec spec;
+  spec.payload_bits = 100000;
+  spec.chunk_bits = 100000;
+  spec.capture_waveforms = true;
+  const api::Simulator sim;
+  const api::RunReport r = sim.run(spec);
+  const auto cap = static_cast<std::size_t>(
+      sim.options().diagnostic_window_uis *
+      static_cast<std::uint64_t>(spec.samples_per_ui));
+  EXPECT_GT(r.restored.size(), 0u);
+  EXPECT_LE(r.restored.size(), cap);
+  EXPECT_LE(r.tx_out.size(), cap);
+  EXPECT_LE(r.channel_out.size(), cap);
+  EXPECT_TRUE(r.aligned);
+}
+
+TEST(SimulatorStreaming, BatchLanesMatchAcrossExecutionModes) {
+  std::vector<api::LinkSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "lane" + std::to_string(i);
+    specs[i].payload_bits = 2048;
+    specs[i].chunk_bits = 1024;
+  }
+  const api::Simulator sim;
+  auto batch_specs = specs;
+  for (auto& s : batch_specs) s.streaming = false;
+  const auto batch = sim.run_batch(batch_specs, 2);
+  const auto streamed = sim.run_batch(specs, 2);
+  ASSERT_EQ(batch.size(), streamed.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].errors, streamed[i].errors) << i;
+    EXPECT_EQ(batch[i].bits, streamed[i].bits) << i;
+    EXPECT_EQ(batch[i].aligned, streamed[i].aligned) << i;
+    EXPECT_EQ(batch[i].rx_swing_pp, streamed[i].rx_swing_pp) << i;
+  }
+}
+
+}  // namespace
+}  // namespace serdes
