@@ -9,7 +9,11 @@
 // The headline entries are the batch-vs-streaming comparison on the deep
 // BER kernel: one Simulator::run over a single 2^20-bit chunk in each
 // execution mode, with the process peak-RSS sampled around each so the
-// O(payload) vs O(block) memory behaviour is visible in the JSON.
+// O(payload) vs O(block) memory behaviour is visible in the JSON.  The
+// stage_* entries time each streaming-datapath kernel in isolation
+// (items = waveform samples) so a regression localizes to the stage that
+// caused it, and the fir513 direct-vs-fft pair tracks the overlap-save
+// crossover the dsp engine's BlockFir::use_fft constants encode.
 //
 // Usage: bench_perf_kernels [output.json] [--deep-bits=N]
 #include <chrono>
@@ -22,13 +26,19 @@
 
 #include "analog/rfi.h"
 #include "api/api.h"
+#include "channel/channel.h"
 #include "core/link.h"
+#include "core/receiver.h"
 #include "digital/cdr.h"
+#include "dsp/convolution.h"
+#include "dsp/fft.h"
 #include "flow/place.h"
 #include "flow/power.h"
 #include "flow/rtlgen.h"
 #include "flow/sta.h"
+#include "pipe/stages.h"
 #include "util/prbs.h"
+#include "util/random.h"
 
 namespace {
 
@@ -121,6 +131,146 @@ api::LinkSpec deep_ber_spec(std::uint64_t bits, bool streaming) {
   spec.prbs_order = util::PrbsOrder::kPrbs15;
   spec.streaming = streaming;
   return spec;
+}
+
+// ---- Per-stage kernels ------------------------------------------------------
+// One entry per streaming-datapath stage (items = waveform samples), so a
+// regression in BENCH_perf.json localizes to the kernel that caused it.
+
+void bench_stage_kernels(std::vector<BenchResult>& results) {
+  const auto cfg = core::LinkConfig::paper_default();
+  const std::size_t block = 16384;
+  const std::size_t nblocks = 8;
+  const std::size_t nsamp = block * nblocks;
+  const int spu = cfg.samples_per_ui;
+
+  {
+    util::Rng rng(42);
+    run_bench(results, "rng_gaussian", 65536, [&] {
+      double acc = 0.0;
+      for (int i = 0; i < 65536; ++i) acc += rng.gaussian();
+      volatile double sink = acc;
+      (void)sink;
+    });
+  }
+
+  {
+    util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+    const auto bits = prbs.next_bits(nsamp / spu);
+    std::vector<double> levels(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      levels[i] = bits[i] ? 1.8 : 0.0;
+    }
+    pipe::LevelPulseSource src(levels, cfg.unit_interval(), spu,
+                               util::picoseconds(100.0), util::seconds(0.0));
+    pipe::Block blk;
+    run_bench(results, "stage_source_sample", nsamp, [&] {
+      src.reset();
+      while (src.produce(blk, block) > 0) {
+      }
+    });
+  }
+
+  const auto channel_bench = [&](const char* name,
+                                 const channel::Channel& ch) {
+    const auto stream = ch.open_stream();
+    // Separate in/out buffers: transmitting in place would decay the
+    // signal through denormals to zeros across iterations and time an
+    // unrepresentative data regime.
+    const std::vector<double> buf(nsamp, 0.5);
+    std::vector<double> out(nsamp, 0.0);
+    run_bench(results, name, nsamp, [&] {
+      for (std::size_t i = 0; i < nsamp; i += block) {
+        stream->transmit_block(buf.data() + i, out.data() + i, block);
+      }
+    });
+  };
+  channel_bench("stage_channel_flat_sample",
+                channel::FlatChannel(util::decibels(34.0)));
+  {
+    // The paper-default FIR configuration: UI-spaced taps left strided
+    // (samples_per_tap = samples_per_ui), so 4 MACs/sample instead of 64.
+    std::vector<double> ui_taps = {0.1, 0.7, 0.25, -0.1};
+    channel_bench("stage_channel_fir_ui4x16_sample",
+                  channel::FirChannel(ui_taps, 16, /*dsp=*/false));
+    std::vector<double> taps64(64, 0.01);
+    channel_bench("stage_channel_fir64_direct_sample",
+                  channel::FirChannel(taps64, 1, /*dsp=*/false));
+    std::vector<double> taps513(513, 0.002);
+    channel_bench("stage_channel_fir513_direct_sample",
+                  channel::FirChannel(taps513, 1, /*dsp=*/false));
+    channel_bench("stage_channel_fir513_fft_sample",
+                  channel::FirChannel(taps513, 1, /*dsp=*/true));
+  }
+  {
+    channel::LossyLineChannel::Params p;
+    p.dc_loss_db = 2.0;
+    p.skin_loss_db_at_1ghz = 10.0;
+    p.dielectric_loss_db_at_1ghz = 8.0;
+    channel_bench("stage_channel_lossy_sample",
+                  channel::LossyLineChannel(p, cfg.sample_period()));
+  }
+
+  const auto stage_bench = [&](const char* name, pipe::Stage& stage,
+                               double fill) {
+    pipe::Block in;
+    in.samples().assign(block, fill);
+    pipe::Block out;
+    run_bench(results, name, nsamp, [&] {
+      for (std::size_t i = 0; i < nsamp; i += block) {
+        stage.process(in.view(), out);
+      }
+    });
+  };
+  {
+    pipe::AwgnStage awgn(0.001, 1234);
+    stage_bench("stage_awgn_sample", awgn, 0.5);
+  }
+  {
+    pipe::CtleStage ctle(util::decibels(4.0), util::megahertz(700.0),
+                         cfg.sample_period());
+    stage_bench("stage_ctle_sample", ctle, 0.5);
+  }
+  core::Receiver rx(cfg);
+  {
+    pipe::RfiFrontEndStage rfi(rx.rfi_stage(), cfg.sample_period());
+    rfi.set_mean(0.0005);
+    stage_bench("stage_rfi_sample", rfi, 0.0005);
+  }
+  {
+    pipe::RestoringStage restore(rx.restoring(), cfg.sample_period());
+    stage_bench("stage_restore_sample", restore, 0.9);
+  }
+
+  {
+    pipe::SamplerCdrSink::Config sc;
+    sc.bit_rate = cfg.bit_rate;
+    sc.oversampling = cfg.cdr.oversampling;
+    sc.jitter.random_rms = cfg.rx_random_jitter;
+    sc.total_samples = nsamp;
+    sc.dt = cfg.sample_period();
+    sc.block_samples = block;
+    run_bench(results, "stage_sampler_cdr_sample", nsamp, [&] {
+      pipe::SamplerCdrSink sink(sc);
+      pipe::Block in;
+      in.samples().assign(block, 0.9);
+      for (std::size_t i = 0; i < nsamp; i += block) {
+        in.set_start_index(i);
+        sink.consume(in.view());
+      }
+      sink.finish();
+    });
+  }
+
+  {
+    dsp::RealFft fft(4096);
+    std::vector<double> x(4096, 0.25);
+    std::vector<std::complex<double>> spec(fft.bins());
+    run_bench(results, "dsp_rfft4096_roundtrip_sample", 4096, [&] {
+      fft.forward(x.data(), spec.data());
+      fft.inverse(spec.data(), x.data());
+    });
+  }
 }
 
 }  // namespace
@@ -247,6 +397,8 @@ int main(int argc, char** argv) {
         streaming.items_per_s() / batch.items_per_s(),
         streaming.peak_rss_kb / 1024.0, batch.peak_rss_kb / 1024.0);
   }
+
+  bench_stage_kernels(results);
 
   {
     flow::SerdesRtlConfig rtl;

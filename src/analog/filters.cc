@@ -41,15 +41,6 @@ OnePoleLowPass::OnePoleLowPass(util::Hertz cutoff, util::Second sample_period)
   a_ = (1.0 - k) / (1.0 + k);
 }
 
-double OnePoleLowPass::step(double x) {
-  const double y = b_ * (x + x1_) + a_ * y1_;
-  x1_ = x;
-  y1_ = y;
-  return y;
-}
-
-void OnePoleLowPass::reset() { x1_ = y1_ = 0.0; }
-
 OnePoleHighPass::OnePoleHighPass(util::Hertz cutoff,
                                  util::Second sample_period) {
   const util::Hertz fc = check_rates(cutoff, sample_period, "OnePoleHighPass");
@@ -58,15 +49,6 @@ OnePoleHighPass::OnePoleHighPass(util::Hertz cutoff,
   b_ = 1.0 / (1.0 + k);
   a_ = (1.0 - k) / (1.0 + k);
 }
-
-double OnePoleHighPass::step(double x) {
-  const double y = b_ * (x - x1_) + a_ * y1_;
-  x1_ = x;
-  y1_ = y;
-  return y;
-}
-
-void OnePoleHighPass::reset() { x1_ = y1_ = 0.0; }
 
 BiquadLowPass::BiquadLowPass(util::Hertz cutoff, double q,
                              util::Second sample_period) {
@@ -84,17 +66,6 @@ BiquadLowPass::BiquadLowPass(util::Hertz cutoff, double q,
   a1_ = -2.0 * cw / a0;
   a2_ = (1.0 - alpha) / a0;
 }
-
-double BiquadLowPass::step(double x) {
-  const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
-  x2_ = x1_;
-  x1_ = x;
-  y2_ = y1_;
-  y1_ = y;
-  return y;
-}
-
-void BiquadLowPass::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
 
 FirFilter::FirFilter(std::vector<double> taps) : taps_(std::move(taps)) {
   if (taps_.empty()) throw std::invalid_argument("FirFilter: no taps");

@@ -1,8 +1,12 @@
 // Discrete-time filters used for channel and front-end modelling.
 //
-// All filters expose a per-sample `step` and a whole-Waveform `process`.
-// The link uses one-pole sections for RC behaviour, biquads for the lossy
-// line's second-order roll-off, and FIR for tap-specified ISI channels.
+// All filters expose a per-sample `step`, a whole-Waveform `process`, and
+// a span kernel `process_block(in, out, n)` that runs the same recurrence
+// over a contiguous block with the coefficients and state held in locals —
+// the form the streaming pipeline's hot loops use.  `step` bodies live in
+// this header so stage loops that mix filters with other per-sample work
+// still fold everything into one loop.  Block and per-sample forms are
+// bit-identical by construction (same operations in the same order).
 #pragma once
 
 #include <vector>
@@ -30,8 +34,33 @@ class Filter {
 class OnePoleLowPass : public Filter {
  public:
   OnePoleLowPass(util::Hertz cutoff, util::Second sample_period);
-  double step(double x) override;
-  void reset() override;
+
+  double step(double x) override {
+    const double y = b_ * (x + x1_) + a_ * y1_;
+    x1_ = x;
+    y1_ = y;
+    return y;
+  }
+
+  /// Span kernel: the recurrence over a contiguous block, state carried.
+  /// `in` and `out` may alias.
+  void process_block(const double* in, double* out, std::size_t n) {
+    const double b = b_;
+    const double a = a_;
+    double x1 = x1_;
+    double y1 = y1_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = in[i];
+      const double y = b * (x + x1) + a * y1;
+      x1 = x;
+      y1 = y;
+      out[i] = y;
+    }
+    x1_ = x1;
+    y1_ = y1;
+  }
+
+  void reset() override { x1_ = y1_ = 0.0; }
   [[nodiscard]] util::Hertz cutoff() const { return cutoff_; }
 
  private:
@@ -46,8 +75,15 @@ class OnePoleLowPass : public Filter {
 class OnePoleHighPass : public Filter {
  public:
   OnePoleHighPass(util::Hertz cutoff, util::Second sample_period);
-  double step(double x) override;
-  void reset() override;
+
+  double step(double x) override {
+    const double y = b_ * (x - x1_) + a_ * y1_;
+    x1_ = x;
+    y1_ = y;
+    return y;
+  }
+
+  void reset() override { x1_ = y1_ = 0.0; }
 
  private:
   double a_ = 0.0;
@@ -56,19 +92,32 @@ class OnePoleHighPass : public Filter {
   double x1_ = 0.0;
 };
 
-/// Second-order low-pass biquad (RBJ cookbook, bilinear).
+/// Second-order low-pass biquad (RBJ cookbook, bilinear).  No span kernel:
+/// nothing on the streaming datapath runs a biquad (add one alongside a
+/// caller if that changes).
 class BiquadLowPass : public Filter {
  public:
   BiquadLowPass(util::Hertz cutoff, double q, util::Second sample_period);
-  double step(double x) override;
-  void reset() override;
+
+  double step(double x) override {
+    const double y = b0_ * x + b1_ * x1_ + b2_ * x2_ - a1_ * y1_ - a2_ * y2_;
+    x2_ = x1_;
+    x1_ = x;
+    y2_ = y1_;
+    y1_ = y;
+    return y;
+  }
+
+  void reset() override { x1_ = x2_ = y1_ = y2_ = 0.0; }
 
  private:
   double b0_, b1_, b2_, a1_, a2_;
   double x1_ = 0, x2_ = 0, y1_ = 0, y2_ = 0;
 };
 
-/// Direct-form FIR.
+/// Direct-form FIR (per-sample delay line).  Streaming channels use the
+/// contiguous dsp::BlockFir kernel instead; this stays as the composable
+/// per-sample form (equalizers, tests).
 class FirFilter : public Filter {
  public:
   explicit FirFilter(std::vector<double> taps);

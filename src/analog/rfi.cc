@@ -83,15 +83,6 @@ RfiStage::RfiStage(const RfiCircuit& circuit, util::Second sample_period)
       1.0 / (2.0 * std::numbers::pi * r_in * circuit.design().coupling_cap.value()));
 }
 
-double RfiStage::saturate(double v) const {
-  // Smooth saturation: inverting gain around the bias point, clipped to
-  // the rails with a tanh knee like the real VTC.
-  const double linear = bias_ - gain_ * v;
-  const double centered = linear - vdd_ / 2.0;
-  const double half = vdd_ / 2.0;
-  return half + half * std::tanh(centered / half);
-}
-
 Waveform RfiStage::process(const Waveform& in) const {
   Waveform out = in;
   // AC coupling, in its established steady state: the off-chip capacitor has

@@ -15,6 +15,8 @@
 //    sensitivity sweeps of Figs 8/9 require.
 #pragma once
 
+#include <cmath>
+
 #include "analog/inverter.h"
 #include "analog/filters.h"
 #include "analog/transient.h"
@@ -88,10 +90,22 @@ class RfiStage {
   /// the RFI output waveform (large signal around the bias).
   [[nodiscard]] Waveform process(const Waveform& in) const;
 
-  /// The per-sample saturating map applied after the output pole: inverting
-  /// gain around the bias point with a tanh knee into the rails.  Exposed so
-  /// the streaming RFI stage applies the identical arithmetic block-wise.
-  [[nodiscard]] double saturate(double v) const;
+  /// The saturating VTC with the operating point passed in: inverting gain
+  /// around the bias, clipped to the rails with a tanh knee like the real
+  /// VTC.  The single definition of the formula — `saturate` wraps it and
+  /// the streaming RFI stage calls it with the loads hoisted out of its
+  /// block loop.
+  [[nodiscard]] static double saturate_value(double v, double bias,
+                                             double gain, double half) {
+    const double linear = bias - gain * v;
+    const double centered = linear - half;
+    return half + half * std::tanh(centered / half);
+  }
+
+  /// The per-sample saturating map applied after the output pole.
+  [[nodiscard]] double saturate(double v) const {
+    return saturate_value(v, bias_, gain_, vdd_ / 2.0);
+  }
 
   [[nodiscard]] double bias() const { return bias_; }
   [[nodiscard]] double gain() const { return gain_; }

@@ -26,15 +26,6 @@ RestoringInverter::RestoringInverter(double wn_um, double wp_um,
   }
 }
 
-double RestoringInverter::restore_level(double v) const {
-  const int last = static_cast<int>(vtc_lut_.size()) - 1;
-  const double scale = static_cast<double>(last) / vdd_;
-  const double x = util::clamp(v, 0.0, vdd_) * scale;
-  const int lo = std::min(static_cast<int>(x), last - 1);
-  const double frac = x - lo;
-  return vtc_lut_[lo] + frac * (vtc_lut_[lo + 1] - vtc_lut_[lo]);
-}
-
 Waveform RestoringInverter::process(const Waveform& in) const {
   Waveform out = in;
   out.map([this](double v) { return restore_level(v); });
@@ -51,20 +42,6 @@ bool DffSampler::sample(const Waveform& w, util::Second t) {
   const double v_before = w.value_at(t - config_.aperture * 0.5);
   const double v_after = w.value_at(t + config_.aperture * 0.5);
   return decide(v, v_before, v_after);
-}
-
-bool DffSampler::decide(double v, double v_before, double v_after) {
-  const double noisy = v + rng_.gaussian(0.0, config_.input_noise_rms);
-  // Metastability: if the input crosses the threshold inside the aperture
-  // window around the sampling instant, the latch resolves randomly.
-  const bool crossed = (v_before - config_.threshold) *
-                           (v_after - config_.threshold) < 0.0;
-  if (crossed && std::fabs(noisy - config_.threshold) <
-                     2.0 * config_.input_noise_rms) {
-    ++metastable_count_;
-    return rng_.chance(0.5);
-  }
-  return noisy > config_.threshold;
 }
 
 }  // namespace serdes::analog

@@ -6,12 +6,14 @@
 // sensitivity at ~32 mV — the paper's key trade-off for synthesizability.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "analog/inverter.h"
 #include "analog/filters.h"
 #include "analog/waveform.h"
+#include "util/math.h"
 #include "util/random.h"
 #include "util/units.h"
 
@@ -29,8 +31,18 @@ class RestoringInverter {
 
   /// One point of the VTC lookup (the per-sample map `process` applies
   /// before its output pole) — the streaming restoring stage uses this so
-  /// block-wise restoration is bit-identical to `process`.
-  [[nodiscard]] double restore_level(double v) const;
+  /// block-wise restoration is bit-identical to `process`.  Inline so the
+  /// restoring block loop folds the lookup into its traversal.
+  [[nodiscard]] double restore_level(double v) const {
+    const int last = static_cast<int>(vtc_lut_.size()) - 1;
+    const double scale = static_cast<double>(last) / vdd_;
+    const double x = util::clamp(v, 0.0, vdd_) * scale;
+    const int lo = x < static_cast<double>(last - 1)
+                       ? static_cast<int>(x)
+                       : last - 1;
+    const double frac = x - lo;
+    return vtc_lut_[lo] + frac * (vtc_lut_[lo + 1] - vtc_lut_[lo]);
+  }
 
   [[nodiscard]] double threshold() const { return threshold_; }
   [[nodiscard]] util::Hertz bandwidth() const { return bandwidth_; }
@@ -64,8 +76,21 @@ class DffSampler {
   /// The decision itself, given the waveform values at the sampling
   /// instant and at the aperture edges (t -/+ aperture/2).  `sample` is
   /// this applied to `Waveform::value_at`; the streaming receiver sink
-  /// feeds it values interpolated from its rolling block window.
-  bool decide(double v, double v_before, double v_after);
+  /// feeds it values interpolated from its rolling block window.  Inline:
+  /// the sink evaluates it once per sampling instant.
+  bool decide(double v, double v_before, double v_after) {
+    const double noisy = v + rng_.gaussian(0.0, config_.input_noise_rms);
+    // Metastability: if the input crosses the threshold inside the aperture
+    // window around the sampling instant, the latch resolves randomly.
+    const bool crossed = (v_before - config_.threshold) *
+                             (v_after - config_.threshold) < 0.0;
+    if (crossed && std::fabs(noisy - config_.threshold) <
+                       2.0 * config_.input_noise_rms) {
+      ++metastable_count_;
+      return rng_.chance(0.5);
+    }
+    return noisy > config_.threshold;
+  }
 
   /// Number of metastable (randomly resolved) samples so far.
   [[nodiscard]] std::uint64_t metastable_count() const {

@@ -36,13 +36,18 @@ std::unique_ptr<channel::Channel> make_rc(const ChannelSpec& spec,
                                               util::decibels(spec.loss_db));
 }
 
+// The dsp-accelerated variants register under the same kinds: cfg.dsp
+// routes "lossy_line" and "fir" through the block-convolution engine
+// (overlap-save FFT above the crossover) without touching any call site.
+
 std::unique_ptr<channel::Channel> make_lossy_line(const ChannelSpec& spec,
                                                   const core::LinkConfig& cfg) {
   channel::LossyLineChannel::Params p;
   p.dc_loss_db = spec.loss_db;
   p.skin_loss_db_at_1ghz = spec.skin_loss_db_at_1ghz;
   p.dielectric_loss_db_at_1ghz = spec.dielectric_loss_db_at_1ghz;
-  return std::make_unique<channel::LossyLineChannel>(p, cfg.sample_period());
+  return std::make_unique<channel::LossyLineChannel>(p, cfg.sample_period(),
+                                                     cfg.dsp);
 }
 
 std::unique_ptr<channel::Channel> make_fir(const ChannelSpec& spec,
@@ -50,7 +55,8 @@ std::unique_ptr<channel::Channel> make_fir(const ChannelSpec& spec,
   const int samples_per_tap = spec.fir_samples_per_tap > 0
                                   ? spec.fir_samples_per_tap
                                   : cfg.samples_per_ui;
-  return std::make_unique<channel::FirChannel>(spec.fir_taps, samples_per_tap);
+  return std::make_unique<channel::FirChannel>(spec.fir_taps, samples_per_tap,
+                                               cfg.dsp);
 }
 
 }  // namespace

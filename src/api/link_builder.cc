@@ -129,6 +129,11 @@ LinkBuilder& LinkBuilder::stream_block_samples(std::uint64_t samples) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::dsp(bool on) {
+  spec_.dsp = on;
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::capture_waveforms(bool capture) {
   spec_.capture_waveforms = capture;
   capture_set_explicitly_ = true;

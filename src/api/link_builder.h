@@ -67,6 +67,10 @@ class LinkBuilder {
   LinkBuilder& streaming(bool on = true);
   /// Samples per streaming block (memory knob; results invariant).
   LinkBuilder& stream_block_samples(std::uint64_t samples);
+  /// Opt into the dsp block-convolution engine (overlap-save FFT above the
+  /// measured crossover) for fir / lossy_line channels.  Bit decisions
+  /// match the exact kernels; waveforms agree to <= 1e-12 RMS.
+  LinkBuilder& dsp(bool on = true);
   /// Explicit capture choice: honored by build_spec() and build_link()
   /// alike.  When never called, build_link() defaults capture ON (a link
   /// object is for inspection) while specs stay lean for Simulator sweeps.

@@ -144,6 +144,7 @@ core::LinkConfig LinkSpec::to_link_config() const {
                             : core::LinkConfig::Execution::kBatch;
   cfg.stream_block_samples =
       static_cast<std::size_t>(stream_block_samples);
+  cfg.dsp = dsp;
   return cfg;
 }
 

@@ -107,6 +107,12 @@ struct LinkSpec {
   bool streaming = true;
   /// Samples per streaming block; results are invariant to this value.
   std::uint64_t stream_block_samples = 16384;
+  /// Opt into the dsp block-convolution engine (overlap-save FFT above the
+  /// crossover) for the channel kinds that profit ("fir", "lossy_line",
+  /// and composites containing them).  BER/bit decisions match the exact
+  /// kernels; waveforms agree to <= 1e-12 RMS.  Off by default: the exact
+  /// direct kernels keep results bit-identical across block sizes.
+  bool dsp = false;
 
   /// Opt-in: retain the tx / channel / restored waveforms in the report.
   /// Off by default so batch sweeps don't carry megabytes of samples.

@@ -104,9 +104,14 @@ class LossyLineStream final : public Channel::Stream {
 
   void transmit_block(const double* in, double* out,
                       std::size_t n) override {
-    for (std::size_t i = 0; i < n; ++i) {
-      out[i] = p2_.step(p1_.step(in[i] * flat_gain_));
-    }
+    // Same arithmetic as interleaved per-sample stepping: each filter's
+    // output depends only on its own input sequence, so running the gain
+    // and the two poles as three span passes is bit-identical — and each
+    // pass keeps its coefficients and state in registers.
+    const double g = flat_gain_;
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i] * g;
+    p1_.process_block(out, out, n);
+    p2_.process_block(out, out, n);
   }
 
   void reset() override {
@@ -120,11 +125,81 @@ class LossyLineStream final : public Channel::Stream {
   analog::OnePoleLowPass p2_;
 };
 
+/// Stream over the dsp block-convolution engine (shared by the FIR channel
+/// and the dsp-mode lossy line).
+class BlockFirStream final : public Channel::Stream {
+ public:
+  BlockFirStream(const std::vector<double>& taps, std::size_t stride,
+                 bool allow_fft)
+      : fir_(taps, stride, dsp::BlockFir::Options{allow_fft}) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    fir_.process(in, out, n);
+  }
+
+  void reset() override { fir_.reset(); }
+
+ private:
+  dsp::BlockFir fir_;
+};
+
+/// dsp-mode lossy line: commits to a kernel on the first block.  Blocks
+/// big enough for the overlap-save crossover run the precomputed impulse
+/// through the FFT engine; otherwise the stream falls back to the exact
+/// 2-MAC IIR cascade (running the ~1000-tap impulse directly would be
+/// orders of magnitude slower than the recurrence it replaces).  The
+/// choice is locked for the stream's lifetime because the two kernels
+/// carry incompatible state — and a stream's block size is fixed apart
+/// from the final partial block, which either kernel handles.
+class LossyLineDspStream final : public Channel::Stream {
+ public:
+  LossyLineDspStream(const std::vector<double>& impulse, double flat_gain,
+                     util::Hertz pole1, util::Hertz pole2, util::Second dt)
+      : fir_(impulse, 1, dsp::BlockFir::Options{/*allow_fft=*/true}),
+        flat_gain_(flat_gain),
+        p1_(pole1, dt),
+        p2_(pole2, dt) {}
+
+  void transmit_block(const double* in, double* out,
+                      std::size_t n) override {
+    if (n == 0) return;
+    if (!decided_) {
+      use_fir_ = dsp::BlockFir::use_fft(fir_.taps().size(), n);
+      decided_ = true;
+    }
+    if (use_fir_) {
+      fir_.process(in, out, n);
+      return;
+    }
+    const double g = flat_gain_;
+    for (std::size_t i = 0; i < n; ++i) out[i] = in[i] * g;
+    p1_.process_block(out, out, n);
+    p2_.process_block(out, out, n);
+  }
+
+  void reset() override {
+    fir_.reset();
+    p1_.reset();
+    p2_.reset();
+    decided_ = false;
+    use_fir_ = false;
+  }
+
+ private:
+  dsp::BlockFir fir_;
+  double flat_gain_;
+  analog::OnePoleLowPass p1_;
+  analog::OnePoleLowPass p2_;
+  bool decided_ = false;
+  bool use_fir_ = false;
+};
+
 }  // namespace
 
 LossyLineChannel::LossyLineChannel(const Params& params,
-                                   util::Second sample_period)
-    : params_(params), dt_(sample_period) {
+                                   util::Second sample_period, bool dsp)
+    : params_(params), dt_(sample_period), dsp_(dsp) {
   flat_gain_ =
       util::db_to_amplitude(util::decibels(-params.dc_loss_db));
   // Fit two real poles so the cascade matches the analytic loss at f0 and
@@ -143,9 +218,42 @@ LossyLineChannel::LossyLineChannel(const Params& params,
   flat_gain_ *= util::db_to_amplitude(util::decibels(
       -(loss_f0 - 10.0 * std::log10(1.0 + x * x) -
         10.0 * std::log10(1.0 + (x / 1.6) * (x / 1.6)))));
+
+  if (dsp_) {
+    // Lower the gain + two-pole cascade into its impulse response once, at
+    // construction (not per stream, not per transmit): run a unit impulse
+    // through fresh filters until the tail stays below 1e-14 of the peak
+    // for a full consecutive run.  The geometric pole decay makes the
+    // truncated energy far below the engine's 1e-12 RMS contract.
+    analog::OnePoleLowPass p1(pole1_, dt_);
+    analog::OnePoleLowPass p2(pole2_, dt_);
+    constexpr std::size_t kMaxTaps = std::size_t{1} << 16;
+    constexpr std::size_t kQuietRun = 64;
+    double peak = 0.0;
+    std::size_t quiet = 0;
+    for (std::size_t k = 0; k < kMaxTaps; ++k) {
+      const double h = p2.step(p1.step(k == 0 ? flat_gain_ : 0.0));
+      impulse_.push_back(h);
+      peak = std::max(peak, std::abs(h));
+      quiet = std::abs(h) < 1e-14 * peak ? quiet + 1 : 0;
+      if (quiet >= kQuietRun) break;
+    }
+    if (quiet < kQuietRun) {
+      // The response didn't decay within the tap budget (poles far below
+      // the sample rate): truncating here would break the 1e-12 RMS
+      // contract, so this channel stays on the exact IIR recurrence.
+      impulse_.clear();
+    } else {
+      impulse_.resize(impulse_.size() - std::min(quiet, impulse_.size() - 1));
+    }
+  }
 }
 
 std::unique_ptr<Channel::Stream> LossyLineChannel::open_stream() const {
+  if (dsp_ && !impulse_.empty()) {
+    return std::make_unique<LossyLineDspStream>(impulse_, flat_gain_, pole1_,
+                                                pole2_, dt_);
+  }
   return std::make_unique<LossyLineStream>(flat_gain_, pole1_, pole2_, dt_);
 }
 
@@ -172,28 +280,9 @@ LossyLineChannel::Params LossyLineChannel::fit(util::Decibel loss,
 
 // ---- FirChannel -------------------------------------------------------------
 
-namespace {
-
-class FirStream final : public Channel::Stream {
- public:
-  explicit FirStream(std::vector<double> expanded_taps)
-      : fir_(std::move(expanded_taps)) {}
-
-  void transmit_block(const double* in, double* out,
-                      std::size_t n) override {
-    for (std::size_t i = 0; i < n; ++i) out[i] = fir_.step(in[i]);
-  }
-
-  void reset() override { fir_.reset(); }
-
- private:
-  analog::FirFilter fir_;
-};
-
-}  // namespace
-
-FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap)
-    : taps_(std::move(taps)), samples_per_tap_(samples_per_tap) {
+FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap,
+                       bool dsp)
+    : taps_(std::move(taps)), samples_per_tap_(samples_per_tap), dsp_(dsp) {
   if (taps_.empty()) throw std::invalid_argument("FirChannel: no taps");
   if (samples_per_tap < 1) {
     throw std::invalid_argument("FirChannel: samples_per_tap must be >= 1");
@@ -201,14 +290,10 @@ FirChannel::FirChannel(std::vector<double> taps, int samples_per_tap)
 }
 
 std::unique_ptr<Channel::Stream> FirChannel::open_stream() const {
-  // Expand UI-spaced taps to sample-spaced impulse response.
-  std::vector<double> expanded;
-  expanded.reserve(taps_.size() * static_cast<std::size_t>(samples_per_tap_));
-  for (double t : taps_) {
-    expanded.push_back(t);
-    for (int i = 1; i < samples_per_tap_; ++i) expanded.push_back(0.0);
-  }
-  return std::make_unique<FirStream>(std::move(expanded));
+  // The UI spacing stays implicit as the kernel stride — no zero-stuffed
+  // expansion per stream (or per transmit, which opens a stream each call).
+  return std::make_unique<BlockFirStream>(
+      taps_, static_cast<std::size_t>(samples_per_tap_), dsp_);
 }
 
 double FirChannel::attenuation_at(util::Hertz f) const {

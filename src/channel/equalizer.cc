@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/convolution.h"
+
 namespace serdes::channel {
 
 TxFfe::TxFfe(std::vector<double> taps, util::Volt vdd)
@@ -19,20 +21,20 @@ TxFfe TxFfe::de_emphasis(double alpha, util::Volt vdd) {
 }
 
 std::vector<double> TxFfe::levels(const std::vector<std::uint8_t>& bits) const {
-  // Per-bit level: sum of taps against the +/-1 representation of the
-  // current and previous bits, mapped back to the [0, vdd] single-ended
-  // range around mid-rail.
+  // Per-bit level: the tap vector convolved with the +/-1 representation
+  // of the bit stream, mapped back to the [0, vdd] single-ended range
+  // around mid-rail.  Runs through the dsp block-convolution engine (its
+  // zero history reproduces the missing leading symbols exactly).
   const double half = 0.5 * vdd_.value();
   std::vector<double> out(bits.size(), 0.0);
+  if (bits.empty()) return out;
+  std::vector<double> symbols(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    double acc = 0.0;
-    for (std::size_t t = 0; t < taps_.size(); ++t) {
-      if (i < t) break;
-      const double symbol = bits[i - t] ? 1.0 : -1.0;
-      acc += taps_[t] * symbol;
-    }
-    out[i] = half + half * acc;
+    symbols[i] = bits[i] ? 1.0 : -1.0;
   }
+  dsp::BlockFir fir(taps_, 1);
+  fir.process(symbols.data(), out.data(), out.size());
+  for (double& v : out) v = half + half * v;
   return out;
 }
 

@@ -31,17 +31,4 @@ analog::Waveform& ToneInterferer::apply(analog::Waveform& w) {
 JitterModel::JitterModel(const Config& config)
     : config_(config), rng_(config.seed) {}
 
-util::Second JitterModel::perturb(util::Second t) {
-  double delta = 0.0;
-  if (config_.random_rms.value() > 0.0) {
-    delta += rng_.gaussian(0.0, config_.random_rms.value());
-  }
-  if (config_.sinusoidal_amplitude.value() > 0.0) {
-    delta += config_.sinusoidal_amplitude.value() *
-             std::sin(2.0 * std::numbers::pi *
-                      config_.sinusoidal_freq.value() * t.value());
-  }
-  return t + util::seconds(delta);
-}
-
 }  // namespace serdes::channel

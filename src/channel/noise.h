@@ -1,6 +1,8 @@
 // Noise and jitter injection for link stress testing.
 #pragma once
 
+#include <cmath>
+#include <numbers>
 #include <vector>
 
 #include "analog/waveform.h"
@@ -50,8 +52,21 @@ class JitterModel {
 
   explicit JitterModel(const Config& config);
 
-  /// Jittered version of the nominal instant `t`.
-  util::Second perturb(util::Second t);
+  /// Jittered version of the nominal instant `t`.  Inline (one call per
+  /// sampling instant); the branch conditions are loop-invariant so the
+  /// calling loop keeps only the terms the model enables.
+  util::Second perturb(util::Second t) {
+    double delta = 0.0;
+    if (config_.random_rms.value() > 0.0) {
+      delta += rng_.gaussian(0.0, config_.random_rms.value());
+    }
+    if (config_.sinusoidal_amplitude.value() > 0.0) {
+      delta += config_.sinusoidal_amplitude.value() *
+               std::sin(2.0 * std::numbers::pi *
+                        config_.sinusoidal_freq.value() * t.value());
+    }
+    return t + util::seconds(delta);
+  }
 
   [[nodiscard]] const Config& config() const { return config_; }
 

@@ -96,6 +96,14 @@ struct LinkConfig {
   /// Samples per streaming block (the O(block) memory knob).  Results are
   /// invariant to this value by construction.
   std::size_t stream_block_samples = 16384;
+  /// Opt into the dsp block-convolution engine for channels built from
+  /// this config (ChannelFactory): long FIR and lossy-line responses take
+  /// the overlap-save FFT path above the measured crossover.  Analog
+  /// waveforms then match the exact kernels to <= 1e-12 RMS and bit
+  /// decisions are unchanged, but samples are no longer bit-identical (and
+  /// streaming results acquire a benign block-size dependence through the
+  /// FFT segmentation), so the exact direct kernels stay the default.
+  bool dsp = false;
 
   /// Unit interval.
   [[nodiscard]] util::Second unit_interval() const {

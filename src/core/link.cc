@@ -149,12 +149,23 @@ LinkResult SerDesLink::run_streaming(const std::vector<std::uint8_t>& payload,
     pipe::Block blk;
     while (source.produce(blk, block) > 0) {
       const pipe::BlockView noisy = front.process(blk.view());
-      for (std::size_t i = 0; i < noisy.size; ++i) {
-        min_v = std::min(min_v, noisy[i]);
-        max_v = std::max(max_v, noisy[i]);
-      }
       const pipe::BlockView rx_in = eq.process(noisy);
-      for (std::size_t i = 0; i < rx_in.size; ++i) sum += rx_in[i];
+      if (rx_in.data == noisy.data) {
+        // No CTLE: swing and mean read the same samples — one traversal
+        // (the accumulation order, and thus the mean, is unchanged).
+        for (std::size_t i = 0; i < noisy.size; ++i) {
+          const double v = noisy[i];
+          min_v = std::min(min_v, v);
+          max_v = std::max(max_v, v);
+          sum += v;
+        }
+      } else {
+        for (std::size_t i = 0; i < noisy.size; ++i) {
+          min_v = std::min(min_v, noisy[i]);
+          max_v = std::max(max_v, noisy[i]);
+        }
+        for (std::size_t i = 0; i < rx_in.size; ++i) sum += rx_in[i];
+      }
     }
   }
   result.rx_swing_pp = total > 0 ? max_v - min_v : 0.0;

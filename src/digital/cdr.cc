@@ -29,6 +29,8 @@ OversamplingCdr::OversamplingCdr(const CdrConfig& config) : config_(config) {
   // Start sampling mid-UI: with no edges seen yet this is the neutral guess.
   pick_ = config.oversampling / 2;
   next_decision_ = static_cast<std::uint64_t>(pick_);
+  window_countdown_ = static_cast<std::uint64_t>(config.oversampling) *
+                      static_cast<std::uint64_t>(config.window_uis);
 }
 
 bool OversamplingCdr::majority_at(std::uint64_t center) const {
@@ -40,36 +42,6 @@ bool OversamplingCdr::majority_at(std::uint64_t center) const {
     ones += ring_[idx % size];
   }
   return ones * 2 > 2 * g + 1;
-}
-
-void OversamplingCdr::push(bool sample) {
-  const auto n = static_cast<std::uint64_t>(config_.oversampling);
-  const auto size = static_cast<std::uint64_t>(ring_.size());
-  ring_[count_ % size] = sample ? 1 : 0;
-
-  if (count_ > 0 && sample != last_sample_) {
-    // Transition between samples count_-1 and count_: bin it at the phase
-    // of the later sample.
-    ++votes_[static_cast<std::size_t>(count_ % n)];
-    ++edges_;
-  }
-  last_sample_ = sample;
-
-  // Decide the bit whose centre sample is `count_ - G` once its trailing
-  // glitch-filter context has arrived.
-  const auto g = static_cast<std::uint64_t>(config_.glitch_filter_radius);
-  if (count_ >= g) {
-    const std::uint64_t center = count_ - g;
-    if (center == next_decision_) {
-      recovered_.push_back(majority_at(center) ? 1 : 0);
-      next_decision_ += n;
-    }
-  }
-
-  ++count_;
-  if (count_ % (n * static_cast<std::uint64_t>(config_.window_uis)) == 0) {
-    evaluate_window();
-  }
 }
 
 void OversamplingCdr::evaluate_window() {

@@ -35,8 +35,40 @@ class OversamplingCdr {
 
   /// Pushes one raw oversampled comparator output.  Recovered bits appear
   /// in recovered() with a small pipeline delay (the glitch filter is
-  /// non-causal by G samples).
-  void push(bool sample);
+  /// non-causal by G samples).  Inline, with the ring/phase positions kept
+  /// as wrapping cursors — this runs once per oversample, so the hot path
+  /// must stay free of 64-bit divisions.
+  void push(bool sample) {
+    ring_[ring_pos_] = sample ? 1 : 0;
+
+    if (count_ > 0 && sample != last_sample_) {
+      // Transition between samples count_-1 and count_: bin it at the
+      // phase of the later sample.
+      ++votes_[phase_pos_];
+      ++edges_;
+    }
+    last_sample_ = sample;
+
+    // Decide the bit whose centre sample is `count_ - G` once its trailing
+    // glitch-filter context has arrived.
+    const auto g = static_cast<std::uint64_t>(config_.glitch_filter_radius);
+    if (count_ >= g) {
+      const std::uint64_t center = count_ - g;
+      if (center == next_decision_) {
+        recovered_.push_back(majority_at(center) ? 1 : 0);
+        next_decision_ += static_cast<std::uint64_t>(config_.oversampling);
+      }
+    }
+
+    ++count_;
+    if (++ring_pos_ == ring_.size()) ring_pos_ = 0;
+    if (++phase_pos_ == votes_.size()) phase_pos_ = 0;
+    if (--window_countdown_ == 0) {
+      window_countdown_ = static_cast<std::uint64_t>(config_.oversampling) *
+                          static_cast<std::uint64_t>(config_.window_uis);
+      evaluate_window();
+    }
+  }
 
   /// Batch helper: pushes all samples and returns the recovered bits.
   [[nodiscard]] std::vector<std::uint8_t> recover(
@@ -65,6 +97,9 @@ class OversamplingCdr {
   std::vector<std::uint32_t> votes_;     // edge votes per phase bin
   std::vector<std::uint8_t> ring_;       // recent raw samples
   std::uint64_t count_ = 0;              // samples consumed
+  std::size_t ring_pos_ = 0;             // == count_ % ring_.size()
+  std::size_t phase_pos_ = 0;            // == count_ % oversampling
+  std::uint64_t window_countdown_ = 0;   // samples until the next window
   bool last_sample_ = false;
   int pick_;                             // decision phase (reporting)
   /// Absolute sample index of the next decision.  Phase updates shift this

@@ -20,11 +20,6 @@ MultiphaseClockGenerator::MultiphaseClockGenerator(util::Hertz bit_rate,
   offset_ = phase_offset;
 }
 
-util::Second MultiphaseClockGenerator::instant(std::uint64_t ui, int p) const {
-  return offset_ + ui_ * static_cast<double>(ui) +
-         step_ * static_cast<double>(p);
-}
-
 std::vector<std::uint8_t> sample_waveform(
     const analog::Waveform& w, const MultiphaseClockGenerator& clocks,
     analog::DffSampler& sampler, channel::JitterModel* jitter) {

@@ -27,8 +27,12 @@ class MultiphaseClockGenerator {
                            /// TX/RX frequency mismatch in parts per million.
                            double ppm_offset = 0.0);
 
-  /// Sampling instant for phase `p` of unit interval `ui`.
-  [[nodiscard]] util::Second instant(std::uint64_t ui, int p) const;
+  /// Sampling instant for phase `p` of unit interval `ui`.  Inline: the
+  /// streaming sink computes one per sampling instant.
+  [[nodiscard]] util::Second instant(std::uint64_t ui, int p) const {
+    return offset_ + ui_ * static_cast<double>(ui) +
+           step_ * static_cast<double>(p);
+  }
 
   [[nodiscard]] int phases() const { return phases_; }
   [[nodiscard]] util::Second unit_interval() const { return ui_; }

@@ -1,0 +1,124 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace serdes::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Fft::Fft(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("Fft: size must be 2^k");
+  bit_reverse_.resize(n);
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0;
+    for (std::size_t b = 0; b < bits; ++b) r |= ((i >> b) & 1) << (bits - 1 - b);
+    bit_reverse_[i] = r;
+  }
+  fwd_twiddles_.resize(n / 2);
+  inv_twiddles_.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double a = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                     static_cast<double>(n);
+    fwd_twiddles_[k] = {std::cos(a), std::sin(a)};
+    inv_twiddles_[k] = {std::cos(a), -std::sin(a)};
+  }
+}
+
+void Fft::transform(std::complex<double>* data,
+                    const std::vector<std::complex<double>>& twiddles) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (j > i) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len >> 1;
+    const std::size_t step = n_ / len;
+    for (std::size_t base = 0; base < n_; base += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> w = twiddles[k * step];
+        const std::complex<double> t = data[base + half + k] * w;
+        const std::complex<double> u = data[base + k];
+        data[base + k] = u + t;
+        data[base + half + k] = u - t;
+      }
+    }
+  }
+}
+
+void Fft::forward(std::complex<double>* data) const {
+  transform(data, fwd_twiddles_);
+}
+
+void Fft::inverse(std::complex<double>* data) const {
+  transform(data, inv_twiddles_);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+}
+
+RealFft::RealFft(std::size_t n) : n_(n), half_(n / 2) {
+  if (!is_pow2(n) || n < 2) {
+    throw std::invalid_argument("RealFft: size must be 2^k >= 2");
+  }
+  const std::size_t m = n / 2;
+  unpack_.resize(m + 1);
+  for (std::size_t k = 0; k <= m; ++k) {
+    const double a = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                     static_cast<double>(n);
+    unpack_[k] = {std::cos(a), std::sin(a)};
+  }
+  work_.resize(m);
+}
+
+void RealFft::forward(const double* in, std::complex<double>* spectrum) const {
+  const std::size_t m = n_ / 2;
+  for (std::size_t j = 0; j < m; ++j) {
+    work_[j] = {in[2 * j], in[2 * j + 1]};
+  }
+  half_.forward(work_.data());
+  // Untangle the packed transform: with E/O the spectra of the even/odd
+  // sample streams, Z[k] = E[k] + i O[k] and X[k] = E[k] + W^k O[k].
+  for (std::size_t k = 0; k <= m; ++k) {
+    const std::complex<double> zk = work_[k % m];
+    const std::complex<double> zr = std::conj(work_[(m - k) % m]);
+    const std::complex<double> even = 0.5 * (zk + zr);
+    const std::complex<double> odd =
+        std::complex<double>(0.0, -0.5) * (zk - zr);
+    spectrum[k] = even + unpack_[k] * odd;
+  }
+}
+
+void RealFft::inverse(const std::complex<double>* spectrum,
+                      double* out) const {
+  const std::size_t m = n_ / 2;
+  // Re-tangle: E[k] = (X[k] + conj(X[m-k]))/2, O[k] = conj(W^k)/2 *
+  // (X[k] - conj(X[m-k])), then Z[k] = E[k] + i O[k].
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::complex<double> xk = spectrum[k];
+    const std::complex<double> xr = std::conj(spectrum[m - k]);
+    const std::complex<double> even = 0.5 * (xk + xr);
+    const std::complex<double> odd =
+        0.5 * std::conj(unpack_[k]) * (xk - xr);
+    work_[k] = even + std::complex<double>(0.0, 1.0) * odd;
+  }
+  half_.inverse(work_.data());
+  for (std::size_t j = 0; j < m; ++j) {
+    out[2 * j] = work_[j].real();
+    out[2 * j + 1] = work_[j].imag();
+  }
+}
+
+}  // namespace serdes::dsp

@@ -1,0 +1,74 @@
+// Iterative radix-2 FFT kernels for the block-convolution engine.
+//
+// The streaming datapath's long FIR channels (measured backplane taps,
+// truncated lossy-line impulse responses) are convolved per block; above a
+// measured tap-count/block-size crossover an overlap-save FFT convolution
+// (see convolution.h) beats the direct kernel, and these plans supply the
+// transforms it needs.  A plan precomputes the bit-reversal permutation and
+// twiddle factors for one power-of-two size, so per-block work is pure
+// butterflies over contiguous arrays.
+//
+// `RealFft` packs a real signal of even length n into an n/2-point complex
+// transform and untangles the half-spectrum, halving the butterfly work the
+// convolver pays per block.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace serdes::dsp {
+
+/// Returns the smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// In-place complex FFT plan for one power-of-two size.
+class Fft {
+ public:
+  /// `n` must be a power of two >= 1.
+  explicit Fft(std::size_t n);
+
+  /// In-place forward DFT: X[k] = sum_j x[j] e^{-2πi jk/n}.
+  void forward(std::complex<double>* data) const;
+
+  /// In-place inverse DFT including the 1/n normalization.
+  void inverse(std::complex<double>* data) const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+ private:
+  void transform(std::complex<double>* data,
+                 const std::vector<std::complex<double>>& twiddles) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bit_reverse_;
+  std::vector<std::complex<double>> fwd_twiddles_;  // e^{-2πi k/n}, k < n/2
+  std::vector<std::complex<double>> inv_twiddles_;  // e^{+2πi k/n}, k < n/2
+};
+
+/// Real-signal FFT of even power-of-two length n, via an n/2-point complex
+/// transform.  The spectrum is the non-redundant half: n/2 + 1 bins.
+class RealFft {
+ public:
+  /// `n` must be a power of two >= 2.
+  explicit RealFft(std::size_t n);
+
+  /// Forward transform of `in[0..n)` into `spectrum[0..n/2]`.
+  void forward(const double* in, std::complex<double>* spectrum) const;
+
+  /// Inverse of `forward`: `spectrum[0..n/2]` back to `out[0..n)`,
+  /// normalized (forward then inverse reproduces the input).
+  void inverse(const std::complex<double>* spectrum, double* out) const;
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  /// Number of spectrum bins (n/2 + 1).
+  [[nodiscard]] std::size_t bins() const { return n_ / 2 + 1; }
+
+ private:
+  std::size_t n_;
+  Fft half_;
+  std::vector<std::complex<double>> unpack_;  // e^{-2πi k/n}, k <= n/2
+  mutable std::vector<std::complex<double>> work_;
+};
+
+}  // namespace serdes::dsp

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dsp/fft.h"
+
 namespace serdes::pipe {
 
 // ---- LevelPulseSource -------------------------------------------------------
@@ -38,29 +40,46 @@ std::size_t LevelPulseSource::produce(Block& out, std::size_t max_samples) {
   double* samples = out.data();
 
   // Identical per-sample arithmetic to Waveform::nrz / TxFfe::shape, indexed
-  // by the absolute stream position so block boundaries are invisible.
+  // by the absolute stream position so block boundaries are invisible.  The
+  // instants and their bit quotients are precomputed in two flat passes so
+  // the multiply and the divide vectorize; IEEE division is correctly
+  // rounded in vector form too, so the quotients (and thus every decision
+  // below) are bit-identical to the scalar loop.
   const double ui = ui_.value();
+  const double dt = dt_.value();
   const double tr = tr_;
+  const double half_tr = tr / 2.0;
+  scratch_t_.resize(n);
+  scratch_q_.resize(n);
+  double* ts = scratch_t_.data();
+  double* qs = scratch_q_.data();
+  const std::uint64_t pos = pos_;
   for (std::size_t j = 0; j < n; ++j) {
-    const std::uint64_t i = pos_ + j;
-    const double t = (static_cast<double>(i) + 0.5) * dt_.value();
-    const auto bit = static_cast<std::size_t>(t / ui);
-    if (bit >= levels_.size()) {
+    ts[j] = (static_cast<double>(pos + j) + 0.5) * dt;
+  }
+  for (std::size_t j = 0; j < n; ++j) qs[j] = ts[j] / ui;
+
+  const double* levels = levels_.data();
+  const std::size_t nbits = levels_.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double t = ts[j];
+    const auto bit = static_cast<std::size_t>(qs[j]);
+    if (bit >= nbits) {
       samples[j] = fill_;
       continue;
     }
-    const double lvl = levels_[bit];
+    const double lvl = levels[bit];
     double v = lvl;
     if (tr > 0.0) {
       // Blend across the transition centred at the bit boundary.
       const double t_in_bit = t - static_cast<double>(bit) * ui;
-      if (bit > 0 && t_in_bit < tr / 2.0) {
-        const double prev = levels_[bit - 1];
-        const double x = (t_in_bit + tr / 2.0) / tr;  // 0..1 across the edge
+      if (bit > 0 && t_in_bit < half_tr) {
+        const double prev = levels[bit - 1];
+        const double x = (t_in_bit + half_tr) / tr;  // 0..1 across the edge
         v = prev + (lvl - prev) * x;
-      } else if (bit + 1 < levels_.size() && t_in_bit > ui - tr / 2.0) {
-        const double next = levels_[bit + 1];
-        const double x = (t_in_bit - (ui - tr / 2.0)) / tr;
+      } else if (bit + 1 < nbits && t_in_bit > ui - half_tr) {
+        const double next = levels[bit + 1];
+        const double x = (t_in_bit - (ui - half_tr)) / tr;
         v = lvl + (next - lvl) * x;
       }
     }
@@ -77,9 +96,11 @@ std::size_t LevelPulseSource::produce(Block& out, std::size_t max_samples) {
 void AwgnStage::process(const BlockView& in, Block& out) {
   out.match(in);
   double* samples = out.data();
-  if (sigma_ > 0.0) {
+  const double sigma = sigma_;
+  if (sigma > 0.0) {
+    util::Rng& rng = rng_;
     for (std::size_t i = 0; i < in.size; ++i) {
-      samples[i] = in.data[i] + rng_.gaussian(0.0, sigma_);
+      samples[i] = in.data[i] + rng.gaussian(0.0, sigma);
     }
   } else {
     std::copy(in.data, in.data + in.size, samples);
@@ -91,10 +112,17 @@ void AwgnStage::process(const BlockView& in, Block& out) {
 void CtleStage::process(const BlockView& in, Block& out) {
   out.match(in);
   double* samples = out.data();
+  // Same arithmetic as the per-sample loop, as two span passes: the pole
+  // runs with its state in registers, then the peaking combine vectorizes.
+  // The low-passed signal goes through scratch (not `out`) so the stage
+  // stays safe when `out` aliases `in`, like every other stage.
+  scratch_.resize(in.size);
+  lpf_.process_block(in.data, scratch_.data(), in.size);
+  const double k = k_;
+  const double* low = scratch_.data();
   for (std::size_t i = 0; i < in.size; ++i) {
     const double x = in.data[i];
-    const double low = lpf_.step(x);
-    samples[i] = x + k_ * (x - low);
+    samples[i] = x + k * (x - low[i]);
   }
 }
 
@@ -103,9 +131,17 @@ void CtleStage::process(const BlockView& in, Block& out) {
 void RfiFrontEndStage::process(const BlockView& in, Block& out) {
   out.match(in);
   double* samples = out.data();
+  const double delta = delta_;
+  for (std::size_t i = 0; i < in.size; ++i) samples[i] = in.data[i] + delta;
+  lpf_.process_block(samples, samples, in.size);
+  // RfiStage::saturate with the loop-invariant loads hoisted; the formula
+  // itself has one home (saturate_value).  tanh dominates what remains.
+  const double bias = rfi_->bias();
+  const double gain = rfi_->gain();
+  const double half = rfi_->vdd() / 2.0;
   for (std::size_t i = 0; i < in.size; ++i) {
-    const double biased = in.data[i] + delta_;
-    samples[i] = rfi_->saturate(lpf_.step(biased));
+    samples[i] = analog::RfiStage::saturate_value(samples[i], bias, gain,
+                                                  half);
   }
 }
 
@@ -114,9 +150,11 @@ void RfiFrontEndStage::process(const BlockView& in, Block& out) {
 void RestoringStage::process(const BlockView& in, Block& out) {
   out.match(in);
   double* samples = out.data();
+  const analog::RestoringInverter& inv = *inv_;
   for (std::size_t i = 0; i < in.size; ++i) {
-    samples[i] = pole_.step(inv_->restore_level(in.data[i]));
+    samples[i] = inv.restore_level(in.data[i]);
   }
+  pole_.process_block(samples, samples, in.size);
 }
 
 // ---- WaveformTapStage -------------------------------------------------------
@@ -156,7 +194,8 @@ SamplerCdrSink::SamplerCdrSink(const Config& config)
   // The rolling window must span one appended block plus the worst-case
   // backward reach of a jittered aperture edge; anything older can be
   // discarded because instants are evaluated in order, as soon as their
-  // forward neighbourhood arrives.
+  // forward neighbourhood arrives.  Power-of-two capacity so the absolute
+  // index wrap is a mask, not a division.
   const double dt_s = config.dt.value();
   const double back_span_s = config.sampler.aperture.value() +
                              24.0 * config.jitter.random_rms.value() +
@@ -164,8 +203,10 @@ SamplerCdrSink::SamplerCdrSink(const Config& config)
                              4.0 * util::period(config.bit_rate).value();
   back_samples_ =
       static_cast<std::size_t>(back_span_s / dt_s) + 64;
-  ring_.assign(std::max<std::size_t>(config.block_samples, 1) + back_samples_,
+  ring_.assign(dsp::next_pow2(std::max<std::size_t>(config.block_samples, 1) +
+                              back_samples_),
                0.0);
+  mask_ = ring_.size() - 1;
   if (total_ == 0) done_ = true;
 }
 
@@ -174,17 +215,21 @@ void SamplerCdrSink::consume(const BlockView& in) {
     // A block larger than the sizing hint arrived: grow the window before
     // writing, re-placing the live span under the new modulus, so oversized
     // blocks can never overwrite samples pending instants still need.
-    std::vector<double> bigger(in.size + back_samples_, 0.0);
+    std::vector<double> bigger(dsp::next_pow2(in.size + back_samples_), 0.0);
+    const std::size_t new_mask = bigger.size() - 1;
     const std::uint64_t live =
         std::min<std::uint64_t>(appended_, ring_.size());
     for (std::uint64_t k = appended_ - live; k < appended_; ++k) {
-      bigger[k % bigger.size()] = ring_[k % ring_.size()];
+      bigger[k & new_mask] = ring_[k & mask_];
     }
     ring_ = std::move(bigger);
+    mask_ = new_mask;
   }
-  const std::size_t w = ring_.size();
+  double* ring = ring_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t start = in.start_index;
   for (std::size_t i = 0; i < in.size; ++i) {
-    ring_[(in.start_index + i) % w] = in.data[i];
+    ring[(start + i) & mask] = in.data[i];
   }
   if (in.size > 0) {
     if (in.start_index == 0) {
@@ -202,32 +247,35 @@ void SamplerCdrSink::consume(const BlockView& in) {
 
 void SamplerCdrSink::finish() {
   if (!final_ && total_ > 0 && appended_ == total_) {
-    last_sample_ = ring_[(total_ - 1) % ring_.size()];
+    last_sample_ = ring_[(total_ - 1) & mask_];
     final_ = true;
   }
   drain();
 }
 
-bool SamplerCdrSink::available(util::Second t) const {
+bool SamplerCdrSink::fetch(util::Second t, double* v) const {
+  // Fused availability test + Waveform::value_at over the logical stream:
+  // one (t - t0)/dt per time point instead of one for the test and one for
+  // the read.  The arithmetic (and therefore every interpolated value) is
+  // identical to the unfused pair.
   const double idx = (t - t0_) / dt_;
-  if (idx <= 0.0) return has_first_;
+  if (idx <= 0.0) {
+    if (!has_first_) return false;
+    *v = first_sample_;
+    return true;
+  }
   const auto lo = static_cast<std::uint64_t>(idx);
-  if (lo + 1 >= total_) return final_;
-  return lo + 1 < appended_;
-}
-
-double SamplerCdrSink::value_at(util::Second t) const {
-  // Mirrors Waveform::value_at over the logical full-stream waveform, with
-  // samples fetched from the rolling window by absolute index.
-  const double idx = (t - t0_) / dt_;
-  if (idx <= 0.0) return first_sample_;
-  const auto lo = static_cast<std::uint64_t>(idx);
-  if (lo + 1 >= total_) return last_sample_;
+  if (lo + 1 >= total_) {
+    if (!final_) return false;
+    *v = last_sample_;
+    return true;
+  }
+  if (lo + 1 >= appended_) return false;
   const double frac = idx - static_cast<double>(lo);
-  const std::size_t w = ring_.size();
-  const double a = ring_[lo % w];
-  const double b = ring_[(lo + 1) % w];
-  return a + frac * (b - a);
+  const double a = ring_[lo & mask_];
+  const double b = ring_[(lo + 1) & mask_];
+  *v = a + frac * (b - a);
+  return true;
 }
 
 void SamplerCdrSink::drain() {
@@ -246,13 +294,13 @@ void SamplerCdrSink::drain() {
       pending_ = jitter_.perturb(clocks_.instant(ui_, phase_));
     }
     const util::Second t = *pending_;
-    if (!available(t) || !available(t - ap_half_) ||
-        !available(t + ap_half_)) {
+    double v;
+    double v_before;
+    double v_after;
+    if (!fetch(t, &v) || !fetch(t - ap_half_, &v_before) ||
+        !fetch(t + ap_half_, &v_after)) {
       break;  // wait for more samples (or the end of the stream)
     }
-    const double v = value_at(t);
-    const double v_before = value_at(t - ap_half_);
-    const double v_after = value_at(t + ap_half_);
     cdr_.push(sampler_.decide(v, v_before, v_after));
     pending_.reset();
     if (++phase_ == clocks_.phases()) {

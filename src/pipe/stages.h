@@ -66,6 +66,10 @@ class LevelPulseSource {
   double fill_;
   std::uint64_t total_;
   std::uint64_t pos_ = 0;
+  // Per-block instant / bit-quotient scratch (flat passes vectorize the
+  // multiply and divide; see produce()).
+  std::vector<double> scratch_t_;
+  std::vector<double> scratch_q_;
 };
 
 /// Streams blocks through a channel model (carrying its filter state).
@@ -115,6 +119,7 @@ class CtleStage final : public Stage {
  private:
   double k_;
   analog::OnePoleLowPass lpf_;
+  std::vector<double> scratch_;  // low-passed block (keeps in/out aliasable)
 };
 
 /// RFI front end: DC removal (the stream mean, supplied via set_mean once
@@ -218,8 +223,11 @@ class SamplerCdrSink {
 
  private:
   void drain();
-  [[nodiscard]] bool available(util::Second t) const;
-  [[nodiscard]] double value_at(util::Second t) const;
+  /// Fused availability test + logical-stream interpolation: writes the
+  /// Waveform::value_at-identical sample into `*v` and returns true iff
+  /// the instant's neighbourhood has arrived (or end-of-stream clamping
+  /// applies).
+  [[nodiscard]] bool fetch(util::Second t, double* v) const;
 
   digital::MultiphaseClockGenerator clocks_;
   channel::JitterModel jitter_;
@@ -232,7 +240,8 @@ class SamplerCdrSink {
   util::Second end_;
   util::Second ap_half_;
 
-  std::vector<double> ring_;
+  std::vector<double> ring_;  // power-of-two capacity
+  std::size_t mask_ = 0;      // ring_.size() - 1
   std::size_t back_samples_ = 0;
   std::uint64_t appended_ = 0;
   double first_sample_ = 0.0;

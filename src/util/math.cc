@@ -89,10 +89,6 @@ double q_inverse(double p) {
   return x;
 }
 
-double clamp(double x, double lo, double hi) {
-  return std::min(std::max(x, lo), hi);
-}
-
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
   return std::accumulate(xs.begin(), xs.end(), 0.0) /

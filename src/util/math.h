@@ -33,8 +33,11 @@ double q_function(double x);
 /// Inverse of the Q function (via Newton on erfc); valid for p in (0, 0.5).
 double q_inverse(double p);
 
-/// Clamps x into [lo, hi].
-double clamp(double x, double lo, double hi);
+/// Clamps x into [lo, hi].  Inline: the restoring inverter's VTC lookup
+/// clamps every waveform sample.
+inline double clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
 
 /// Mean of a vector (0 for empty input).
 double mean(const std::vector<double>& xs);

@@ -1,15 +1,10 @@
 #include "util/random.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace serdes::util {
 
 namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 std::uint64_t splitmix64(std::uint64_t& x) {
   x += 0x9e3779b97f4a7c15ull;
   std::uint64_t z = x;
@@ -26,25 +21,6 @@ Rng::Rng(std::uint64_t seed) {
   // zeros from any seed, so no further check is needed.
 }
 
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits → double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
 std::uint64_t Rng::below(std::uint64_t n) {
   // Lemire's nearly-divisionless bounded generation (rejection for bias).
   const std::uint64_t threshold = (0 - n) % n;
@@ -57,26 +33,33 @@ std::uint64_t Rng::below(std::uint64_t n) {
   }
 }
 
-double Rng::gaussian() {
-  if (has_cached_gaussian_) {
-    has_cached_gaussian_ = false;
-    return cached_gaussian_;
+bool Rng::gaussian_edge(std::size_t layer, double x, bool negative,
+                        double* out) {
+  if (layer == 0) {
+    // Marsaglia tail: exact N(0,1) conditioned on |x| > kR.
+    double xx;
+    double yy;
+    do {
+      double u1 = uniform();
+      while (u1 <= 0.0) u1 = uniform();
+      double u2 = uniform();
+      while (u2 <= 0.0) u2 = uniform();
+      xx = -std::log(u1) / zig::kR;
+      yy = -std::log(u2);
+    } while (yy + yy < xx * xx);
+    const double tail = zig::kR + xx;
+    *out = negative ? -tail : tail;
+    return true;
   }
-  // Box-Muller: two uniforms → two independent standard normals.
-  double u1 = uniform();
-  while (u1 <= 0.0) u1 = uniform();
-  const double u2 = uniform();
-  const double radius = std::sqrt(-2.0 * std::log(u1));
-  const double angle = 2.0 * std::numbers::pi * u2;
-  cached_gaussian_ = radius * std::sin(angle);
-  has_cached_gaussian_ = true;
-  return radius * std::cos(angle);
+  // Wedge between the layer edge and the density: accept y < f(x) with y
+  // uniform over the layer's vertical span.
+  const double y =
+      zig::kF[layer] + uniform() * (zig::kF[layer + 1] - zig::kF[layer]);
+  if (y < std::exp(-0.5 * x * x)) {
+    *out = negative ? -x : x;
+    return true;
+  }
+  return false;
 }
-
-double Rng::gaussian(double mean, double sigma) {
-  return mean + sigma * gaussian();
-}
-
-bool Rng::chance(double probability) { return uniform() < probability; }
 
 }  // namespace serdes::util

@@ -5,9 +5,20 @@
 // reproducible run-to-run.  The generator is xoshiro256**, which is far
 // faster than std::mt19937_64 and has excellent statistical quality for
 // Monte-Carlo style workloads.
+//
+// Everything on the hot path is defined inline here: the AWGN stage burns
+// one gaussian per waveform sample and the sampler/jitter chain several
+// per UI, so these must fold into their calling loops.  gaussian() is a
+// 256-layer ziggurat — one u64 draw, a table compare and a multiply on
+// ~98% of calls, with the wedge/tail rejection (the only transcendental
+// math) out of line.  It replaces the seed repo's Box-Muller: the stream
+// of deviates for a given seed differs, but it is exactly standard-normal
+// and deterministic, and it costs ~6x less than log+sqrt+sincos per pair.
 #pragma once
 
 #include <cstdint>
+
+#include "util/ziggurat_tables.h"
 
 namespace serdes::util {
 
@@ -18,30 +29,65 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
   /// Uniform 64-bit integer.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high bits → double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [0, n). n must be > 0.
   std::uint64_t below(std::uint64_t n);
 
-  /// Standard normal via Box-Muller (cached second deviate).
-  double gaussian();
+  /// Standard normal via the 256-layer ziggurat.  The fast path spends a
+  /// single u64: bits 0-7 pick the layer, bit 8 the sign, bits 11-63 the
+  /// position — disjoint, so they are independent.
+  double gaussian() {
+    for (;;) {
+      const std::uint64_t u = next_u64();
+      const std::size_t layer = static_cast<std::size_t>(u & 255u);
+      const double x =
+          static_cast<double>(u >> 11) * 0x1.0p-53 * zig::kX[layer];
+      if (x < zig::kX[layer + 1]) return (u & 256u) ? -x : x;
+      double out;
+      if (gaussian_edge(layer, x, (u & 256u) != 0, &out)) return out;
+    }
+  }
 
   /// Normal with given mean and standard deviation.
-  double gaussian(double mean, double sigma);
+  double gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+  }
 
   /// Bernoulli trial.
-  bool chance(double probability);
+  bool chance(double probability) { return uniform() < probability; }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  /// Ziggurat slow path: layer-0 tail beyond kR, or the wedge between a
+  /// layer's edge and the density.  Returns false to redraw.
+  bool gaussian_edge(std::size_t layer, double x, bool negative, double* out);
+
   std::uint64_t state_[4];
-  double cached_gaussian_ = 0.0;
-  bool has_cached_gaussian_ = false;
 };
 
 }  // namespace serdes::util
