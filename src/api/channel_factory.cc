@@ -4,25 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/strings.h"
+
 namespace serdes::api {
 
 namespace {
-
-/// Levenshtein distance, for "did you mean" hints on unknown kinds.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
-    }
-  }
-  return row[b.size()];
-}
 
 std::unique_ptr<channel::Channel> make_flat(const ChannelSpec& spec,
                                             const core::LinkConfig&) {
@@ -110,6 +96,18 @@ std::vector<std::string> ChannelFactory::kinds() const {
   return names;
 }
 
+std::string ChannelFactory::unknown_kind_message(
+    const std::string& kind) const {
+  const std::vector<std::string> names = kinds();
+  std::string message = "unknown channel kind '" + kind +
+                        "' (registered: " + util::join(names) + ")";
+  if (const std::string hint = util::closest_match(kind, names);
+      !hint.empty()) {
+    message += " — did you mean '" + hint + "'?";
+  }
+  return message;
+}
+
 std::unique_ptr<channel::Channel> ChannelFactory::create(
     const ChannelSpec& spec, const core::LinkConfig& cfg) const {
   Creator creator;
@@ -123,27 +121,8 @@ std::unique_ptr<channel::Channel> ChannelFactory::create(
     }
   }
   if (!creator) {
-    const std::vector<std::string> names = kinds();
-    std::string known;
-    for (const auto& name : names) {
-      if (!known.empty()) known += ", ";
-      known += name;
-    }
-    // Suggest the closest registered kind when the typo is plausible
-    // (within a third of the name's length, minimum 2 edits).
-    std::string hint;
-    std::size_t best = std::max<std::size_t>(2, spec.kind.size() / 3);
-    for (const auto& name : names) {
-      const std::size_t d = edit_distance(spec.kind, name);
-      if (d <= best) {
-        best = d;
-        hint = name;
-      }
-    }
-    std::string message = "ChannelFactory: unknown channel kind '" +
-                          spec.kind + "' (registered: " + known + ")";
-    if (!hint.empty()) message += " — did you mean '" + hint + "'?";
-    throw std::invalid_argument(message);
+    throw std::invalid_argument("ChannelFactory: " +
+                                unknown_kind_message(spec.kind));
   }
   return creator(spec, cfg);
 }

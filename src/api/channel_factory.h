@@ -38,6 +38,12 @@ class ChannelFactory {
   /// Registered kinds, sorted (for error messages and introspection).
   [[nodiscard]] std::vector<std::string> kinds() const;
 
+  /// The diagnostic for an unrecognized kind: names the registered kinds
+  /// and suggests the closest match when the typo is plausible.  Exposed
+  /// so callers that know where the kind came from (a JSON path in a spec
+  /// file, a sweep axis) can prefix their own location context.
+  [[nodiscard]] std::string unknown_kind_message(const std::string& kind) const;
+
   /// Instantiates the channel for `spec`.  Throws std::invalid_argument
   /// for an unknown kind, naming the kinds that are registered.
   [[nodiscard]] std::unique_ptr<channel::Channel> create(

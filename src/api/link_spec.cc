@@ -49,18 +49,26 @@ LinkSpec LinkSpec::paper_default() { return LinkSpec{}; }
 
 namespace {
 
-std::string validate_channel(const ChannelSpec& ch, int depth) {
-  if (ch.kind.empty()) return "channel kind is empty";
-  if (depth > 4) return "composite channel nested deeper than 4 levels";
+/// `path` locates `ch` within the owning LinkSpec ("channel",
+/// "channel.stages[1]", ...), so findings can name the exact member.
+LinkSpec::Issue validate_channel(const ChannelSpec& ch, const std::string& path,
+                                 int depth) {
+  if (ch.kind.empty()) return {path + ".kind", "channel kind is empty"};
+  if (depth > 4) {
+    return {path, "composite channel nested deeper than 4 levels"};
+  }
   if (ch.kind == "fir" && ch.fir_taps.empty()) {
-    return "fir channel needs at least one tap";
+    return {path + ".fir_taps", "fir channel needs at least one tap"};
   }
   if (ch.kind == "composite") {
-    if (ch.stages.empty()) return "composite channel needs at least one stage";
-    for (const auto& stage : ch.stages) {
-      if (auto err = validate_channel(stage, depth + 1); !err.empty()) {
-        return err;
-      }
+    if (ch.stages.empty()) {
+      return {path + ".stages", "composite channel needs at least one stage"};
+    }
+    for (std::size_t i = 0; i < ch.stages.size(); ++i) {
+      auto issue = validate_channel(
+          ch.stages[i], path + ".stages[" + std::to_string(i) + "]",
+          depth + 1);
+      if (!issue.ok()) return issue;
     }
   }
   return {};
@@ -68,43 +76,55 @@ std::string validate_channel(const ChannelSpec& ch, int depth) {
 
 }  // namespace
 
-std::string LinkSpec::validate() const {
-  if (bit_rate_hz <= 0.0) return "bit_rate_hz must be positive";
-  if (samples_per_ui < 2) return "samples_per_ui must be at least 2";
-  if (auto err = validate_channel(channel, 0); !err.empty()) return err;
-  if (noise_rms_v < 0.0) return "noise_rms_v must be non-negative";
-  if (noise_reference_bandwidth_hz <= 0.0) {
-    return "noise_reference_bandwidth_hz must be positive";
+LinkSpec::Issue LinkSpec::first_issue() const {
+  if (bit_rate_hz <= 0.0) return {"bit_rate_hz", "must be positive"};
+  if (samples_per_ui < 2) return {"samples_per_ui", "must be at least 2"};
+  if (auto issue = validate_channel(channel, "channel", 0); !issue.ok()) {
+    return issue;
   }
-  if (random_jitter_s < 0.0) return "random_jitter_s must be non-negative";
+  if (noise_rms_v < 0.0) return {"noise_rms_v", "must be non-negative"};
+  if (noise_reference_bandwidth_hz <= 0.0) {
+    return {"noise_reference_bandwidth_hz", "must be positive"};
+  }
+  if (random_jitter_s < 0.0) {
+    return {"random_jitter_s", "must be non-negative"};
+  }
   if (sinusoidal_jitter_s < 0.0) {
-    return "sinusoidal_jitter_s must be non-negative";
+    return {"sinusoidal_jitter_s", "must be non-negative"};
   }
   if (sinusoidal_jitter_s > 0.0 && sj_freq_ratio <= 0.0) {
-    return "sj_freq_ratio must be positive when sinusoidal jitter is on";
+    return {"sj_freq_ratio", "must be positive when sinusoidal jitter is on"};
   }
-  if (cdr_oversampling < 2) return "cdr_oversampling must be at least 2";
-  if (cdr_window_uis < 1) return "cdr_window_uis must be at least 1";
+  if (cdr_oversampling < 2) return {"cdr_oversampling", "must be at least 2"};
+  if (cdr_window_uis < 1) return {"cdr_window_uis", "must be at least 1"};
   if (cdr_glitch_filter_radius < 0) {
-    return "cdr_glitch_filter_radius must be non-negative";
+    return {"cdr_glitch_filter_radius", "must be non-negative"};
   }
   if (cdr_jitter_hysteresis < 1) {
-    return "cdr_jitter_hysteresis must be at least 1";
+    return {"cdr_jitter_hysteresis", "must be at least 1"};
   }
   if (tx_ffe_deemphasis < 0.0 || tx_ffe_deemphasis >= 1.0) {
-    return "tx_ffe_deemphasis must be in [0, 1)";
+    return {"tx_ffe_deemphasis", "must be in [0, 1)"};
   }
-  if (rx_ctle_boost_db < 0.0) return "rx_ctle_boost_db must be non-negative";
+  if (rx_ctle_boost_db < 0.0) {
+    return {"rx_ctle_boost_db", "must be non-negative"};
+  }
   if (rx_ctle_boost_db > 0.0 && rx_ctle_pole_hz <= 0.0) {
-    return "rx_ctle_pole_hz must be positive when the CTLE is enabled";
+    return {"rx_ctle_pole_hz", "must be positive when the CTLE is enabled"};
   }
-  if (preamble_bits < 8) return "preamble_bits must be at least 8";
-  if (payload_bits == 0) return "payload_bits must be positive";
-  if (chunk_bits == 0) return "chunk_bits must be positive";
+  if (preamble_bits < 8) return {"preamble_bits", "must be at least 8"};
+  if (payload_bits == 0) return {"payload_bits", "must be positive"};
+  if (chunk_bits == 0) return {"chunk_bits", "must be positive"};
   if (stream_block_samples == 0) {
-    return "stream_block_samples must be positive";
+    return {"stream_block_samples", "must be positive"};
   }
   return {};
+}
+
+std::string LinkSpec::validate() const {
+  const Issue issue = first_issue();
+  if (issue.ok()) return {};
+  return issue.field + ": " + issue.message;
 }
 
 void LinkSpec::validate_or_throw() const {

@@ -55,6 +55,10 @@ struct ChannelSpec {
 /// Everything needed to construct and run one link, with the analog blocks
 /// held at the paper's design point.  Defaults reproduce the headline
 /// operating condition: 2 Gbps PRBS-31 through 34 dB of flat loss.
+///
+/// When adding a field, also extend `apply_link_field` and `to_json` in
+/// api/spec_json.cc — JSON specs, sweep axes and the did-you-mean hints
+/// all derive from those two.
 struct LinkSpec {
   /// Label carried into the RunReport (sweep axis value, lane name, ...).
   std::string name = "link";
@@ -122,8 +126,22 @@ struct LinkSpec {
   /// for call-site readability).
   static LinkSpec paper_default();
 
+  /// One validation finding: `field` locates the offending spec member
+  /// ("bit_rate_hz", "channel.stages[1].fir_taps", ...) so callers that
+  /// loaded the spec from a file can point at the exact JSON path;
+  /// `message` describes the problem.  An empty message means the spec is
+  /// runnable.
+  struct Issue {
+    std::string field;
+    std::string message;
+    [[nodiscard]] bool ok() const { return message.empty(); }
+  };
+
+  /// The first problem found, with its field path; Issue{} if runnable.
+  [[nodiscard]] Issue first_issue() const;
+
   /// Returns an empty string if the spec is runnable, else a description
-  /// of the first problem found.
+  /// of the first problem found ("<field>: <message>").
   [[nodiscard]] std::string validate() const;
 
   /// Throws std::invalid_argument naming the spec and the first problem.

@@ -1,0 +1,395 @@
+#include "api/spec_json.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "api/channel_factory.h"
+#include "util/strings.h"
+
+namespace serdes::api {
+
+using util::Json;
+using util::JsonError;
+
+namespace {
+
+using util::fail_at;
+using util::get_bool;
+using util::get_double;
+using util::get_string;
+using util::get_uint;
+
+[[noreturn]] void fail(const std::string& path, const std::string& message) {
+  fail_at(path, message);
+}
+
+/// util::get_int bounded to int (every integral LinkSpec knob is an int).
+int get_int32(const Json& j, const std::string& path) {
+  const std::int64_t v = util::get_int(j, path);
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    fail(path, "integer out of int range");
+  }
+  return static_cast<int>(v);
+}
+
+std::vector<double> get_double_array(const Json& j, const std::string& path) {
+  if (!j.is_array()) fail(path, "expected array of numbers");
+  std::vector<double> out;
+  out.reserve(j.as_array().size());
+  for (std::size_t i = 0; i < j.as_array().size(); ++i) {
+    out.push_back(
+        get_double(j.as_array()[i], path + "[" + std::to_string(i) + "]"));
+  }
+  return out;
+}
+
+// The did-you-mean candidate lists are derived from what to_json emits,
+// so the hint vocabulary can never drift from the serialization schema
+// (the apply_* chains are exercised against every emitted key by the
+// round-trip fixed-point tests).
+
+const std::vector<std::string>& channel_field_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    const auto add = [&](const ChannelSpec& ch) {
+      const Json j = to_json(ch);  // keep alive through the iteration
+      for (const auto& [key, value] : j.as_object()) {
+        if (std::find(names.begin(), names.end(), key) == names.end()) {
+          names.push_back(key);
+        }
+      }
+    };
+    add(ChannelSpec::flat(0.0));
+    add(ChannelSpec::rc(1.0));
+    add(ChannelSpec::lossy_line(0.0, 0.0, 0.0));
+    add(ChannelSpec::fir({1.0}));
+    add(ChannelSpec::cascade({ChannelSpec::flat(0.0)}));
+    return names;
+  }();
+  return kNames;
+}
+
+const std::vector<std::string>& link_field_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    const Json j = to_json(LinkSpec{});  // keep alive through the iteration
+    for (const auto& [key, value] : j.as_object()) {
+      names.push_back(key);
+    }
+    return names;
+  }();
+  return kNames;
+}
+
+[[noreturn]] void fail_unknown_field(const std::string& path,
+                                     std::string_view field,
+                                     const std::string& owner,
+                                     const std::vector<std::string>& known) {
+  std::string message = "unknown " + owner + " field '" + std::string(field) +
+                        "'";
+  if (const std::string hint = util::closest_match(field, known);
+      !hint.empty()) {
+    message += " — did you mean '" + hint + "'?";
+  }
+  fail(path, message);
+}
+
+void apply_channel_field(ChannelSpec& ch, std::string_view field,
+                         const Json& value, const std::string& path) {
+  if (field == "kind") {
+    ch.kind = get_string(value, path);
+  } else if (field == "loss_db") {
+    ch.loss_db = get_double(value, path);
+  } else if (field == "pole_hz") {
+    ch.pole_hz = get_double(value, path);
+  } else if (field == "skin_loss_db_at_1ghz") {
+    ch.skin_loss_db_at_1ghz = get_double(value, path);
+  } else if (field == "dielectric_loss_db_at_1ghz") {
+    ch.dielectric_loss_db_at_1ghz = get_double(value, path);
+  } else if (field == "fir_taps") {
+    ch.fir_taps = get_double_array(value, path);
+  } else if (field == "fir_samples_per_tap") {
+    ch.fir_samples_per_tap = get_int32(value, path);
+  } else if (field == "stages") {
+    if (!value.is_array()) fail(path, "expected array of channel specs");
+    ch.stages.clear();
+    for (std::size_t i = 0; i < value.as_array().size(); ++i) {
+      ch.stages.push_back(channel_spec_from_json(
+          value.as_array()[i], path + "[" + std::to_string(i) + "]"));
+    }
+  } else {
+    fail_unknown_field(path, field, "ChannelSpec", channel_field_names());
+  }
+}
+
+util::PrbsOrder prbs_order_from_int(int order, const std::string& path) {
+  switch (order) {
+    case 7: return util::PrbsOrder::kPrbs7;
+    case 9: return util::PrbsOrder::kPrbs9;
+    case 15: return util::PrbsOrder::kPrbs15;
+    case 23: return util::PrbsOrder::kPrbs23;
+    case 31: return util::PrbsOrder::kPrbs31;
+    default:
+      fail(path, "prbs_order must be one of 7, 9, 15, 23, 31");
+  }
+}
+
+}  // namespace
+
+ChannelSpec channel_spec_from_json(const Json& json, const std::string& path) {
+  if (!json.is_object()) fail(path, "expected channel spec object");
+  ChannelSpec ch;
+  for (const auto& [key, value] : json.as_object()) {
+    apply_channel_field(ch, key, value, path + "." + key);
+  }
+  return ch;
+}
+
+void apply_link_field(LinkSpec& spec, std::string_view field,
+                      const Json& value, const std::string& path) {
+  if (const auto dot = field.find('.'); dot != std::string_view::npos) {
+    const std::string_view head = field.substr(0, dot);
+    const std::string_view rest = field.substr(dot + 1);
+    if (head != "channel" || rest.empty()) {
+      fail_unknown_field(path, field, "LinkSpec", link_field_names());
+    }
+    if (rest.find('.') != std::string_view::npos) {
+      fail(path, "nested channel field path '" + std::string(field) +
+                     "' is not supported (set 'channel' to a full object "
+                     "instead)");
+    }
+    apply_channel_field(spec.channel, rest, value, path);
+    return;
+  }
+  if (field == "name") {
+    spec.name = get_string(value, path);
+  } else if (field == "bit_rate_hz") {
+    spec.bit_rate_hz = get_double(value, path);
+  } else if (field == "samples_per_ui") {
+    spec.samples_per_ui = get_int32(value, path);
+  } else if (field == "channel") {
+    spec.channel = channel_spec_from_json(value, path);
+  } else if (field == "noise_rms_v") {
+    spec.noise_rms_v = get_double(value, path);
+  } else if (field == "noise_reference_bandwidth_hz") {
+    spec.noise_reference_bandwidth_hz = get_double(value, path);
+  } else if (field == "random_jitter_s") {
+    spec.random_jitter_s = get_double(value, path);
+  } else if (field == "sinusoidal_jitter_s") {
+    spec.sinusoidal_jitter_s = get_double(value, path);
+  } else if (field == "sj_freq_ratio") {
+    spec.sj_freq_ratio = get_double(value, path);
+  } else if (field == "ppm_offset") {
+    spec.ppm_offset = get_double(value, path);
+  } else if (field == "rx_phase_offset_ui") {
+    spec.rx_phase_offset_ui = get_double(value, path);
+  } else if (field == "cdr_oversampling") {
+    spec.cdr_oversampling = get_int32(value, path);
+  } else if (field == "cdr_window_uis") {
+    spec.cdr_window_uis = get_int32(value, path);
+  } else if (field == "cdr_glitch_filter_radius") {
+    spec.cdr_glitch_filter_radius = get_int32(value, path);
+  } else if (field == "cdr_jitter_hysteresis") {
+    spec.cdr_jitter_hysteresis = get_int32(value, path);
+  } else if (field == "tx_ffe_deemphasis") {
+    spec.tx_ffe_deemphasis = get_double(value, path);
+  } else if (field == "rx_ctle_boost_db") {
+    spec.rx_ctle_boost_db = get_double(value, path);
+  } else if (field == "rx_ctle_pole_hz") {
+    spec.rx_ctle_pole_hz = get_double(value, path);
+  } else if (field == "preamble_bits") {
+    spec.preamble_bits = get_int32(value, path);
+  } else if (field == "prbs_order") {
+    spec.prbs_order = prbs_order_from_int(get_int32(value, path), path);
+  } else if (field == "payload_bits") {
+    spec.payload_bits = get_uint(value, path);
+  } else if (field == "chunk_bits") {
+    spec.chunk_bits = get_uint(value, path);
+  } else if (field == "seed") {
+    spec.seed = get_uint(value, path);
+  } else if (field == "streaming") {
+    spec.streaming = get_bool(value, path);
+  } else if (field == "stream_block_samples") {
+    spec.stream_block_samples = get_uint(value, path);
+  } else if (field == "dsp") {
+    spec.dsp = get_bool(value, path);
+  } else if (field == "capture_waveforms") {
+    spec.capture_waveforms = get_bool(value, path);
+  } else {
+    fail_unknown_field(path, field, "LinkSpec", link_field_names());
+  }
+}
+
+LinkSpec link_spec_from_json(const Json& json, const std::string& path) {
+  if (!json.is_object()) fail(path, "expected link spec object");
+  LinkSpec spec;
+  for (const auto& [key, value] : json.as_object()) {
+    apply_link_field(spec, key, value, path + "." + key);
+  }
+  return spec;
+}
+
+Json to_json(const ChannelSpec& spec) {
+  Json j = Json::object();
+  j.set("kind", spec.kind);
+  const bool builtin = spec.kind == "flat" || spec.kind == "rc" ||
+                       spec.kind == "lossy_line" || spec.kind == "fir" ||
+                       spec.kind == "composite";
+  if (spec.kind == "flat" || spec.kind == "rc" || spec.kind == "lossy_line" ||
+      !builtin) {
+    j.set("loss_db", spec.loss_db);
+  }
+  if (spec.kind == "rc" || !builtin) j.set("pole_hz", spec.pole_hz);
+  if (spec.kind == "lossy_line" || !builtin) {
+    j.set("skin_loss_db_at_1ghz", spec.skin_loss_db_at_1ghz);
+    j.set("dielectric_loss_db_at_1ghz", spec.dielectric_loss_db_at_1ghz);
+  }
+  if (spec.kind == "fir" || (!builtin && !spec.fir_taps.empty())) {
+    Json taps = Json::array();
+    for (const double t : spec.fir_taps) taps.push_back(t);
+    j.set("fir_taps", std::move(taps));
+    j.set("fir_samples_per_tap", spec.fir_samples_per_tap);
+  }
+  if (spec.kind == "composite" || (!builtin && !spec.stages.empty())) {
+    Json stages = Json::array();
+    for (const auto& stage : spec.stages) stages.push_back(to_json(stage));
+    j.set("stages", std::move(stages));
+  }
+  return j;
+}
+
+Json to_json(const LinkSpec& spec) {
+  Json j = Json::object();
+  j.set("name", spec.name);
+  j.set("bit_rate_hz", spec.bit_rate_hz);
+  j.set("samples_per_ui", spec.samples_per_ui);
+  j.set("channel", to_json(spec.channel));
+  j.set("noise_rms_v", spec.noise_rms_v);
+  j.set("noise_reference_bandwidth_hz", spec.noise_reference_bandwidth_hz);
+  j.set("random_jitter_s", spec.random_jitter_s);
+  j.set("sinusoidal_jitter_s", spec.sinusoidal_jitter_s);
+  j.set("sj_freq_ratio", spec.sj_freq_ratio);
+  j.set("ppm_offset", spec.ppm_offset);
+  j.set("rx_phase_offset_ui", spec.rx_phase_offset_ui);
+  j.set("cdr_oversampling", spec.cdr_oversampling);
+  j.set("cdr_window_uis", spec.cdr_window_uis);
+  j.set("cdr_glitch_filter_radius", spec.cdr_glitch_filter_radius);
+  j.set("cdr_jitter_hysteresis", spec.cdr_jitter_hysteresis);
+  j.set("tx_ffe_deemphasis", spec.tx_ffe_deemphasis);
+  j.set("rx_ctle_boost_db", spec.rx_ctle_boost_db);
+  j.set("rx_ctle_pole_hz", spec.rx_ctle_pole_hz);
+  j.set("preamble_bits", spec.preamble_bits);
+  j.set("prbs_order", static_cast<int>(spec.prbs_order));
+  j.set("payload_bits", spec.payload_bits);
+  j.set("chunk_bits", spec.chunk_bits);
+  j.set("seed", spec.seed);
+  j.set("streaming", spec.streaming);
+  j.set("stream_block_samples", spec.stream_block_samples);
+  j.set("dsp", spec.dsp);
+  j.set("capture_waveforms", spec.capture_waveforms);
+  return j;
+}
+
+Json to_json(const RunReport& report) {
+  Json j = Json::object();
+  j.set("spec", to_json(report.spec));
+  j.set("aligned", report.aligned);
+  j.set("bits", report.bits);
+  j.set("errors", report.errors);
+  j.set("ber", report.ber);
+  j.set("ber_upper_bound", report.ber_upper_bound);
+  j.set("confidence_level", report.confidence_level);
+  j.set("cdr_decision_phase", report.cdr_decision_phase);
+  j.set("cdr_phase_updates", report.cdr_phase_updates);
+  j.set("rx_swing_pp", report.rx_swing_pp);
+  j.set("decision_threshold", report.decision_threshold);
+  Json eye = Json::object();
+  eye.set("eye_height", report.eye.eye_height);
+  eye.set("eye_width_ui", report.eye.eye_width_ui);
+  eye.set("low_rail", report.eye.low_rail);
+  eye.set("high_rail", report.eye.high_rail);
+  eye.set("best_phase_ui", report.eye.best_phase_ui);
+  j.set("eye", std::move(eye));
+  return j;
+}
+
+RunReport run_report_from_json(const Json& json, const std::string& path) {
+  if (!json.is_object()) fail(path, "expected run report object");
+  RunReport report;
+  for (const auto& [key, value] : json.as_object()) {
+    const std::string p = path + "." + key;
+    if (key == "spec") {
+      report.spec = link_spec_from_json(value, p);
+    } else if (key == "aligned") {
+      report.aligned = get_bool(value, p);
+    } else if (key == "bits") {
+      report.bits = get_uint(value, p);
+    } else if (key == "errors") {
+      report.errors = get_uint(value, p);
+    } else if (key == "ber") {
+      report.ber = get_double(value, p);
+    } else if (key == "ber_upper_bound") {
+      report.ber_upper_bound = get_double(value, p);
+    } else if (key == "confidence_level") {
+      report.confidence_level = get_double(value, p);
+    } else if (key == "cdr_decision_phase") {
+      report.cdr_decision_phase = get_int32(value, p);
+    } else if (key == "cdr_phase_updates") {
+      report.cdr_phase_updates = get_uint(value, p);
+    } else if (key == "rx_swing_pp") {
+      report.rx_swing_pp = get_double(value, p);
+    } else if (key == "decision_threshold") {
+      report.decision_threshold = get_double(value, p);
+    } else if (key == "eye") {
+      if (!value.is_object()) fail(p, "expected eye metrics object");
+      for (const auto& [eye_key, eye_value] : value.as_object()) {
+        const std::string ep = p + "." + eye_key;
+        if (eye_key == "eye_height") {
+          report.eye.eye_height = get_double(eye_value, ep);
+        } else if (eye_key == "eye_width_ui") {
+          report.eye.eye_width_ui = get_double(eye_value, ep);
+        } else if (eye_key == "low_rail") {
+          report.eye.low_rail = get_double(eye_value, ep);
+        } else if (eye_key == "high_rail") {
+          report.eye.high_rail = get_double(eye_value, ep);
+        } else if (eye_key == "best_phase_ui") {
+          report.eye.best_phase_ui = get_double(eye_value, ep);
+        } else {
+          fail(ep, "unknown eye metric field '" + eye_key + "'");
+        }
+      }
+    } else {
+      fail(p, "unknown RunReport field '" + key + "'");
+    }
+  }
+  return report;
+}
+
+std::string check_channel_kinds(const ChannelSpec& spec,
+                                const std::string& path) {
+  const ChannelFactory& factory = ChannelFactory::instance();
+  if (!factory.knows(spec.kind)) {
+    return path + ".kind: " + factory.unknown_kind_message(spec.kind);
+  }
+  if (spec.kind == "composite") {
+    for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+      auto err = check_channel_kinds(
+          spec.stages[i], path + ".stages[" + std::to_string(i) + "]");
+      if (!err.empty()) return err;
+    }
+  }
+  return {};
+}
+
+std::string validate_spec_with_paths(const LinkSpec& spec,
+                                     const std::string& path) {
+  if (const LinkSpec::Issue issue = spec.first_issue(); !issue.ok()) {
+    return path + "." + issue.field + ": " + issue.message;
+  }
+  return check_channel_kinds(spec.channel, path + ".channel");
+}
+
+}  // namespace serdes::api

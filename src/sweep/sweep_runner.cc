@@ -1,0 +1,299 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace serdes::sweep {
+
+using util::Json;
+
+ScenarioResult to_scenario_result(std::uint64_t index,
+                                  const api::RunReport& report) {
+  ScenarioResult row;
+  row.index = index;
+  row.name = report.spec.name;
+  row.seed = report.spec.seed;
+  row.aligned = report.aligned;
+  row.bits = report.bits;
+  row.errors = report.errors;
+  row.ber = report.ber;
+  row.ber_upper_bound = report.ber_upper_bound;
+  row.cdr_decision_phase = report.cdr_decision_phase;
+  row.cdr_phase_updates = report.cdr_phase_updates;
+  row.rx_swing_pp = report.rx_swing_pp;
+  row.decision_threshold = report.decision_threshold;
+  row.eye_height = report.eye.eye_height;
+  row.eye_width_ui = report.eye.eye_width_ui;
+  return row;
+}
+
+namespace {
+
+/// Nearest-rank quantile over an already-sorted vector.
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+SurfaceStats surface_stats(std::vector<double> values) {
+  SurfaceStats s;
+  if (values.empty()) return s;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = quantile(values, 0.50);
+  s.p90 = quantile(values, 0.90);
+  s.p99 = quantile(values, 0.99);
+  return s;
+}
+
+Json to_json(const SurfaceStats& s, std::uint64_t count) {
+  Json j = Json::object();
+  j.set("count", count);
+  j.set("min", s.min);
+  j.set("max", s.max);
+  j.set("mean", s.mean);
+  j.set("p50", s.p50);
+  j.set("p90", s.p90);
+  j.set("p99", s.p99);
+  return j;
+}
+
+Json to_json(const ScenarioResult& row) {
+  Json j = Json::object();
+  j.set("index", row.index);
+  j.set("name", row.name);
+  j.set("seed", row.seed);
+  j.set("aligned", row.aligned);
+  j.set("bits", row.bits);
+  j.set("errors", row.errors);
+  j.set("ber", row.ber);
+  j.set("ber_upper_bound", row.ber_upper_bound);
+  j.set("cdr_decision_phase", row.cdr_decision_phase);
+  j.set("cdr_phase_updates", row.cdr_phase_updates);
+  j.set("rx_swing_pp", row.rx_swing_pp);
+  j.set("decision_threshold", row.decision_threshold);
+  j.set("eye_height", row.eye_height);
+  j.set("eye_width_ui", row.eye_width_ui);
+  return j;
+}
+
+}  // namespace
+
+void finalize_aggregates(SweepReport& report) {
+  std::sort(report.scenarios.begin(), report.scenarios.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.index < b.index;
+            });
+  report.aligned_count = 0;
+  report.error_free_count = 0;
+  report.total_bits = 0;
+  report.total_errors = 0;
+  const std::size_t n = report.scenarios.size();
+  std::vector<double> ber, ber_ub, eye_h, eye_w, swing;
+  ber.reserve(n);
+  ber_ub.reserve(n);
+  eye_h.reserve(n);
+  eye_w.reserve(n);
+  swing.reserve(n);
+  for (const auto& row : report.scenarios) {
+    if (row.aligned) ++report.aligned_count;
+    if (row.aligned && row.errors == 0 && row.bits > 0) {
+      ++report.error_free_count;
+    }
+    report.total_bits += row.bits;
+    report.total_errors += row.errors;
+    ber.push_back(row.ber);
+    ber_ub.push_back(row.ber_upper_bound);
+    eye_h.push_back(row.eye_height);
+    eye_w.push_back(row.eye_width_ui);
+    swing.push_back(row.rx_swing_pp);
+  }
+  report.ber = surface_stats(std::move(ber));
+  report.ber_upper_bound = surface_stats(std::move(ber_ub));
+  report.eye_height = surface_stats(std::move(eye_h));
+  report.eye_width_ui = surface_stats(std::move(eye_w));
+  report.rx_swing_pp = surface_stats(std::move(swing));
+}
+
+SweepReport SweepRunner::run(const SweepSpec& spec) const {
+  if (auto err = spec.validate(); !err.empty()) {
+    throw std::invalid_argument("SweepRunner: invalid sweep: " + err);
+  }
+  const Shard shard = options_.shard;
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument(
+        "SweepRunner: shard " + std::to_string(shard.index) + "/" +
+        std::to_string(shard.count) + " is not a valid partition");
+  }
+
+  SweepReport report;
+  report.sweep_name = spec.name;
+  report.grid_total = spec.scenario_count();
+  report.shard = shard;
+  report.axes = spec.axes;
+
+  // The shard owns grid indices congruent to shard.index mod shard.count.
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = shard.index; i < report.grid_total;
+       i += shard.count) {
+    indices.push_back(i);
+  }
+  report.scenarios.resize(indices.size());
+  if (indices.empty()) {
+    finalize_aggregates(report);
+    return report;
+  }
+
+  const api::Simulator simulator(options_.simulator);
+
+  unsigned workers =
+      options_.n_threads > 0
+          ? static_cast<unsigned>(options_.n_threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers,
+                               static_cast<unsigned>(indices.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex progress_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t slot = next.fetch_add(1);
+      if (slot >= indices.size()) return;
+      try {
+        const std::uint64_t grid_index = indices[slot];
+        const api::RunReport run_report =
+            simulator.run(spec.scenario(grid_index));
+        report.scenarios[slot] = to_scenario_result(grid_index, run_report);
+        if (options_.on_scenario) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          options_.on_scenario(report.scenarios[slot]);
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  finalize_aggregates(report);
+  return report;
+}
+
+SweepReport merge_shard_rows(const std::vector<SweepReport>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge_shard_rows: no reports to merge");
+  }
+  SweepReport merged;
+  merged.sweep_name = shards.front().sweep_name;
+  merged.grid_total = shards.front().grid_total;
+  merged.shard = Shard{0, 1};
+  merged.axes = shards.front().axes;
+  for (const auto& shard : shards) {
+    if (shard.sweep_name != merged.sweep_name ||
+        shard.grid_total != merged.grid_total) {
+      throw std::invalid_argument(
+          "merge_shard_rows: reports come from different sweeps");
+    }
+    merged.scenarios.insert(merged.scenarios.end(), shard.scenarios.begin(),
+                            shard.scenarios.end());
+  }
+  std::sort(merged.scenarios.begin(), merged.scenarios.end(),
+            [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.index < b.index;
+            });
+  for (std::size_t i = 1; i < merged.scenarios.size(); ++i) {
+    if (merged.scenarios[i].index == merged.scenarios[i - 1].index) {
+      throw std::invalid_argument(
+          "merge_shard_rows: scenario " +
+          std::to_string(merged.scenarios[i].index) +
+          " appears in more than one shard");
+    }
+  }
+  // The merged report claims shard {0, 1} — the whole grid — so a missing
+  // shard must be an error, not silently wrong full-grid statistics.
+  if (merged.scenarios.size() != merged.grid_total) {
+    throw std::invalid_argument(
+        "merge_shard_rows: union covers " +
+        std::to_string(merged.scenarios.size()) + " of " +
+        std::to_string(merged.grid_total) +
+        " scenarios — a shard report is missing");
+  }
+  finalize_aggregates(merged);
+  return merged;
+}
+
+Json to_json(const SweepReport& report) {
+  Json j = Json::object();
+  j.set("sweep", report.sweep_name);
+
+  Json grid = Json::object();
+  grid.set("total_scenarios", report.grid_total);
+  Json axes = Json::array();
+  for (const auto& axis : report.axes) {
+    Json a = Json::object();
+    a.set("field", axis.field);
+    Json values = Json::array();
+    for (const auto& v : axis.values) values.push_back(v);
+    a.set("values", std::move(values));
+    axes.push_back(std::move(a));
+  }
+  grid.set("axes", std::move(axes));
+  j.set("grid", std::move(grid));
+
+  Json shard = Json::object();
+  shard.set("index", report.shard.index);
+  shard.set("count", report.shard.count);
+  shard.set("scenarios", static_cast<std::uint64_t>(report.scenarios.size()));
+  j.set("shard", std::move(shard));
+
+  Json rows = Json::array();
+  for (const auto& row : report.scenarios) rows.push_back(to_json(row));
+  j.set("scenarios", std::move(rows));
+
+  Json agg = Json::object();
+  const auto count = static_cast<std::uint64_t>(report.scenarios.size());
+  agg.set("scenarios", count);
+  agg.set("aligned", report.aligned_count);
+  agg.set("error_free", report.error_free_count);
+  agg.set("total_bits", report.total_bits);
+  agg.set("total_errors", report.total_errors);
+  agg.set("ber", to_json(report.ber, count));
+  agg.set("ber_upper_bound", to_json(report.ber_upper_bound, count));
+  agg.set("eye_height", to_json(report.eye_height, count));
+  agg.set("eye_width_ui", to_json(report.eye_width_ui, count));
+  agg.set("rx_swing_pp", to_json(report.rx_swing_pp, count));
+  j.set("aggregate", std::move(agg));
+  return j;
+}
+
+}  // namespace serdes::sweep

@@ -1,0 +1,603 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace serdes::util {
+
+Json::Json(std::int64_t i) : type_(Type::kNumber) {
+  num_ = static_cast<double>(i);
+  num_is_int_ = true;
+  num_negative_ = i < 0;
+  num_mag_ = num_negative_ ? 0ull - static_cast<std::uint64_t>(i)
+                           : static_cast<std::uint64_t>(i);
+}
+
+Json::Json(std::uint64_t u) : type_(Type::kNumber) {
+  num_ = static_cast<double>(u);
+  num_is_int_ = true;
+  num_negative_ = false;
+  num_mag_ = u;
+}
+
+Json Json::array(Array items) {
+  Json j;
+  j.type_ = Type::kArray;
+  j.arr_ = std::move(items);
+  return j;
+}
+
+Json Json::object(Object members) {
+  Json j;
+  j.type_ = Type::kObject;
+  j.obj_ = std::move(members);
+  return j;
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const kNames[] = {"null",  "bool",  "number",
+                                       "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", got " +
+                  kNames[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+std::int64_t Json::as_int() const {
+  if (type_ != Type::kNumber) type_error("integer", type_);
+  if (num_is_int_) {
+    if (num_negative_) {
+      // Magnitude up to 2^63 is representable as int64.
+      if (num_mag_ > 0x8000000000000000ull) {
+        throw JsonError("integer out of int64 range");
+      }
+      return static_cast<std::int64_t>(0ull - num_mag_);
+    }
+    if (num_mag_ >
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max())) {
+      throw JsonError("integer out of int64 range");
+    }
+    return static_cast<std::int64_t>(num_mag_);
+  }
+  const double r = std::nearbyint(num_);
+  if (!std::isfinite(num_) || r != num_ || std::abs(num_) > 9.2e18) {
+    throw JsonError("expected integer, got non-integral number");
+  }
+  return static_cast<std::int64_t>(r);
+}
+
+std::uint64_t Json::as_uint() const {
+  if (type_ != Type::kNumber) type_error("unsigned integer", type_);
+  if (num_is_int_) {
+    if (num_negative_ && num_mag_ != 0) {
+      throw JsonError("expected unsigned integer, got negative value");
+    }
+    return num_mag_;
+  }
+  const double r = std::nearbyint(num_);
+  if (!std::isfinite(num_) || r != num_ || num_ < 0.0 || num_ > 1.8e19) {
+    throw JsonError("expected unsigned integer");
+  }
+  return static_cast<std::uint64_t>(r);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const Json::Array& Json::as_array() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+Json::Array& Json::as_array() {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+const Json::Object& Json::as_object() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+Json::Object& Json::as_object() {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : obj_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [name, existing] : obj_) {
+    if (name == key) {
+      existing = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  arr_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      if (num_is_int_ && other.num_is_int_) {
+        return num_mag_ == other.num_mag_ &&
+               (num_negative_ == other.num_negative_ || num_mag_ == 0);
+      }
+      return num_ == other.num_;
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return arr_ == other.arr_;
+    case Type::kObject:
+      return obj_ == other.obj_;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("line " + std::to_string(line) + ", column " +
+                    std::to_string(col) + ": " + message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    // Bound recursion so a hostile/malformed deeply-nested document is a
+    // parse error, not a stack overflow (validate is pointed at
+    // arbitrary user files).
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+    skip_whitespace();
+    const char c = peek();
+    switch (c) {
+      case '{': {
+        ++depth_;
+        Json obj = parse_object();
+        --depth_;
+        return obj;
+      }
+      case '[': {
+        ++depth_;
+        Json arr = parse_array();
+        --depth_;
+        return arr;
+      }
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json();
+        fail("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_whitespace();
+      if (peek() != ':') fail("expected ':' after object key");
+      ++pos_;
+      obj.as_object().emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_whitespace();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs outside the
+          // BMP are not needed for spec files; pass them through as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Json parse_number() {
+    // RFC 8259 grammar: -? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?
+    // Enforced strictly so a spec this parser blesses is valid JSON for
+    // every other consumer (jq, Python, CI tooling) too.
+    const std::size_t start = pos_;
+    const auto digit = [&]() {
+      return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+    };
+    if (peek() == '-') ++pos_;
+    if (!digit()) fail("invalid number: expected digit");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit()) fail("invalid number: leading zeros are not allowed");
+    } else {
+      while (digit()) ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (!digit()) fail("invalid number: expected digit after '.'");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) fail("invalid number: expected exponent digit");
+      while (digit()) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      const bool negative = token.front() == '-';
+      const std::string_view digits = negative ? token.substr(1) : token;
+      std::uint64_t mag = 0;
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), mag);
+      if (ec == std::errc() && ptr == digits.data() + digits.size()) {
+        if (!negative) return Json(mag);
+        if (mag <= 0x8000000000000000ull) {
+          return Json(static_cast<std::int64_t>(0ull - mag));
+        }
+      }
+      // Fall through to double on overflow / malformed digits.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      pos_ = start;
+      fail("invalid number '" + std::string(token) + "'");
+    }
+    return Json(value);
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+// ------------------------------------------------------------- serializer --
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber: {
+      if (num_is_int_) {
+        if (num_negative_ && num_mag_ != 0) out += '-';
+        char buf[24];
+        const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), num_mag_);
+        out.append(buf, ptr);
+        return;
+      }
+      if (!std::isfinite(num_)) {
+        out += "null";
+        return;
+      }
+      // Shortest round-trip representation: deterministic and exact.
+      char buf[40];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), num_);
+      out.append(buf, ptr);
+      return;
+    }
+    case Type::kString:
+      dump_string(out, str_);
+      return;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& item : arr_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        item.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        if (indent >= 0) append_indent(out, indent, depth + 1);
+        dump_string(out, key);
+        out += indent >= 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+      }
+      if (indent >= 0) append_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------- path-context accessors --
+
+void fail_at(const std::string& path, const std::string& message) {
+  throw JsonError(path + ": " + message);
+}
+
+bool get_bool(const Json& j, const std::string& path) {
+  try {
+    return j.as_bool();
+  } catch (const JsonError& e) {
+    fail_at(path, e.what());
+  }
+}
+
+double get_double(const Json& j, const std::string& path) {
+  try {
+    return j.as_double();
+  } catch (const JsonError& e) {
+    fail_at(path, e.what());
+  }
+}
+
+std::int64_t get_int(const Json& j, const std::string& path) {
+  try {
+    return j.as_int();
+  } catch (const JsonError& e) {
+    fail_at(path, e.what());
+  }
+}
+
+std::uint64_t get_uint(const Json& j, const std::string& path) {
+  try {
+    return j.as_uint();
+  } catch (const JsonError& e) {
+    fail_at(path, e.what());
+  }
+}
+
+const std::string& get_string(const Json& j, const std::string& path) {
+  try {
+    return j.as_string();
+  } catch (const JsonError& e) {
+    fail_at(path, e.what());
+  }
+}
+
+}  // namespace serdes::util

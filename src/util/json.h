@@ -1,0 +1,120 @@
+// Minimal dependency-free JSON value, parser and serializer.
+//
+// This is the data plane of the scenario engine: `LinkSpec`s, sweep
+// definitions and run reports all cross the process boundary as JSON, so
+// the representation is tuned for that job rather than generality:
+//
+//  - Objects preserve insertion order and serialization is fully
+//    deterministic (fixed key order, shortest-round-trip doubles via
+//    std::to_chars), so a report built from the same results is
+//    byte-identical whatever thread count or shard produced it.
+//  - Integers parsed without fraction/exponent keep an exact 64-bit
+//    sidecar, so `seed` values round-trip bit-exactly even beyond 2^53.
+//  - Parse errors carry line/column; `JsonError` is also thrown by the
+//    typed accessors on a type mismatch.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace serdes::util {
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; later `set` of an existing key replaces in place.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+  Json(unsigned i) : Json(static_cast<std::uint64_t>(i)) {}
+  Json(std::int64_t i);
+  Json(std::uint64_t u);
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array(Array items = {});
+  static Json object(Object members = {});
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw JsonError on mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Throw unless the number is integral and in range of the target type.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  /// Member lookup; nullptr when absent (or when this is not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  /// Inserts or replaces a member (object only; throws otherwise).
+  Json& set(std::string key, Json value);
+  /// Appends to an array (array only; throws otherwise).
+  void push_back(Json value);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+  /// Parses one JSON document (trailing garbage is an error).  Throws
+  /// JsonError with "line L, column C" context.
+  static Json parse(std::string_view text);
+
+  /// Deterministic serialization.  `indent < 0` is compact single-line;
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  /// Non-finite doubles serialize as null (JSON has no representation).
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  /// Exact integer sidecar: magnitude + sign, kept when the value was
+  /// constructed from (or parsed as) a whole number.
+  bool num_is_int_ = false;
+  bool num_negative_ = false;
+  std::uint64_t num_mag_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Throws JsonError with the member's JSON path prefixed:
+/// "$.axes[0].field: <message>".
+[[noreturn]] void fail_at(const std::string& path, const std::string& message);
+
+/// Typed accessors that rethrow JsonError with `path` context — the
+/// shared primitive behind every spec parser's diagnostics.
+[[nodiscard]] bool get_bool(const Json& j, const std::string& path);
+[[nodiscard]] double get_double(const Json& j, const std::string& path);
+[[nodiscard]] std::int64_t get_int(const Json& j, const std::string& path);
+[[nodiscard]] std::uint64_t get_uint(const Json& j, const std::string& path);
+[[nodiscard]] const std::string& get_string(const Json& j,
+                                            const std::string& path);
+
+}  // namespace serdes::util

@@ -1,0 +1,46 @@
+#include "util/strings.h"
+
+#include <algorithm>
+
+namespace serdes::util {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view word,
+                          const std::vector<std::string>& candidates) {
+  std::string hint;
+  std::size_t best = std::max<std::size_t>(2, word.size() / 3);
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(word, candidate);
+    if (d <= best) {
+      best = d;
+      hint = candidate;
+    }
+  }
+  return hint;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += separator;
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace serdes::util

@@ -1,0 +1,25 @@
+// Small string utilities shared by error-reporting paths: edit distance
+// and "did you mean" suggestion selection, used by ChannelFactory for
+// unknown channel kinds and by the JSON spec reader for unknown fields.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serdes::util {
+
+/// Levenshtein distance between `a` and `b`.
+[[nodiscard]] std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `word` when the typo is plausible (within a
+/// third of the word's length, minimum 2 edits); empty string otherwise.
+[[nodiscard]] std::string closest_match(
+    std::string_view word, const std::vector<std::string>& candidates);
+
+/// Joins `items` with ", " (for "registered: a, b, c" style messages).
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view separator = ", ");
+
+}  // namespace serdes::util

@@ -1,0 +1,299 @@
+// Sweep engine contract tests: grid expansion, exact/disjoint shard
+// partitioning, thread-count invariance of the aggregated report (down
+// to the serialized bytes), and the JSON fixed-point round trip for
+// LinkSpec / RunReport / SweepSpec.
+#include "sweep/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/spec_json.h"
+#include "sweep/sweep_spec.h"
+#include "util/json.h"
+
+namespace serdes::sweep {
+namespace {
+
+using util::Json;
+
+/// A fast 64-scenario grid: 4 x 4 x 2 x 2, tiny payloads.
+SweepSpec small_grid() {
+  SweepSpec sweep;
+  sweep.name = "grid64";
+  sweep.base.name = "g";
+  sweep.base.payload_bits = 1024;
+  sweep.base.chunk_bits = 1024;
+  sweep.axes.push_back(
+      {"channel.loss_db", {Json(10.0), Json(20.0), Json(30.0), Json(40.0)}});
+  sweep.axes.push_back({"noise_rms_v",
+                        {Json(0.0005), Json(0.001), Json(0.002), Json(0.004)}});
+  sweep.axes.push_back({"rx_ctle_boost_db", {Json(0.0), Json(6.0)}});
+  sweep.axes.push_back({"tx_ffe_deemphasis", {Json(0.0), Json(0.25)}});
+  return sweep;
+}
+
+TEST(SweepSpec, GridExpansionCounts) {
+  const SweepSpec sweep = small_grid();
+  EXPECT_EQ(sweep.scenario_count(), 64u);
+  EXPECT_TRUE(sweep.validate().empty()) << sweep.validate();
+
+  // No axes: the grid is the base spec alone.
+  SweepSpec single;
+  EXPECT_EQ(single.scenario_count(), 1u);
+
+  // Row-major decode, first axis slowest: scenario 0 and 63 hit the axis
+  // extremes, and the second axis advances every 4 scenarios.
+  EXPECT_DOUBLE_EQ(sweep.scenario(0).channel.loss_db, 10.0);
+  EXPECT_DOUBLE_EQ(sweep.scenario(0).noise_rms_v, 0.0005);
+  EXPECT_DOUBLE_EQ(sweep.scenario(63).channel.loss_db, 40.0);
+  EXPECT_DOUBLE_EQ(sweep.scenario(63).noise_rms_v, 0.004);
+  EXPECT_DOUBLE_EQ(sweep.scenario(63).tx_ffe_deemphasis, 0.25);
+  EXPECT_DOUBLE_EQ(sweep.scenario(4).noise_rms_v, 0.001);
+  EXPECT_THROW((void)sweep.scenario(64), std::out_of_range);
+
+  // Scenario names encode their axis values and are unique.
+  std::set<std::string> names;
+  for (std::uint64_t i = 0; i < 64; ++i) names.insert(sweep.scenario(i).name);
+  EXPECT_EQ(names.size(), 64u);
+  EXPECT_NE(sweep.scenario(0).name.find("channel.loss_db=10"),
+            std::string::npos);
+}
+
+TEST(SweepSpec, ScenarioSeedsDeriveFromGridIndex) {
+  const SweepSpec sweep = small_grid();
+  // Same index -> same seed; different index -> different seed (splitmix64
+  // of the grid index, so placement in threads/shards cannot matter).
+  EXPECT_EQ(sweep.scenario(5).seed, sweep.scenario(5).seed);
+  EXPECT_NE(sweep.scenario(5).seed, sweep.scenario(6).seed);
+  EXPECT_EQ(sweep.scenario(7).seed,
+            derive_scenario_seed(sweep.base.seed, 7));
+
+  SweepSpec pinned = small_grid();
+  pinned.derive_seeds = false;
+  EXPECT_EQ(pinned.scenario(5).seed, pinned.base.seed);
+}
+
+TEST(SweepSpec, ValidateNamesJsonPaths) {
+  SweepSpec sweep = small_grid();
+  sweep.axes.push_back({"not_a_field", {Json(1.0)}});
+  const std::string err = sweep.validate();
+  EXPECT_NE(err.find("$.axes[4].values[0]"), std::string::npos) << err;
+  EXPECT_NE(err.find("not_a_field"), std::string::npos) << err;
+
+  SweepSpec empty_axis = small_grid();
+  empty_axis.axes[1].values.clear();
+  EXPECT_NE(empty_axis.validate().find("$.axes[1].values"),
+            std::string::npos);
+
+  SweepSpec bad_base = small_grid();
+  bad_base.base.cdr_oversampling = 1;
+  EXPECT_NE(bad_base.validate().find("$.base.cdr_oversampling"),
+            std::string::npos);
+
+  // A bad value anywhere in an axis — not just position 0 — is caught
+  // before the sweep runs, and blamed on its own path, not the base.
+  SweepSpec bad_value = small_grid();
+  bad_value.axes[1].values[2] = Json(-1.0);  // noise_rms_v axis
+  const std::string verr = bad_value.validate();
+  EXPECT_NE(verr.find("$.axes[1].values[2]"), std::string::npos) << verr;
+  EXPECT_NE(verr.find("noise_rms_v"), std::string::npos) << verr;
+
+  SweepSpec bad_first = small_grid();
+  bad_first.axes[1].values[0] = Json(-1.0);
+  EXPECT_NE(bad_first.validate().find("$.axes[1].values[0]"),
+            std::string::npos)
+      << bad_first.validate();
+
+  // Unknown channel kinds swept through an axis resolve with the
+  // factory's did-you-mean hint at the value's path.
+  SweepSpec typo = small_grid();
+  typo.axes.push_back({"channel.kind", {Json("flat"), Json("lossy_lne")}});
+  const std::string kerr = typo.validate();
+  EXPECT_NE(kerr.find("$.axes[4].values[1]"), std::string::npos) << kerr;
+  EXPECT_NE(kerr.find("did you mean 'lossy_line'"), std::string::npos) << kerr;
+}
+
+TEST(SweepShard, PartitionIsExactAndDisjoint) {
+  const SweepSpec sweep = small_grid();
+  const std::uint64_t total = sweep.scenario_count();
+  for (const std::uint64_t shards : {2ull, 3ull, 5ull}) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t k = 0; k < shards; ++k) {
+      std::uint64_t count = 0;
+      for (std::uint64_t i = k; i < total; i += shards) {
+        EXPECT_TRUE(seen.insert(i).second) << "index " << i << " duplicated";
+        ++count;
+      }
+      // Modulo partition: shard sizes differ by at most one.
+      EXPECT_GE(count, total / shards);
+      EXPECT_LE(count, total / shards + 1);
+    }
+    EXPECT_EQ(seen.size(), total);
+  }
+}
+
+TEST(SweepRunner, ReportIsByteIdenticalAcrossThreadCounts) {
+  const SweepSpec sweep = small_grid();
+  std::string reference;
+  for (const int threads : {1, 4, 8}) {
+    SweepRunner::Options options;
+    options.n_threads = threads;
+    const SweepReport report = SweepRunner(options).run(sweep);
+    EXPECT_EQ(report.scenarios.size(), 64u);
+    const std::string text = to_json(report).dump(2);
+    if (reference.empty()) {
+      reference = text;
+    } else {
+      EXPECT_EQ(text, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(SweepRunner, ShardUnionEqualsUnshardedReport) {
+  const SweepSpec sweep = small_grid();
+  const SweepReport whole = SweepRunner().run(sweep);
+
+  std::vector<SweepReport> shards;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    SweepRunner::Options options;
+    options.shard = Shard{k, 2};
+    shards.push_back(SweepRunner(options).run(sweep));
+  }
+  EXPECT_EQ(shards[0].scenarios.size() + shards[1].scenarios.size(),
+            whole.scenarios.size());
+
+  const SweepReport merged = merge_shard_rows(shards);
+  EXPECT_EQ(to_json(merged).dump(2), to_json(whole).dump(2));
+}
+
+TEST(SweepRunner, OverlappingShardsRefuseToMerge) {
+  const SweepSpec sweep = small_grid();
+  SweepRunner::Options options;
+  options.shard = Shard{0, 2};
+  const SweepReport shard0 = SweepRunner(options).run(sweep);
+  EXPECT_THROW((void)merge_shard_rows({shard0, shard0}),
+               std::invalid_argument);
+  // An incomplete union (missing shard) must error, not produce a report
+  // posing as whole-grid statistics.
+  EXPECT_THROW((void)merge_shard_rows({shard0}), std::invalid_argument);
+}
+
+TEST(SweepRunner, AggregatesMatchRows) {
+  SweepSpec sweep = small_grid();
+  const SweepReport report = SweepRunner().run(sweep);
+  ASSERT_EQ(report.scenarios.size(), 64u);
+  double min_ber = 1e9, max_ber = -1e9;
+  std::uint64_t bits = 0;
+  for (const auto& row : report.scenarios) {
+    min_ber = std::min(min_ber, row.ber);
+    max_ber = std::max(max_ber, row.ber);
+    bits += row.bits;
+  }
+  EXPECT_DOUBLE_EQ(report.ber.min, min_ber);
+  EXPECT_DOUBLE_EQ(report.ber.max, max_ber);
+  EXPECT_EQ(report.total_bits, bits);
+  EXPECT_GE(report.ber.p90, report.ber.p50);
+  EXPECT_GE(report.ber.p99, report.ber.p90);
+  // The clean low-loss corner must be error-free, the 40 dB + heavy-noise
+  // corner must not be: the surfaces span both regimes.
+  EXPECT_GT(report.error_free_count, 0u);
+  EXPECT_LT(report.error_free_count, 64u);
+}
+
+TEST(SpecJson, LinkSpecRoundTripIsFixedPoint) {
+  api::LinkSpec spec;
+  spec.name = "rt";
+  spec.channel = api::ChannelSpec::cascade(
+      {api::ChannelSpec::rc(1.7e9, 3.0),
+       api::ChannelSpec::fir({1.0, 0.4, -0.08}, 2),
+       api::ChannelSpec::lossy_line(5.0, 6.0, 4.0)});
+  spec.noise_rms_v = 0.0025;
+  spec.seed = 18446744073709551615ull;  // above 2^53: must stay exact
+  spec.prbs_order = util::PrbsOrder::kPrbs15;
+  spec.streaming = false;
+  spec.dsp = true;
+
+  const std::string once = api::to_json(spec).dump();
+  const api::LinkSpec reparsed =
+      api::link_spec_from_json(util::Json::parse(once));
+  const std::string twice = api::to_json(reparsed).dump();
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(reparsed.seed, spec.seed);
+  EXPECT_EQ(reparsed.prbs_order, spec.prbs_order);
+  ASSERT_EQ(reparsed.channel.stages.size(), 3u);
+  EXPECT_EQ(reparsed.channel.stages[1].fir_taps, spec.channel.stages[1].fir_taps);
+}
+
+TEST(SpecJson, RunReportRoundTripIsFixedPoint) {
+  const api::Simulator sim;
+  api::LinkSpec spec;
+  spec.payload_bits = 1024;
+  spec.chunk_bits = 1024;
+  const api::RunReport report = sim.run(spec);
+
+  const std::string once = api::to_json(report).dump();
+  const api::RunReport reparsed =
+      api::run_report_from_json(util::Json::parse(once));
+  EXPECT_EQ(api::to_json(reparsed).dump(), once);
+  EXPECT_EQ(reparsed.bits, report.bits);
+  EXPECT_EQ(reparsed.errors, report.errors);
+  EXPECT_DOUBLE_EQ(reparsed.eye.eye_height, report.eye.eye_height);
+}
+
+TEST(SpecJson, SweepSpecRoundTripIsFixedPoint) {
+  const SweepSpec sweep = small_grid();
+  const std::string once = sweep.to_json().dump();
+  const SweepSpec reparsed = SweepSpec::from_json(util::Json::parse(once));
+  EXPECT_EQ(reparsed.to_json().dump(), once);
+  EXPECT_EQ(reparsed.scenario_count(), sweep.scenario_count());
+}
+
+TEST(SpecJson, ErrorsNameJsonPaths) {
+  // Unknown LinkSpec field, with a did-you-mean hint.
+  try {
+    (void)api::link_spec_from_json(
+        util::Json::parse(R"({"noise_rms": 0.001})"));
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("$.noise_rms"), std::string::npos) << what;
+    EXPECT_NE(what.find("noise_rms_v"), std::string::npos) << what;
+  }
+
+  // Type mismatch deep in a composite channel.
+  try {
+    (void)api::link_spec_from_json(util::Json::parse(
+        R"({"channel":{"kind":"composite","stages":[{"kind":"fir","fir_taps":"oops"}]}})"));
+    FAIL() << "expected JsonError";
+  } catch (const util::JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("$.channel.stages[0].fir_taps"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Validation findings carry the field path too.
+  api::LinkSpec bad;
+  bad.channel = api::ChannelSpec::cascade(
+      {api::ChannelSpec::flat(3.0), api::ChannelSpec::fir({})});
+  bad.channel.stages[1].fir_taps.clear();
+  const auto issue = bad.first_issue();
+  EXPECT_EQ(issue.field, "channel.stages[1].fir_taps");
+  EXPECT_NE(api::validate_spec_with_paths(bad).find(
+                "$.channel.stages[1].fir_taps"),
+            std::string::npos);
+
+  // Unknown channel kinds resolve to their path with the factory hint.
+  api::LinkSpec typo;
+  typo.channel = api::ChannelSpec::cascade({api::ChannelSpec::flat(3.0)});
+  typo.channel.stages[0].kind = "lossy_lne";
+  const std::string err = api::validate_spec_with_paths(typo);
+  EXPECT_NE(err.find("$.channel.stages[0].kind"), std::string::npos) << err;
+  EXPECT_NE(err.find("did you mean 'lossy_line'"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace serdes::sweep

@@ -1,0 +1,125 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace serdes::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-1e-3").as_double(), -1e-3);
+  EXPECT_EQ(Json::parse("42").as_int(), 42);
+  EXPECT_EQ(Json::parse("-7").as_int(), -7);
+  EXPECT_EQ(Json::parse("\"hi\\nthere\"").as_string(), "hi\nthere");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const Json j = Json::parse(R"({
+    "a": [1, 2, {"b": "c"}],
+    "d": {"e": null, "f": [true, false]}
+  })");
+  ASSERT_TRUE(j.is_object());
+  const Json* a = j.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(j.find("d")->find("e")->is_null());
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // Seeds beyond 2^53 must survive parse -> dump -> parse bit-exactly.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  Json j = Json::object();
+  j.set("seed", Json(big));
+  const std::string text = j.dump();
+  EXPECT_EQ(text, "{\"seed\":18446744073709551615}");
+  EXPECT_EQ(Json::parse(text).find("seed")->as_uint(), big);
+}
+
+TEST(Json, IntRangeChecks) {
+  EXPECT_THROW((void)Json::parse("-1").as_uint(), JsonError);
+  EXPECT_THROW((void)Json::parse("1.5").as_int(), JsonError);
+  EXPECT_THROW((void)Json::parse("\"x\"").as_double(), JsonError);
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Json, DumpIsDeterministicAndRoundTrips) {
+  const std::string text =
+      R"({"name":"x","v":[1,2.5,-3e-12],"flag":true,"inner":{"k":"s"}})";
+  const Json parsed = Json::parse(text);
+  const std::string dumped = parsed.dump();
+  // Fixed point: parse(dump(parse(text))) serializes identically.
+  EXPECT_EQ(Json::parse(dumped).dump(), dumped);
+  EXPECT_EQ(Json::parse(dumped), parsed);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  const Json j = Json::parse(R"({"a":[1,2],"b":{"c":true}})");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(Json, StringEscapes) {
+  Json j = Json::object();
+  j.set("s", Json(std::string("quote\" backslash\\ tab\t nul\x01")));
+  const std::string text = j.dump();
+  EXPECT_EQ(Json::parse(text).find("s")->as_string(),
+            "quote\" backslash\\ tab\t nul\x01");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  try {
+    (void)Json::parse("{\n  \"a\": nope\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)Json::parse("[1, 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("{}{}"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1,\"a\":2}"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+}
+
+TEST(Json, RejectsNonRfc8259Numbers) {
+  // A blessed spec must be valid JSON for every other consumer too.
+  EXPECT_THROW((void)Json::parse("0123"), JsonError);
+  EXPECT_THROW((void)Json::parse("1."), JsonError);
+  EXPECT_THROW((void)Json::parse("[1.e5]"), JsonError);
+  EXPECT_THROW((void)Json::parse("1e"), JsonError);
+  EXPECT_THROW((void)Json::parse("1e+"), JsonError);
+  EXPECT_THROW((void)Json::parse("-"), JsonError);
+  EXPECT_THROW((void)Json::parse("+1"), JsonError);
+  EXPECT_THROW((void)Json::parse(".5"), JsonError);
+  // ... while every legal form still parses.
+  EXPECT_DOUBLE_EQ(Json::parse("0.5").as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5e-2").as_double(), -0.5e-2);
+  EXPECT_DOUBLE_EQ(Json::parse("2E+9").as_double(), 2e9);
+  EXPECT_EQ(Json::parse("0").as_int(), 0);
+  EXPECT_EQ(Json::parse("-0").as_int(), 0);
+}
+
+TEST(Json, DeepNestingIsAParseErrorNotAStackOverflow) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW((void)Json::parse(deep), JsonError);
+  std::string deep_objects;
+  for (int i = 0; i < 5000; ++i) deep_objects += "{\"a\":";
+  EXPECT_THROW((void)Json::parse(deep_objects), JsonError);
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  Json j = Json::array();
+  j.push_back(Json(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(j.dump(), "[null]");
+}
+
+}  // namespace
+}  // namespace serdes::util

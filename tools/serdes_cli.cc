@@ -1,0 +1,299 @@
+// serdes_cli — JSON-driven scenario orchestration from the command line.
+//
+// Every scenario the library can express is a data file here: `run`
+// executes one LinkSpec, `sweep` expands and executes a SweepSpec grid
+// (optionally one shard of it, so CI and clusters split the work),
+// `validate` checks spec files and reports problems by JSON path, and
+// `list-channels` introspects the channel registry.  Reports are
+// deterministic JSON on stdout (or --out FILE): the same grid produces
+// byte-identical output for any thread count, so artifacts diff cleanly
+// across CI runs.
+//
+//   serdes_cli run examples/specs/paper_default.json
+//   serdes_cli sweep examples/specs/ci_matrix.json --shard 0/2 --out r.json
+//   serdes_cli validate examples/specs/*.json
+//   serdes_cli list-channels
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/channel_factory.h"
+#include "api/spec_json.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+#include "util/json.h"
+
+namespace {
+
+using serdes::util::Json;
+using serdes::util::JsonError;
+
+/// Flag/argument mistakes — exit 2 per the usage contract, vs exit 1 for
+/// parse/validation/run failures.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+int usage(std::ostream& out, int exit_code) {
+  out << R"(serdes_cli — JSON-driven SerDes scenario engine
+
+usage:
+  serdes_cli run <spec.json> [--out FILE] [--compact]
+      Run one link scenario (a LinkSpec file) and print its RunReport.
+
+  serdes_cli sweep <sweep.json> [--threads N] [--shard K/N] [--out FILE]
+                   [--compact] [--progress]
+      Expand a SweepSpec grid and run it (or the K-of-N shard of it:
+      scenarios whose grid index = K mod N).  Prints the aggregated
+      report; byte-identical output for any --threads value.
+
+  serdes_cli validate <file.json> [...]
+      Check spec files (LinkSpec, or SweepSpec when an "axes" key is
+      present).  Problems are reported with their JSON path.
+
+  serdes_cli list-channels
+      Print the registered channel kinds.
+
+exit status: 0 success, 1 failure (parse/validation/run), 2 usage error.
+)";
+  return exit_code;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_output(const std::optional<std::string>& out_path,
+                  const std::string& text) {
+  if (!out_path) {
+    std::cout << text << "\n";
+    return;
+  }
+  std::ofstream out(*out_path, std::ios::binary);
+  if (!out) throw std::runtime_error(*out_path + ": cannot open for writing");
+  out << text << "\n";
+  if (!out) throw std::runtime_error(*out_path + ": write failed");
+}
+
+struct CommonFlags {
+  int threads = 0;
+  std::optional<serdes::sweep::Shard> shard;
+  std::optional<std::string> out_path;
+  bool compact = false;
+  bool progress = false;
+  std::vector<std::string> positional;
+};
+
+/// Whole-string integer parse; errors name the flag and the bad value.
+std::uint64_t parse_uint_flag(const std::string& text, const char* flag) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t v = std::stoull(text, &consumed);
+    if (consumed != text.size() || text.front() == '-') {
+      throw std::invalid_argument(text);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(std::string(flag) +
+                     " expects a non-negative integer, got '" + text + "'");
+  }
+}
+
+serdes::sweep::Shard parse_shard(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    throw UsageError("--shard expects K/N, got '" + text + "'");
+  }
+  serdes::sweep::Shard shard;
+  shard.index = parse_uint_flag(text.substr(0, slash), "--shard");
+  shard.count = parse_uint_flag(text.substr(slash + 1), "--shard");
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw UsageError("--shard " + text +
+                     " is not a valid partition (need K < N)");
+  }
+  return shard;
+}
+
+/// Rejects flags a subcommand accepts syntactically but would ignore —
+/// a silently dropped --threads is worse than a usage error.
+void reject_unsupported(const CommonFlags& flags, const char* command,
+                        bool allow_threads, bool allow_shard,
+                        bool allow_output, bool allow_progress) {
+  const auto reject = [&](const char* flag) {
+    throw UsageError(std::string(flag) + " is not supported by '" + command +
+                     "'");
+  };
+  if (!allow_threads && flags.threads != 0) reject("--threads");
+  if (!allow_shard && flags.shard) reject("--shard");
+  if (!allow_output && (flags.out_path || flags.compact)) {
+    reject(flags.out_path ? "--out" : "--compact");
+  }
+  if (!allow_progress && flags.progress) reject("--progress");
+}
+
+CommonFlags parse_flags(const std::vector<std::string>& args) {
+  CommonFlags flags;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next_value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        throw UsageError(std::string(flag) + " expects a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--threads") {
+      const std::uint64_t n =
+          parse_uint_flag(next_value("--threads"), "--threads");
+      if (n > 4096) throw UsageError("--threads must be <= 4096");
+      flags.threads = static_cast<int>(n);
+    } else if (arg == "--shard") {
+      flags.shard = parse_shard(next_value("--shard"));
+    } else if (arg == "--out") {
+      flags.out_path = next_value("--out");
+    } else if (arg == "--compact") {
+      flags.compact = true;
+    } else if (arg == "--progress") {
+      flags.progress = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      throw UsageError("unknown flag '" + arg + "'");
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+int cmd_run(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "run expects exactly one spec file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "run", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/true,
+                     /*allow_progress=*/false);
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  const serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
+  if (auto err = serdes::api::validate_spec_with_paths(spec); !err.empty()) {
+    throw std::runtime_error(path + ": " + err);
+  }
+  const serdes::api::RunReport report = serdes::api::Simulator().run(spec);
+  write_output(flags.out_path,
+               serdes::api::to_json(report).dump(flags.compact ? -1 : 2));
+  return 0;
+}
+
+int cmd_sweep(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "sweep expects exactly one sweep file\n";
+    return 2;
+  }
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  const serdes::sweep::SweepSpec sweep =
+      serdes::sweep::SweepSpec::from_json(doc);
+
+  serdes::sweep::SweepRunner::Options options;
+  options.n_threads = flags.threads;
+  options.shard = flags.shard.value_or(serdes::sweep::Shard{});
+  if (flags.progress) {
+    // Progress goes to stderr so stdout stays a clean report stream.
+    options.on_scenario = [](const serdes::sweep::ScenarioResult& row) {
+      std::cerr << "[" << row.index << "] " << row.name << ": ber=" << row.ber
+                << (row.aligned ? "" : " (unaligned)") << "\n";
+    };
+  }
+  // SweepRunner::run validates the sweep itself (exhaustively for modest
+  // grids) — no pre-validation here, so the full-grid check runs once.
+  serdes::sweep::SweepReport report;
+  try {
+    report = serdes::sweep::SweepRunner(options).run(sweep);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  write_output(flags.out_path,
+               serdes::sweep::to_json(report).dump(flags.compact ? -1 : 2));
+  return 0;
+}
+
+int cmd_validate(const CommonFlags& flags) {
+  if (flags.positional.empty()) {
+    std::cerr << "validate expects at least one spec file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "validate", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/false,
+                     /*allow_progress=*/false);
+  int failures = 0;
+  for (const std::string& path : flags.positional) {
+    try {
+      const Json doc = Json::parse(read_file(path));
+      // A sweep file declares axes; anything else is a single LinkSpec.
+      if (doc.is_object() && doc.find("axes") != nullptr) {
+        const auto sweep = serdes::sweep::SweepSpec::from_json(doc);
+        if (auto err = sweep.validate(); !err.empty()) {
+          throw std::runtime_error(err);
+        }
+        std::cout << path << ": OK — sweep '" << sweep.name << "', "
+                  << sweep.scenario_count() << " scenarios\n";
+      } else {
+        const auto spec = serdes::api::link_spec_from_json(doc);
+        if (auto err = serdes::api::validate_spec_with_paths(spec);
+            !err.empty()) {
+          throw std::runtime_error(err);
+        }
+        std::cout << path << ": OK — link spec '" << spec.name << "'\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << path << ": INVALID — " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_list_channels(const CommonFlags& flags) {
+  reject_unsupported(flags, "list-channels", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/false,
+                     /*allow_progress=*/false);
+  for (const auto& kind : serdes::api::ChannelFactory::instance().kinds()) {
+    std::cout << kind << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    const CommonFlags flags = parse_flags(rest);
+    if (command == "run") return cmd_run(flags);
+    if (command == "sweep") return cmd_sweep(flags);
+    if (command == "validate") return cmd_validate(flags);
+    if (command == "list-channels") return cmd_list_channels(flags);
+    if (command == "help" || command == "--help" || command == "-h") {
+      return usage(std::cout, 0);
+    }
+    std::cerr << "unknown command '" << command << "'\n\n";
+    return usage(std::cerr, 2);
+  } catch (const UsageError& e) {
+    std::cerr << "serdes_cli " << command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "serdes_cli " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
