@@ -368,6 +368,20 @@ int main(int argc, char** argv) {
               });
   }
 
+  // ---- Statistical engine ---------------------------------------------------
+  // One full analytical scenario (pulse extraction + 64-phase bathtub +
+  // contours at 1e-15) on the paper operating point; items = scenarios.
+  // This is the kernel behind `serdes_cli stat` and the sweep engine's
+  // "stat"/"both" scenarios, so it gets a CI floor like the MC kernels.
+  {
+    api::LinkSpec spec = api::LinkBuilder().analysis("stat").build_spec();
+    const api::Simulator sim;
+    run_bench(results, "stat_engine_paper_default", 1, [&] {
+      volatile double ber = sim.run(spec).stat->min_ber;
+      (void)ber;
+    });
+  }
+
   // ---- Batch vs streaming on the deep BER kernel ---------------------------
   // One Simulator::run per mode over a single deep chunk.  Streaming runs
   // first so its peak-RSS sample is not polluted by the batch path's

@@ -31,6 +31,12 @@ WRITE_FACTOR = 0.75 / 3.0
 # trajectory is tracked through the uploaded artifact instead.
 EXCLUDE = ("deep_ber_streaming_bit", "deep_ber_batch_bit")
 
+# Kernels that MUST have a floor: if one goes missing from the floors file
+# (e.g. a careless --write on a build without the bench), the gate fails
+# instead of silently ungating the kernel.  The stat-engine kernel backs
+# the `serdes_cli stat` path and the "stat"/"both" sweep scenarios.
+REQUIRED = ("stat_engine_paper_default", "full_link_run_bit")
+
 
 def load(path):
     with open(path) as f:
@@ -62,6 +68,10 @@ def main():
     with open(floors_path) as f:
         floors = json.load(f)["floors"]
     failures = []
+    for name in REQUIRED:
+        if name not in floors:
+            failures.append(f"{name}: required kernel has no floor in "
+                            f"{floors_path}")
     for name, floor in sorted(floors.items()):
         rate = fresh.get(name)
         if rate is None:

@@ -134,6 +134,16 @@ LinkBuilder& LinkBuilder::dsp(bool on) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::analysis(std::string mode) {
+  spec_.analysis = std::move(mode);
+  return *this;
+}
+
+LinkBuilder& LinkBuilder::stat_target_ber(double ber) {
+  spec_.stat_target_ber = ber;
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::capture_waveforms(bool capture) {
   spec_.capture_waveforms = capture;
   capture_set_explicitly_ = true;

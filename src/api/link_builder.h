@@ -71,6 +71,12 @@ class LinkBuilder {
   /// measured crossover) for fir / lossy_line channels.  Bit decisions
   /// match the exact kernels; waveforms agree to <= 1e-12 RMS.
   LinkBuilder& dsp(bool on = true);
+  /// Analysis engine: "mc" (default), "stat" (analytical StatEye engine
+  /// only — instant deep-BER bathtubs, no bit stream) or "both" (MC plus
+  /// the stat engine, cross-checked against each other).
+  LinkBuilder& analysis(std::string mode);
+  /// BER level the stat engine quotes contours and margins at.
+  LinkBuilder& stat_target_ber(double ber);
   /// Explicit capture choice: honored by build_spec() and build_link()
   /// alike.  When never called, build_link() defaults capture ON (a link
   /// object is for inspection) while specs stay lean for Simulator sweeps.

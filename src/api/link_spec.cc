@@ -118,6 +118,12 @@ LinkSpec::Issue LinkSpec::first_issue() const {
   if (stream_block_samples == 0) {
     return {"stream_block_samples", "must be positive"};
   }
+  if (analysis != "mc" && analysis != "stat" && analysis != "both") {
+    return {"analysis", "must be one of 'mc', 'stat', 'both'"};
+  }
+  if (!(stat_target_ber > 0.0) || stat_target_ber >= 0.5) {
+    return {"stat_target_ber", "must be in (0, 0.5)"};
+  }
   return {};
 }
 
@@ -165,6 +171,9 @@ core::LinkConfig LinkSpec::to_link_config() const {
   cfg.stream_block_samples =
       static_cast<std::size_t>(stream_block_samples);
   cfg.dsp = dsp;
+  cfg.analysis = analysis == "stat"   ? core::LinkConfig::Analysis::kStatistical
+                 : analysis == "both" ? core::LinkConfig::Analysis::kBoth
+                                      : core::LinkConfig::Analysis::kMonteCarlo;
   return cfg;
 }
 

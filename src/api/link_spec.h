@@ -118,6 +118,19 @@ struct LinkSpec {
   /// direct kernels keep results bit-identical across block sizes.
   bool dsp = false;
 
+  // ---- Analysis engine ----
+  /// Which engine(s) produce this scenario's results:
+  ///   * "mc"   — Monte Carlo bit-stream simulation (default);
+  ///   * "stat" — the analytical StatEye-style engine only: closed-form
+  ///     ISI/noise/jitter statistics from the single-bit pulse response,
+  ///     reaching 1e-15 BER regimes in milliseconds (no bit stream);
+  ///   * "both" — Monte Carlo plus the stat engine, with the measured MC
+  ///     BER cross-checked against the stat prediction band (the
+  ///     golden-report regression tier runs on this mode).
+  std::string analysis = "mc";
+  /// BER level the stat engine quotes contours and margins at.
+  double stat_target_ber = 1e-15;
+
   /// Opt-in: retain the tx / channel / restored waveforms in the report.
   /// Off by default so batch sweeps don't carry megabytes of samples.
   bool capture_waveforms = false;

@@ -11,6 +11,7 @@
 #include "api/channel_factory.h"
 #include "core/ber.h"
 #include "core/link.h"
+#include "stat/stat_engine.h"
 #include "util/prbs.h"
 
 namespace serdes::api {
@@ -33,6 +34,21 @@ RunReport Simulator::run(const LinkSpec& spec) const {
   report.confidence_level = options_.confidence_level;
 
   core::LinkConfig cfg = spec.to_link_config();
+
+  // Statistical analysis first: it is cheap (no bit stream), and a
+  // "stat"-only run returns here without ever building the MC datapath's
+  // traffic.  The channel model is the same factory-built instance kind
+  // the MC path would run, so both engines see identical physics.
+  const bool want_stat = spec.analysis == "stat" || spec.analysis == "both";
+  if (want_stat) {
+    stat::StatAnalyzer::Options stat_options;
+    stat_options.phase_bins_per_ui = options_.stat_phase_bins_per_ui;
+    stat_options.target_ber = spec.stat_target_ber;
+    const stat::StatAnalyzer analyzer(stat_options);
+    const auto channel = ChannelFactory::instance().create(spec.channel, cfg);
+    report.stat = analyzer.analyze(cfg, *channel);
+    if (spec.analysis == "stat") return report;
+  }
   // The first chunk always captures waveforms: lock diagnostics and eye
   // metrics come from it.  Whether they stay in the report is the spec's
   // capture_waveforms choice.  Capture is bounded to the diagnostic window
@@ -72,6 +88,15 @@ RunReport Simulator::run(const LinkSpec& spec) const {
   report.errors = m.errors;
   report.ber = m.ber;
   report.ber_upper_bound = m.ber_upper_bound;
+
+  if (want_stat) {
+    // "both": the MC measurement must land inside the stat engine's
+    // predicted BER band — the two engines regression-test each other.
+    stat::StatAnalyzer::cross_check(*report.stat, report.bits, report.errors,
+                                    spec.cdr_oversampling,
+                                    spec.cdr_glitch_filter_radius,
+                                    options_.stat_cross_check_slack);
+  }
   return report;
 }
 

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analog/waveform.h"
 #include "api/link_spec.h"
 #include "core/eye.h"
+#include "stat/stat_report.h"
 
 namespace serdes::api {
 
@@ -42,6 +44,12 @@ struct RunReport {
 
   // ---- Eye metrics on the restored waveform (first chunk) ----
   core::EyeMetrics eye{};
+
+  // ---- Statistical analysis (when spec.analysis is "stat" or "both") ----
+  /// Analytical bathtub / contour / margin surfaces; for "both" runs the
+  /// cross-check fields record whether the MC BER above landed inside the
+  /// engine's predicted band.  For "stat" runs the MC fields stay zeroed.
+  std::optional<stat::StatReport> stat;
 
   // ---- Waveforms (only when spec.capture_waveforms) ----
   analog::Waveform tx_out;
@@ -71,6 +79,12 @@ class Simulator {
     /// uncorrelated noise.  Turn off for paired comparisons (ablations)
     /// where every lane must face the identical noise realization.
     bool derive_lane_seeds = true;
+    /// Sampling-phase resolution of the stat engine's bathtub/contours.
+    int stat_phase_bins_per_ui = 64;
+    /// `"both"`-mode model slack: the MC BER must fall within
+    /// [band_low / slack, band_high * slack], Poisson-widened (see
+    /// stat::StatAnalyzer::cross_check).
+    double stat_cross_check_slack = 4.0;
   };
 
   Simulator() = default;

@@ -216,6 +216,10 @@ void apply_link_field(LinkSpec& spec, std::string_view field,
     spec.stream_block_samples = get_uint(value, path);
   } else if (field == "dsp") {
     spec.dsp = get_bool(value, path);
+  } else if (field == "analysis") {
+    spec.analysis = get_string(value, path);
+  } else if (field == "stat_target_ber") {
+    spec.stat_target_ber = get_double(value, path);
   } else if (field == "capture_waveforms") {
     spec.capture_waveforms = get_bool(value, path);
   } else {
@@ -289,8 +293,88 @@ Json to_json(const LinkSpec& spec) {
   j.set("streaming", spec.streaming);
   j.set("stream_block_samples", spec.stream_block_samples);
   j.set("dsp", spec.dsp);
+  j.set("analysis", spec.analysis);
+  j.set("stat_target_ber", spec.stat_target_ber);
   j.set("capture_waveforms", spec.capture_waveforms);
   return j;
+}
+
+Json to_json(const stat::StatReport& report) {
+  Json j = Json::object();
+  j.set("target_ber", report.target_ber);
+  j.set("sigma_v", report.sigma_v);
+  j.set("threshold_v", report.threshold_v);
+  j.set("main_cursor_v", report.main_cursor_v);
+  j.set("isi_cursors", report.isi_cursors);
+  Json bathtub = Json::array();
+  for (const double v : report.bathtub_ber) bathtub.push_back(v);
+  j.set("bathtub_ber", std::move(bathtub));
+  Json high = Json::array();
+  for (const double v : report.contour_high_v) high.push_back(v);
+  j.set("contour_high_v", std::move(high));
+  Json low = Json::array();
+  for (const double v : report.contour_low_v) low.push_back(v);
+  j.set("contour_low_v", std::move(low));
+  j.set("best_phase_ui", report.best_phase_ui);
+  j.set("min_ber", report.min_ber);
+  j.set("timing_margin_ui", report.timing_margin_ui);
+  j.set("eye_height_v", report.eye_height_v);
+  j.set("voltage_margin_v", report.voltage_margin_v);
+  j.set("cross_checked", report.cross_checked);
+  j.set("mc_ber", report.mc_ber);
+  j.set("band_low", report.band_low);
+  j.set("band_high", report.band_high);
+  j.set("consistent", report.consistent);
+  return j;
+}
+
+stat::StatReport stat_report_from_json(const Json& json,
+                                       const std::string& path) {
+  if (!json.is_object()) fail(path, "expected stat report object");
+  stat::StatReport report;
+  for (const auto& [key, value] : json.as_object()) {
+    const std::string p = path + "." + key;
+    if (key == "target_ber") {
+      report.target_ber = get_double(value, p);
+    } else if (key == "sigma_v") {
+      report.sigma_v = get_double(value, p);
+    } else if (key == "threshold_v") {
+      report.threshold_v = get_double(value, p);
+    } else if (key == "main_cursor_v") {
+      report.main_cursor_v = get_double(value, p);
+    } else if (key == "isi_cursors") {
+      report.isi_cursors = get_int32(value, p);
+    } else if (key == "bathtub_ber") {
+      report.bathtub_ber = get_double_array(value, p);
+    } else if (key == "contour_high_v") {
+      report.contour_high_v = get_double_array(value, p);
+    } else if (key == "contour_low_v") {
+      report.contour_low_v = get_double_array(value, p);
+    } else if (key == "best_phase_ui") {
+      report.best_phase_ui = get_double(value, p);
+    } else if (key == "min_ber") {
+      report.min_ber = get_double(value, p);
+    } else if (key == "timing_margin_ui") {
+      report.timing_margin_ui = get_double(value, p);
+    } else if (key == "eye_height_v") {
+      report.eye_height_v = get_double(value, p);
+    } else if (key == "voltage_margin_v") {
+      report.voltage_margin_v = get_double(value, p);
+    } else if (key == "cross_checked") {
+      report.cross_checked = get_bool(value, p);
+    } else if (key == "mc_ber") {
+      report.mc_ber = get_double(value, p);
+    } else if (key == "band_low") {
+      report.band_low = get_double(value, p);
+    } else if (key == "band_high") {
+      report.band_high = get_double(value, p);
+    } else if (key == "consistent") {
+      report.consistent = get_bool(value, p);
+    } else {
+      fail(p, "unknown StatReport field '" + key + "'");
+    }
+  }
+  return report;
 }
 
 Json to_json(const RunReport& report) {
@@ -313,6 +397,7 @@ Json to_json(const RunReport& report) {
   eye.set("high_rail", report.eye.high_rail);
   eye.set("best_phase_ui", report.eye.best_phase_ui);
   j.set("eye", std::move(eye));
+  if (report.stat) j.set("stat", to_json(*report.stat));
   return j;
 }
 
@@ -361,6 +446,8 @@ RunReport run_report_from_json(const Json& json, const std::string& path) {
           fail(ep, "unknown eye metric field '" + eye_key + "'");
         }
       }
+    } else if (key == "stat") {
+      report.stat = stat_report_from_json(value, p);
     } else {
       fail(p, "unknown RunReport field '" + key + "'");
     }

@@ -17,6 +17,7 @@
 
 #include "api/link_spec.h"
 #include "api/simulator.h"
+#include "stat/stat_report.h"
 #include "util/json.h"
 
 namespace serdes::api {
@@ -28,9 +29,14 @@ namespace serdes::api {
 /// Serializes every LinkSpec field in declaration order.
 [[nodiscard]] util::Json to_json(const LinkSpec& spec);
 
+/// Serializes a statistical analysis result (bathtub, contours, margins,
+/// cross-check verdict).
+[[nodiscard]] util::Json to_json(const stat::StatReport& report);
+
 /// Serializes the report summary: the spec plus BER, lock and eye
-/// metrics.  Captured waveforms are intentionally omitted (reports are
-/// for sweeps and CI artifacts, not bulk sample storage).
+/// metrics, and — when the scenario ran the stat engine — the StatReport
+/// under "stat".  Captured waveforms are intentionally omitted (reports
+/// are for sweeps and CI artifacts, not bulk sample storage).
 [[nodiscard]] util::Json to_json(const RunReport& report);
 
 /// Parsers: `path` is the JSON path of `json` within its document, used
@@ -41,6 +47,8 @@ namespace serdes::api {
                                            const std::string& path = "$");
 [[nodiscard]] RunReport run_report_from_json(const util::Json& json,
                                              const std::string& path = "$");
+[[nodiscard]] stat::StatReport stat_report_from_json(
+    const util::Json& json, const std::string& path = "$.stat");
 
 /// Applies one field to a spec — the shared primitive behind whole-spec
 /// parsing and sweep-axis application.  `field` may be a top-level

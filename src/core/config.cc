@@ -1,6 +1,16 @@
 #include "core/config.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace serdes::core {
+
+double per_sample_noise_sigma(const LinkConfig& config) {
+  const double nyquist = 0.5 / config.sample_period().value();
+  const double density_scale = std::sqrt(
+      std::max(1.0, nyquist / config.noise_reference_bandwidth.value()));
+  return config.channel_noise_rms * density_scale;
+}
 
 LinkConfig LinkConfig::paper_default() {
   LinkConfig c;

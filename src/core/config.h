@@ -93,6 +93,16 @@ struct LinkConfig {
   ///     full-payload waveform (O(payload_bits * samples_per_ui)).
   enum class Execution { kStreaming, kBatch };
   Execution execution = Execution::kStreaming;
+  /// Which engine(s) produce the scenario's results:
+  ///   * kMonteCarlo   — bit-stream simulation (the datapath above);
+  ///   * kStatistical  — the analytical stat::StatAnalyzer engine only
+  ///     (no bit stream; reaches 1e-15 BER regimes instantly);
+  ///   * kBoth         — Monte Carlo plus the stat engine, with the MC
+  ///     BER cross-checked against the stat prediction band.
+  /// The core SerDesLink always runs Monte Carlo; this field is how the
+  /// api/sweep layers carry the choice alongside the rest of the config.
+  enum class Analysis { kMonteCarlo, kStatistical, kBoth };
+  Analysis analysis = Analysis::kMonteCarlo;
   /// Samples per streaming block (the O(block) memory knob).  Results are
   /// invariant to this value by construction.
   std::size_t stream_block_samples = 16384;
@@ -119,5 +129,12 @@ struct LinkConfig {
   /// 2 GHz bandwidth the paper's front end needs.
   static LinkConfig paper_default();
 };
+
+/// Per-sample AWGN sigma for this config: `channel_noise_rms` scaled by
+/// sqrt(simulation_nyquist / reference_bandwidth) so the injected noise has
+/// a rate-independent spectral density (see `channel_noise_rms`).  Shared
+/// by the Monte Carlo datapath and the statistical engine so both fold in
+/// exactly the same noise power.
+[[nodiscard]] double per_sample_noise_sigma(const LinkConfig& config);
 
 }  // namespace serdes::core

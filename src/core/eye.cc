@@ -11,6 +11,11 @@ EyeAnalyzer::EyeAnalyzer(util::Hertz bit_rate, int bins_per_ui)
   if (bins_per_ui < 8) {
     throw std::invalid_argument("EyeAnalyzer: need >= 8 bins per UI");
   }
+  offsets_.resize(static_cast<std::size_t>(bins_));
+  for (int b = 0; b < bins_; ++b) {
+    offsets_[static_cast<std::size_t>(b)] =
+        (static_cast<double>(b) + 0.5) * ui_.value() / bins_;
+  }
 }
 
 EyeAnalyzer::FoldedEye EyeAnalyzer::fold(const analog::Waveform& w,
@@ -31,7 +36,7 @@ EyeAnalyzer::FoldedEye EyeAnalyzer::fold(const analog::Waveform& w,
     // Classify the UI by its centre sample.
     const bool high = w.value_at(util::seconds(t0 + 0.5 * ui)) > threshold;
     for (int b = 0; b < bins_; ++b) {
-      const double t = t0 + (static_cast<double>(b) + 0.5) * ui / bins_;
+      const double t = t0 + offsets_[static_cast<std::size_t>(b)];
       const double v = w.value_at(util::seconds(t));
       auto& hm = eye.high_min[static_cast<std::size_t>(b)];
       auto& lm = eye.low_max[static_cast<std::size_t>(b)];

@@ -48,9 +48,18 @@ class EyeAnalyzer {
   [[nodiscard]] FoldedEye fold(const analog::Waveform& w, double threshold,
                                int skip_uis = 8) const;
 
+  /// Phase offset (seconds into the UI) at which bin `b` samples the
+  /// waveform: (b + 0.5) * ui / bins, fixed at construction.
+  [[nodiscard]] double bin_phase_offset(int b) const {
+    return offsets_[static_cast<std::size_t>(b)];
+  }
+
  private:
   util::Second ui_;
   int bins_;
+  /// Per-bin sampling offsets, hoisted out of fold()'s inner loop (they
+  /// are invariant across calls and across UIs).
+  std::vector<double> offsets_;
 };
 
 }  // namespace serdes::core

@@ -33,14 +33,10 @@ LinkResult SerDesLink::run(const std::vector<std::uint8_t>& payload) {
 
 namespace {
 
-/// Per-sample AWGN sigma: scaled so the noise spectral density (and thus
-/// the post-front-end RMS) is independent of the waveform sample rate —
-/// see LinkConfig::channel_noise_rms.
+/// Per-sample AWGN sigma — the shared config helper, aliased so the two
+/// execution paths below read naturally.
 double noise_sigma(const LinkConfig& config) {
-  const double nyquist = 0.5 / config.sample_period().value();
-  const double density_scale = std::sqrt(std::max(
-      1.0, nyquist / config.noise_reference_bandwidth.value()));
-  return config.channel_noise_rms * density_scale;
+  return per_sample_noise_sigma(config);
 }
 
 }  // namespace

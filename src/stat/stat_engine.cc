@@ -1,0 +1,701 @@
+#include "stat/stat_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+#include "analog/filters.h"
+#include "channel/equalizer.h"
+#include "core/receiver.h"
+#include "core/transmitter.h"
+#include "pipe/stage.h"
+#include "pipe/stages.h"
+#include "util/math.h"
+
+namespace serdes::stat {
+
+// ---------------------------------------------------------------------------
+// IsiMixture
+// ---------------------------------------------------------------------------
+
+IsiMixture IsiMixture::build(const std::vector<double>& cursors,
+                             const Options& options) {
+  std::vector<double> half;  // per-cursor +/- amplitudes
+  half.reserve(cursors.size());
+  for (const double c : cursors) {
+    if (c != 0.0) half.push_back(0.5 * std::fabs(c));
+  }
+
+  IsiMixture mix;
+  const int n = static_cast<int>(half.size());
+  if (n <= options.max_exact_bits) {
+    // Exact enumeration: 2^n equiprobable sums.
+    mix.exact_ = true;
+    mix.value_.assign(1, 0.0);
+    for (const double c : half) {
+      std::vector<double> next;
+      next.reserve(mix.value_.size() * 2);
+      for (const double v : mix.value_) {
+        next.push_back(v - c);
+        next.push_back(v + c);
+      }
+      mix.value_ = std::move(next);
+    }
+    std::sort(mix.value_.begin(), mix.value_.end());
+    const double p = 1.0 / static_cast<double>(mix.value_.size());
+    mix.prob_.assign(mix.value_.size(), p);
+  } else {
+    // Grid convolution: iterative two-point shifts with linear splitting of
+    // fractional bin offsets — O(cursors x bins).  The grid carries slack
+    // of one bin per cursor so split mass never falls off the edge.
+    mix.exact_ = false;
+    double reach = 0.0;
+    for (const double c : half) reach += c;
+    int bins = std::max(options.grid_bins, 2 * n + 41) | 1;
+    const double step =
+        2.0 * reach / static_cast<double>(bins - 1 - 2 * (n + 2));
+    const int center = bins / 2;
+    std::vector<double> pdf(static_cast<std::size_t>(bins), 0.0);
+    std::vector<double> scratch(pdf.size(), 0.0);
+    pdf[static_cast<std::size_t>(center)] = 1.0;
+    const auto at = [&](std::ptrdiff_t i) -> double {
+      return (i >= 0 && i < static_cast<std::ptrdiff_t>(pdf.size()))
+                 ? pdf[static_cast<std::size_t>(i)]
+                 : 0.0;
+    };
+    for (const double c : half) {
+      const double s = c / step;
+      const auto lo = static_cast<std::ptrdiff_t>(std::floor(s));
+      const double frac = s - static_cast<double>(lo);
+      for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(pdf.size());
+           ++i) {
+        const double plus = (1.0 - frac) * at(i - lo) + frac * at(i - lo - 1);
+        const double minus = (1.0 - frac) * at(i + lo) + frac * at(i + lo + 1);
+        scratch[static_cast<std::size_t>(i)] = 0.5 * (plus + minus);
+      }
+      pdf.swap(scratch);
+    }
+    mix.value_.reserve(pdf.size());
+    mix.prob_.reserve(pdf.size());
+    for (int i = 0; i < bins; ++i) {
+      const double p = pdf[static_cast<std::size_t>(i)];
+      if (p <= 0.0) continue;
+      mix.value_.push_back(static_cast<double>(i - center) * step);
+      mix.prob_.push_back(p);
+    }
+    if (mix.value_.empty()) {
+      mix.value_.assign(1, 0.0);
+      mix.prob_.assign(1, 1.0);
+    }
+  }
+
+  // Normalize and build the inclusive prefix sums the tail windows use.
+  double total = 0.0;
+  for (const double p : mix.prob_) total += p;
+  mix.cum_.resize(mix.prob_.size());
+  double run = 0.0;
+  for (std::size_t i = 0; i < mix.prob_.size(); ++i) {
+    mix.prob_[i] /= total;
+    run += mix.prob_[i];
+    mix.cum_[i] = run;
+  }
+  return mix;
+}
+
+namespace {
+
+/// Gaussian tails narrower than this many sigma are numerically zero
+/// (Q(39) ~ 1e-333), so mixture terms outside the window contribute
+/// exactly 0 or their full mass.
+constexpr double kTailWindowSigmas = 39.0;
+
+}  // namespace
+
+double IsiMixture::upper_tail(double x, double sigma) const {
+  if (value_.empty()) return 0.0;
+  if (sigma <= 0.0) {
+    // Strict mass above x.
+    const auto it = std::upper_bound(value_.begin(), value_.end(), x);
+    const auto idx = static_cast<std::size_t>(it - value_.begin());
+    return idx == 0 ? 1.0 : 1.0 - cum_[idx - 1];
+  }
+  const double w = kTailWindowSigmas * sigma;
+  const auto lo_it = std::lower_bound(value_.begin(), value_.end(), x - w);
+  const auto hi_it = std::upper_bound(value_.begin(), value_.end(), x + w);
+  const auto lo = static_cast<std::size_t>(lo_it - value_.begin());
+  const auto hi = static_cast<std::size_t>(hi_it - value_.begin());
+  // Values above the window contribute their full mass (Q ~ 1).
+  double sum = hi == 0 ? 1.0 : 1.0 - cum_[hi - 1];
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += prob_[i] * util::q_function((x - value_[i]) / sigma);
+  }
+  return sum;
+}
+
+double IsiMixture::lower_tail(double x, double sigma) const {
+  if (value_.empty()) return 0.0;
+  if (sigma <= 0.0) {
+    const auto it = std::lower_bound(value_.begin(), value_.end(), x);
+    const auto idx = static_cast<std::size_t>(it - value_.begin());
+    return idx == 0 ? 0.0 : cum_[idx - 1];
+  }
+  const double w = kTailWindowSigmas * sigma;
+  const auto lo_it = std::lower_bound(value_.begin(), value_.end(), x - w);
+  const auto hi_it = std::upper_bound(value_.begin(), value_.end(), x + w);
+  const auto lo = static_cast<std::size_t>(lo_it - value_.begin());
+  const auto hi = static_cast<std::size_t>(hi_it - value_.begin());
+  double sum = lo == 0 ? 0.0 : cum_[lo - 1];
+  for (std::size_t i = lo; i < hi; ++i) {
+    sum += prob_[i] * util::q_function((value_[i] - x) / sigma);
+  }
+  return sum;
+}
+
+double IsiMixture::upper_quantile(double p, double sigma) const {
+  const double pad = sigma > 0.0 ? (kTailWindowSigmas + 1.0) * sigma : 0.0;
+  double lo = value_.front() - pad - 1e-18;
+  double hi = value_.back() + pad + 1e-18;
+  // upper_tail is decreasing in v: tail(lo) ~ 1, tail(hi) ~ 0.
+  for (int i = 0; i < 200 && hi - lo > 1e-16 * (std::fabs(lo) +
+                                                std::fabs(hi) + 1.0);
+       ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (upper_tail(mid, sigma) >= p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double IsiMixture::lower_quantile(double p, double sigma) const {
+  const double pad = sigma > 0.0 ? (kTailWindowSigmas + 1.0) * sigma : 0.0;
+  double lo = value_.front() - pad - 1e-18;
+  double hi = value_.back() + pad + 1e-18;
+  // lower_tail is increasing in v: tail(lo) ~ 0, tail(hi) ~ 1.
+  for (int i = 0; i < 200 && hi - lo > 1e-16 * (std::fabs(lo) +
+                                                std::fabs(hi) + 1.0);
+       ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (lower_tail(mid, sigma) <= p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double slicer_error_probability(double main_cursor, const IsiMixture& isi,
+                                double offset, double sigma) {
+  return 0.5 * (isi.lower_tail(-0.5 * main_cursor - offset, sigma) +
+                isi.upper_tail(0.5 * main_cursor - offset, sigma));
+}
+
+std::pair<std::uint64_t, std::uint64_t> poisson_band(double lambda) {
+  constexpr double kZ = 3.5;           // ~2e-4 per tail
+  constexpr double kTailEps = 2.3e-4;  // matching exact-CDF cut
+  if (!(lambda > 0.0)) return {0, 0};
+  if (lambda > 50.0) {
+    const double spread = kZ * std::sqrt(lambda);
+    const double lo = std::floor(std::max(0.0, lambda - spread));
+    const double hi = std::ceil(lambda + spread);
+    return {static_cast<std::uint64_t>(lo), static_cast<std::uint64_t>(hi)};
+  }
+  // Exact CDF scan: pmf(k) computed iteratively from pmf(0) = e^-lambda.
+  double pmf = std::exp(-lambda);
+  double cdf = pmf;
+  std::uint64_t k = 0;
+  std::uint64_t lo = 0;
+  bool lo_set = cdf > kTailEps;  // observing below k=0 is impossible anyway
+  std::uint64_t hi = 0;
+  while (cdf < 1.0 - kTailEps && k < 100000) {
+    ++k;
+    pmf *= lambda / static_cast<double>(k);
+    cdf += pmf;
+    if (!lo_set && cdf > kTailEps) {
+      lo = k;
+      lo_set = true;
+    }
+  }
+  hi = k;
+  return {lo, hi};
+}
+
+// ---------------------------------------------------------------------------
+// StatAnalyzer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs per-bit launch levels through the linear front half of the MC
+/// datapath — TX pulse shaping, the channel model, the optional CTLE and
+/// the RFI output pole — using the exact streaming stages the Monte Carlo
+/// path runs, and returns the resulting sample vector.
+std::vector<double> run_linear_chain(const core::LinkConfig& cfg,
+                                     const channel::Channel& channel,
+                                     util::Hertz rfi_bandwidth,
+                                     util::Hertz restore_bandwidth,
+                                     std::vector<double> levels,
+                                     util::Second rise_time) {
+  pipe::LevelPulseSource source(std::move(levels), cfg.unit_interval(),
+                                cfg.samples_per_ui, rise_time,
+                                util::seconds(0.0), 0.0);
+  pipe::Pipeline pipeline;
+  pipeline.add(std::make_unique<pipe::ChannelStage>(channel.open_stream()));
+  if (cfg.rx_ctle_boost.value() > 0.0) {
+    pipeline.add(std::make_unique<pipe::CtleStage>(
+        cfg.rx_ctle_boost, cfg.rx_ctle_pole, cfg.sample_period()));
+  }
+  // The RFI output pole is linear in place; the restoring stage's output
+  // pole sits after its VTC, but around a marginal decision the whole
+  // chain operates in its linear region, so its smoothing applies to the
+  // decision variable as well.
+  analog::OnePoleLowPass rfi_pole(rfi_bandwidth, cfg.sample_period());
+  analog::OnePoleLowPass restore_pole(restore_bandwidth, cfg.sample_period());
+
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(source.total_samples()));
+  pipe::Block blk;
+  while (source.produce(blk, 16384) > 0) {
+    const pipe::BlockView processed = pipeline.process(blk.view());
+    const std::size_t base = out.size();
+    out.resize(base + processed.size);
+    rfi_pole.process_block(processed.data, out.data() + base, processed.size);
+    restore_pole.process_block(out.data() + base, out.data() + base,
+                               processed.size);
+  }
+  return out;
+}
+
+/// Power gain of the noise path (CTLE + RFI pole + linearized restoring
+/// pole): sum of squared discrete impulse-response samples, accumulated
+/// until the tail is negligible.
+double noise_power_gain(const core::LinkConfig& cfg, util::Hertz rfi_bandwidth,
+                        util::Hertz restore_bandwidth) {
+  const bool use_ctle = cfg.rx_ctle_boost.value() > 0.0;
+  std::unique_ptr<pipe::CtleStage> ctle;
+  if (use_ctle) {
+    ctle = std::make_unique<pipe::CtleStage>(
+        cfg.rx_ctle_boost, cfg.rx_ctle_pole, cfg.sample_period());
+  }
+  analog::OnePoleLowPass pole(rfi_bandwidth, cfg.sample_period());
+  analog::OnePoleLowPass restore_pole(restore_bandwidth, cfg.sample_period());
+
+  constexpr std::size_t kBlock = 4096;
+  std::vector<double> buf(kBlock, 0.0);
+  pipe::Block out;
+  double total = 0.0;
+  buf[0] = 1.0;  // unit impulse in the first block
+  for (std::size_t fed = 0; fed < (1u << 22); fed += kBlock) {
+    pipe::BlockView view{buf.data(), kBlock, fed, util::seconds(0.0),
+                         cfg.sample_period(), false};
+    const double* data = view.data;
+    if (ctle) {
+      ctle->process(view, out);
+      data = out.view().data;
+    }
+    std::vector<double> filtered(kBlock);
+    pole.process_block(data, filtered.data(), kBlock);
+    restore_pole.process_block(filtered.data(), filtered.data(), kBlock);
+    double block_sum = 0.0;
+    for (const double g : filtered) block_sum += g * g;
+    total += block_sum;
+    buf[0] = 0.0;  // only the first block carries the impulse
+    if (block_sum < total * 1e-18) break;
+  }
+  return total;
+}
+
+/// Linear interpolation into the pulse response at fractional sample
+/// index `idx` (0 outside the captured support).
+double pulse_at(const std::vector<double>& pulse, double idx) {
+  if (idx <= 0.0 || pulse.size() < 2 ||
+      idx >= static_cast<double>(pulse.size() - 1)) {
+    return 0.0;
+  }
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  return pulse[lo] + frac * (pulse[lo + 1] - pulse[lo]);
+}
+
+/// Circular convolution kernel for sampling jitter on the phase grid:
+/// Gaussian random jitter (proper per-bin mass integration, so kernels
+/// narrower than one bin degrade gracefully to identity) combined with the
+/// arcsine distribution of sinusoidal jitter.
+std::vector<double> jitter_kernel(double rj_ui, double sj_ui, int phase_bins) {
+  const double bin = 1.0 / static_cast<double>(phase_bins);
+  std::vector<double> kernel(1, 1.0);  // offsets [-K..K] around index K
+  auto convolve = [&](const std::vector<double>& other) {
+    std::vector<double> result(kernel.size() + other.size() - 1, 0.0);
+    for (std::size_t i = 0; i < kernel.size(); ++i) {
+      for (std::size_t j = 0; j < other.size(); ++j) {
+        result[i + j] += kernel[i] * other[j];
+      }
+    }
+    kernel = std::move(result);
+  };
+  if (rj_ui > 0.0) {
+    const int reach =
+        static_cast<int>(std::ceil(5.0 * rj_ui / bin)) + 1;
+    std::vector<double> gauss(static_cast<std::size_t>(2 * reach + 1), 0.0);
+    for (int r = -reach; r <= reach; ++r) {
+      const double a = (static_cast<double>(r) - 0.5) * bin / rj_ui;
+      const double b = (static_cast<double>(r) + 0.5) * bin / rj_ui;
+      gauss[static_cast<std::size_t>(r + reach)] =
+          util::q_function(a) - util::q_function(b);
+    }
+    convolve(gauss);
+  }
+  if (sj_ui > 0.0) {
+    constexpr int kSjPoints = 64;
+    const int reach = static_cast<int>(std::ceil(sj_ui / bin)) + 1;
+    std::vector<double> arcsine(static_cast<std::size_t>(2 * reach + 1), 0.0);
+    for (int j = 0; j < kSjPoints; ++j) {
+      const double theta = 2.0 * std::numbers::pi *
+                           (static_cast<double>(j) + 0.5) / kSjPoints;
+      const double s = sj_ui * std::sin(theta) / bin;
+      const auto lo = static_cast<int>(std::floor(s));
+      const double frac = s - static_cast<double>(lo);
+      arcsine[static_cast<std::size_t>(lo + reach)] +=
+          (1.0 - frac) / kSjPoints;
+      arcsine[static_cast<std::size_t>(lo + 1 + reach)] += frac / kSjPoints;
+    }
+    convolve(arcsine);
+  }
+  double total = 0.0;
+  for (const double w : kernel) total += w;
+  for (double& w : kernel) w /= total;
+  return kernel;
+}
+
+}  // namespace
+
+StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
+                                 const channel::Channel& channel) const {
+  if (options_.phase_bins_per_ui < 8) {
+    throw std::invalid_argument("StatAnalyzer: need >= 8 phase bins per UI");
+  }
+  if (!(options_.target_ber > 0.0) || options_.target_ber >= 0.5) {
+    throw std::invalid_argument("StatAnalyzer: target_ber must be in (0, 0.5)");
+  }
+  const int spu = cfg.samples_per_ui;
+  if (spu < 2) {
+    throw std::invalid_argument("StatAnalyzer: need >= 2 samples per UI");
+  }
+
+  const core::Transmitter tx(cfg);
+  core::Receiver rx(cfg);
+  const analog::RfiStage& rfi = rx.rfi_stage();
+  const analog::RestoringInverter& restoring = rx.restoring();
+  const util::Second rise = tx.driver().output_rise_time();
+
+  // ---- 1. Single-bit pulse response through the linear front half -------
+  // Superposition: the TX shaper is affine in the per-bit launch levels and
+  // the channel / CTLE / RFI-pole stages are LTI, so response(one bit) -
+  // response(all zeros) is exactly the contribution of one transmitted '1'.
+  // The post-cursor budget grows until the tail has decayed.
+  constexpr int kPreUis = 8;
+  int post_uis = 64;
+  std::vector<double> pulse;
+  for (;;) {
+    const std::size_t nbits = static_cast<std::size_t>(kPreUis + 1 + post_uis);
+    std::vector<std::uint8_t> bits(nbits, 0);
+    bits[kPreUis] = 1;
+    std::vector<double> one_levels(nbits, 0.0);
+    std::vector<double> zero_levels(nbits, 0.0);
+    if (cfg.tx_ffe_deemphasis != 0.0) {
+      const channel::TxFfe ffe = channel::TxFfe::de_emphasis(
+          cfg.tx_ffe_deemphasis, cfg.driver.vdd);
+      one_levels = ffe.levels(bits);
+      zero_levels = ffe.levels(std::vector<std::uint8_t>(nbits, 0));
+    } else {
+      const double vdd = cfg.driver.vdd.value();
+      one_levels[kPreUis] = vdd;
+    }
+    pulse = run_linear_chain(cfg, channel, rfi.bandwidth(),
+                             restoring.bandwidth(), std::move(one_levels),
+                             rise);
+    if (cfg.tx_ffe_deemphasis != 0.0) {
+      // The FFE's mid-rail offset makes the all-zero response nonzero;
+      // subtracting it leaves exactly one bit's contribution.  (The
+      // baseline itself shifts signal and stream mean equally, so it
+      // cancels out of the mean-relative decision variable.)
+      const std::vector<double> base =
+          run_linear_chain(cfg, channel, rfi.bandwidth(),
+                           restoring.bandwidth(), std::move(zero_levels),
+                           rise);
+      for (std::size_t i = 0; i < pulse.size() && i < base.size(); ++i) {
+        pulse[i] -= base[i];
+      }
+    }
+    double peak = 0.0;
+    for (const double v : pulse) peak = std::max(peak, std::fabs(v));
+    double tail = 0.0;
+    const std::size_t tail_start =
+        pulse.size() > static_cast<std::size_t>(2 * spu)
+            ? pulse.size() - static_cast<std::size_t>(2 * spu)
+            : 0;
+    for (std::size_t i = tail_start; i < pulse.size(); ++i) {
+      tail = std::max(tail, std::fabs(pulse[i]));
+    }
+    if (peak == 0.0) {
+      throw std::invalid_argument(
+          "StatAnalyzer: channel produced an all-zero pulse response");
+    }
+    if (tail <= options_.isi_epsilon * peak ||
+        post_uis >= options_.max_pulse_uis) {
+      break;
+    }
+    post_uis = std::min(post_uis * 2, options_.max_pulse_uis);
+  }
+
+  // ---- 2. Linear-domain slicer threshold and noise sigma ----------------
+  // The RFI saturating VTC and the restoring inverter are memoryless and
+  // monotone, so the sampler's decision maps back to a single threshold at
+  // the linear point: the channel-referred deviation from the stream mean
+  // at which restore(saturate(v)) crosses the decision threshold.
+  const double decision_threshold = rx.decision_threshold();
+  const auto chain = [&](double v) {
+    return restoring.restore_level(rfi.saturate(v));
+  };
+  const double vdd = cfg.driver.vdd.value();
+  const auto v_th_opt = util::bisect(
+      [&](double v) { return chain(v) - decision_threshold; }, -vdd, vdd,
+      1e-15);
+  if (!v_th_opt) {
+    throw std::invalid_argument(
+        "StatAnalyzer: front-end transfer curve never crosses the decision "
+        "threshold");
+  }
+  const double v_th = *v_th_opt;
+
+  const double sigma0 = core::per_sample_noise_sigma(cfg);
+  const double chain_gain_sq =
+      noise_power_gain(cfg, rfi.bandwidth(), restoring.bandwidth());
+  // Sampler input-referred noise, mapped back through the static gain of
+  // the saturating chain at the threshold.
+  const double slope_h = 1e-6;
+  const double chain_slope =
+      (chain(v_th + slope_h) - chain(v_th - slope_h)) / (2.0 * slope_h);
+  const double sampler_sigma_lin =
+      chain_slope > 0.0 ? cfg.sampler.input_noise_rms / chain_slope : 0.0;
+  const double sigma =
+      std::sqrt(sigma0 * sigma0 * chain_gain_sq +
+                sampler_sigma_lin * sampler_sigma_lin);
+
+  // ---- 3. Per-phase cursor decomposition and tail statistics ------------
+  StatReport report;
+  report.target_ber = options_.target_ber;
+  report.sigma_v = sigma;
+  report.threshold_v = v_th;
+
+  const int n_phases = options_.phase_bins_per_ui;
+  const int total_uis = static_cast<int>(pulse.size()) / spu + 1;
+  double pulse_sum = 0.0;
+  for (const double v : pulse) pulse_sum += v;
+  // AC-coupling estimate of the stream mean (deviation from the all-zero
+  // baseline): half the pulse's DC content per UI.
+  const double mean_off = 0.5 * pulse_sum / static_cast<double>(spu);
+
+  std::vector<double> raw_ber(static_cast<std::size_t>(n_phases), 0.5);
+  report.contour_high_v.assign(static_cast<std::size_t>(n_phases), 0.0);
+  report.contour_low_v.assign(static_cast<std::size_t>(n_phases), 0.0);
+  std::vector<double> phase_main(static_cast<std::size_t>(n_phases), 0.0);
+  std::vector<int> phase_isi_count(static_cast<std::size_t>(n_phases), 0);
+
+  std::vector<double> cursors;
+  std::vector<double> isi;
+  for (int b = 0; b < n_phases; ++b) {
+    const double off = (static_cast<double>(b) + 0.5) / n_phases;
+    cursors.clear();
+    double sum_all = 0.0;
+    double h0 = 0.0;
+    int main_idx = -1;
+    for (int m = 0; m < total_uis; ++m) {
+      const double c =
+          pulse_at(pulse, (static_cast<double>(m) + off) * spu);
+      cursors.push_back(c);
+      sum_all += c;
+      if (c > h0) {
+        h0 = c;
+        main_idx = m;
+      }
+    }
+    if (main_idx < 0 || h0 <= 0.0) continue;  // dead eye: BER 0.5
+
+    isi.clear();
+    for (int m = 0; m < static_cast<int>(cursors.size()); ++m) {
+      if (m == main_idx) continue;
+      if (std::fabs(cursors[static_cast<std::size_t>(m)]) >
+          options_.isi_epsilon * h0) {
+        isi.push_back(cursors[static_cast<std::size_t>(m)]);
+      }
+    }
+    const IsiMixture mix = IsiMixture::build(isi, options_.mixture);
+    const double offset = 0.5 * sum_all - mean_off - v_th;
+    raw_ber[static_cast<std::size_t>(b)] =
+        slicer_error_probability(h0, mix, offset, sigma);
+    report.contour_high_v[static_cast<std::size_t>(b)] =
+        offset + 0.5 * h0 + mix.lower_quantile(options_.target_ber, sigma);
+    report.contour_low_v[static_cast<std::size_t>(b)] =
+        offset - 0.5 * h0 + mix.upper_quantile(options_.target_ber, sigma);
+    phase_main[static_cast<std::size_t>(b)] = h0;
+    phase_isi_count[static_cast<std::size_t>(b)] =
+        static_cast<int>(isi.size());
+  }
+
+  // ---- 4. Jitter folding and margins ------------------------------------
+  const double ui_s = cfg.unit_interval().value();
+  const std::vector<double> kernel =
+      jitter_kernel(cfg.rx_random_jitter.value() / ui_s,
+                    cfg.rx_sinusoidal_jitter.value() / ui_s, n_phases);
+  report.bathtub_ber.assign(static_cast<std::size_t>(n_phases), 0.0);
+  const int reach = static_cast<int>(kernel.size()) / 2;
+  for (int b = 0; b < n_phases; ++b) {
+    double acc = 0.0;
+    for (int r = -reach; r <= reach; ++r) {
+      const int src = ((b + r) % n_phases + n_phases) % n_phases;
+      acc += kernel[static_cast<std::size_t>(r + reach)] *
+             raw_ber[static_cast<std::size_t>(src)];
+    }
+    report.bathtub_ber[static_cast<std::size_t>(b)] = acc;
+  }
+
+  int best = 0;
+  for (int b = 1; b < n_phases; ++b) {
+    if (report.bathtub_ber[static_cast<std::size_t>(b)] <
+        report.bathtub_ber[static_cast<std::size_t>(best)]) {
+      best = b;
+    }
+  }
+  report.best_phase_ui = (static_cast<double>(best) + 0.5) / n_phases;
+  report.min_ber = report.bathtub_ber[static_cast<std::size_t>(best)];
+  report.main_cursor_v = phase_main[static_cast<std::size_t>(best)];
+  report.isi_cursors = phase_isi_count[static_cast<std::size_t>(best)];
+  report.eye_height_v = report.contour_high_v[static_cast<std::size_t>(best)] -
+                        report.contour_low_v[static_cast<std::size_t>(best)];
+  report.voltage_margin_v =
+      std::min(report.contour_high_v[static_cast<std::size_t>(best)],
+               -report.contour_low_v[static_cast<std::size_t>(best)]);
+
+  if (report.min_ber <= options_.target_ber) {
+    int open = 1;
+    int left = 1;
+    while (left < n_phases &&
+           report.bathtub_ber[static_cast<std::size_t>(
+               ((best - left) % n_phases + n_phases) % n_phases)] <=
+               options_.target_ber) {
+      ++open;
+      ++left;
+    }
+    int right = 1;
+    while (open < n_phases &&
+           report.bathtub_ber[static_cast<std::size_t>((best + right) %
+                                                       n_phases)] <=
+               options_.target_ber) {
+      ++open;
+      ++right;
+    }
+    report.timing_margin_ui =
+        std::min(1.0, static_cast<double>(open) / n_phases);
+  }
+  return report;
+}
+
+void StatAnalyzer::cross_check(StatReport& report, std::uint64_t bits,
+                               std::uint64_t errors, int cdr_oversampling,
+                               int cdr_glitch_filter_radius, double slack) {
+  report.cross_checked = true;
+  report.mc_ber =
+      bits > 0 ? static_cast<double>(errors) / static_cast<double>(bits) : 0.0;
+
+  // The bathtub is the classic single-slicer BER, but the Monte Carlo
+  // receiver decides each bit by a majority vote over the glitch filter's
+  // 2g+1 adjacent oversampling phases.  With independent per-phase noise
+  // the vote BER is the probability that >= g+1 phase-samples are wrong —
+  // a lower bound on the real vote BER (noise correlation between the
+  // phases only pushes it back up toward the single-slicer value, which
+  // bounds it from above since the vote can only help).  The band spans
+  // that structural interval over the CDR's phase-pick window, widened by
+  // the model-slack factor.
+  double lo = report.min_ber;
+  double hi = report.min_ber;
+  const int n = static_cast<int>(report.bathtub_ber.size());
+  if (n > 0) {
+    const auto& bt = report.bathtub_ber;
+    int best = 0;
+    for (int b = 1; b < n; ++b) {
+      if (bt[static_cast<std::size_t>(b)] <
+          bt[static_cast<std::size_t>(best)]) {
+        best = b;
+      }
+    }
+    const int g = std::max(0, cdr_glitch_filter_radius);
+    const int delta =
+        cdr_oversampling > 0
+            ? std::max(1, n / std::max(1, cdr_oversampling))
+            : 0;
+    const auto vote_ber = [&](int center) {
+      // P(>= g+1 of the 2g+1 phase-samples wrong), phases spaced delta
+      // bins apart, independent: DP over the per-phase error probs.
+      std::vector<double> more_wrong(1, 1.0);  // P(exactly k wrong so far)
+      for (int k = -g; k <= g; ++k) {
+        const double p = bt[static_cast<std::size_t>(
+            ((center + k * delta) % n + n) % n)];
+        std::vector<double> next(more_wrong.size() + 1, 0.0);
+        for (std::size_t w = 0; w < more_wrong.size(); ++w) {
+          next[w] += more_wrong[w] * (1.0 - p);
+          next[w + 1] += more_wrong[w] * p;
+        }
+        more_wrong = std::move(next);
+      }
+      double sum = 0.0;
+      for (std::size_t w = static_cast<std::size_t>(g) + 1;
+           w < more_wrong.size(); ++w) {
+        sum += more_wrong[w];
+      }
+      return sum;
+    };
+    // CDR phase placement: quantization alone puts the decision phase
+    // within half a phase spacing of the optimum, but the edge-centroid
+    // criterion is biased on dispersive (asymmetric-eye) channels, so the
+    // ceiling window allows a full phase spacing of misplacement.  The
+    // floor only loosens with a wider window, so one window serves both.
+    const int window =
+        cdr_oversampling > 0
+            ? static_cast<int>(std::ceil(
+                  static_cast<double>(n) /
+                  static_cast<double>(cdr_oversampling))) +
+                  1
+            : 1;
+    for (int r = -window; r <= window; ++r) {
+      const int b = ((best + r) % n + n) % n;
+      lo = std::min(lo, vote_ber(b));
+      hi = std::max(hi, bt[static_cast<std::size_t>(b)]);
+    }
+  }
+  const double s = slack > 1.0 ? slack : 1.0;
+  report.band_low = lo / s;
+  report.band_high = std::min(0.5, hi * s);
+
+  const auto [k_lo, ignored_hi] =
+      poisson_band(static_cast<double>(bits) * report.band_low);
+  auto [ignored_lo, k_hi] =
+      poisson_band(static_cast<double>(bits) * report.band_high);
+  (void)ignored_hi;
+  (void)ignored_lo;
+  // Floor of a couple of stray errors: sub-1e-4 effects the linear model
+  // does not carry (sampler metastability at transitions, AC-coupling
+  // transients) must not flag an otherwise-clean deep-BER run.
+  k_hi = std::max<std::uint64_t>(k_hi, 2);
+  report.consistent = errors >= k_lo && errors <= k_hi;
+}
+
+}  // namespace serdes::stat

@@ -1,0 +1,148 @@
+// Statistical (StatEye-style) link analysis engine.
+//
+// Monte Carlo BER measurement stops being practical around 1e-9 — the
+// paper's link budget cares about 1e-12..1e-15, where a single error would
+// need trillions of simulated bits.  This engine gets there analytically:
+//
+//   1. extract the channel's single-bit pulse response by pushing one
+//      isolated bit through the *same* streaming TX / channel / CTLE /
+//      RFI-pole stages the Monte Carlo datapath runs (superposition holds:
+//      everything up to the saturating front end is linear);
+//   2. slice the pulse into UI-spaced cursors at each sampling phase and
+//      convolve the per-cursor two-point ISI PDFs — exactly (2^n
+//      enumeration) when few cursors matter, else on a fixed voltage grid
+//      in O(taps x grid);
+//   3. fold the AWGN in analytically (Gaussian tail integrals against the
+//      ISI distribution) and the sampling jitter as a phase-domain
+//      convolution, yielding BER-vs-phase bathtub curves, eye contours at
+//      a target BER, and timing/voltage margins — no bit stream anywhere.
+//
+// Because the result is deterministic and closed-form, it doubles as an
+// oracle for regression-testing the Monte Carlo datapath: a `"both"` run
+// checks that the measured MC BER falls inside the engine's predicted
+// band (see `cross_check`), in the spirit of deterministic-replay
+// validation of parallel simulators.
+//
+// Accuracy contract: the engine models the linearized decision point
+// (channel + CTLE + RFI pole, slicer threshold mapped back through the
+// static RFI/restoring transfer curves).  Saturation dynamics, sampler
+// aperture/metastability and finite-stream AC-coupling transients are NOT
+// modelled; they are bounded by the cross-check slack factor (default 4x
+// either way) that `"both"` runs enforce.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "channel/channel.h"
+#include "core/config.h"
+#include "stat/stat_report.h"
+
+namespace serdes::stat {
+
+/// Distribution of the ISI sum over equiprobable +/-1 data: each cursor
+/// `c` contributes +/- c/2.  Built exactly (2^n enumeration) when `n <=
+/// max_exact_bits`, else by iterative two-point convolution on a voltage
+/// grid (linear-splitting fractional shifts).  Values are sorted; `prob`
+/// sums to 1.
+class IsiMixture {
+ public:
+  struct Options {
+    /// Enumerate exactly up to 2^max_exact_bits combinations.
+    int max_exact_bits = 12;
+    /// Grid resolution for the convolution fallback (forced odd).
+    int grid_bins = 4097;
+  };
+
+  /// `cursors` are the full cursor amplitudes (the +/- c/2 halving happens
+  /// here); zero-amplitude cursors are skipped.
+  static IsiMixture build(const std::vector<double>& cursors,
+                          const Options& options);
+  static IsiMixture build(const std::vector<double>& cursors) {
+    return build(cursors, Options{});
+  }
+
+  /// P(V + N(0, sigma) > x).  sigma == 0 degenerates to the strict mass
+  /// above x.
+  [[nodiscard]] double upper_tail(double x, double sigma) const;
+  /// P(V + N(0, sigma) < x).
+  [[nodiscard]] double lower_tail(double x, double sigma) const;
+
+  /// v such that P(V + N >= v) = p (decreasing in v; bisection).
+  [[nodiscard]] double upper_quantile(double p, double sigma) const;
+  /// v such that P(V + N <= v) = p.
+  [[nodiscard]] double lower_quantile(double p, double sigma) const;
+
+  [[nodiscard]] bool exact() const { return exact_; }
+  [[nodiscard]] std::size_t size() const { return value_.size(); }
+
+ private:
+  std::vector<double> value_;  // sorted support points
+  std::vector<double> prob_;   // matching probabilities (sum 1)
+  std::vector<double> cum_;    // inclusive prefix sums of prob_
+  bool exact_ = true;
+};
+
+/// Error probability of a zero-threshold slicer deciding a symbol
+///   y = +/- main/2 + offset + ISI + N(0, sigma)
+/// with equiprobable polarities:
+///   0.5 * P(y < 0 | +) + 0.5 * P(y > 0 | -).
+/// Exact (to Gaussian-tail evaluation accuracy) when the mixture is exact
+/// — the closed-form regression tests pin two-tap ISI and pure-AWGN cases
+/// against hand formulas at <= 1e-12.
+[[nodiscard]] double slicer_error_probability(double main_cursor,
+                                              const IsiMixture& isi,
+                                              double offset, double sigma);
+
+/// Two-sided Poisson acceptance band around mean `lambda`: the smallest
+/// and largest observation counts consistent with the mean at ~3.5 sigma
+/// (exact CDF scan for small lambda, normal approximation above 50).
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> poisson_band(
+    double lambda);
+
+class StatAnalyzer {
+ public:
+  struct Options {
+    /// Sampling-phase resolution across one UI (EyeAnalyzer convention:
+    /// bin b covers phase (b + 0.5) / n).
+    int phase_bins_per_ui = 64;
+    IsiMixture::Options mixture{};
+    /// Cursors below `isi_epsilon * main_cursor` are dropped from the ISI
+    /// distribution.
+    double isi_epsilon = 1e-7;
+    /// BER level for contours and margins.
+    double target_ber = 1e-15;
+    /// Post-cursor budget: the pulse response is extended (up to this many
+    /// UIs) until its tail decays below isi_epsilon of the peak.
+    int max_pulse_uis = 512;
+  };
+
+  StatAnalyzer() = default;
+  explicit StatAnalyzer(Options options) : options_(options) {}
+
+  /// Analyzes one scenario: the channel is the factory-built model the MC
+  /// path would run (`dsp` and composite structure included).  Throws
+  /// std::invalid_argument on a config the engine cannot linearize.
+  [[nodiscard]] StatReport analyze(const core::LinkConfig& config,
+                                   const channel::Channel& channel) const;
+
+  /// Fills the `"both"`-mode fields of `report`.  The predicted band is
+  /// structural: its floor is the glitch-filter majority-vote BER with
+  /// independent per-phase noise (the vote can only be beaten by noise
+  /// correlation, which pushes toward the single-slicer bathtub that forms
+  /// the ceiling), evaluated over the CDR's phase-pick window (half-width
+  /// 0.5 / cdr_oversampling UI) and widened by `slack` both ways.  The
+  /// verdict is a Poisson test of `errors` observed over `bits` against
+  /// that band.
+  static void cross_check(StatReport& report, std::uint64_t bits,
+                          std::uint64_t errors, int cdr_oversampling,
+                          int cdr_glitch_filter_radius, double slack);
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+};
+
+}  // namespace serdes::stat

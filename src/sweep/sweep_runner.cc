@@ -30,6 +30,14 @@ ScenarioResult to_scenario_result(std::uint64_t index,
   row.decision_threshold = report.decision_threshold;
   row.eye_height = report.eye.eye_height;
   row.eye_width_ui = report.eye.eye_width_ui;
+  if (report.stat) {
+    row.has_stat = true;
+    row.stat_min_ber = report.stat->min_ber;
+    row.stat_timing_margin_ui = report.stat->timing_margin_ui;
+    row.stat_eye_height_v = report.stat->eye_height_v;
+    row.stat_cross_checked = report.stat->cross_checked;
+    row.stat_consistent = report.stat->consistent;
+  }
   return row;
 }
 
@@ -88,6 +96,15 @@ Json to_json(const ScenarioResult& row) {
   j.set("decision_threshold", row.decision_threshold);
   j.set("eye_height", row.eye_height);
   j.set("eye_width_ui", row.eye_width_ui);
+  if (row.has_stat) {
+    Json s = Json::object();
+    s.set("min_ber", row.stat_min_ber);
+    s.set("timing_margin_ui", row.stat_timing_margin_ui);
+    s.set("eye_height_v", row.stat_eye_height_v);
+    s.set("cross_checked", row.stat_cross_checked);
+    s.set("consistent", row.stat_consistent);
+    j.set("stat", std::move(s));
+  }
   return j;
 }
 
@@ -102,8 +119,12 @@ void finalize_aggregates(SweepReport& report) {
   report.error_free_count = 0;
   report.total_bits = 0;
   report.total_errors = 0;
+  report.stat_count = 0;
+  report.stat_cross_checked_count = 0;
+  report.stat_consistent_count = 0;
   const std::size_t n = report.scenarios.size();
   std::vector<double> ber, ber_ub, eye_h, eye_w, swing;
+  std::vector<double> stat_ber, stat_margin, stat_eye;
   ber.reserve(n);
   ber_ub.reserve(n);
   eye_h.reserve(n);
@@ -121,12 +142,23 @@ void finalize_aggregates(SweepReport& report) {
     eye_h.push_back(row.eye_height);
     eye_w.push_back(row.eye_width_ui);
     swing.push_back(row.rx_swing_pp);
+    if (row.has_stat) {
+      ++report.stat_count;
+      if (row.stat_cross_checked) ++report.stat_cross_checked_count;
+      if (row.stat_consistent) ++report.stat_consistent_count;
+      stat_ber.push_back(row.stat_min_ber);
+      stat_margin.push_back(row.stat_timing_margin_ui);
+      stat_eye.push_back(row.stat_eye_height_v);
+    }
   }
   report.ber = surface_stats(std::move(ber));
   report.ber_upper_bound = surface_stats(std::move(ber_ub));
   report.eye_height = surface_stats(std::move(eye_h));
   report.eye_width_ui = surface_stats(std::move(eye_w));
   report.rx_swing_pp = surface_stats(std::move(swing));
+  report.stat_min_ber = surface_stats(std::move(stat_ber));
+  report.stat_timing_margin_ui = surface_stats(std::move(stat_margin));
+  report.stat_eye_height_v = surface_stats(std::move(stat_eye));
 }
 
 SweepReport SweepRunner::run(const SweepSpec& spec) const {
@@ -292,6 +324,18 @@ Json to_json(const SweepReport& report) {
   agg.set("eye_height", to_json(report.eye_height, count));
   agg.set("eye_width_ui", to_json(report.eye_width_ui, count));
   agg.set("rx_swing_pp", to_json(report.rx_swing_pp, count));
+  if (report.stat_count > 0) {
+    Json stat = Json::object();
+    stat.set("scenarios", report.stat_count);
+    stat.set("cross_checked", report.stat_cross_checked_count);
+    stat.set("consistent", report.stat_consistent_count);
+    stat.set("min_ber", to_json(report.stat_min_ber, report.stat_count));
+    stat.set("timing_margin_ui",
+             to_json(report.stat_timing_margin_ui, report.stat_count));
+    stat.set("eye_height_v",
+             to_json(report.stat_eye_height_v, report.stat_count));
+    agg.set("stat", std::move(stat));
+  }
   j.set("aggregate", std::move(agg));
   return j;
 }

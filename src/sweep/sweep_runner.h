@@ -44,6 +44,14 @@ struct ScenarioResult {
   double decision_threshold = 0.0;
   double eye_height = 0.0;
   double eye_width_ui = 0.0;
+  // ---- Statistical-engine surface (scenarios with analysis != "mc") ----
+  bool has_stat = false;
+  double stat_min_ber = 0.0;
+  double stat_timing_margin_ui = 0.0;
+  double stat_eye_height_v = 0.0;
+  /// "both" scenarios only: did the MC BER land in the predicted band?
+  bool stat_cross_checked = false;
+  bool stat_consistent = false;
 };
 
 /// `index`-of-`count` grid partition; {0, 1} is the whole grid.
@@ -82,6 +90,15 @@ struct SweepReport {
   SurfaceStats eye_height{};
   SurfaceStats eye_width_ui{};
   SurfaceStats rx_swing_pp{};
+
+  // ---- stat-engine aggregates (over the rows with has_stat) ----
+  std::uint64_t stat_count = 0;
+  std::uint64_t stat_cross_checked_count = 0;
+  /// Rows whose "both" cross-check found MC inside the predicted band.
+  std::uint64_t stat_consistent_count = 0;
+  SurfaceStats stat_min_ber{};
+  SurfaceStats stat_timing_margin_ui{};
+  SurfaceStats stat_eye_height_v{};
 };
 
 class SweepRunner {

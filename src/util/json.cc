@@ -600,4 +600,65 @@ const std::string& get_string(const Json& j, const std::string& path) {
   }
 }
 
+namespace {
+
+void diff_into(const Json& expected, const Json& actual,
+               const std::string& path, std::vector<std::string>& findings,
+               std::size_t max_findings) {
+  if (findings.size() >= max_findings) return;
+  if (expected == actual) return;
+  const auto value_str = [](const Json& j) {
+    std::string s = j.dump(-1);
+    if (s.size() > 64) s = s.substr(0, 61) + "...";
+    return s;
+  };
+  if (expected.type() != actual.type()) {
+    findings.push_back(path + ": expected " + value_str(expected) + ", got " +
+                       value_str(actual));
+    return;
+  }
+  if (expected.is_array()) {
+    const auto& ea = expected.as_array();
+    const auto& aa = actual.as_array();
+    if (ea.size() != aa.size()) {
+      findings.push_back(path + ": expected array of " +
+                         std::to_string(ea.size()) + " elements, got " +
+                         std::to_string(aa.size()));
+    }
+    for (std::size_t i = 0; i < ea.size() && i < aa.size(); ++i) {
+      diff_into(ea[i], aa[i], path + "[" + std::to_string(i) + "]", findings,
+                max_findings);
+    }
+    return;
+  }
+  if (expected.is_object()) {
+    for (const auto& [key, value] : expected.as_object()) {
+      if (const Json* got = actual.find(key)) {
+        diff_into(value, *got, path + "." + key, findings, max_findings);
+      } else if (findings.size() < max_findings) {
+        findings.push_back(path + "." + key + ": missing (expected " +
+                           value_str(value) + ")");
+      }
+    }
+    for (const auto& [key, value] : actual.as_object()) {
+      if (!expected.find(key) && findings.size() < max_findings) {
+        findings.push_back(path + "." + key + ": unexpected (got " +
+                           value_str(value) + ")");
+      }
+    }
+    return;
+  }
+  findings.push_back(path + ": expected " + value_str(expected) + ", got " +
+                     value_str(actual));
+}
+
+}  // namespace
+
+std::vector<std::string> json_diff(const Json& expected, const Json& actual,
+                                   std::size_t max_findings) {
+  std::vector<std::string> findings;
+  diff_into(expected, actual, "$", findings, max_findings);
+  return findings;
+}
+
 }  // namespace serdes::util

@@ -14,6 +14,7 @@
 //    typed accessors on a type mismatch.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -103,6 +104,15 @@ class Json {
   Array arr_;
   Object obj_;
 };
+
+/// Structural diff of two JSON documents: one finding per differing
+/// member, each naming its JSON path and both values ("$.a[2].b: expected
+/// 3, got 4"; missing/extra keys and type mismatches included).  Returns
+/// at most `max_findings` entries (the golden-report tests print these so
+/// a failed byte-comparison localizes immediately).  Empty means equal.
+[[nodiscard]] std::vector<std::string> json_diff(const Json& expected,
+                                                 const Json& actual,
+                                                 std::size_t max_findings = 20);
 
 /// Throws JsonError with the member's JSON path prefixed:
 /// "$.axes[0].field: <message>".

@@ -1,6 +1,9 @@
 // Eye analysis, sensitivity sweeps and the cost model.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "api/link_builder.h"
@@ -67,6 +70,98 @@ TEST(Eye, BandwidthLimitedEyeSmaller) {
   EyeAnalyzer eye(util::gigahertz(2.0));
   EXPECT_LT(eye.analyze(slow, 0.5).eye_height,
             eye.analyze(sharp, 0.5).eye_height);
+}
+
+/// Reference fold with the phase-bin edges recomputed per call — the
+/// formula EyeAnalyzer used before the offsets were hoisted to
+/// construction.  The hoisted implementation must match it bit for bit.
+EyeAnalyzer::FoldedEye reference_fold(const analog::Waveform& w,
+                                      util::Hertz bit_rate, int bins,
+                                      double threshold, int skip_uis = 8) {
+  EyeAnalyzer::FoldedEye eye;
+  eye.high_min.assign(static_cast<std::size_t>(bins),
+                      std::numeric_limits<double>::infinity());
+  eye.low_max.assign(static_cast<std::size_t>(bins),
+                     -std::numeric_limits<double>::infinity());
+  const double ui = util::period(bit_rate).value();
+  const double t_start = w.start_time().value() + skip_uis * ui;
+  const double t_end = w.end_time().value();
+  const auto total_uis = static_cast<std::int64_t>((t_end - t_start) / ui) - 1;
+  for (std::int64_t n = 0; n < total_uis; ++n) {
+    const double t0 = t_start + static_cast<double>(n) * ui;
+    const bool high = w.value_at(util::seconds(t0 + 0.5 * ui)) > threshold;
+    for (int b = 0; b < bins; ++b) {
+      const double t = t0 + (static_cast<double>(b) + 0.5) * ui / bins;
+      const double v = w.value_at(util::seconds(t));
+      auto& hm = eye.high_min[static_cast<std::size_t>(b)];
+      auto& lm = eye.low_max[static_cast<std::size_t>(b)];
+      if (high) {
+        hm = std::min(hm, v);
+      } else {
+        lm = std::max(lm, v);
+      }
+    }
+  }
+  for (int b = 0; b < bins; ++b) {
+    auto& hm = eye.high_min[static_cast<std::size_t>(b)];
+    auto& lm = eye.low_max[static_cast<std::size_t>(b)];
+    if (!std::isfinite(hm)) hm = threshold;
+    if (!std::isfinite(lm)) lm = threshold;
+  }
+  return eye;
+}
+
+TEST(Eye, FoldedEyeBinAssignmentPinnedAgainstPerCallEdges) {
+  util::PrbsGenerator prbs(util::PrbsOrder::kPrbs15);
+  const auto bits = prbs.next_bits(300);
+  auto w = analog::Waveform::nrz(bits, util::nanoseconds(0.5), 16, 0.0, 1.8,
+                                 util::picoseconds(100.0));
+  util::Rng rng(11);
+  w.add_noise(rng, 0.02);
+  for (const int bins : {8, 64}) {
+    const EyeAnalyzer eye(util::gigahertz(2.0), bins);
+    const auto hoisted = eye.fold(w, 0.9);
+    const auto reference =
+        reference_fold(w, util::gigahertz(2.0), bins, 0.9);
+    ASSERT_EQ(hoisted.high_min.size(), static_cast<std::size_t>(bins));
+    for (int b = 0; b < bins; ++b) {
+      const auto i = static_cast<std::size_t>(b);
+      EXPECT_EQ(hoisted.high_min[i], reference.high_min[i])
+          << "bins=" << bins << " b=" << b;
+      EXPECT_EQ(hoisted.low_max[i], reference.low_max[i])
+          << "bins=" << bins << " b=" << b;
+      EXPECT_EQ(eye.bin_phase_offset(b),
+                (static_cast<double>(b) + 0.5) *
+                    util::period(util::gigahertz(2.0)).value() / bins)
+          << "bins=" << bins << " b=" << b;
+    }
+  }
+}
+
+TEST(Eye, FoldIdenticalForStreamBlockSizesOneAnd4096) {
+  // The folded eye of a captured link waveform must not depend on the
+  // streaming block size the capture flowed through (block sizes 1 and
+  // 4096 bracket the chunking extremes).
+  EyeAnalyzer::FoldedEye folds[2];
+  std::size_t idx = 0;
+  for (const std::uint64_t block : {std::uint64_t{1}, std::uint64_t{4096}}) {
+    api::LinkBuilder builder;
+    builder.payload_bits(512)
+        .chunk_bits(512)
+        .stream_block_samples(block)
+        .capture_waveforms(true);
+    core::SerDesLink link = builder.build_link();
+    const auto result = link.run_prbs(512);
+    ASSERT_TRUE(result.aligned) << "block=" << block;
+    const EyeAnalyzer eye(util::gigahertz(2.0), 64);
+    folds[idx++] =
+        eye.fold(result.rx.restored, link.receiver().decision_threshold());
+  }
+  ASSERT_EQ(folds[0].high_min.size(), folds[1].high_min.size());
+  for (std::size_t b = 0; b < folds[0].high_min.size(); ++b) {
+    EXPECT_EQ(folds[0].high_min[b], folds[1].high_min[b]) << "bin " << b;
+    EXPECT_EQ(folds[0].low_max[b], folds[1].low_max[b]) << "bin " << b;
+  }
 }
 
 TEST(Eye, ValidatesBins) {

@@ -257,5 +257,33 @@ TEST(SimulatorStreaming, BatchLanesMatchAcrossExecutionModes) {
   }
 }
 
+// ---- SlowDeep tier: nightly-depth streaming equivalence -------------------
+
+TEST(SlowDeep, StreamingMatchesBatchAtOneMillionBits) {
+  // One 2^20-bit chunk through both execution paths — the O(block) vs
+  // O(payload) memory regimes — must agree on every observable.
+  api::LinkSpec spec;
+  spec.payload_bits = 1u << 20;
+  spec.chunk_bits = 1u << 20;
+  spec.channel = api::ChannelSpec::flat(34.0);
+  spec.noise_rms_v = 0.004;  // measurable-BER point: errors must agree too
+  const api::Simulator sim;
+
+  spec.streaming = false;
+  const api::RunReport batch = sim.run(spec);
+  spec.streaming = true;
+  const api::RunReport streamed = sim.run(spec);
+
+  EXPECT_EQ(batch.aligned, streamed.aligned);
+  EXPECT_EQ(batch.bits, streamed.bits);
+  EXPECT_EQ(batch.errors, streamed.errors);
+  EXPECT_EQ(batch.ber, streamed.ber);
+  EXPECT_EQ(batch.cdr_decision_phase, streamed.cdr_decision_phase);
+  EXPECT_EQ(batch.cdr_phase_updates, streamed.cdr_phase_updates);
+  EXPECT_EQ(batch.rx_swing_pp, streamed.rx_swing_pp);
+  EXPECT_EQ(batch.eye.eye_height, streamed.eye.eye_height);
+  EXPECT_GT(batch.bits, (1u << 20) - 8u);
+}
+
 }  // namespace
 }  // namespace serdes

@@ -46,6 +46,13 @@ usage:
   serdes_cli run <spec.json> [--out FILE] [--compact]
       Run one link scenario (a LinkSpec file) and print its RunReport.
 
+  serdes_cli stat <spec.json> [--out FILE] [--compact]
+      Statistical (StatEye-style) analysis of one LinkSpec: analytical
+      BER-vs-phase bathtub, eye contours at the target BER (default
+      1e-15) and timing/voltage margins — no bit stream, milliseconds
+      per scenario.  A spec with "analysis": "both" additionally runs
+      Monte Carlo and cross-checks it against the prediction band.
+
   serdes_cli sweep <sweep.json> [--threads N] [--shard K/N] [--out FILE]
                    [--compact] [--progress]
       Expand a SweepSpec grid and run it (or the K-of-N shard of it:
@@ -192,6 +199,31 @@ int cmd_run(const CommonFlags& flags) {
   return 0;
 }
 
+int cmd_stat(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "stat expects exactly one spec file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "stat", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/true,
+                     /*allow_progress=*/false);
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
+  // Validate the spec as written first — a typo like "botth" must fail
+  // with its field path, not be silently coerced into a stat-only run.
+  if (auto err = serdes::api::validate_spec_with_paths(spec); !err.empty()) {
+    throw std::runtime_error(path + ": " + err);
+  }
+  // "both" is honored (MC + cross-check); "mc"/"stat" become a pure stat
+  // run — that is what this subcommand is for.
+  if (spec.analysis != "both") spec.analysis = "stat";
+  const serdes::api::RunReport report = serdes::api::Simulator().run(spec);
+  write_output(flags.out_path,
+               serdes::api::to_json(report).dump(flags.compact ? -1 : 2));
+  return 0;
+}
+
 int cmd_sweep(const CommonFlags& flags) {
   if (flags.positional.size() != 1) {
     std::cerr << "sweep expects exactly one sweep file\n";
@@ -281,6 +313,7 @@ int main(int argc, char** argv) {
   try {
     const CommonFlags flags = parse_flags(rest);
     if (command == "run") return cmd_run(flags);
+    if (command == "stat") return cmd_stat(flags);
     if (command == "sweep") return cmd_sweep(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "list-channels") return cmd_list_channels(flags);
