@@ -1,0 +1,151 @@
+// Semantic lint over LinkSpec / SweepSpec — beyond "will it run".
+//
+// `LinkSpec::first_issue()` and `SweepSpec::validate()` answer whether a
+// spec is *runnable*; every rule here fires on specs that run fine but
+// are unlikely to mean what the author intended: sweep axes that expand
+// to a single value, per-scenario seed collisions under `derive_seeds`,
+// stat-engine applicability cliffs (cursor counts that force the grid
+// fallback), `"both"`-mode Monte Carlo bit counts too small for the
+// cross-check to have power, dsp toggles the channel geometry makes
+// inert, and noise budgets that put the stat target BER structurally out
+// of reach.
+//
+// Rules live in a fixed-order registry (`rules()`), each with a stable
+// id, a default severity and a one-line summary; findings anchor to the
+// JSON path of the offending member ("$.payload_bits",
+// "$.axes[1].values", "$.base.channel") so a spec loaded from a file
+// fails with the fix location in the message — the same contract the
+// spec_json diagnostics honor.  `LintReport` serializes deterministically
+// and parses strictly (round-trip fixed point), so `serdes_cli lint`
+// output is a machine-readable CI artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/link_spec.h"
+#include "sweep/sweep_spec.h"
+#include "util/json.h"
+
+namespace serdes::lint {
+
+/// Finding severity, ordered so "at least warning" style gates are
+/// integer comparisons.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// Parses "info" / "warning" / "error"; throws util::JsonError naming
+/// `path` otherwise.
+[[nodiscard]] Severity severity_from_string(std::string_view text,
+                                            const std::string& path);
+
+/// One lint finding: `rule` is the registry id, `path` the JSON path of
+/// the member being blamed, `message` the problem and `hint` the fix.
+struct Finding {
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  std::string path;
+  std::string message;
+  std::string hint;
+};
+
+struct LintReport {
+  /// Name of the linted spec / sweep.
+  std::string subject;
+  /// "link" or "sweep".
+  std::string kind;
+  /// Registry order, then field order within a rule — deterministic.
+  std::vector<Finding> findings;
+
+  [[nodiscard]] bool clean() const { return findings.empty(); }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  /// Findings at `severity` or above (the `--deny` gate).
+  [[nodiscard]] std::size_t count_at_least(Severity severity) const;
+};
+
+/// Registry entry for one rule.  `sweep_only` marks grid-level rules
+/// (axes / seeds) that never fire on a standalone LinkSpec.
+struct RuleInfo {
+  std::string id;
+  Severity severity;
+  std::string summary;
+  bool sweep_only = false;
+};
+
+/// Every rule the linter can emit, in emission order.  The README rule
+/// table and `serdes_cli lint --list-rules` both render from here.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+class Linter {
+ public:
+  struct Options {
+    /// `"both"`-mode MC payloads below this cannot resolve BER much past
+    /// ~1e-4, leaving the stat cross-check underpowered.
+    std::uint64_t cross_check_min_bits = 65536;
+    /// Above this many estimated ISI cursors the stat engine abandons
+    /// exact 2^n enumeration for the voltage-grid fallback
+    /// (stat::IsiMixture::Options::max_exact_bits).
+    int max_exact_isi_cursors = 12;
+    /// BlockFir engages the FFT path at about this many MACs/sample; a
+    /// dsp=true spec whose FIR stages all sit below it gains nothing.
+    int fft_crossover_macs = 128;
+    /// Total sampling jitter (3 sigma RJ + SJ amplitude) beyond this
+    /// fraction of one UI makes CDR lock unlikely.
+    double max_jitter_fraction_ui = 0.3;
+    /// Grids beyond this many scenarios should shard (`--shard k/n`).
+    std::uint64_t grid_budget = 250000;
+    /// Exhaustive derived-seed collision scan is capped at this many
+    /// scenarios (the scan is O(grid log grid)).
+    std::uint64_t seed_check_limit = 65536;
+    /// Nominal TX rail-to-rail swing for the structural reachability
+    /// bound (the paper's 1.8 V supply).
+    double nominal_swing_v = 1.8;
+  };
+
+  Linter() = default;
+  explicit Linter(Options options) : options_(options) {}
+
+  /// Lints one link spec.  `path` is the spec's JSON path within its
+  /// document ("$" standalone, "$.base" inside a sweep).
+  [[nodiscard]] LintReport lint(const api::LinkSpec& spec,
+                                const std::string& path = "$") const;
+
+  /// Lints a sweep: grid-level rules over the axes/seeds plus the
+  /// spec-level rules over `base` (anchored at "$.base").  Base findings
+  /// on members an axis overwrites are suppressed — the axis, not the
+  /// base value, decides what each scenario sees.
+  [[nodiscard]] LintReport lint(const sweep::SweepSpec& sweep) const;
+
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_{};
+};
+
+/// Deterministic JSON rendering of a report.
+[[nodiscard]] util::Json to_json(const LintReport& report);
+
+/// Strict parse (unknown fields are errors with JSON-path diagnostics);
+/// `parse(serialize(x))` is a fixed point.
+[[nodiscard]] LintReport lint_report_from_json(const util::Json& json,
+                                               const std::string& path = "$");
+
+// ---- Structural estimates shared by the rules (exposed for tests) ----
+
+/// Rough count of UI-spaced ISI cursors the channel's memory spans
+/// (excluding the main cursor): FIR tap span for "fir", exponential
+/// decay to 1e-4 for "rc", an HF-loss heuristic for "lossy_line", the
+/// stage sum for composites, 0 for memoryless kinds.
+[[nodiscard]] int estimated_isi_cursors(const api::ChannelSpec& channel,
+                                        double bit_rate_hz,
+                                        int samples_per_ui);
+
+/// DC attenuation of the channel tree in dB (loss terms summed across
+/// composite stages; FIR stages contribute -20*log10(|sum of taps|)).
+[[nodiscard]] double estimated_dc_loss_db(const api::ChannelSpec& channel);
+
+}  // namespace serdes::lint

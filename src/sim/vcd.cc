@@ -53,7 +53,11 @@ void VcdWriter::trace(Wire& wire, const std::string& name) {
 void VcdWriter::trace(Signal<std::uint64_t>& bus, const std::string& name,
                       int width) {
   const std::string id = next_id();
-  vars_.push_back({id, name, width, "b" + bus_to_binary(bus.read(), width)});
+  // Built with += rather than "b" + ...: GCC 12's -Wrestrict misfires on
+  // char*-plus-temporary-string concatenation at -O3 (PR105329).
+  std::string initial = "b";
+  initial += bus_to_binary(bus.read(), width);
+  vars_.push_back({id, name, width, std::move(initial)});
   bus.on_change([this, id, width](const std::uint64_t&,
                                   const std::uint64_t& now) {
     timestamp();
@@ -63,7 +67,9 @@ void VcdWriter::trace(Signal<std::uint64_t>& bus, const std::string& name,
 
 void VcdWriter::trace(Signal<double>& sig, const std::string& name) {
   const std::string id = next_id();
-  vars_.push_back({id, name, 0, "r" + std::to_string(sig.read())});
+  std::string initial = "r";
+  initial += std::to_string(sig.read());
+  vars_.push_back({id, name, 0, std::move(initial)});
   sig.on_change([this, id](const double&, const double& now) {
     timestamp();
     out_ << 'r' << now << ' ' << id << '\n';

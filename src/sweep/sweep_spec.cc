@@ -47,6 +47,27 @@ std::string value_label(const SweepAxis& axis, std::size_t value_index) {
 
 }  // namespace
 
+std::size_t axis_value_index(const SweepSpec& sweep, std::size_t axis,
+                             std::uint64_t index) {
+  if (axis >= sweep.axes.size()) {
+    throw std::out_of_range("sweep axis " + std::to_string(axis) +
+                            " outside " + std::to_string(sweep.axes.size()) +
+                            " axes");
+  }
+  const std::uint64_t total = sweep.scenario_count();
+  if (index >= total) {
+    throw std::out_of_range("sweep scenario index " + std::to_string(index) +
+                            " outside grid of " + std::to_string(total));
+  }
+  // Row-major decode: the first axis varies slowest.
+  std::uint64_t stride = total;
+  for (std::size_t a = 0; a <= axis; ++a) {
+    stride /= sweep.axes[a].values.size();
+  }
+  return static_cast<std::size_t>((index / stride) %
+                                  sweep.axes[axis].values.size());
+}
+
 api::LinkSpec SweepSpec::scenario(std::uint64_t index) const {
   const std::uint64_t total = scenario_count();
   if (index >= total) {
@@ -55,16 +76,15 @@ api::LinkSpec SweepSpec::scenario(std::uint64_t index) const {
   }
   api::LinkSpec spec = base;
   std::string label = base.name;
-  // Row-major decode: the first axis varies slowest.
-  std::uint64_t stride = total;
   for (std::size_t a = 0; a < axes.size(); ++a) {
-    const std::uint64_t n = axes[a].values.size();
-    stride /= n;
-    const auto value_index = static_cast<std::size_t>((index / stride) % n);
+    const std::size_t value_index = axis_value_index(*this, a, index);
     api::apply_link_field(spec, axes[a].field, axes[a].values[value_index],
                           "$.axes[" + std::to_string(a) + "].values[" +
                               std::to_string(value_index) + "]");
-    label += "/" + value_label(axes[a], value_index);
+    // += in two steps: GCC 12's -Wrestrict misfires on char* plus a
+    // temporary string at -O3 (PR105329).
+    label += '/';
+    label += value_label(axes[a], value_index);
   }
   spec.name = std::move(label);
   if (derive_seeds) spec.seed = derive_scenario_seed(spec.seed, index);

@@ -14,6 +14,7 @@
 // see examples/specs/README.md for the schema.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,5 +70,14 @@ struct SweepSpec {
 /// api::Simulator::derive_lane_seed (one splitmix64 step).
 [[nodiscard]] std::uint64_t derive_scenario_seed(std::uint64_t base_seed,
                                                  std::uint64_t index);
+
+/// Index into `axes[axis].values` that grid scenario `index` selects —
+/// the row-major decode `scenario()` applies (first axis slowest).
+/// Lets callers inspect one axis (the lint seed scan, labels) without
+/// expanding the whole spec.  Throws std::out_of_range on an axis or
+/// index outside the grid.
+[[nodiscard]] std::size_t axis_value_index(const SweepSpec& sweep,
+                                           std::size_t axis,
+                                           std::uint64_t index);
 
 }  // namespace serdes::sweep

@@ -62,6 +62,24 @@ TEST(SweepSpec, GridExpansionCounts) {
             std::string::npos);
 }
 
+TEST(SweepSpec, AxisValueIndexMatchesScenarioDecode) {
+  const SweepSpec sweep = small_grid();
+  // axis_value_index is the row-major decode scenario() applies, exposed
+  // for single-axis inspection (lint's seed scan, labels): the value it
+  // picks must be exactly the one the expanded scenario carries.
+  for (const std::uint64_t index : {0u, 1u, 4u, 17u, 63u}) {
+    const api::LinkSpec spec = sweep.scenario(index);
+    const double loss =
+        sweep.axes[0].values[axis_value_index(sweep, 0, index)].as_double();
+    const double noise =
+        sweep.axes[1].values[axis_value_index(sweep, 1, index)].as_double();
+    EXPECT_DOUBLE_EQ(spec.channel.loss_db, loss) << "scenario " << index;
+    EXPECT_DOUBLE_EQ(spec.noise_rms_v, noise) << "scenario " << index;
+  }
+  EXPECT_THROW((void)axis_value_index(sweep, 4, 0), std::out_of_range);
+  EXPECT_THROW((void)axis_value_index(sweep, 0, 64), std::out_of_range);
+}
+
 TEST(SweepSpec, ScenarioSeedsDeriveFromGridIndex) {
   const SweepSpec sweep = small_grid();
   // Same index -> same seed; different index -> different seed (splitmix64

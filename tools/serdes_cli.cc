@@ -23,6 +23,7 @@
 
 #include "api/channel_factory.h"
 #include "api/spec_json.h"
+#include "lint/lint.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
 #include "util/json.h"
@@ -63,10 +64,22 @@ usage:
       Check spec files (LinkSpec, or SweepSpec when an "axes" key is
       present).  Problems are reported with their JSON path.
 
+  serdes_cli lint <file.json> [...] [--deny SEVERITY] [--out FILE]
+                  [--compact]
+  serdes_cli lint --list-rules
+      Semantic analysis beyond validation: degenerate sweep axes, seed
+      collisions, stat-engine applicability cliffs, inert fields, noise
+      budgets that make the target BER unreachable.  Findings are
+      machine-readable JSON on stdout (rule id + JSON path + fix hint)
+      with a human summary on stderr.  Exit 1 when any finding is at
+      --deny severity (info | warning | error | none; default error) or
+      above.  --list-rules prints the rule registry.
+
   serdes_cli list-channels
       Print the registered channel kinds.
 
-exit status: 0 success, 1 failure (parse/validation/run), 2 usage error.
+exit status: 0 success, 1 failure (parse/validation/run/lint-deny),
+             2 usage error.
 )";
   return exit_code;
 }
@@ -97,6 +110,11 @@ struct CommonFlags {
   std::optional<std::string> out_path;
   bool compact = false;
   bool progress = false;
+  /// lint only: fail when a finding reaches this severity (nullopt = the
+  /// default gate, error).
+  std::optional<serdes::lint::Severity> deny;
+  bool deny_none = false;
+  bool list_rules = false;
   std::vector<std::string> positional;
 };
 
@@ -134,7 +152,8 @@ serdes::sweep::Shard parse_shard(const std::string& text) {
 /// a silently dropped --threads is worse than a usage error.
 void reject_unsupported(const CommonFlags& flags, const char* command,
                         bool allow_threads, bool allow_shard,
-                        bool allow_output, bool allow_progress) {
+                        bool allow_output, bool allow_progress,
+                        bool allow_lint_flags = false) {
   const auto reject = [&](const char* flag) {
     throw UsageError(std::string(flag) + " is not supported by '" + command +
                      "'");
@@ -145,6 +164,8 @@ void reject_unsupported(const CommonFlags& flags, const char* command,
     reject(flags.out_path ? "--out" : "--compact");
   }
   if (!allow_progress && flags.progress) reject("--progress");
+  if (!allow_lint_flags && (flags.deny || flags.deny_none)) reject("--deny");
+  if (!allow_lint_flags && flags.list_rules) reject("--list-rules");
 }
 
 CommonFlags parse_flags(const std::vector<std::string>& args) {
@@ -170,6 +191,19 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
       flags.compact = true;
     } else if (arg == "--progress") {
       flags.progress = true;
+    } else if (arg == "--deny") {
+      const std::string& level = next_value("--deny");
+      if (level == "none") {
+        flags.deny_none = true;
+      } else if (level == "info" || level == "warning" || level == "error") {
+        flags.deny = serdes::lint::severity_from_string(level, "--deny");
+      } else {
+        throw UsageError(
+            "--deny expects info | warning | error | none, got '" + level +
+            "'");
+      }
+    } else if (arg == "--list-rules") {
+      flags.list_rules = true;
     } else if (!arg.empty() && arg.front() == '-') {
       throw UsageError("unknown flag '" + arg + "'");
     } else {
@@ -293,6 +327,76 @@ int cmd_validate(const CommonFlags& flags) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_lint(const CommonFlags& flags) {
+  reject_unsupported(flags, "lint", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/true,
+                     /*allow_progress=*/false, /*allow_lint_flags=*/true);
+  if (flags.list_rules) {
+    if (!flags.positional.empty() || flags.deny || flags.deny_none ||
+        flags.out_path || flags.compact) {
+      throw UsageError("--list-rules takes no other arguments");
+    }
+    for (const auto& rule : serdes::lint::rules()) {
+      std::cout << rule.id << "  [" << serdes::lint::to_string(rule.severity)
+                << (rule.sweep_only ? ", sweep-only" : "") << "]  "
+                << rule.summary << "\n";
+    }
+    return 0;
+  }
+  if (flags.positional.empty()) {
+    std::cerr << "lint expects at least one spec file (or --list-rules)\n";
+    return 2;
+  }
+  // Default gate: structural errors fail the command, warnings/infos are
+  // advisory.  CI tightens with --deny info over the shipped specs.
+  const auto deny = flags.deny.value_or(serdes::lint::Severity::kError);
+  const serdes::lint::Linter linter;
+  Json reports = Json::array();
+  std::size_t denied = 0;
+  for (const std::string& path : flags.positional) {
+    const Json doc = Json::parse(read_file(path));
+    serdes::lint::LintReport report;
+    // A sweep file declares axes; anything else is a single LinkSpec.
+    // Lint presumes a runnable spec, so validation failures stay hard
+    // errors exactly as `validate` reports them.
+    if (doc.is_object() && doc.find("axes") != nullptr) {
+      const auto sweep = serdes::sweep::SweepSpec::from_json(doc);
+      if (auto err = sweep.validate(); !err.empty()) {
+        throw std::runtime_error(path + ": " + err);
+      }
+      report = linter.lint(sweep);
+    } else {
+      const auto spec = serdes::api::link_spec_from_json(doc);
+      if (auto err = serdes::api::validate_spec_with_paths(spec);
+          !err.empty()) {
+        throw std::runtime_error(path + ": " + err);
+      }
+      report = linter.lint(spec);
+    }
+    for (const auto& finding : report.findings) {
+      std::cerr << path << ": " << finding.path << ": ["
+                << serdes::lint::to_string(finding.severity) << "] "
+                << finding.rule << ": " << finding.message;
+      if (!finding.hint.empty()) std::cerr << " (fix: " << finding.hint << ")";
+      std::cerr << "\n";
+    }
+    std::cerr << path << ": "
+              << (report.clean()
+                      ? "clean"
+                      : std::to_string(report.findings.size()) + " finding(s)")
+              << "\n";
+    if (!flags.deny_none) denied += report.count_at_least(deny);
+    Json entry = Json::object();
+    entry.set("file", path);
+    entry.set("report", serdes::lint::to_json(report));
+    reports.push_back(std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("reports", std::move(reports));
+  write_output(flags.out_path, out.dump(flags.compact ? -1 : 2));
+  return denied == 0 ? 0 : 1;
+}
+
 int cmd_list_channels(const CommonFlags& flags) {
   reject_unsupported(flags, "list-channels", /*allow_threads=*/false,
                      /*allow_shard=*/false, /*allow_output=*/false,
@@ -316,6 +420,7 @@ int main(int argc, char** argv) {
     if (command == "stat") return cmd_stat(flags);
     if (command == "sweep") return cmd_sweep(flags);
     if (command == "validate") return cmd_validate(flags);
+    if (command == "lint") return cmd_lint(flags);
     if (command == "list-channels") return cmd_list_channels(flags);
     if (command == "help" || command == "--help" || command == "-h") {
       return usage(std::cout, 0);
