@@ -36,6 +36,8 @@
 #include "flow/power.h"
 #include "flow/rtlgen.h"
 #include "flow/sta.h"
+#include "pipe/lane_block.h"
+#include "pipe/lane_stages.h"
 #include "pipe/stages.h"
 #include "util/prbs.h"
 #include "util/random.h"
@@ -262,6 +264,104 @@ void bench_stage_kernels(std::vector<BenchResult>& results) {
     });
   }
 
+  // ---- Lane-batched (SoA) kernels: 8 lanes, items = lane-samples ----------
+  // Each is the stage_* kernel above across an 8-lane tile; the floors pin
+  // the vectorization win (per-lane throughput must beat 1/8 of a wide
+  // margin over the scalar kernel, not merely match it).
+  {
+    constexpr std::size_t kLanes = 8;
+    std::vector<std::uint64_t> lane_seeds;
+    for (std::size_t l = 0; l < kLanes; ++l) lane_seeds.push_back(1000 + l);
+
+    pipe::LaneBlock tile;
+    tile.shape(block, kLanes, 0, util::seconds(0.0), cfg.sample_period(),
+               false);
+    const auto fill_tile = [&](double v) {
+      double* d = tile.data();
+      for (std::size_t i = 0; i < block * kLanes; ++i) d[i] = v;
+    };
+    pipe::LaneBlock out_tile;
+
+    {
+      pipe::Block shared;
+      shared.samples().assign(block, 0.5);
+      pipe::LaneAwgnStage awgn(0.001, lane_seeds);
+      run_bench(results, "stage_awgn_lanes8_sample", nsamp * kLanes, [&] {
+        for (std::size_t i = 0; i < nsamp; i += block) {
+          awgn.process(shared.view(), out_tile);
+        }
+      });
+    }
+    {
+      pipe::LaneCtleStage ctle(util::decibels(4.0), util::megahertz(700.0),
+                               cfg.sample_period(), kLanes);
+      fill_tile(0.5);
+      run_bench(results, "stage_ctle_lanes8_sample", nsamp * kLanes, [&] {
+        for (std::size_t i = 0; i < nsamp; i += block) {
+          ctle.process(tile.view(), out_tile);
+        }
+      });
+    }
+    {
+      pipe::LaneRfiStage rfi(rx.rfi_stage(), cfg.sample_period(), kLanes);
+      for (std::size_t l = 0; l < kLanes; ++l) rfi.set_mean(l, 0.0005);
+      fill_tile(0.0005);
+      run_bench(results, "stage_rfi_lanes8_sample", nsamp * kLanes, [&] {
+        for (std::size_t i = 0; i < nsamp; i += block) {
+          rfi.process(tile.view(), out_tile);
+        }
+      });
+    }
+    {
+      pipe::LaneRestoreStage restore(rx.restoring(), cfg.sample_period(),
+                                     kLanes);
+      fill_tile(0.9);
+      run_bench(results, "stage_restore_lanes8_sample", nsamp * kLanes, [&] {
+        for (std::size_t i = 0; i < nsamp; i += block) {
+          restore.process(tile.view(), out_tile);
+        }
+      });
+    }
+    {
+      // Interleaved-history lane FIR: the lane counterpart of
+      // stage_channel_fir64_direct_sample (64 dense MACs per lane-sample).
+      std::vector<double> taps64(64, 0.01);
+      dsp::BlockFir fir(taps64, 1);
+      std::vector<double> history((taps64.size() - 1) * kLanes, 0.0);
+      std::vector<double> out(block * kLanes, 0.0);
+      fill_tile(0.5);
+      run_bench(results, "stage_channel_fir64_lanes8_sample", nsamp * kLanes,
+                [&] {
+                  for (std::size_t i = 0; i < nsamp; i += block) {
+                    fir.process_lanes(history.data(), tile.data(), out.data(),
+                                      block, kLanes);
+                  }
+                });
+    }
+    {
+      pipe::LaneSamplerCdrSink::Config sc;
+      sc.bit_rate = cfg.bit_rate;
+      sc.oversampling = cfg.cdr.oversampling;
+      sc.jitter.random_rms = cfg.rx_random_jitter;
+      sc.jitter_seeds = lane_seeds;
+      sc.sampler_seeds = lane_seeds;
+      sc.total_samples = nsamp;
+      sc.dt = cfg.sample_period();
+      sc.block_samples = block;
+      fill_tile(0.9);
+      run_bench(results, "stage_sampler_cdr_lanes8_sample", nsamp * kLanes,
+                [&] {
+                  pipe::LaneSamplerCdrSink sink(sc);
+                  for (std::size_t i = 0; i < nsamp; i += block) {
+                    tile.shape(block, kLanes, i, util::seconds(0.0),
+                               cfg.sample_period(), false);
+                    sink.consume(tile.view());
+                  }
+                  sink.finish();
+                });
+    }
+  }
+
   {
     dsp::RealFft fft(4096);
     std::vector<double> x(4096, 0.25);
@@ -362,6 +462,22 @@ int main(int argc, char** argv) {
                                             .build_spec());
     const api::Simulator sim;
     run_bench(results, "simulator_run_batch4_bit",
+              specs.size() * 1024, [&] {
+                volatile std::size_t n = sim.run_batch(specs).size();
+                (void)n;
+              });
+  }
+
+  {
+    // The SoA lane-tiling headline: 8 lanes sharing one instruction
+    // stream (lane_batch = 8 groups them into a single LaneLink tile).
+    std::vector<api::LinkSpec> specs(8, api::LinkBuilder()
+                                            .payload_bits(1024)
+                                            .chunk_bits(1024)
+                                            .lane_batch(8)
+                                            .build_spec());
+    const api::Simulator sim;
+    run_bench(results, "simulator_run_batch8_lanes_bit",
               specs.size() * 1024, [&] {
                 volatile std::size_t n = sim.run_batch(specs).size();
                 (void)n;

@@ -34,8 +34,21 @@ EXCLUDE = ("deep_ber_streaming_bit", "deep_ber_batch_bit")
 # Kernels that MUST have a floor: if one goes missing from the floors file
 # (e.g. a careless --write on a build without the bench), the gate fails
 # instead of silently ungating the kernel.  The stat-engine kernel backs
-# the `serdes_cli stat` path and the "stat"/"both" sweep scenarios.
-REQUIRED = ("stat_engine_paper_default", "full_link_run_bit")
+# the `serdes_cli stat` path and the "stat"/"both" sweep scenarios; the
+# lanes8 kernels pin the SoA lane-tiling speedup (the batch8 floor is
+# deliberately >= 3x the batch4 floor, so losing the tiling win is a
+# gate failure, not drift).
+REQUIRED = (
+    "stat_engine_paper_default",
+    "full_link_run_bit",
+    "simulator_run_batch8_lanes_bit",
+    "stage_awgn_lanes8_sample",
+    "stage_channel_fir64_lanes8_sample",
+    "stage_ctle_lanes8_sample",
+    "stage_restore_lanes8_sample",
+    "stage_rfi_lanes8_sample",
+    "stage_sampler_cdr_lanes8_sample",
+)
 
 
 def load(path):

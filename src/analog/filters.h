@@ -60,6 +60,17 @@ class OnePoleLowPass : public Filter {
     y1_ = y1;
   }
 
+  /// Lane-batched span kernel over an interleaved SoA tile — value (i, l)
+  /// at in[i * lanes + l] — with caller-owned per-lane state arrays
+  /// x1[lanes] / y1[lanes].  The recurrence runs independently per lane in
+  /// the same operation order as process_block, so lane l of a tile is
+  /// bit-identical to a scalar filter over lane l alone; the inner lane
+  /// loop carries no dependence and vectorizes (explicit AVX2 for
+  /// lanes == 8, non-FMA so the rounding matches the scalar loop).
+  /// `in` and `out` may alias.
+  void process_lanes(const double* in, double* out, std::size_t n,
+                     std::size_t lanes, double* x1, double* y1) const;
+
   void reset() override { x1_ = y1_ = 0.0; }
   [[nodiscard]] util::Hertz cutoff() const { return cutoff_; }
 
@@ -92,9 +103,10 @@ class OnePoleHighPass : public Filter {
   double x1_ = 0.0;
 };
 
-/// Second-order low-pass biquad (RBJ cookbook, bilinear).  No span kernel:
-/// nothing on the streaming datapath runs a biquad (add one alongside a
-/// caller if that changes).
+/// Second-order low-pass biquad (RBJ cookbook, bilinear).  No contiguous
+/// span kernel: nothing on the streaming datapath runs a scalar biquad
+/// (add one alongside a caller if that changes); the lane-batched SoA
+/// kernel below serves multi-lane filter chains.
 class BiquadLowPass : public Filter {
  public:
   BiquadLowPass(util::Hertz cutoff, double q, util::Second sample_period);
@@ -107,6 +119,14 @@ class BiquadLowPass : public Filter {
     y1_ = y;
     return y;
   }
+
+  /// Lane-batched SoA kernel (see OnePoleLowPass::process_lanes): the
+  /// biquad recurrence per lane with caller-owned state arrays
+  /// x1/x2/y1/y2 of `lanes` entries each, bit-identical per lane to a
+  /// scalar filter stepped over that lane.  `in`/`out` may alias.
+  void process_lanes(const double* in, double* out, std::size_t n,
+                     std::size_t lanes, double* x1, double* x2, double* y1,
+                     double* y2) const;
 
   void reset() override { x1_ = x2_ = y1_ = y2_ = 0.0; }
 

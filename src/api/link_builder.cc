@@ -129,6 +129,11 @@ LinkBuilder& LinkBuilder::stream_block_samples(std::uint64_t samples) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::lane_batch(int lanes) {
+  spec_.lane_batch = lanes;
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::dsp(bool on) {
   spec_.dsp = on;
   return *this;

@@ -67,6 +67,9 @@ class LinkBuilder {
   LinkBuilder& streaming(bool on = true);
   /// Samples per streaming block (memory knob; results invariant).
   LinkBuilder& stream_block_samples(std::uint64_t samples);
+  /// Lane-tile width for batched multi-lane execution in run_batch /
+  /// sweeps (throughput knob; reports bit-identical to scalar).  [1, 64].
+  LinkBuilder& lane_batch(int lanes);
   /// Opt into the dsp block-convolution engine (overlap-save FFT above the
   /// measured crossover) for fir / lossy_line channels.  Bit decisions
   /// match the exact kernels; waveforms agree to <= 1e-12 RMS.

@@ -118,6 +118,9 @@ LinkSpec::Issue LinkSpec::first_issue() const {
   if (stream_block_samples == 0) {
     return {"stream_block_samples", "must be positive"};
   }
+  if (lane_batch < 1 || lane_batch > 64) {
+    return {"lane_batch", "must be in [1, 64]"};
+  }
   if (analysis != "mc" && analysis != "stat" && analysis != "both") {
     return {"analysis", "must be one of 'mc', 'stat', 'both'"};
   }
@@ -170,6 +173,7 @@ core::LinkConfig LinkSpec::to_link_config() const {
                             : core::LinkConfig::Execution::kBatch;
   cfg.stream_block_samples =
       static_cast<std::size_t>(stream_block_samples);
+  cfg.lane_batch = lane_batch;
   cfg.dsp = dsp;
   cfg.analysis = analysis == "stat"   ? core::LinkConfig::Analysis::kStatistical
                  : analysis == "both" ? core::LinkConfig::Analysis::kBoth

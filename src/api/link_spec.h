@@ -111,6 +111,13 @@ struct LinkSpec {
   bool streaming = true;
   /// Samples per streaming block; results are invariant to this value.
   std::uint64_t stream_block_samples = 16384;
+  /// Lane-tile width for batched multi-lane execution: run_batch (and the
+  /// sweep runner) group lanes whose specs differ only in name/seed into
+  /// SoA tiles of up to this many lanes sharing one instruction stream
+  /// (core::LaneLink).  Reports are bit-identical to scalar execution —
+  /// this is purely a throughput knob.  Only streaming "mc" scenarios
+  /// tile; must be in [1, 64].
+  int lane_batch = 1;
   /// Opt into the dsp block-convolution engine (overlap-save FFT above the
   /// crossover) for the channel kinds that profit ("fir", "lossy_line",
   /// and composites containing them).  BER/bit decisions match the exact

@@ -9,12 +9,25 @@
 #include <utility>
 
 #include "api/channel_factory.h"
+#include "api/spec_json.h"
 #include "core/ber.h"
+#include "core/lane_link.h"
 #include "core/link.h"
 #include "stat/stat_engine.h"
 #include "util/prbs.h"
 
 namespace serdes::api {
+
+bool Simulator::tile_eligible(const LinkSpec& spec) {
+  return spec.lane_batch > 1 && spec.streaming && spec.analysis == "mc";
+}
+
+std::string Simulator::tile_key(const LinkSpec& spec) {
+  LinkSpec key = spec;
+  key.name.clear();
+  key.seed = 0;
+  return to_json(key).dump();
+}
 
 std::uint64_t Simulator::derive_lane_seed(std::uint64_t base_seed,
                                           std::size_t lane) {
@@ -100,6 +113,68 @@ RunReport Simulator::run(const LinkSpec& spec) const {
   return report;
 }
 
+std::vector<RunReport> Simulator::run_lane_tile(
+    const std::vector<LinkSpec>& lane_specs) const {
+  std::vector<RunReport> reports(lane_specs.size());
+  if (lane_specs.empty()) return reports;
+  const LinkSpec& base = lane_specs[0];
+  for (const LinkSpec& spec : lane_specs) spec.validate_or_throw();
+  if (!base.streaming || base.analysis != "mc") {
+    throw std::invalid_argument(
+        "run_lane_tile: lane tiling requires streaming 'mc' scenarios");
+  }
+  const std::string key = tile_key(base);
+  for (std::size_t i = 1; i < lane_specs.size(); ++i) {
+    if (tile_key(lane_specs[i]) != key) {
+      throw std::invalid_argument(
+          "run_lane_tile: lane specs must be identical up to name and seed");
+    }
+  }
+
+  core::LinkConfig cfg = base.to_link_config();
+  // Same capture policy as run(): diagnostics come from each lane's first
+  // chunk, bounded to the diagnostic window.
+  cfg.capture_waveforms = true;
+  cfg.capture_max_samples = static_cast<std::size_t>(
+      options_.diagnostic_window_uis *
+      static_cast<std::uint64_t>(cfg.samples_per_ui));
+  std::vector<std::uint64_t> seeds(lane_specs.size());
+  for (std::size_t i = 0; i < lane_specs.size(); ++i) {
+    seeds[i] = lane_specs[i].seed;
+  }
+  core::LaneLink link(cfg,
+                      ChannelFactory::instance().create(base.channel, cfg),
+                      std::move(seeds));
+  std::vector<core::LaneOutcome> outcomes =
+      link.measure(base.payload_bits, base.chunk_bits,
+                   options_.confidence_level, base.prbs_order);
+
+  const double threshold = link.receiver().decision_threshold();
+  const core::EyeAnalyzer eye(cfg.bit_rate, options_.eye_bins_per_ui);
+  for (std::size_t i = 0; i < lane_specs.size(); ++i) {
+    core::LaneOutcome& o = outcomes[i];
+    RunReport& report = reports[i];
+    report.spec = lane_specs[i];
+    report.confidence_level = options_.confidence_level;
+    report.cdr_decision_phase = o.cdr_decision_phase;
+    report.cdr_phase_updates = o.cdr_phase_updates;
+    report.rx_swing_pp = o.rx_swing_pp;
+    report.decision_threshold = threshold;
+    report.eye = eye.analyze(o.restored, threshold);
+    if (lane_specs[i].capture_waveforms) {
+      report.tx_out = std::move(o.tx_out);
+      report.channel_out = std::move(o.channel_out);
+      report.restored = std::move(o.restored);
+    }
+    report.aligned = o.measurement.aligned;
+    report.bits = o.measurement.bits;
+    report.errors = o.measurement.errors;
+    report.ber = o.measurement.ber;
+    report.ber_upper_bound = o.measurement.ber_upper_bound;
+  }
+  return reports;
+}
+
 std::vector<RunReport> Simulator::run_batch(const std::vector<LinkSpec>& specs,
                                             int n_threads) const {
   // Fail fast, before any lane burns cycles.  Constructing each lane's
@@ -122,29 +197,96 @@ std::vector<RunReport> Simulator::run_batch(const std::vector<LinkSpec>& specs,
   std::vector<RunReport> reports(specs.size());
   if (specs.empty()) return reports;
 
+  // Work items: scalar lanes, plus lane tiles for specs that opted into
+  // lane_batch (grouped by identical physics, cut into tiles of at most
+  // lane_batch lanes).  Every lane's seed derivation and report index use
+  // its original batch position, so the output is bit-identical with
+  // tiling on or off, at any thread count.
+  struct WorkItem {
+    bool tile = false;
+    std::vector<std::size_t> lanes;  // spec indices; one entry when !tile
+  };
+  std::vector<WorkItem> items;
+  if (options_.lane_tiling) {
+    std::vector<std::string> keys;  // insertion-ordered: deterministic
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (!tile_eligible(specs[i])) {
+        items.push_back(WorkItem{false, {i}});
+        continue;
+      }
+      const std::string key = tile_key(specs[i]);
+      std::size_t g = keys.size();
+      for (std::size_t k = 0; k < keys.size(); ++k) {
+        if (keys[k] == key) {
+          g = k;
+          break;
+        }
+      }
+      if (g == keys.size()) {
+        keys.push_back(key);
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+    for (const std::vector<std::size_t>& group : groups) {
+      const auto width = static_cast<std::size_t>(specs[group[0]].lane_batch);
+      for (std::size_t at = 0; at < group.size(); at += width) {
+        WorkItem item;
+        item.tile = true;
+        const std::size_t end = std::min(group.size(), at + width);
+        item.lanes.assign(group.begin() + static_cast<std::ptrdiff_t>(at),
+                          group.begin() + static_cast<std::ptrdiff_t>(end));
+        items.push_back(std::move(item));
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      items.push_back(WorkItem{false, {i}});
+    }
+  }
+
   unsigned workers = n_threads > 0
                          ? static_cast<unsigned>(n_threads)
                          : std::max(1u, std::thread::hardware_concurrency());
   workers = std::min<unsigned>(workers,
-                               static_cast<unsigned>(specs.size()));
+                               static_cast<unsigned>(items.size()));
 
-  std::atomic<std::size_t> next_lane{0};
+  std::atomic<std::size_t> next_item{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&]() {
     for (;;) {
-      // A thrown lane voids the whole batch, so stop picking up new lanes.
+      // A thrown lane voids the whole batch, so stop picking up new work.
       if (failed.load(std::memory_order_relaxed)) return;
-      const std::size_t lane = next_lane.fetch_add(1);
-      if (lane >= specs.size()) return;
+      const std::size_t idx = next_item.fetch_add(1);
+      if (idx >= items.size()) return;
+      const WorkItem& item = items[idx];
       try {
-        LinkSpec lane_spec = specs[lane];
-        if (options_.derive_lane_seeds) {
-          lane_spec.seed = derive_lane_seed(lane_spec.seed, lane);
+        if (item.tile) {
+          std::vector<LinkSpec> lane_specs;
+          lane_specs.reserve(item.lanes.size());
+          for (const std::size_t lane : item.lanes) {
+            LinkSpec lane_spec = specs[lane];
+            if (options_.derive_lane_seeds) {
+              lane_spec.seed = derive_lane_seed(lane_spec.seed, lane);
+            }
+            lane_specs.push_back(std::move(lane_spec));
+          }
+          std::vector<RunReport> tile_reports = run_lane_tile(lane_specs);
+          for (std::size_t j = 0; j < item.lanes.size(); ++j) {
+            reports[item.lanes[j]] = std::move(tile_reports[j]);
+          }
+        } else {
+          const std::size_t lane = item.lanes[0];
+          LinkSpec lane_spec = specs[lane];
+          if (options_.derive_lane_seeds) {
+            lane_spec.seed = derive_lane_seed(lane_spec.seed, lane);
+          }
+          reports[lane] = run(lane_spec);
         }
-        reports[lane] = run(lane_spec);
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
         const std::lock_guard<std::mutex> lock(error_mutex);

@@ -79,6 +79,12 @@ class Simulator {
     /// uncorrelated noise.  Turn off for paired comparisons (ablations)
     /// where every lane must face the identical noise realization.
     bool derive_lane_seeds = true;
+    /// When true (default), run_batch groups lanes whose specs request
+    /// lane_batch > 1 (and differ only in name/seed) into SoA lane tiles
+    /// executed by core::LaneLink — one instruction stream, N lanes.
+    /// Reports are bit-identical either way; turn off to force the scalar
+    /// per-lane path (the bit-identity reference).
+    bool lane_tiling = true;
     /// Sampling-phase resolution of the stat engine's bathtub/contours.
     int stat_phase_bins_per_ui = 64;
     /// `"both"`-mode model slack: the MC BER must fall within
@@ -103,10 +109,27 @@ class Simulator {
   [[nodiscard]] std::vector<RunReport> run_batch(
       const std::vector<LinkSpec>& specs, int n_threads = 0) const;
 
+  /// Runs one lane tile: every spec must describe the same physics
+  /// (identical up to name and seed) and be a streaming "mc" scenario
+  /// with lane_batch >= the implied width.  Seeds are used exactly as
+  /// given (no per-lane derivation — run_batch derives before grouping).
+  /// Lane i's report is bit-identical to run(lane_specs[i]).
+  [[nodiscard]] std::vector<RunReport> run_lane_tile(
+      const std::vector<LinkSpec>& lane_specs) const;
+
   /// Deterministic per-lane seed: one splitmix64 step over
   /// base ^ (0x9e3779b97f4a7c15 * (lane + 1)).
   [[nodiscard]] static std::uint64_t derive_lane_seed(std::uint64_t base_seed,
                                                       std::size_t lane);
+
+  /// True when `spec` can execute on the lane-tiled path: lane_batch > 1
+  /// on a streaming "mc" scenario (the stat engine has no bit stream to
+  /// batch; the batch execution path materializes whole waveforms).
+  [[nodiscard]] static bool tile_eligible(const LinkSpec& spec);
+  /// Lane-tiling group key: the spec JSON with the per-lane degrees of
+  /// freedom (name, seed) neutralized.  Equal keys mean identical
+  /// physics, so one lane tile serves every such spec.
+  [[nodiscard]] static std::string tile_key(const LinkSpec& spec);
 
   [[nodiscard]] const Options& options() const { return options_; }
 

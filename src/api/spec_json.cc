@@ -214,6 +214,8 @@ void apply_link_field(LinkSpec& spec, std::string_view field,
     spec.streaming = get_bool(value, path);
   } else if (field == "stream_block_samples") {
     spec.stream_block_samples = get_uint(value, path);
+  } else if (field == "lane_batch") {
+    spec.lane_batch = get_int32(value, path);
   } else if (field == "dsp") {
     spec.dsp = get_bool(value, path);
   } else if (field == "analysis") {
@@ -292,6 +294,7 @@ Json to_json(const LinkSpec& spec) {
   j.set("seed", spec.seed);
   j.set("streaming", spec.streaming);
   j.set("stream_block_samples", spec.stream_block_samples);
+  j.set("lane_batch", spec.lane_batch);
   j.set("dsp", spec.dsp);
   j.set("analysis", spec.analysis);
   j.set("stat_target_ber", spec.stat_target_ber);

@@ -106,6 +106,12 @@ struct LinkConfig {
   /// Samples per streaming block (the O(block) memory knob).  Results are
   /// invariant to this value by construction.
   std::size_t stream_block_samples = 16384;
+  /// Lane-tile width for batched multi-lane execution (core::LaneLink):
+  /// api::Simulator::run_batch groups compatible lanes into SoA tiles of
+  /// up to this many lanes sharing one instruction stream.  1 = scalar
+  /// per-lane execution.  Results are bit-identical either way; this is
+  /// purely a throughput knob, and only streaming Monte Carlo runs tile.
+  int lane_batch = 1;
   /// Opt into the dsp block-convolution engine for channels built from
   /// this config (ChannelFactory): long FIR and lossy-line responses take
   /// the overlap-save FFT path above the measured crossover.  Analog

@@ -253,8 +253,9 @@ LinkResult SerDesLink::run_streaming(const std::vector<std::uint8_t>& payload,
   return result;
 }
 
-void SerDesLink::finalize(const std::vector<std::uint8_t>& payload,
-                          LinkResult& result) {
+void SerDesLink::finalize_result(const LinkConfig& config,
+                                 const std::vector<std::uint8_t>& payload,
+                                 LinkResult& result) {
   const auto& got = result.rx.payload;
   const std::size_t n = std::min(payload.size(), got.size());
   for (std::size_t i = 0; i < n; ++i) {
@@ -277,16 +278,16 @@ void SerDesLink::finalize(const std::vector<std::uint8_t>& payload,
     result.ber = static_cast<double>(result.bit_errors) /
                  static_cast<double>(result.payload_bits_compared);
   }
-  if (!config_.capture_waveforms) {
+  if (!config.capture_waveforms) {
     result.tx_out = {};
     result.channel_out = {};
     result.rx.rfi_out = {};
     result.rx.restored = {};
-  } else if (config_.capture_max_samples > 0) {
+  } else if (config.capture_max_samples > 0) {
     // Trim to the diagnostic window (the streaming taps never retained
     // more; the batch path materialized everything, so cut it here to keep
     // the two paths' observable results identical).
-    const std::size_t cap = config_.capture_max_samples;
+    const std::size_t cap = config.capture_max_samples;
     for (analog::Waveform* w : {&result.tx_out, &result.channel_out,
                                 &result.rx.rfi_out, &result.rx.restored}) {
       if (w->size() > cap) w->samples().resize(cap);

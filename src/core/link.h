@@ -66,14 +66,21 @@ class SerDesLink {
     config_.capture_waveforms = capture;
   }
 
+  /// Shared tail of every run path (including the lane-batched LaneLink):
+  /// payload comparison, truncated-tail error accounting, BER, and
+  /// waveform dropping/trimming per `config`'s capture settings.
+  static void finalize_result(const LinkConfig& config,
+                              const std::vector<std::uint8_t>& payload,
+                              LinkResult& result);
+
  private:
   [[nodiscard]] LinkResult run_batch(const std::vector<std::uint8_t>& payload,
                                      std::uint64_t noise_run_seed);
   [[nodiscard]] LinkResult run_streaming(
       const std::vector<std::uint8_t>& payload, std::uint64_t noise_run_seed);
-  /// Shared tail of both paths: payload comparison, truncated-tail error
-  /// accounting, BER, and waveform dropping when capture is off.
-  void finalize(const std::vector<std::uint8_t>& payload, LinkResult& result);
+  void finalize(const std::vector<std::uint8_t>& payload, LinkResult& result) {
+    finalize_result(config_, payload, result);
+  }
 
   LinkConfig config_;
   Transmitter tx_;

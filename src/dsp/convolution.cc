@@ -3,9 +3,43 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/simd.h"
+
+#if SERDES_X86_DISPATCH
+#include <immintrin.h>
+#endif
+
 namespace serdes::dsp {
 
 namespace {
+
+#if SERDES_X86_DISPATCH
+/// Eight-lane MAC sweep: two __m256d accumulators per sample index, the
+/// tap broadcast against each lane group.  Multiply then add (no FMA) in
+/// ascending tap order, so every lane's sum rounds exactly like the
+/// scalar direct kernel.  `x` points at sample 0 of the tile (history
+/// behind it at negative sample indices); `lane_stride` is the tap lag in
+/// samples.
+__attribute__((target("avx2"))) void fir_lanes8_avx2(
+    const double* taps, std::size_t ntaps, std::size_t stride,
+    const double* x, double* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x + i * 8;
+    __m256d acc_lo = _mm256_setzero_pd();
+    __m256d acc_hi = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < ntaps; ++k) {
+      const __m256d tap = _mm256_set1_pd(taps[k]);
+      const double* lag =
+          xi - static_cast<std::ptrdiff_t>(k * stride) * 8;
+      acc_lo = _mm256_add_pd(acc_lo, _mm256_mul_pd(tap, _mm256_loadu_pd(lag)));
+      acc_hi = _mm256_add_pd(acc_hi,
+                             _mm256_mul_pd(tap, _mm256_loadu_pd(lag + 4)));
+    }
+    _mm256_storeu_pd(out + i * 8, acc_lo);
+    _mm256_storeu_pd(out + i * 8 + 4, acc_hi);
+  }
+}
+#endif
 
 /// FFT size for a dense response of `m` taps: enough past 2m that the
 /// butterflies amortize over a long valid segment, clamped so one segment
@@ -140,6 +174,43 @@ void BlockFir::process_direct(const double* in, double* out, std::size_t n) {
         acc += taps[k] * xi[-static_cast<long>(k * stride)];
       }
       out[i] = acc;
+    }
+  }
+}
+
+void BlockFir::process_lanes(double* history, const double* in, double* out,
+                             std::size_t n, std::size_t lanes) {
+  if (n == 0 || lanes == 0) return;
+  const std::size_t hist = span_ - 1;
+  // [history | block] per lane, interleaved: value (i, l) of the padded
+  // stream at lane_scratch_[(i)*lanes + l] with history at i < hist.
+  lane_scratch_.resize((hist + n) * lanes);
+  std::copy(history, history + hist * lanes, lane_scratch_.begin());
+  std::copy(in, in + n * lanes,
+            lane_scratch_.begin() + static_cast<std::ptrdiff_t>(hist * lanes));
+  // Slide the history before writing out (in/out may alias).
+  std::copy(lane_scratch_.end() - static_cast<std::ptrdiff_t>(hist * lanes),
+            lane_scratch_.end(), history);
+  const double* x = lane_scratch_.data() + hist * lanes;
+  const double* taps = taps_.data();
+  const std::size_t ntaps = taps_.size();
+  const std::size_t stride = stride_;
+#if SERDES_X86_DISPATCH
+  if (lanes == 8 && util::cpu_has_avx2()) {
+    fir_lanes8_avx2(taps, ntaps, stride, x, out, n);
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xi = x + i * lanes;
+    double* yi = out + i * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) yi[l] = 0.0;
+    // Ascending tap order per lane: the exact summation order of the
+    // scalar direct kernel.
+    for (std::size_t k = 0; k < ntaps; ++k) {
+      const double tap = taps[k];
+      const double* lag = xi - static_cast<std::ptrdiff_t>(k * stride * lanes);
+      for (std::size_t l = 0; l < lanes; ++l) yi[l] += tap * lag[l];
     }
   }
 }

@@ -74,6 +74,19 @@ class BlockFir {
   /// Convolves one block, carrying state; `in`/`out` may alias.
   void process(const double* in, double* out, std::size_t n);
 
+  /// Lane-batched direct kernel over an interleaved SoA tile — value
+  /// (i, l) at in[i * lanes + l] — with caller-owned interleaved history:
+  /// on entry `history` holds the span-1 samples preceding `in` for every
+  /// lane (value (k, l) at history[k * lanes + l]), on exit the span-1
+  /// samples preceding the next call's input.  Always the exact direct
+  /// kernel with the scalar path's ascending-tap MAC order, so lane l of
+  /// a tile is bit-identical to a scalar BlockFir over lane l at any
+  /// block chunking (no FFT crossover: the lane axis already saturates
+  /// the vector units — explicit AVX2 non-FMA MACs for lanes == 8).
+  /// `in` and `out` may alias.
+  void process_lanes(double* history, const double* in, double* out,
+                     std::size_t n, std::size_t lanes);
+
   /// Returns to the zero-history start-of-stream state.
   void reset();
 
@@ -98,6 +111,7 @@ class BlockFir {
   Options options_;
   std::vector<double> history_;  // last span-1 inputs
   std::vector<double> scratch_;  // [history | block] workspace
+  std::vector<double> lane_scratch_;  // [history | block] x lanes workspace
   std::unique_ptr<OverlapSaveConvolver> fft_;  // built on first FFT use
 };
 

@@ -256,6 +256,13 @@ void check_ineffective_field(const api::LinkSpec& spec,
          "never runs and the target is never read",
          "use analysis \"stat\" or \"both\", or drop stat_target_ber");
   }
+  if (spec.lane_batch > 1 && (spec.analysis != "mc" || !spec.streaming)) {
+    emit(out, info, prefix + ".lane_batch",
+         "lane_batch is set but lane tiling needs streaming Monte Carlo "
+         "execution (streaming = true, analysis \"mc\"), so every lane runs "
+         "the scalar path anyway",
+         "enable streaming with analysis \"mc\", or drop lane_batch");
+  }
 }
 
 void check_chunk_exceeds_payload(const api::LinkSpec& spec,

@@ -1,0 +1,225 @@
+// Lane-batched (SoA) streaming stages for the multi-lane datapath.
+//
+// Each stage here is the L-lane counterpart of a scalar stage in
+// pipe/stages.h, operating on lane-major tiles (pipe/lane_block.h): the
+// sample loop is the outer loop exactly as in the scalar stage, and the
+// per-lane arithmetic runs in an inner lane loop with per-lane state held
+// in arrays — one instruction stream, L lanes.  No cross-lane arithmetic
+// ever mixes values and each lane draws from its own RNG stream in the
+// scalar order, so lane l of a tile is bit-identical to the scalar
+// pipeline run over lane l alone.
+//
+//   LaneAwgnStage      — fans a shared (lane-invariant) channel block out
+//                        into a tile, adding per-lane AWGN streams
+//   LaneCtleStage      — CTLE peaking with per-lane pole state
+//   LaneRfiStage       — RFI front end with per-lane DC means and poles
+//   LaneRestoreStage   — restoring inverter VTC + per-lane output pole
+//   LaneWaveformTap    — per-lane diagnostic-window capture
+//   LaneSamplerCdrSink — per-lane jitter/sampler/CDR over one shared
+//                        interleaved rolling window
+//
+// The gaussian draw (ziggurat with a variable-draw edge path) and the
+// sampler decision (data-dependent metastability redraws) stay scalar per
+// lane by design: batching them across lanes would change each lane's
+// draw order and break bit-identity.  The filter recurrences and MACs —
+// where the cycles actually go — vectorize across the lane axis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analog/filters.h"
+#include "analog/rfi.h"
+#include "analog/sampler.h"
+#include "analog/waveform.h"
+#include "channel/noise.h"
+#include "digital/cdr.h"
+#include "digital/sampling.h"
+#include "pipe/block.h"
+#include "pipe/lane_block.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace serdes::pipe {
+
+/// Fan-out stage: replicates a shared scalar block (the lane-invariant
+/// TX + channel output) across L lanes, adding each lane's own AWGN
+/// stream — per lane, blockwise Waveform::add_noise with a carried RNG
+/// that advances one gaussian per sample exactly like AwgnStage.
+class LaneAwgnStage {
+ public:
+  LaneAwgnStage(double sigma, const std::vector<std::uint64_t>& seeds);
+
+  void process(const BlockView& in, LaneBlock& out);
+
+ private:
+  double sigma_;
+  std::vector<util::Rng> rngs_;
+};
+
+/// CTLE peaking across a tile: out = x + k*(x - LPF(x)) per lane, the
+/// pole state carried per lane (analog::OnePoleLowPass::process_lanes).
+class LaneCtleStage {
+ public:
+  LaneCtleStage(util::Decibel boost, util::Hertz pole, util::Second dt,
+                std::size_t lanes);
+
+  void process(const LaneView& in, LaneBlock& out);
+
+ private:
+  double k_;
+  analog::OnePoleLowPass lpf_;  // coefficients; state lives in x1_/y1_
+  std::vector<double> x1_;
+  std::vector<double> y1_;
+  std::vector<double> scratch_;  // low-passed tile (keeps in/out aliasable)
+};
+
+/// RFI front end across a tile: per-lane DC removal (each lane's stream
+/// mean, supplied via set_mean once measured), per-lane output pole, then
+/// the shared saturating VTC — blockwise RfiFrontEndStage per lane.
+class LaneRfiStage {
+ public:
+  LaneRfiStage(const analog::RfiStage& rfi, util::Second dt,
+               std::size_t lanes);
+
+  /// Lane `lane`'s full-stream DC mean; must be set before the first tile.
+  void set_mean(std::size_t lane, double mean) { deltas_[lane] = -mean; }
+
+  void process(const LaneView& in, LaneBlock& out);
+
+ private:
+  const analog::RfiStage* rfi_;
+  analog::OnePoleLowPass lpf_;
+  std::vector<double> deltas_;
+  std::vector<double> x1_;
+  std::vector<double> y1_;
+};
+
+/// Rail-restoring inverter across a tile: shared VTC lookup per value,
+/// then the per-lane output pole.
+class LaneRestoreStage {
+ public:
+  LaneRestoreStage(const analog::RestoringInverter& inv, util::Second dt,
+                   std::size_t lanes);
+
+  void process(const LaneView& in, LaneBlock& out);
+
+ private:
+  const analog::RestoringInverter* inv_;
+  analog::OnePoleLowPass pole_;
+  std::vector<double> x1_;
+  std::vector<double> y1_;
+};
+
+/// Per-lane diagnostic-window capture: retains up to `max_samples` of each
+/// lane's stream flowing past (the per-lane analogue of WaveformTapStage,
+/// as a passive recorder — call record() before the sink consumes the
+/// tile).
+class LaneWaveformTap {
+ public:
+  LaneWaveformTap(std::size_t lanes, std::size_t max_samples);
+
+  void record(const LaneView& in);
+
+  /// Moves lane `lane`'s captured window out (stream t0 / dt stamped).
+  [[nodiscard]] analog::Waveform take(std::size_t lane);
+
+ private:
+  std::size_t max_samples_;
+  std::vector<std::vector<double>> captured_;
+  util::Second t0_{0.0};
+  util::Second dt_{1e-12};
+  bool stamped_ = false;
+};
+
+/// Terminal sink for a lane tile: per-lane jittered multiphase sampling,
+/// DFF decision and oversampling CDR, all fed from one shared interleaved
+/// rolling window.  Lane l reproduces the scalar SamplerCdrSink seeded
+/// with lane l's jitter/sampler seeds bit-for-bit: each lane keeps its own
+/// sampling cursor and drains independently, so a lane whose jittered
+/// instant still waits on the next block never stalls the others' RNG
+/// draw order.
+class LaneSamplerCdrSink {
+ public:
+  struct Config {
+    util::Hertz bit_rate;
+    int oversampling = 5;
+    util::Second phase_offset{0.0};
+    double ppm_offset = 0.0;
+    /// Shared jitter/sampler settings; the per-lane seed vectors below
+    /// override the seed fields lane by lane (their common size is the
+    /// lane count).
+    channel::JitterModel::Config jitter{};
+    analog::DffSampler::Config sampler{};
+    digital::CdrConfig cdr{};
+    std::vector<std::uint64_t> jitter_seeds;
+    std::vector<std::uint64_t> sampler_seeds;
+    /// Stream geometry (known up front: framed bits x samples per UI).
+    std::uint64_t total_samples = 0;
+    util::Second stream_t0{0.0};
+    util::Second dt{1e-12};
+    /// Block size hint used to size the rolling window.
+    std::size_t block_samples = 16384;
+  };
+
+  explicit LaneSamplerCdrSink(const Config& config);
+
+  /// Appends one tile and evaluates, per lane, every sampling instant
+  /// whose needed neighbourhood is now available.
+  void consume(const LaneView& in);
+
+  /// Evaluates the remaining instants with end-of-stream clamping.
+  void finish();
+
+  [[nodiscard]] std::size_t lanes() const { return nlanes_; }
+  [[nodiscard]] const digital::OversamplingCdr& cdr(std::size_t lane) const {
+    return cdrs_[lane];
+  }
+  [[nodiscard]] std::uint64_t metastable_count(std::size_t lane) const {
+    return samplers_[lane].metastable_count();
+  }
+
+ private:
+  /// Per-lane sampling cursor: the scalar sink's progress state, one copy
+  /// per lane so lanes drain independently.
+  struct LaneCursor {
+    double first_sample = 0.0;
+    double last_sample = 0.0;
+    bool has_first = false;
+    bool got_last = false;
+    std::uint64_t ui = 0;
+    int phase = 0;
+    std::optional<util::Second> pending;
+    bool done = false;
+  };
+
+  void drain_lane(std::size_t lane);
+  /// Scalar-identical fused availability test + interpolation for lane
+  /// `lane` (see SamplerCdrSink::fetch).
+  [[nodiscard]] bool fetch(std::size_t lane, const LaneCursor& cursor,
+                           util::Second t, double* v) const;
+
+  digital::MultiphaseClockGenerator clocks_;  // config-only: shared
+  std::vector<channel::JitterModel> jitters_;
+  std::vector<analog::DffSampler> samplers_;
+  std::vector<digital::OversamplingCdr> cdrs_;
+  std::vector<LaneCursor> cursors_;
+
+  std::size_t nlanes_;
+  std::uint64_t total_;
+  util::Second t0_;
+  util::Second dt_;
+  util::Second end_;
+  util::Second ap_half_;
+
+  /// Interleaved rolling window: stream sample i of lane l lives at
+  /// ring_[(i & mask_) * nlanes_ + l]; capacity is a power of two of
+  /// *entries* (sample indices), not values.
+  std::vector<double> ring_;
+  std::size_t mask_ = 0;  // entry count - 1
+  std::size_t back_samples_ = 0;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace serdes::pipe

@@ -1,0 +1,14 @@
+#include "util/simd.h"
+
+namespace serdes::util {
+
+bool cpu_has_avx2() {
+#if SERDES_X86_DISPATCH
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+#else
+  return false;
+#endif
+}
+
+}  // namespace serdes::util

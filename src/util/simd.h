@@ -1,0 +1,26 @@
+// Runtime SIMD capability dispatch for the lane-batched kernels.
+//
+// The library is built for the baseline target (no -mavx2), so the AVX2
+// variants of the hot lane kernels are compiled per-function via the
+// `target("avx2")` attribute and selected at runtime with
+// __builtin_cpu_supports.  Every explicit path uses separate multiply and
+// add only (never FMA): the baseline scalar loops compile without
+// contraction, so an FMA variant would round differently and break the
+// lane path's bit-identity contract.  On non-x86 targets (aarch64 NEON is
+// baseline) the portable lane loops auto-vectorize as-is and
+// cpu_has_avx2() is constant false, leaving the guarded paths dead.
+#pragma once
+
+namespace serdes::util {
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SERDES_X86_DISPATCH 1
+#else
+#define SERDES_X86_DISPATCH 0
+#endif
+
+/// True when the running CPU supports AVX2 (always false off x86).
+/// Cheap after the first call: the probe result is cached.
+[[nodiscard]] bool cpu_has_avx2();
+
+}  // namespace serdes::util

@@ -71,6 +71,12 @@ void expect_finding(const LintReport& report, const std::string& rule,
   }
 }
 
+void expect_no_finding(const LintReport& report, const std::string& rule) {
+  for (const auto& f : report.findings) {
+    EXPECT_NE(f.rule, rule) << "rule '" << rule << "' fired at " << f.path;
+  }
+}
+
 // ---- Registry contract ----------------------------------------------
 
 TEST(LintRules, RegistryIdsAreUniqueAndStable) {
@@ -213,6 +219,19 @@ TEST(LintRules, IneffectiveField) {
   spec.stat_target_ber = 1e-12;  // read only by the stat engine
   expect_finding(Linter().lint(spec), "ineffective-field",
                  "$.stat_target_ber", Severity::kInfo);
+  spec = api::LinkSpec{};
+  spec.lane_batch = 8;  // tiles only streaming Monte Carlo lanes
+  spec.streaming = false;
+  expect_finding(Linter().lint(spec), "ineffective-field", "$.lane_batch",
+                 Severity::kInfo);
+  spec = api::LinkSpec{};
+  spec.lane_batch = 8;
+  spec.analysis = "stat";
+  expect_finding(Linter().lint(spec), "ineffective-field", "$.lane_batch",
+                 Severity::kInfo);
+  spec = api::LinkSpec{};
+  spec.lane_batch = 8;  // streaming "mc": tiling live, no finding
+  expect_no_finding(Linter().lint(spec), "ineffective-field");
 }
 
 TEST(LintRules, ChunkExceedsPayload) {

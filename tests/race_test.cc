@@ -120,6 +120,36 @@ TEST(RaceHammer, ConcurrentShardRunsMergeToUnshardedReport) {
   EXPECT_EQ(render(merged), unsharded);
 }
 
+TEST(RaceHammer, LaneTileFanOutIsThreadCountInvariant) {
+  // SoA lane tiling: 20 lanes requesting lane_batch = 8 group into
+  // ragged tiles (8 + 8 + 4) that race against interleaved scalar lanes
+  // across the pool.  Under TSan this hammers the tile grouping, the
+  // shared-TX fan-out and the per-lane report scatter; everywhere it
+  // must stay byte-identical to the untiled single-thread reference.
+  std::vector<api::LinkSpec> lanes;
+  for (int i = 0; i < 20; ++i) {
+    api::LinkSpec spec = tiny_spec();
+    spec.name = "tile" + std::to_string(i);
+    spec.lane_batch = 8;
+    spec.noise_rms_v = 0.001 * (1 + i % 3);  // three tile groups
+    lanes.push_back(spec);
+  }
+  api::Simulator::Options scalar_options;
+  scalar_options.lane_tiling = false;
+  const std::vector<api::RunReport> reference =
+      api::Simulator(scalar_options).run_batch(lanes, 1);
+  const api::Simulator tiled;
+  for (const int threads : {1, 2, 8}) {
+    const std::vector<api::RunReport> fanned = tiled.run_batch(lanes, threads);
+    ASSERT_EQ(fanned.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(api::to_json(fanned[i]).dump(),
+                api::to_json(reference[i]).dump())
+          << "lane " << i << " at " << threads << " threads";
+    }
+  }
+}
+
 TEST(RaceHammer, RunBatchLaneFanOutIsThreadCountInvariant) {
   std::vector<api::LinkSpec> lanes;
   for (int i = 0; i < 8; ++i) {

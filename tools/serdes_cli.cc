@@ -44,8 +44,11 @@ int usage(std::ostream& out, int exit_code) {
   out << R"(serdes_cli — JSON-driven SerDes scenario engine
 
 usage:
-  serdes_cli run <spec.json> [--out FILE] [--compact]
+  serdes_cli run <spec.json> [--lanes N] [--out FILE] [--compact]
       Run one link scenario (a LinkSpec file) and print its RunReport.
+      --lanes N (1..64) runs N lanes of the scenario as one SoA lane
+      tile (each lane gets its derived per-lane seed) and prints a JSON
+      array of N RunReports; --lanes 1 keeps the single-report output.
 
   serdes_cli stat <spec.json> [--out FILE] [--compact]
       Statistical (StatEye-style) analysis of one LinkSpec: analytical
@@ -106,6 +109,8 @@ void write_output(const std::optional<std::string>& out_path,
 
 struct CommonFlags {
   int threads = 0;
+  /// run only: lane count for SoA lane-tiled execution (0 = not given).
+  int lanes = 0;
   std::optional<serdes::sweep::Shard> shard;
   std::optional<std::string> out_path;
   bool compact = false;
@@ -153,12 +158,14 @@ serdes::sweep::Shard parse_shard(const std::string& text) {
 void reject_unsupported(const CommonFlags& flags, const char* command,
                         bool allow_threads, bool allow_shard,
                         bool allow_output, bool allow_progress,
-                        bool allow_lint_flags = false) {
+                        bool allow_lint_flags = false,
+                        bool allow_lanes = false) {
   const auto reject = [&](const char* flag) {
     throw UsageError(std::string(flag) + " is not supported by '" + command +
                      "'");
   };
   if (!allow_threads && flags.threads != 0) reject("--threads");
+  if (!allow_lanes && flags.lanes != 0) reject("--lanes");
   if (!allow_shard && flags.shard) reject("--shard");
   if (!allow_output && (flags.out_path || flags.compact)) {
     reject(flags.out_path ? "--out" : "--compact");
@@ -183,6 +190,13 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
           parse_uint_flag(next_value("--threads"), "--threads");
       if (n > 4096) throw UsageError("--threads must be <= 4096");
       flags.threads = static_cast<int>(n);
+    } else if (arg == "--lanes") {
+      const std::uint64_t n = parse_uint_flag(next_value("--lanes"), "--lanes");
+      if (n < 1 || n > 64) {
+        throw UsageError("--lanes must be in [1, 64], got " +
+                         std::to_string(n));
+      }
+      flags.lanes = static_cast<int>(n);
     } else if (arg == "--shard") {
       flags.shard = parse_shard(next_value("--shard"));
     } else if (arg == "--out") {
@@ -220,12 +234,31 @@ int cmd_run(const CommonFlags& flags) {
   }
   reject_unsupported(flags, "run", /*allow_threads=*/false,
                      /*allow_shard=*/false, /*allow_output=*/true,
-                     /*allow_progress=*/false);
+                     /*allow_progress=*/false, /*allow_lint_flags=*/false,
+                     /*allow_lanes=*/true);
   const std::string& path = flags.positional.front();
   const Json doc = Json::parse(read_file(path));
-  const serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
+  serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
+  if (flags.lanes > 1) spec.lane_batch = flags.lanes;
   if (auto err = serdes::api::validate_spec_with_paths(spec); !err.empty()) {
     throw std::runtime_error(path + ": " + err);
+  }
+  if (flags.lanes > 1) {
+    // N copies of the scenario fanned into run_batch: per-lane derived
+    // seeds, grouped into one SoA lane tile when the spec is tileable.
+    std::vector<serdes::api::LinkSpec> lanes(
+        static_cast<std::size_t>(flags.lanes), spec);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      lanes[i].name = spec.name + "/lane" + std::to_string(i);
+    }
+    const std::vector<serdes::api::RunReport> reports =
+        serdes::api::Simulator().run_batch(lanes);
+    Json arr = Json::array();
+    for (const auto& report : reports) {
+      arr.push_back(serdes::api::to_json(report));
+    }
+    write_output(flags.out_path, arr.dump(flags.compact ? -1 : 2));
+    return 0;
   }
   const serdes::api::RunReport report = serdes::api::Simulator().run(spec);
   write_output(flags.out_path,
@@ -263,6 +296,9 @@ int cmd_sweep(const CommonFlags& flags) {
     std::cerr << "sweep expects exactly one sweep file\n";
     return 2;
   }
+  reject_unsupported(flags, "sweep", /*allow_threads=*/true,
+                     /*allow_shard=*/true, /*allow_output=*/true,
+                     /*allow_progress=*/true);
   const std::string& path = flags.positional.front();
   const Json doc = Json::parse(read_file(path));
   const serdes::sweep::SweepSpec sweep =
