@@ -39,6 +39,7 @@
 #include "pipe/lane_block.h"
 #include "pipe/lane_stages.h"
 #include "pipe/stages.h"
+#include "util/fs.h"
 #include "util/prbs.h"
 #include "util/random.h"
 
@@ -105,8 +106,9 @@ BenchResult run_bench(std::vector<BenchResult>& results, std::string name,
 
 void write_json(const std::vector<BenchResult>& results,
                 const std::string& path) {
-  std::ofstream out(path);
-  out << "{\n  \"benchmarks\": [\n";
+  // Atomic replace: the perf-floor gate parses this artifact, so a bench
+  // killed mid-write must not leave truncated JSON behind.
+  std::string text = "{\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     char buf[512];
@@ -119,9 +121,10 @@ void write_json(const std::vector<BenchResult>& results,
                   static_cast<unsigned long long>(r.items),
                   static_cast<unsigned long long>(r.iterations), r.seconds,
                   r.peak_rss_kb, i + 1 < results.size() ? "," : "");
-    out << buf;
+    text += buf;
   }
-  out << "  ]\n}\n";
+  text += "  ]\n}\n";
+  serdes::util::atomic_write_file(path, text);
   std::printf("wrote %s\n", path.c_str());
 }
 

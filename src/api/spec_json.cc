@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "api/channel_factory.h"
+#include "util/fs.h"
 #include "util/strings.h"
 
 namespace serdes::api {
@@ -472,6 +473,15 @@ std::string check_channel_kinds(const ChannelSpec& spec,
     }
   }
   return {};
+}
+
+std::uint64_t spec_content_hash(const LinkSpec& spec) {
+  // Seed is already a serialized field, but mix it in explicitly as well
+  // so the hash survives any future decision to hoist seeds out of the
+  // canonical serialization.
+  std::uint64_t h = util::fnv1a64(to_json(spec).dump());
+  h ^= spec.seed + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
 }
 
 std::string validate_spec_with_paths(const LinkSpec& spec,

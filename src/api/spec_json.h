@@ -12,6 +12,7 @@
 // numbers) and `parse(serialize(parse(x)))` is a fixed point.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -58,6 +59,13 @@ namespace serdes::api {
 /// did-you-mean hint) or type mismatches.
 void apply_link_field(LinkSpec& spec, std::string_view field,
                       const util::Json& value, const std::string& path);
+
+/// Content hash of a fully-expanded scenario spec: FNV-1a64 over the
+/// canonical compact JSON serialization, mixed with the seed.  Two specs
+/// hash equal exactly when they would produce the same simulation, which
+/// makes this the result store's cache key — a store row is reusable iff
+/// its spec hash matches the cell being computed.
+[[nodiscard]] std::uint64_t spec_content_hash(const LinkSpec& spec);
 
 /// Empty when every kind in the channel tree is registered with
 /// ChannelFactory; otherwise a message naming the JSON path of the

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "api/spec_json.h"
 #include "util/math.h"
 
 namespace serdes::lint {
@@ -391,6 +392,34 @@ void check_seed_collision(const sweep::SweepSpec& sweep,
   }
 }
 
+void check_store_key_collision(const sweep::SweepSpec& sweep,
+                               const Linter::Options& opt, const RuleInfo& info,
+                               std::vector<Finding>& out) {
+  // With derive_seeds on, every cell's seed embeds its grid index, so
+  // expanded specs — and therefore their content hashes — stay distinct.
+  if (sweep.derive_seeds) return;
+  const std::uint64_t total = sweep.scenario_count();
+  if (total <= 1 || total > opt.store_key_check_limit) return;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> hashes;  // hash, index
+  hashes.reserve(static_cast<std::size_t>(total));
+  for (std::uint64_t i = 0; i < total; ++i) {
+    hashes.emplace_back(api::spec_content_hash(sweep.scenario(i)), i);
+  }
+  std::sort(hashes.begin(), hashes.end());
+  for (std::size_t i = 1; i < hashes.size(); ++i) {
+    if (hashes[i].first != hashes[i - 1].first) continue;
+    emit(out, info, "$.derive_seeds",
+         "scenarios " + std::to_string(hashes[i - 1].second) + " and " +
+             std::to_string(hashes[i].second) +
+             " expand to content-identical specs — their result-store keys "
+             "collide, so a resumable sweep caches one cell's row for both "
+             "and the grid silently double-counts a single simulation",
+         "re-enable derive_seeds (grid-index seeding keys every cell apart) "
+         "or remove the duplicate grid cell");
+    return;  // the first collision localizes the problem
+  }
+}
+
 // ---- Registry --------------------------------------------------------
 
 using LinkCheck = void (*)(const api::LinkSpec&, const std::string&,
@@ -460,6 +489,10 @@ const std::vector<RuleDef>& rule_defs() {
         "two scenarios derive the identical per-scenario seed",
         /*sweep_only=*/true},
        nullptr, &check_seed_collision},
+      {{"store-key-collision", Severity::kWarning,
+        "derive_seeds off: two grid cells share one result-store key",
+        /*sweep_only=*/true},
+       nullptr, &check_store_key_collision},
   };
   return kRules;
 }

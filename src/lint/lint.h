@@ -101,6 +101,9 @@ class Linter {
     /// Exhaustive derived-seed collision scan is capped at this many
     /// scenarios (the scan is O(grid log grid)).
     std::uint64_t seed_check_limit = 65536;
+    /// Store-key collision scan cap: each scenario is fully expanded and
+    /// content-hashed, which is heavier than the seed scan.
+    std::uint64_t store_key_check_limit = 4096;
     /// Nominal TX rail-to-rail swing for the structural reachability
     /// bound (the paper's 1.8 V supply).
     double nominal_swing_v = 1.8;

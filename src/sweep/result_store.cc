@@ -1,0 +1,394 @@
+#include "sweep/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/spec_json.h"
+#include "util/fault.h"
+#include "util/fs.h"
+#include "util/json.h"
+
+namespace serdes::sweep {
+
+namespace {
+
+constexpr std::string_view kMagic = "SRD1 ";
+
+/// Formats one record: header line, payload, trailing newline.  The
+/// checksum covers exactly the payload bytes, so a reader can verify a
+/// record without trusting anything after it.
+std::string format_record(const std::string& payload) {
+  std::string record;
+  record.reserve(payload.size() + 40);
+  record.append(kMagic);
+  record.append(std::to_string(payload.size()));
+  record.push_back(' ');
+  record.append(util::hex64(util::fnv1a64(payload)));
+  record.push_back('\n');
+  record.append(payload);
+  record.push_back('\n');
+  return record;
+}
+
+std::string row_payload(std::uint64_t spec_hash, const ScenarioResult& row) {
+  util::Json j = util::Json::object();
+  j.set("type", "row");
+  j.set("spec_hash", util::hex64(spec_hash));
+  j.set("row", to_json(row));
+  return j.dump();
+}
+
+std::string quarantine_payload(std::uint64_t spec_hash,
+                               const QuarantinedScenario& row) {
+  util::Json j = util::Json::object();
+  j.set("type", "quarantine");
+  j.set("spec_hash", util::hex64(spec_hash));
+  j.set("quarantine", to_json(row));
+  return j.dump();
+}
+
+void write_fully(int fd, const char* data, std::size_t size,
+                 const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw util::FileError(path, std::string("journal write failed (") +
+                                      std::strerror(errno) + ")");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir, std::string writer_id)
+    : dir_(std::move(dir)), writer_id_(std::move(writer_id)) {
+  util::ensure_directory(dir_);
+  // Load every journal in name order so replay is deterministic whatever
+  // order the filesystem lists them in.
+  std::vector<std::string> journals;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("journal-", 0) == 0 &&
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".srj") == 0) {
+      journals.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw util::FileError(dir_,
+                          "cannot list store directory (" + ec.message() + ")");
+  }
+  std::sort(journals.begin(), journals.end());
+  for (const auto& path : journals) load_journal(path);
+}
+
+ResultStore::~ResultStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ResultStore::load_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    warnings_.push_back(path + ": cannot open journal; ignoring it");
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  std::size_t at = 0;
+  while (at < data.size()) {
+    const std::size_t record_start = at;
+    auto corrupt = [&](const std::string& why) {
+      warnings_.push_back(path + ": " + why + " at offset " +
+                          std::to_string(record_start) +
+                          "; skipping the rest of this journal (those cells "
+                          "will be recomputed)");
+      at = data.size();
+    };
+    // Header line: SRD1 <len> <hex>\n
+    if (data.compare(at, kMagic.size(), kMagic) != 0) {
+      corrupt("bad record magic");
+      break;
+    }
+    const std::size_t header_end = data.find('\n', at);
+    if (header_end == std::string::npos) {
+      corrupt("truncated record header");
+      break;
+    }
+    const std::string header =
+        data.substr(at + kMagic.size(), header_end - at - kMagic.size());
+    const std::size_t space = header.find(' ');
+    std::uint64_t checksum = 0;
+    std::size_t payload_len = 0;
+    bool header_ok = space != std::string::npos &&
+                     util::parse_hex64(header.substr(space + 1), checksum);
+    if (header_ok) {
+      const std::string len_text = header.substr(0, space);
+      header_ok = !len_text.empty() &&
+                  len_text.find_first_not_of("0123456789") == std::string::npos;
+      if (header_ok) payload_len = std::stoull(len_text);
+    }
+    if (!header_ok) {
+      corrupt("malformed record header");
+      break;
+    }
+    const std::size_t payload_start = header_end + 1;
+    if (payload_start + payload_len + 1 > data.size()) {
+      corrupt("truncated record payload");
+      break;
+    }
+    const std::string_view payload(data.data() + payload_start, payload_len);
+    if (data[payload_start + payload_len] != '\n') {
+      corrupt("record payload missing terminator");
+      break;
+    }
+    if (util::fnv1a64(payload) != checksum) {
+      corrupt("record checksum mismatch");
+      break;
+    }
+    at = payload_start + payload_len + 1;
+
+    // A record that checksums clean but does not parse is a writer bug,
+    // not tail corruption: warn, drop it, keep reading.
+    try {
+      const util::Json j = util::Json::parse(payload);
+      const std::string& type = util::get_string(*j.find("type"), "$.type");
+      std::uint64_t spec_hash = 0;
+      if (const util::Json* h = j.find("spec_hash");
+          h == nullptr ||
+          !util::parse_hex64(util::get_string(*h, "$.spec_hash"), spec_hash)) {
+        throw util::JsonError("$.spec_hash: expected 16 hex digits");
+      }
+      if (type == "row") {
+        const util::Json* row_json = j.find("row");
+        if (row_json == nullptr) throw util::JsonError("$.row: missing");
+        ScenarioResult row = scenario_result_from_json(*row_json, "$.row");
+        rows_[Key{row.index, spec_hash}] = std::move(row);
+      } else if (type == "quarantine") {
+        const util::Json* q_json = j.find("quarantine");
+        if (q_json == nullptr) throw util::JsonError("$.quarantine: missing");
+        QuarantinedScenario row = quarantined_from_json(*q_json, "$.quarantine");
+        quarantined_[Key{row.index, spec_hash}] = std::move(row);
+      } else {
+        throw util::JsonError("$.type: unknown record type '" + type + "'");
+      }
+    } catch (const util::JsonError& e) {
+      warnings_.push_back(path + ": undecodable record at offset " +
+                          std::to_string(record_start) + " (" + e.what() +
+                          "); dropping it");
+    }
+  }
+}
+
+bool ResultStore::lookup(std::uint64_t index, std::uint64_t spec_hash,
+                         ScenarioResult& row) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = rows_.find(Key{index, spec_hash});
+  if (it == rows_.end()) return false;
+  row = it->second;
+  return true;
+}
+
+bool ResultStore::lookup_quarantine(std::uint64_t index,
+                                    std::uint64_t spec_hash,
+                                    QuarantinedScenario& row) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = quarantined_.find(Key{index, spec_hash});
+  if (it == quarantined_.end()) return false;
+  row = it->second;
+  return true;
+}
+
+std::size_t ResultStore::row_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_.size();
+}
+
+void ResultStore::append_record(const std::string& payload) {
+  const std::string journal_path =
+      dir_ + "/journal-" + writer_id_ + ".srj";
+  if (fd_ < 0) {
+    fd_ = ::open(journal_path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (fd_ < 0) {
+      throw util::FileError(journal_path,
+                            std::string("cannot open journal for append (") +
+                                std::strerror(errno) + ")");
+    }
+  }
+  const std::string record = format_record(payload);
+
+  util::FaultInjector& faults = util::FaultInjector::instance();
+  if (faults.armed()) {
+    if (faults.fire("crash-before-commit")) {
+      util::FaultInjector::crash("crash-before-commit");
+    }
+    if (const auto torn = faults.fire("torn-commit")) {
+      // A torn write: only `arg` bytes of the record reach the disk,
+      // then the process dies.  The loader must treat this tail as
+      // corrupt and recompute the cell.
+      const std::size_t n =
+          std::min(record.size(), static_cast<std::size_t>(*torn));
+      write_fully(fd_, record.data(), n, journal_path);
+      ::fsync(fd_);
+      util::FaultInjector::crash("torn-commit");
+    }
+  }
+
+  write_fully(fd_, record.data(), record.size(), journal_path);
+  if (::fsync(fd_) != 0) {
+    throw util::FileError(journal_path, std::string("journal fsync failed (") +
+                                            std::strerror(errno) + ")");
+  }
+
+  if (faults.armed() && faults.fire("crash-after-commit")) {
+    util::FaultInjector::crash("crash-after-commit");
+  }
+}
+
+void ResultStore::commit(std::uint64_t spec_hash, const ScenarioResult& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_record(row_payload(spec_hash, row));
+  rows_[Key{row.index, spec_hash}] = row;
+}
+
+void ResultStore::commit_quarantine(std::uint64_t spec_hash,
+                                    const QuarantinedScenario& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  append_record(quarantine_payload(spec_hash, row));
+  quarantined_[Key{row.index, spec_hash}] = row;
+}
+
+namespace {
+
+/// Shard cells with their content hashes, in ascending grid order.
+struct ShardCells {
+  std::vector<std::uint64_t> indices;
+  std::vector<std::uint64_t> hashes;
+};
+
+ShardCells shard_cells(const SweepSpec& spec, Shard shard) {
+  if (auto err = spec.validate(); !err.empty()) {
+    throw std::invalid_argument("ResultStore: invalid sweep: " + err);
+  }
+  if (shard.count == 0 || shard.index >= shard.count) {
+    throw std::invalid_argument(
+        "ResultStore: shard " + std::to_string(shard.index) + "/" +
+        std::to_string(shard.count) + " is not a valid partition");
+  }
+  ShardCells cells;
+  const std::uint64_t total = spec.scenario_count();
+  for (std::uint64_t i = shard.index; i < total; i += shard.count) {
+    cells.indices.push_back(i);
+    cells.hashes.push_back(api::spec_content_hash(spec.scenario(i)));
+  }
+  return cells;
+}
+
+SweepReport report_skeleton(const SweepSpec& spec, Shard shard) {
+  SweepReport report;
+  report.sweep_name = spec.name;
+  report.grid_total = spec.scenario_count();
+  report.shard = shard;
+  report.axes = spec.axes;
+  return report;
+}
+
+/// Fills `report` (and `stats`) from the store for the given cells.
+/// Returns the indices of cells the store does not cover.
+std::vector<std::uint64_t> assemble_covered(const ShardCells& cells,
+                                            const ResultStore& store,
+                                            SweepReport& report,
+                                            StoreRunStats& stats) {
+  std::vector<std::uint64_t> missing;
+  for (std::size_t k = 0; k < cells.indices.size(); ++k) {
+    const std::uint64_t index = cells.indices[k];
+    const std::uint64_t hash = cells.hashes[k];
+    ScenarioResult row;
+    QuarantinedScenario quarantine;
+    if (store.lookup(index, hash, row)) {
+      report.scenarios.push_back(std::move(row));
+      ++stats.cached;
+    } else if (store.lookup_quarantine(index, hash, quarantine)) {
+      report.quarantined.push_back(std::move(quarantine));
+      ++stats.quarantined;
+    } else {
+      missing.push_back(index);
+    }
+  }
+  return missing;
+}
+
+}  // namespace
+
+SweepReport run_sweep_with_store(const SweepRunner& runner,
+                                 const SweepSpec& spec, ResultStore& store,
+                                 StoreRunStats* stats) {
+  const Shard shard = runner.options().shard;
+  const ShardCells cells = shard_cells(spec, shard);
+  SweepReport report = report_skeleton(spec, shard);
+  StoreRunStats local{};
+  local.total = cells.indices.size();
+
+  const std::vector<std::uint64_t> missing =
+      assemble_covered(cells, store, report, local);
+
+  if (!missing.empty()) {
+    // Hash lookup for the commit callback: rows complete in any order.
+    std::map<std::uint64_t, std::uint64_t> hash_by_index;
+    for (std::size_t k = 0; k < cells.indices.size(); ++k) {
+      hash_by_index[cells.indices[k]] = cells.hashes[k];
+    }
+    SweepRunner::Options options = runner.options();
+    const auto user_callback = options.on_scenario;
+    // Commit each row the moment its scenario finishes — durability must
+    // track completion, not the end of the run, or a crash forfeits
+    // every in-flight cell.
+    options.on_scenario = [&store, &hash_by_index,
+                           user_callback](const ScenarioResult& row) {
+      store.commit(hash_by_index.at(row.index), row);
+      if (user_callback) user_callback(row);
+    };
+    const SweepRunner computing(std::move(options));
+    std::vector<ScenarioResult> computed = computing.run_indices(spec, missing);
+    local.computed = computed.size();
+    for (auto& row : computed) report.scenarios.push_back(std::move(row));
+  }
+
+  finalize_aggregates(report);
+  if (stats != nullptr) *stats = local;
+  return report;
+}
+
+SweepReport assemble_report_from_store(const SweepSpec& spec, Shard shard,
+                                       const ResultStore& store,
+                                       StoreRunStats* stats) {
+  const ShardCells cells = shard_cells(spec, shard);
+  SweepReport report = report_skeleton(spec, shard);
+  StoreRunStats local{};
+  local.total = cells.indices.size();
+  const std::vector<std::uint64_t> missing =
+      assemble_covered(cells, store, report, local);
+  if (!missing.empty()) {
+    throw std::runtime_error(
+        "result store at " + store.dir() + " does not cover scenario " +
+        std::to_string(missing.front()) + " (" +
+        std::to_string(missing.size()) + " cells missing)");
+  }
+  finalize_aggregates(report);
+  if (stats != nullptr) *stats = local;
+  return report;
+}
+
+}  // namespace serdes::sweep

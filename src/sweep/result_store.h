@@ -1,0 +1,131 @@
+// Durable, crash-safe result store for sweep runs.
+//
+// A sweep that dies at scenario 900 of 1000 should not owe the cluster
+// 900 recomputed cells.  The store makes every finished scenario durable
+// the moment it completes: each row is appended to a per-writer journal
+// with an fsync per record, so after `kill -9` the journal holds every
+// committed row intact plus at most one torn record at the tail.  On
+// open the loader verifies each record's checksum and length, keeps the
+// valid prefix, and skips a corrupt tail with a warning — a damaged
+// store costs recomputing the lost cells, never a crash or a wrong row.
+//
+// Keying: a cell is identified by its grid index plus the content hash
+// of its fully-expanded scenario spec (`api::spec_content_hash`).  Edit
+// the sweep — change an axis value, a payload knob, a seed policy — and
+// affected cells simply miss the cache and recompute, while untouched
+// cells are served from the store.  A finished sweep re-run against its
+// store computes zero scenarios.
+//
+// On-disk layout (`dir` is the `--store` directory):
+//
+//   journal-<writer>.srj    append-only record journals, one per writer
+//                           (one per worker process in farm mode), so
+//                           concurrent writers never interleave bytes
+//
+// Record wire format (one per committed cell):
+//
+//   SRD1 <payload_len> <fnv1a64-hex>\n<payload>\n
+//
+// where payload is a compact JSON object {"type":"row"|"quarantine",
+// "spec_hash":"<hex16>", "row"|"quarantine":{...}} and the checksum
+// covers exactly the payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+
+namespace serdes::sweep {
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store at `dir` and loads every
+  /// journal.  `writer_id` names this process's own journal file; give
+  /// each concurrent writer a distinct id.  Throws util::FileError when
+  /// the directory cannot be created or written.
+  explicit ResultStore(std::string dir, std::string writer_id = "main");
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// True (filling `row`) when the store holds a result for this grid
+  /// index computed from a spec with this content hash.
+  [[nodiscard]] bool lookup(std::uint64_t index, std::uint64_t spec_hash,
+                            ScenarioResult& row) const;
+
+  /// True (filling `row`) when the cell was quarantined under this hash.
+  [[nodiscard]] bool lookup_quarantine(std::uint64_t index,
+                                       std::uint64_t spec_hash,
+                                       QuarantinedScenario& row) const;
+
+  /// Durably appends a result row: the record is on disk (fsync'd)
+  /// before this returns.  Honors the fault-injection sites
+  /// crash-before-commit / torn-commit / crash-after-commit.
+  void commit(std::uint64_t spec_hash, const ScenarioResult& row);
+
+  /// Durably appends a quarantine record (same crash discipline).
+  void commit_quarantine(std::uint64_t spec_hash,
+                         const QuarantinedScenario& row);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Rows currently resident (across all journals and hashes).
+  [[nodiscard]] std::size_t row_count() const;
+
+  /// Non-fatal findings from loading: corrupt tails skipped, malformed
+  /// records dropped.  Each names the journal file involved.
+  [[nodiscard]] const std::vector<std::string>& warnings() const {
+    return warnings_;
+  }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // {index, spec_hash}
+
+  void load_journal(const std::string& path);
+  void append_record(const std::string& payload);
+
+  std::string dir_;
+  std::string writer_id_;
+  int fd_ = -1;  ///< this writer's journal, opened lazily on first commit
+  mutable std::mutex mutex_;
+  std::map<Key, ScenarioResult> rows_;
+  std::map<Key, QuarantinedScenario> quarantined_;
+  std::vector<std::string> warnings_;
+};
+
+/// Checkpoint/resume statistics for one store-backed run.
+struct StoreRunStats {
+  std::uint64_t total = 0;        ///< cells in this shard
+  std::uint64_t cached = 0;       ///< served from the store
+  std::uint64_t computed = 0;     ///< simulated (and committed) this run
+  std::uint64_t quarantined = 0;  ///< carried as quarantine rows
+};
+
+/// Store-backed sweep: computes only the shard cells the store lacks
+/// (committing each the moment it completes), then assembles the report
+/// from the store.  A warm store computes nothing; a store from a killed
+/// run computes exactly the missing cells; the resulting report is
+/// byte-identical to an uninterrupted run either way.  Quarantine
+/// records count as covered — they surface as report failure rows, not
+/// recomputation.
+[[nodiscard]] SweepReport run_sweep_with_store(const SweepRunner& runner,
+                                               const SweepSpec& spec,
+                                               ResultStore& store,
+                                               StoreRunStats* stats = nullptr);
+
+/// Pure assembly: builds the shard's report from the store without
+/// computing anything.  Throws std::runtime_error naming the first
+/// uncovered cell when the store is incomplete (the farm coordinator
+/// calls this only after every task is done or quarantined).
+[[nodiscard]] SweepReport assemble_report_from_store(
+    const SweepSpec& spec, Shard shard, const ResultStore& store,
+    StoreRunStats* stats = nullptr);
+
+}  // namespace serdes::sweep

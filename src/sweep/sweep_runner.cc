@@ -80,6 +80,8 @@ Json to_json(const SurfaceStats& s, std::uint64_t count) {
   return j;
 }
 
+}  // namespace
+
 Json to_json(const ScenarioResult& row) {
   Json j = Json::object();
   j.set("index", row.index);
@@ -108,11 +110,106 @@ Json to_json(const ScenarioResult& row) {
   return j;
 }
 
-}  // namespace
+ScenarioResult scenario_result_from_json(const Json& json,
+                                         const std::string& path) {
+  if (!json.is_object()) util::fail_at(path, "expected a scenario row object");
+  ScenarioResult row;
+  for (const auto& [key, value] : json.as_object()) {
+    const std::string p = path + "." + key;
+    if (key == "index") {
+      row.index = util::get_uint(value, p);
+    } else if (key == "name") {
+      row.name = util::get_string(value, p);
+    } else if (key == "seed") {
+      row.seed = util::get_uint(value, p);
+    } else if (key == "aligned") {
+      row.aligned = util::get_bool(value, p);
+    } else if (key == "bits") {
+      row.bits = util::get_uint(value, p);
+    } else if (key == "errors") {
+      row.errors = util::get_uint(value, p);
+    } else if (key == "ber") {
+      row.ber = util::get_double(value, p);
+    } else if (key == "ber_upper_bound") {
+      row.ber_upper_bound = util::get_double(value, p);
+    } else if (key == "cdr_decision_phase") {
+      row.cdr_decision_phase = static_cast<int>(util::get_int(value, p));
+    } else if (key == "cdr_phase_updates") {
+      row.cdr_phase_updates = util::get_uint(value, p);
+    } else if (key == "rx_swing_pp") {
+      row.rx_swing_pp = util::get_double(value, p);
+    } else if (key == "decision_threshold") {
+      row.decision_threshold = util::get_double(value, p);
+    } else if (key == "eye_height") {
+      row.eye_height = util::get_double(value, p);
+    } else if (key == "eye_width_ui") {
+      row.eye_width_ui = util::get_double(value, p);
+    } else if (key == "stat") {
+      if (!value.is_object()) util::fail_at(p, "expected a stat object");
+      row.has_stat = true;
+      for (const auto& [stat_key, stat_value] : value.as_object()) {
+        const std::string sp = p + "." + stat_key;
+        if (stat_key == "min_ber") {
+          row.stat_min_ber = util::get_double(stat_value, sp);
+        } else if (stat_key == "timing_margin_ui") {
+          row.stat_timing_margin_ui = util::get_double(stat_value, sp);
+        } else if (stat_key == "eye_height_v") {
+          row.stat_eye_height_v = util::get_double(stat_value, sp);
+        } else if (stat_key == "cross_checked") {
+          row.stat_cross_checked = util::get_bool(stat_value, sp);
+        } else if (stat_key == "consistent") {
+          row.stat_consistent = util::get_bool(stat_value, sp);
+        } else {
+          util::fail_at(sp, "unknown scenario stat field '" + stat_key + "'");
+        }
+      }
+    } else {
+      util::fail_at(p, "unknown scenario row field '" + key + "'");
+    }
+  }
+  return row;
+}
+
+Json to_json(const QuarantinedScenario& row) {
+  Json j = Json::object();
+  j.set("index", row.index);
+  j.set("name", row.name);
+  j.set("seed", row.seed);
+  j.set("attempts", row.attempts);
+  j.set("error", row.error);
+  return j;
+}
+
+QuarantinedScenario quarantined_from_json(const Json& json,
+                                          const std::string& path) {
+  if (!json.is_object()) util::fail_at(path, "expected a quarantine object");
+  QuarantinedScenario row;
+  for (const auto& [key, value] : json.as_object()) {
+    const std::string p = path + "." + key;
+    if (key == "index") {
+      row.index = util::get_uint(value, p);
+    } else if (key == "name") {
+      row.name = util::get_string(value, p);
+    } else if (key == "seed") {
+      row.seed = util::get_uint(value, p);
+    } else if (key == "attempts") {
+      row.attempts = util::get_uint(value, p);
+    } else if (key == "error") {
+      row.error = util::get_string(value, p);
+    } else {
+      util::fail_at(p, "unknown quarantine field '" + key + "'");
+    }
+  }
+  return row;
+}
 
 void finalize_aggregates(SweepReport& report) {
   std::sort(report.scenarios.begin(), report.scenarios.end(),
             [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.index < b.index;
+            });
+  std::sort(report.quarantined.begin(), report.quarantined.end(),
+            [](const QuarantinedScenario& a, const QuarantinedScenario& b) {
               return a.index < b.index;
             });
   report.aligned_count = 0;
@@ -184,11 +281,18 @@ SweepReport SweepRunner::run(const SweepSpec& spec) const {
        i += shard.count) {
     indices.push_back(i);
   }
-  report.scenarios.resize(indices.size());
-  if (indices.empty()) {
-    finalize_aggregates(report);
-    return report;
+  report.scenarios = run_indices(spec, indices);
+  finalize_aggregates(report);
+  return report;
+}
+
+std::vector<ScenarioResult> SweepRunner::run_indices(
+    const SweepSpec& spec, const std::vector<std::uint64_t>& indices) const {
+  if (auto err = spec.validate(); !err.empty()) {
+    throw std::invalid_argument("SweepRunner: invalid sweep: " + err);
   }
+  std::vector<ScenarioResult> rows(indices.size());
+  if (indices.empty()) return rows;
 
   const api::Simulator simulator(options_.simulator);
 
@@ -276,13 +380,12 @@ SweepReport SweepRunner::run(const SweepSpec& spec) const {
               simulator.run_lane_tile(lane_specs);
           for (std::size_t j = 0; j < item.slots.size(); ++j) {
             const std::size_t slot = item.slots[j];
-            report.scenarios[slot] =
-                to_scenario_result(indices[slot], tile_reports[j]);
+            rows[slot] = to_scenario_result(indices[slot], tile_reports[j]);
           }
           if (options_.on_scenario) {
             const std::lock_guard<std::mutex> lock(progress_mutex);
             for (const std::size_t slot : item.slots) {
-              options_.on_scenario(report.scenarios[slot]);
+              options_.on_scenario(rows[slot]);
             }
           }
         } else {
@@ -290,10 +393,10 @@ SweepReport SweepRunner::run(const SweepSpec& spec) const {
           const std::uint64_t grid_index = indices[slot];
           const api::RunReport run_report =
               simulator.run(spec.scenario(grid_index));
-          report.scenarios[slot] = to_scenario_result(grid_index, run_report);
+          rows[slot] = to_scenario_result(grid_index, run_report);
           if (options_.on_scenario) {
             const std::lock_guard<std::mutex> lock(progress_mutex);
-            options_.on_scenario(report.scenarios[slot]);
+            options_.on_scenario(rows[slot]);
           }
         }
       } catch (...) {
@@ -314,8 +417,7 @@ SweepReport SweepRunner::run(const SweepSpec& spec) const {
   }
   if (first_error) std::rethrow_exception(first_error);
 
-  finalize_aggregates(report);
-  return report;
+  return rows;
 }
 
 SweepReport merge_shard_rows(const std::vector<SweepReport>& shards) {
@@ -335,9 +437,16 @@ SweepReport merge_shard_rows(const std::vector<SweepReport>& shards) {
     }
     merged.scenarios.insert(merged.scenarios.end(), shard.scenarios.begin(),
                             shard.scenarios.end());
+    merged.quarantined.insert(merged.quarantined.end(),
+                              shard.quarantined.begin(),
+                              shard.quarantined.end());
   }
   std::sort(merged.scenarios.begin(), merged.scenarios.end(),
             [](const ScenarioResult& a, const ScenarioResult& b) {
+              return a.index < b.index;
+            });
+  std::sort(merged.quarantined.begin(), merged.quarantined.end(),
+            [](const QuarantinedScenario& a, const QuarantinedScenario& b) {
               return a.index < b.index;
             });
   for (std::size_t i = 1; i < merged.scenarios.size(); ++i) {
@@ -348,12 +457,41 @@ SweepReport merge_shard_rows(const std::vector<SweepReport>& shards) {
           " appears in more than one shard");
     }
   }
+  for (std::size_t i = 1; i < merged.quarantined.size(); ++i) {
+    if (merged.quarantined[i].index == merged.quarantined[i - 1].index) {
+      throw std::invalid_argument(
+          "merge_shard_rows: quarantined scenario " +
+          std::to_string(merged.quarantined[i].index) +
+          " appears in more than one shard");
+    }
+  }
+  // A cell is either a result row or a quarantine row, never both — a
+  // shard that computed a scenario another shard quarantined means the
+  // shards disagree about the grid and the merge is unsound.
+  {
+    std::size_t row = 0;
+    for (const auto& q : merged.quarantined) {
+      while (row < merged.scenarios.size() &&
+             merged.scenarios[row].index < q.index) {
+        ++row;
+      }
+      if (row < merged.scenarios.size() &&
+          merged.scenarios[row].index == q.index) {
+        throw std::invalid_argument(
+            "merge_shard_rows: scenario " + std::to_string(q.index) +
+            " is both computed and quarantined across shards");
+      }
+    }
+  }
   // The merged report claims shard {0, 1} — the whole grid — so a missing
   // shard must be an error, not silently wrong full-grid statistics.
-  if (merged.scenarios.size() != merged.grid_total) {
+  // Quarantined cells count as covered: they are present in the report,
+  // just as structured failures instead of rows.
+  const std::size_t covered =
+      merged.scenarios.size() + merged.quarantined.size();
+  if (covered != merged.grid_total) {
     throw std::invalid_argument(
-        "merge_shard_rows: union covers " +
-        std::to_string(merged.scenarios.size()) + " of " +
+        "merge_shard_rows: union covers " + std::to_string(covered) + " of " +
         std::to_string(merged.grid_total) +
         " scenarios — a shard report is missing");
   }
@@ -389,9 +527,23 @@ Json to_json(const SweepReport& report) {
   for (const auto& row : report.scenarios) rows.push_back(to_json(row));
   j.set("scenarios", std::move(rows));
 
+  // Emitted only when present so fault-free reports keep their historical
+  // bytes (the golden-report pins depend on this).
+  if (!report.quarantined.empty()) {
+    Json quarantined = Json::array();
+    for (const auto& row : report.quarantined) {
+      quarantined.push_back(to_json(row));
+    }
+    j.set("quarantined", std::move(quarantined));
+  }
+
   Json agg = Json::object();
   const auto count = static_cast<std::uint64_t>(report.scenarios.size());
   agg.set("scenarios", count);
+  if (!report.quarantined.empty()) {
+    agg.set("quarantined",
+            static_cast<std::uint64_t>(report.quarantined.size()));
+  }
   agg.set("aligned", report.aligned_count);
   agg.set("error_free", report.error_free_count);
   agg.set("total_bits", report.total_bits);

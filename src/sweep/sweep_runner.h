@@ -54,6 +54,18 @@ struct ScenarioResult {
   bool stat_consistent = false;
 };
 
+/// A grid cell the farm gave up on: its scenario failed `attempts`
+/// times (worker crashes count), so the coordinator quarantined it
+/// instead of stalling the sweep.  Quarantined cells appear in the
+/// report as structured failure rows — never as silently missing data.
+struct QuarantinedScenario {
+  std::uint64_t index = 0;
+  std::string name;
+  std::uint64_t seed = 0;
+  std::uint64_t attempts = 0;
+  std::string error;
+};
+
 /// `index`-of-`count` grid partition; {0, 1} is the whole grid.
 struct Shard {
   std::uint64_t index = 0;
@@ -79,6 +91,11 @@ struct SweepReport {
 
   /// Rows for this shard, ascending by grid index.
   std::vector<ScenarioResult> scenarios;
+
+  /// Cells the farm quarantined after repeated failure, ascending by
+  /// grid index.  Empty for in-process runs; serialized only when
+  /// non-empty so fault-free reports are byte-identical to before.
+  std::vector<QuarantinedScenario> quarantined;
 
   // ---- aggregates over `scenarios` ----
   std::uint64_t aligned_count = 0;
@@ -121,6 +138,14 @@ class SweepRunner {
   /// failure after the workers stop.
   [[nodiscard]] SweepReport run(const SweepSpec& spec) const;
 
+  /// Runs exactly the given grid indices (the store-backed and farm
+  /// paths use this to compute only missing cells) and returns their
+  /// rows in the same order.  Ignores `options().shard` — the caller
+  /// owns the partition.  Throws std::invalid_argument on an invalid
+  /// sweep and rethrows the first scenario failure.
+  [[nodiscard]] std::vector<ScenarioResult> run_indices(
+      const SweepSpec& spec, const std::vector<std::uint64_t>& indices) const;
+
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
@@ -146,5 +171,15 @@ void finalize_aggregates(SweepReport& report);
 
 /// Deterministic JSON rendering of a report (the CI artifact format).
 [[nodiscard]] util::Json to_json(const SweepReport& report);
+
+/// Row-level JSON round-trip — the result store's durable record
+/// payload.  `parse(dump(x))` is a fixed point, so a row replayed from
+/// the store re-serializes byte-identically to a freshly computed one.
+[[nodiscard]] util::Json to_json(const ScenarioResult& row);
+[[nodiscard]] ScenarioResult scenario_result_from_json(
+    const util::Json& json, const std::string& path = "$");
+[[nodiscard]] util::Json to_json(const QuarantinedScenario& row);
+[[nodiscard]] QuarantinedScenario quarantined_from_json(
+    const util::Json& json, const std::string& path = "$");
 
 }  // namespace serdes::sweep

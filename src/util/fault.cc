@@ -1,0 +1,109 @@
+#include "util/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace serdes::util {
+
+namespace {
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  if (text.empty()) {
+    throw std::invalid_argument("SERDES_FAULT: empty " + std::string(what));
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("SERDES_FAULT: bad " + std::string(what) +
+                                  " '" + std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("SERDES_FAULT"); env != nullptr) {
+    configure(env);
+  }
+}
+
+void FaultInjector::configure(std::string_view spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  injections_.clear();
+  counters_.clear();
+  armed_ = false;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t at = entry.find('@');
+    if (at == std::string_view::npos || at == 0) {
+      throw std::invalid_argument("SERDES_FAULT: expected site@hit[:arg] in '" +
+                                  std::string(entry) + "'");
+    }
+    const std::string site(entry.substr(0, at));
+    std::string_view rest = entry.substr(at + 1);
+    Injection injection;
+    const std::size_t colon = rest.find(':');
+    if (colon != std::string_view::npos) {
+      injection.arg = parse_u64(rest.substr(colon + 1), "arg");
+      rest = rest.substr(0, colon);
+    }
+    if (rest == "*") {
+      injection.hit = 0;  // every hit
+    } else {
+      injection.hit = parse_u64(rest, "hit count");
+      if (injection.hit == 0) {
+        throw std::invalid_argument(
+            "SERDES_FAULT: hit counts are 1-based ('" + std::string(entry) +
+            "')");
+      }
+    }
+    injections_[site].push_back(injection);
+    armed_ = true;
+  }
+}
+
+bool FaultInjector::armed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+std::optional<std::uint64_t> FaultInjector::fire(std::string_view site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_) return std::nullopt;
+  const auto it = injections_.find(site);
+  if (it == injections_.end()) return std::nullopt;
+  const std::uint64_t hit = ++counters_[std::string(site)];
+  for (Injection& injection : it->second) {
+    if (injection.hit == 0) return injection.arg;  // @*: every hit
+    if (injection.hit == hit && !injection.fired) {
+      injection.fired = true;
+      return injection.arg;
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::crash(std::string_view site) {
+  // stderr is unbuffered enough for the test harness to see the site;
+  // _Exit skips atexit/flush, modelling a SIGKILL as closely as a
+  // voluntary exit can.
+  std::fprintf(stderr, "serdes: injected crash at %.*s\n",
+               static_cast<int>(site.size()), site.data());
+  std::_Exit(137);
+}
+
+}  // namespace serdes::util

@@ -1,0 +1,73 @@
+// Deterministic fault injection for the crash-safety test tier.
+//
+// The store and the sweep farm claim to survive `kill -9`, torn writes
+// and stuck workers; this registry makes those events reproducible so
+// tier-1 tests can pin them.  Faults are *explicitly armed* — via the
+// `SERDES_FAULT` environment variable or `configure()` — and fire on
+// exact per-site hit counts, so an injected crash lands on the same
+// commit every run.  This honors the repo's no-ambient-nondeterminism
+// contract: with nothing armed (the default), every `fire()` is a
+// cheap no-op and the library's behavior is unchanged.
+//
+// Grammar (comma-separated):  site@hit[:arg]   or   site@*[:arg]
+//
+//   SERDES_FAULT=crash-after-commit@3      # _Exit(137) on the 3rd commit
+//   SERDES_FAULT=torn-commit@5:9           # 5th commit writes 9 bytes, dies
+//   SERDES_FAULT=fail-scenario@*           # every scenario attempt throws
+//   SERDES_FAULT=stall-worker@1:4000       # 1st task stalls 4000 ms
+//
+// Sites wired into the library:
+//   crash-before-commit  — ResultStore::commit, before any bytes land
+//   torn-commit          — commit writes only `arg` bytes, fsyncs, dies
+//   crash-after-commit   — commit completed (record durable), then dies
+//   fail-scenario        — farm worker scenario attempt throws
+//   stall-worker         — farm worker sleeps `arg` ms before executing,
+//                          so its lease deadline can expire mid-task
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace serdes::util {
+
+class FaultInjector {
+ public:
+  /// Process-wide injector; reads `SERDES_FAULT` once on first use.
+  static FaultInjector& instance();
+
+  /// Replaces the armed faults (and resets all hit counters).  Empty
+  /// disarms everything.  Throws std::invalid_argument on bad grammar.
+  void configure(std::string_view spec);
+
+  /// True when any fault is armed — lets hot paths skip site counting.
+  [[nodiscard]] bool armed() const;
+
+  /// Counts one hit of `site`.  Returns the injection's arg (0 when
+  /// none was given) when a fault is armed for exactly this hit (or the
+  /// site was armed with `@*`), nullopt otherwise.
+  std::optional<std::uint64_t> fire(std::string_view site);
+
+  /// Simulated `kill -9`: immediate _Exit(137), no atexit, no flush.
+  [[noreturn]] static void crash(std::string_view site);
+
+ private:
+  FaultInjector();
+
+  struct Injection {
+    std::uint64_t hit = 0;  ///< 1-based hit count; 0 means every hit
+    std::uint64_t arg = 0;
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  bool armed_ = false;
+  std::map<std::string, std::vector<Injection>, std::less<>> injections_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace serdes::util

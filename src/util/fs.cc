@@ -1,0 +1,125 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace serdes::util {
+
+namespace {
+
+std::string errno_message() { return std::strerror(errno); }
+
+/// Directory part of `path` ("." when the path has none), for the
+/// same-filesystem temp file and the post-rename directory fsync.
+std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+  // The temp file lives next to the target so the rename stays within
+  // one filesystem (cross-device renames are not atomic); the pid
+  // suffix keeps concurrent writers of the same target from colliding.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw FileError(path, "cannot open for writing (" + errno_message() + ")");
+  }
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string message = errno_message();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw FileError(path, "write failed (" + message + ")");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string message = errno_message();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw FileError(path, "fsync failed (" + message + ")");
+  }
+  if (::close(fd) != 0) {
+    const std::string message = errno_message();
+    ::unlink(tmp.c_str());
+    throw FileError(path, "close failed (" + message + ")");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string message = errno_message();
+    ::unlink(tmp.c_str());
+    throw FileError(path, "rename failed (" + message + ")");
+  }
+  fsync_directory(parent_dir(path));
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    throw FileError(path, "cannot create directory (" + ec.message() + ")");
+  }
+  if (!std::filesystem::is_directory(path, ec) || ec) {
+    throw FileError(path, "exists but is not a directory");
+  }
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+bool parse_hex64(std::string_view text, std::uint64_t& value) {
+  if (text.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  value = v;
+  return true;
+}
+
+}  // namespace serdes::util

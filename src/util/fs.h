@@ -1,0 +1,55 @@
+// Crash-safe filesystem primitives for every artifact writer.
+//
+// Reports, stores and golden dumps are all plain files, and a plain
+// `ofstream << text` can die halfway and leave a torn artifact that
+// parses as truncated JSON.  `atomic_write_file` is the one idiom the
+// repo uses instead: write to a temp file in the same directory, fsync
+// it, rename over the target, fsync the directory — so a reader (or a
+// resumed run) observes either the complete old bytes or the complete
+// new bytes, never a prefix.  Failures throw `FileError`, which names
+// the path so CLI callers can report "cannot write <path>" and exit
+// with the usage-error status.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace serdes::util {
+
+/// Filesystem write/open failure; `path()` names the file involved.
+class FileError : public std::runtime_error {
+ public:
+  FileError(std::string path, const std::string& message)
+      : std::runtime_error(path + ": " + message), path_(std::move(path)) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Atomically replaces `path` with `contents`: temp file in the same
+/// directory, fsync, rename, directory fsync.  A crash at any point
+/// leaves either the previous file or the new one — never a torn mix.
+/// Throws FileError naming `path` on any failure.
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+/// Creates `path` (and parents) as a directory if it does not exist.
+/// Throws FileError if creation fails or `path` exists as a non-directory.
+void ensure_directory(const std::string& path);
+
+/// FNV-1a 64-bit hash — the record checksum / content-key primitive
+/// shared by the result store and the spec hasher.  Stable across
+/// platforms by definition.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Fixed-width 16-digit lowercase hex rendering of a 64-bit value (the
+/// on-disk form of checksums and spec hashes).
+[[nodiscard]] std::string hex64(std::uint64_t value);
+
+/// Inverse of hex64; returns false on malformed input.
+[[nodiscard]] bool parse_hex64(std::string_view text, std::uint64_t& value);
+
+}  // namespace serdes::util

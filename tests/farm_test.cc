@@ -1,0 +1,329 @@
+// Farm scheduler tier, driven entirely by a fake clock: coordinator
+// seeding and warm starts, the atomic task claim, lease-expiry /
+// backoff / re-queue, fault-injected scenario failures through to
+// quarantine, and the committed-rows-survive-worker-death contract.
+// No test here sleeps for real or spawns a process — the subprocess
+// kill/resume tier lives in cli_farm_test.cc.
+#include "sweep/farm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/spec_json.h"
+#include "sweep/result_store.h"
+#include "sweep/sweep_runner.h"
+#include "sweep/sweep_spec.h"
+#include "util/fault.h"
+#include "util/json.h"
+
+namespace serdes::sweep {
+namespace {
+
+namespace fs = std::filesystem;
+
+using util::Json;
+
+/// Deterministic time source shared by every farm actor in a test.
+/// `sleep_ms` advances the clock, so a worker's idle poll moves time
+/// forward instead of blocking the test.
+struct FakeClock {
+  std::uint64_t now = 0;
+  FarmClock farm() {
+    return {[this] { return now; },
+            [this](std::uint64_t ms) { now += ms; }};
+  }
+};
+
+fs::path scratch(const std::string& name) {
+  const fs::path dir = fs::current_path() / "farm_test_tmp" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path << ": cannot open";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// 4-cell noise sweep with tiny payloads.
+SweepSpec tiny_grid() {
+  SweepSpec sweep;
+  sweep.name = "farm4";
+  sweep.base.payload_bits = 1024;
+  sweep.base.chunk_bits = 1024;
+  sweep.axes.push_back({"noise_rms_v", {Json(0.0005), Json(0.001),
+                                        Json(0.002), Json(0.004)}});
+  return sweep;
+}
+
+CoordinatorOptions coordinator_options(FakeClock& clock,
+                                       std::vector<std::string>* events =
+                                           nullptr) {
+  CoordinatorOptions options;
+  options.clock = clock.farm();
+  options.task_size = 2;
+  options.lease_timeout_ms = 1000;
+  options.backoff_base_ms = 100;
+  options.backoff_cap_ms = 400;
+  if (events != nullptr) {
+    options.on_event = [events](const std::string& e) {
+      events->push_back(e);
+    };
+  }
+  return options;
+}
+
+WorkerOptions worker_options(FakeClock& clock, const std::string& id = "w0") {
+  WorkerOptions options;
+  options.clock = clock.farm();
+  options.worker_id = id;
+  options.heartbeat_ms = 100;
+  options.idle_poll_ms = 50;
+  return options;
+}
+
+bool contains_event(const std::vector<std::string>& events,
+                    const std::string& needle) {
+  for (const auto& e : events) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Farm, OptionValidation) {
+  const fs::path dir = scratch("validation");
+  FakeClock clock;
+  CoordinatorOptions no_clock;  // FarmClock unset
+  EXPECT_THROW(Coordinator(tiny_grid(), dir.string(), no_clock),
+               std::invalid_argument);
+  CoordinatorOptions zero_task = coordinator_options(clock);
+  zero_task.task_size = 0;
+  EXPECT_THROW(Coordinator(tiny_grid(), dir.string(), zero_task),
+               std::invalid_argument);
+  SweepSpec bad = tiny_grid();
+  bad.axes[0].values.clear();
+  EXPECT_THROW(Coordinator(bad, dir.string(), coordinator_options(clock)),
+               std::invalid_argument);
+  EXPECT_THROW(Worker(bad, dir.string(), worker_options(clock)),
+               std::invalid_argument);
+  // report() is only valid once step() says the sweep is complete.
+  Coordinator coordinator(tiny_grid(), dir.string(),
+                          coordinator_options(clock));
+  EXPECT_THROW((void)coordinator.report(), std::logic_error);
+}
+
+TEST(Farm, CoordinatorAndWorkerCompleteTheGrid) {
+  const fs::path dir = scratch("happy_path");
+  FakeClock clock;
+  std::vector<std::string> events;
+  const SweepSpec sweep = tiny_grid();
+
+  Coordinator coordinator(sweep, dir.string(),
+                          coordinator_options(clock, &events));
+  coordinator.start();
+  EXPECT_EQ(coordinator.total_cells(), 4u);
+  EXPECT_EQ(coordinator.seeded_cells(), 4u);
+  EXPECT_EQ(coordinator.outstanding_tasks(), 2u);  // task_size 2
+  EXPECT_TRUE(fs::exists(dir / "queue" / "ready"));
+
+  Worker worker(sweep, dir.string(), worker_options(clock));
+  while (!coordinator.step()) {
+    if (!worker.run_one_task()) clock.now += 50;
+  }
+  EXPECT_TRUE(coordinator.complete());
+  EXPECT_EQ(worker.cells_computed(), 4u);
+  EXPECT_EQ(coordinator.quarantined_cells(), 0u);
+  EXPECT_TRUE(fs::exists(dir / "queue" / "shutdown"));
+  EXPECT_TRUE(contains_event(events, "sweep complete"));
+
+  // The farm report is byte-identical to an in-process run.
+  StoreRunStats stats;
+  const SweepReport report = coordinator.report(&stats);
+  EXPECT_EQ(stats.cached, 4u);
+  EXPECT_EQ(to_json(report).dump(2),
+            to_json(SweepRunner().run(sweep)).dump(2));
+}
+
+TEST(Farm, WarmStoreCompletesWithoutSeedingTasks) {
+  const fs::path dir = scratch("warm_start");
+  FakeClock clock;
+  const SweepSpec sweep = tiny_grid();
+  {
+    Coordinator coordinator(sweep, dir.string(), coordinator_options(clock));
+    coordinator.start();
+    Worker worker(sweep, dir.string(), worker_options(clock));
+    while (!coordinator.step()) {
+      if (!worker.run_one_task()) clock.now += 50;
+    }
+  }
+  // Restarted coordinator: the store already covers the grid, so start()
+  // completes the sweep on the spot — no tasks, no worker needed.
+  std::vector<std::string> events;
+  Coordinator restarted(sweep, dir.string(),
+                        coordinator_options(clock, &events));
+  restarted.start();
+  EXPECT_TRUE(restarted.complete());
+  EXPECT_EQ(restarted.seeded_cells(), 0u);
+  EXPECT_TRUE(restarted.step());
+  EXPECT_EQ(to_json(restarted.report()).dump(2),
+            to_json(SweepRunner().run(sweep)).dump(2));
+  EXPECT_TRUE(contains_event(events, "seeded 0 of 4"));
+}
+
+TEST(Farm, ExpiredLeaseIsRequeuedWithBackoff) {
+  const fs::path dir = scratch("lease_expiry");
+  FakeClock clock;
+  std::vector<std::string> events;
+  const SweepSpec sweep = tiny_grid();
+  CoordinatorOptions options = coordinator_options(clock, &events);
+  options.task_size = 4;  // one task holds the whole grid
+  Coordinator coordinator(sweep, dir.string(), options);
+  coordinator.start();
+
+  // A zombie worker claims the task and heartbeats once, then dies.
+  const fs::path queue = dir / "queue";
+  ASSERT_TRUE(fs::exists(queue / "todo" / "task-0.json"));
+  fs::rename(queue / "todo" / "task-0.json", queue / "leased" / "task-0.json");
+  std::ofstream(queue / "leased" / "task-0.json.lease")
+      << R"({"worker":"zombie","beat":1})";
+
+  EXPECT_FALSE(coordinator.step());  // observes the lease
+  clock.now += 10;
+  EXPECT_FALSE(coordinator.step());  // reads beat 1 — fresh, not expired
+  clock.now += options.lease_timeout_ms;
+  EXPECT_FALSE(coordinator.step());  // beat unchanged for a full timeout
+  EXPECT_TRUE(contains_event(events, "lease expired")) << events.size();
+  EXPECT_FALSE(fs::exists(queue / "leased" / "task-0.json"));
+  // In backoff: not yet claimable.
+  EXPECT_FALSE(fs::exists(queue / "todo" / "task-0.json"));
+
+  clock.now += options.backoff_base_ms;
+  EXPECT_FALSE(coordinator.step());
+  ASSERT_TRUE(fs::exists(queue / "todo" / "task-0.json"));
+  // The re-queued task file carries the bumped attempt count.
+  const Json requeued = Json::parse(read_file(queue / "todo" / "task-0.json"));
+  ASSERT_NE(requeued.find("attempts"), nullptr);
+  EXPECT_EQ(requeued.find("attempts")->as_uint(), 2u);
+
+  // A live worker picks the task up and the sweep still finishes clean.
+  Worker worker(sweep, dir.string(), worker_options(clock, "w1"));
+  while (!coordinator.step()) {
+    if (!worker.run_one_task()) clock.now += 50;
+  }
+  EXPECT_EQ(coordinator.quarantined_cells(), 0u);
+  EXPECT_EQ(to_json(coordinator.report()).dump(2),
+            to_json(SweepRunner().run(sweep)).dump(2));
+}
+
+TEST(Farm, CommittedRowsSurviveAFailingWorker) {
+  const fs::path dir = scratch("partial_failure");
+  FakeClock clock;
+  const SweepSpec sweep = tiny_grid();
+  CoordinatorOptions options = coordinator_options(clock);
+  options.task_size = 4;
+  Coordinator coordinator(sweep, dir.string(), options);
+  coordinator.start();
+
+  // The 3rd scenario attempt in the process throws: attempt 1 commits
+  // two rows and fails, the retry must skip those committed rows (no
+  // fail-scenario hit is even counted for a cache hit) and finish the
+  // remaining two.
+  util::FaultInjector::instance().configure("fail-scenario@3");
+  Worker worker(sweep, dir.string(), worker_options(clock));
+  while (!coordinator.step()) {
+    if (!worker.run_one_task()) clock.now += 50;
+  }
+  util::FaultInjector::instance().configure("");
+
+  EXPECT_EQ(coordinator.quarantined_cells(), 0u);
+  EXPECT_EQ(worker.cells_computed(), 4u);  // 2 + 2, nothing recomputed
+  EXPECT_EQ(to_json(coordinator.report()).dump(2),
+            to_json(SweepRunner().run(sweep)).dump(2));
+}
+
+TEST(Farm, HopelessTaskIsQuarantinedAfterMaxAttempts) {
+  const fs::path dir = scratch("quarantine");
+  FakeClock clock;
+  std::vector<std::string> events;
+  const SweepSpec sweep = tiny_grid();
+  CoordinatorOptions options = coordinator_options(clock, &events);
+  options.task_size = 4;
+  options.max_attempts = 2;
+  Coordinator coordinator(sweep, dir.string(), options);
+  coordinator.start();
+
+  util::FaultInjector::instance().configure("fail-scenario@*");
+  Worker worker(sweep, dir.string(), worker_options(clock));
+  while (!coordinator.step()) {
+    if (!worker.run_one_task()) clock.now += 50;
+  }
+  util::FaultInjector::instance().configure("");
+
+  EXPECT_TRUE(coordinator.complete());
+  EXPECT_EQ(coordinator.quarantined_cells(), 4u);
+  EXPECT_TRUE(contains_event(events, "quarantined 4 cells"));
+
+  const SweepReport report = coordinator.report();
+  EXPECT_TRUE(report.scenarios.empty());
+  ASSERT_EQ(report.quarantined.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.quarantined[i].index, i);
+    EXPECT_EQ(report.quarantined[i].attempts, 2u);
+    EXPECT_NE(report.quarantined[i].error.find("injected scenario failure"),
+              std::string::npos)
+        << report.quarantined[i].error;
+    EXPECT_EQ(report.quarantined[i].name, sweep.scenario(i).name);
+    EXPECT_EQ(report.quarantined[i].seed, sweep.scenario(i).seed);
+  }
+  const std::string text = to_json(report).dump(2);
+  EXPECT_NE(text.find("\"quarantined\""), std::string::npos);
+
+  // Quarantine is durable and content-addressed: a store-backed re-run
+  // treats those cells as covered, not as work.
+  ResultStore store(dir.string(), "reader");
+  StoreRunStats stats;
+  const SweepReport resumed =
+      run_sweep_with_store(SweepRunner(), sweep, store, &stats);
+  EXPECT_EQ(stats.quarantined, 4u);
+  EXPECT_EQ(stats.computed, 0u);
+  EXPECT_EQ(to_json(resumed).dump(2), text);
+}
+
+TEST(Farm, WorkerSkipsCellsAlreadyInTheStore) {
+  const fs::path dir = scratch("skip_committed");
+  FakeClock clock;
+  const SweepSpec sweep = tiny_grid();
+  // Pre-commit cells 0 and 2 under their true content hashes, as a
+  // previous (killed) run would have left them.
+  {
+    ResultStore store(dir.string(), "previous");
+    const SweepRunner runner;
+    for (const std::uint64_t index : {0ull, 2ull}) {
+      store.commit(api::spec_content_hash(sweep.scenario(index)),
+                   runner.run_indices(sweep, {index}).front());
+    }
+  }
+  Coordinator coordinator(sweep, dir.string(), coordinator_options(clock));
+  coordinator.start();
+  EXPECT_EQ(coordinator.seeded_cells(), 2u);  // only the missing cells
+  Worker worker(sweep, dir.string(), worker_options(clock));
+  while (!coordinator.step()) {
+    if (!worker.run_one_task()) clock.now += 50;
+  }
+  EXPECT_EQ(worker.cells_computed(), 2u);
+  EXPECT_EQ(to_json(coordinator.report()).dump(2),
+            to_json(SweepRunner().run(sweep)).dump(2));
+}
+
+}  // namespace
+}  // namespace serdes::sweep

@@ -86,7 +86,7 @@ TEST(LintRules, RegistryIdsAreUniqueAndStable) {
     EXPECT_FALSE(info.summary.empty()) << info.id;
   }
   // Growing the registry is fine; silently dropping a rule is not.
-  EXPECT_GE(lint::rules().size(), 15u);
+  EXPECT_GE(lint::rules().size(), 16u);
 }
 
 TEST(LintRules, DefaultSpecAndShippedSpecsAreClean) {
@@ -304,6 +304,31 @@ TEST(LintRules, SeedCollision) {
   // Perturbing the second seed restores distinct derivations.
   sweep.axes[0].values[1] = Json(s2 ^ 1);
   EXPECT_TRUE(Linter().lint(sweep).clean());
+}
+
+TEST(LintRules, StoreKeyCollision) {
+  // With derive_seeds off, two grid cells that expand to byte-identical
+  // specs share one result-store content key — a store-backed run would
+  // silently serve one cell's row for both.  A duplicated axis value is
+  // the canonical way to make such a pair.
+  sweep::SweepSpec sweep = noise_sweep();
+  sweep.derive_seeds = false;
+  sweep.axes[0].values.push_back(Json(0.002));
+  // The duplicate value and the shared seed policy each trip their own
+  // rules too, so this corpus entry is non-exclusive.
+  expect_finding(Linter().lint(sweep), "store-key-collision",
+                 "$.derive_seeds", Severity::kWarning, /*exclusive=*/false);
+
+  // Grid-index seed derivation keys every cell apart even with the
+  // duplicate value — no collision, and the rule stays quiet.
+  sweep.derive_seeds = true;
+  expect_no_finding(Linter().lint(sweep), "store-key-collision");
+
+  // The scan is capped: a grid past the limit is skipped, not O(n^2)'d.
+  Linter::Options capped;
+  capped.store_key_check_limit = 2;
+  sweep.derive_seeds = false;
+  expect_no_finding(Linter(capped).lint(sweep), "store-key-collision");
 }
 
 // ---- Sweep/base interaction ------------------------------------------

@@ -20,6 +20,7 @@
 #include "api/spec_json.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
+#include "util/fs.h"
 #include "util/json.h"
 
 #ifndef SERDES_SOURCE_DIR
@@ -42,10 +43,15 @@ std::string read_file(const fs::path& path) {
 }
 
 void write_file(const fs::path& path, const std::string& text) {
+  // Atomic replace: a golden (or golden_actual artifact) is either the
+  // complete old bytes or the complete new bytes, even if the test
+  // binary dies mid-write.
   fs::create_directories(path.parent_path());
-  std::ofstream out(path, std::ios::binary);
-  out << text;
-  ASSERT_TRUE(out.good()) << path << ": write failed";
+  try {
+    util::atomic_write_file(path.string(), text);
+  } catch (const util::FileError& e) {
+    FAIL() << path << ": write failed — " << e.what();
+  }
 }
 
 /// Runs one LinkSpec file through the default Simulator and renders the

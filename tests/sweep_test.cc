@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -198,6 +199,116 @@ TEST(SweepRunner, OverlappingShardsRefuseToMerge) {
   // An incomplete union (missing shard) must error, not produce a report
   // posing as whole-grid statistics.
   EXPECT_THROW((void)merge_shard_rows({shard0}), std::invalid_argument);
+}
+
+TEST(SweepRunner, QuarantinedRowsMergeAndCountAsCoverage) {
+  const SweepSpec sweep = small_grid();
+  std::vector<SweepReport> shards;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    SweepRunner::Options options;
+    options.shard = Shard{k, 2};
+    shards.push_back(SweepRunner(options).run(sweep));
+  }
+  // The farm quarantined cell 6 (shard 0) instead of computing it.
+  QuarantinedScenario q;
+  q.index = 6;
+  q.name = sweep.scenario(6).name;
+  q.seed = sweep.scenario(6).seed;
+  q.attempts = 3;
+  q.error = "lease expired (worker silent for 10000 ms)";
+  auto& rows = shards[0].scenarios;
+  rows.erase(std::find_if(rows.begin(), rows.end(),
+                          [](const ScenarioResult& r) { return r.index == 6; }));
+  shards[0].quarantined.push_back(q);
+
+  const SweepReport merged = merge_shard_rows(shards);
+  EXPECT_EQ(merged.scenarios.size(), 63u);
+  ASSERT_EQ(merged.quarantined.size(), 1u);
+  EXPECT_EQ(merged.quarantined[0].index, 6u);
+  // The quarantine block serializes only when present, and the
+  // aggregates count it separately from the computed rows.
+  const std::string text = to_json(merged).dump(2);
+  EXPECT_NE(text.find("\"quarantined\""), std::string::npos);
+  const SweepReport clean = SweepRunner().run(sweep);
+  EXPECT_EQ(to_json(clean).dump(2).find("\"quarantined\""), std::string::npos);
+}
+
+TEST(SweepRunner, MergeRefusesQuarantineConflicts) {
+  const SweepSpec sweep = small_grid();
+  std::vector<SweepReport> shards;
+  for (std::uint64_t k = 0; k < 2; ++k) {
+    SweepRunner::Options options;
+    options.shard = Shard{k, 2};
+    shards.push_back(SweepRunner(options).run(sweep));
+  }
+  QuarantinedScenario q;
+  q.index = 6;
+  q.name = sweep.scenario(6).name;
+  q.seed = sweep.scenario(6).seed;
+  q.attempts = 2;
+  q.error = "worker failure";
+
+  // Computed in shard 0 AND quarantined by shard 1: the shards disagree
+  // about the grid, so the merge must refuse, not pick a winner.
+  {
+    auto conflicted = shards;
+    conflicted[1].quarantined.push_back(q);
+    try {
+      (void)merge_shard_rows(conflicted);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(
+                    "scenario 6 is both computed and quarantined"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // The same cell quarantined by two shards is a duplicate, like a
+  // duplicated result row.
+  {
+    auto duplicated = shards;
+    auto& rows = duplicated[0].scenarios;
+    rows.erase(std::find_if(rows.begin(), rows.end(), [](const auto& r) {
+      return r.index == 6;
+    }));
+    duplicated[0].quarantined.push_back(q);
+    duplicated[1].quarantined.push_back(q);
+    try {
+      (void)merge_shard_rows(duplicated);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(
+                    "quarantined scenario 6 appears in more than one shard"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Dropping a cell entirely (neither computed nor quarantined) is an
+  // incomplete union: still refused.
+  {
+    auto incomplete = shards;
+    auto& rows = incomplete[0].scenarios;
+    rows.erase(std::find_if(rows.begin(), rows.end(), [](const auto& r) {
+      return r.index == 6;
+    }));
+    try {
+      (void)merge_shard_rows(incomplete);
+      FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("union covers 63 of 64"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // Reports from different sweeps never merge.
+  {
+    auto renamed = shards;
+    renamed[1].sweep_name = "someone_else";
+    EXPECT_THROW((void)merge_shard_rows(renamed), std::invalid_argument);
+  }
 }
 
 TEST(SweepRunner, AggregatesMatchRows) {

@@ -13,19 +13,24 @@
 //   serdes_cli sweep examples/specs/ci_matrix.json --shard 0/2 --out r.json
 //   serdes_cli validate examples/specs/*.json
 //   serdes_cli list-channels
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/channel_factory.h"
 #include "api/spec_json.h"
 #include "lint/lint.h"
+#include "sweep/farm.h"
+#include "sweep/result_store.h"
 #include "sweep/sweep_runner.h"
 #include "sweep/sweep_spec.h"
+#include "util/fs.h"
 #include "util/json.h"
 
 namespace {
@@ -58,10 +63,35 @@ usage:
       Monte Carlo and cross-checks it against the prediction band.
 
   serdes_cli sweep <sweep.json> [--threads N] [--shard K/N] [--out FILE]
-                   [--compact] [--progress]
+                   [--compact] [--progress] [--store DIR] [--resume]
       Expand a SweepSpec grid and run it (or the K-of-N shard of it:
       scenarios whose grid index = K mod N).  Prints the aggregated
       report; byte-identical output for any --threads value.
+      --store DIR makes every finished scenario durable (fsync'd,
+      checksummed journal) and computes only the cells DIR does not
+      already hold — a killed run resumes from its last committed row,
+      and a finished sweep re-runs for free.  --resume (requires
+      --store) marks that intent explicitly in scripts; resuming is the
+      default --store behavior.
+
+  serdes_cli sweep-coordinator <sweep.json> --store DIR [--task-size N]
+                   [--lease-timeout-ms MS] [--backoff-base-ms MS]
+                   [--backoff-cap-ms MS] [--max-attempts N] [--poll-ms MS]
+                   [--out FILE] [--compact] [--progress]
+      Farm mode: seed a lease-file work queue under DIR/queue with the
+      cells DIR lacks, supervise sweep-worker processes (expired leases
+      re-queue with capped exponential backoff; a task failing
+      --max-attempts times has its cells quarantined into the report as
+      structured failure rows), and print the merged report once every
+      cell is done or quarantined.
+
+  serdes_cli sweep-worker <sweep.json> --store DIR [--worker-id ID]
+                   [--heartbeat-ms MS] [--poll-ms MS] [--progress]
+      Farm worker: claim tasks from DIR/queue (atomic rename — no lock
+      server), commit each finished row durably to DIR, and exit when
+      the coordinator posts shutdown.  Run any number of these, each
+      with a unique --worker-id; killing one mid-task costs only the
+      rows it had not yet committed.
 
   serdes_cli validate <file.json> [...]
       Check spec files (LinkSpec, or SweepSpec when an "axes" key is
@@ -101,10 +131,27 @@ void write_output(const std::optional<std::string>& out_path,
     std::cout << text << "\n";
     return;
   }
-  std::ofstream out(*out_path, std::ios::binary);
-  if (!out) throw std::runtime_error(*out_path + ": cannot open for writing");
-  out << text << "\n";
-  if (!out) throw std::runtime_error(*out_path + ": write failed");
+  // Atomic (temp file + fsync + rename): an artifact either has all its
+  // bytes or keeps its previous content, even if we die mid-write.
+  // util::FileError from here is reported as a usage error (exit 2)
+  // naming the path.
+  serdes::util::atomic_write_file(*out_path, text + "\n");
+}
+
+/// Wall-clock for the farm (the library itself never reads the OS
+/// clock; tools wire it in).
+serdes::sweep::FarmClock real_clock() {
+  serdes::sweep::FarmClock clock;
+  clock.now_ms = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  clock.sleep_ms = [](std::uint64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  return clock;
 }
 
 struct CommonFlags {
@@ -120,6 +167,18 @@ struct CommonFlags {
   std::optional<serdes::lint::Severity> deny;
   bool deny_none = false;
   bool list_rules = false;
+  /// sweep / farm: durable result store directory.
+  std::optional<std::string> store_dir;
+  bool resume = false;
+  /// farm tuning (coordinator unless noted).
+  std::optional<std::uint64_t> task_size;
+  std::optional<std::uint64_t> lease_timeout_ms;
+  std::optional<std::uint64_t> backoff_base_ms;
+  std::optional<std::uint64_t> backoff_cap_ms;
+  std::optional<std::uint64_t> max_attempts;
+  std::optional<std::uint64_t> poll_ms;  ///< coordinator and worker
+  std::optional<std::uint64_t> heartbeat_ms;  ///< worker
+  std::optional<std::string> worker_id;       ///< worker
   std::vector<std::string> positional;
 };
 
@@ -159,7 +218,9 @@ void reject_unsupported(const CommonFlags& flags, const char* command,
                         bool allow_threads, bool allow_shard,
                         bool allow_output, bool allow_progress,
                         bool allow_lint_flags = false,
-                        bool allow_lanes = false) {
+                        bool allow_lanes = false, bool allow_store = false,
+                        bool allow_coordinator_flags = false,
+                        bool allow_worker_flags = false) {
   const auto reject = [&](const char* flag) {
     throw UsageError(std::string(flag) + " is not supported by '" + command +
                      "'");
@@ -173,6 +234,22 @@ void reject_unsupported(const CommonFlags& flags, const char* command,
   if (!allow_progress && flags.progress) reject("--progress");
   if (!allow_lint_flags && (flags.deny || flags.deny_none)) reject("--deny");
   if (!allow_lint_flags && flags.list_rules) reject("--list-rules");
+  if (!allow_store && flags.store_dir) reject("--store");
+  if (!allow_store && flags.resume) reject("--resume");
+  if (!allow_coordinator_flags) {
+    if (flags.task_size) reject("--task-size");
+    if (flags.lease_timeout_ms) reject("--lease-timeout-ms");
+    if (flags.backoff_base_ms) reject("--backoff-base-ms");
+    if (flags.backoff_cap_ms) reject("--backoff-cap-ms");
+    if (flags.max_attempts) reject("--max-attempts");
+  }
+  if (!allow_worker_flags) {
+    if (flags.worker_id) reject("--worker-id");
+    if (flags.heartbeat_ms) reject("--heartbeat-ms");
+  }
+  if (!allow_coordinator_flags && !allow_worker_flags && flags.poll_ms) {
+    reject("--poll-ms");
+  }
 }
 
 CommonFlags parse_flags(const std::vector<std::string>& args) {
@@ -218,6 +295,46 @@ CommonFlags parse_flags(const std::vector<std::string>& args) {
       }
     } else if (arg == "--list-rules") {
       flags.list_rules = true;
+    } else if (arg == "--store") {
+      flags.store_dir = next_value("--store");
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    } else if (arg == "--task-size") {
+      flags.task_size = parse_uint_flag(next_value("--task-size"),
+                                        "--task-size");
+      if (*flags.task_size == 0) {
+        throw UsageError("--task-size must be positive");
+      }
+    } else if (arg == "--lease-timeout-ms") {
+      flags.lease_timeout_ms = parse_uint_flag(
+          next_value("--lease-timeout-ms"), "--lease-timeout-ms");
+    } else if (arg == "--backoff-base-ms") {
+      flags.backoff_base_ms = parse_uint_flag(next_value("--backoff-base-ms"),
+                                              "--backoff-base-ms");
+    } else if (arg == "--backoff-cap-ms") {
+      flags.backoff_cap_ms = parse_uint_flag(next_value("--backoff-cap-ms"),
+                                             "--backoff-cap-ms");
+    } else if (arg == "--max-attempts") {
+      flags.max_attempts = parse_uint_flag(next_value("--max-attempts"),
+                                           "--max-attempts");
+      if (*flags.max_attempts == 0) {
+        throw UsageError("--max-attempts must be positive");
+      }
+    } else if (arg == "--poll-ms") {
+      flags.poll_ms = parse_uint_flag(next_value("--poll-ms"), "--poll-ms");
+    } else if (arg == "--heartbeat-ms") {
+      flags.heartbeat_ms = parse_uint_flag(next_value("--heartbeat-ms"),
+                                           "--heartbeat-ms");
+    } else if (arg == "--worker-id") {
+      const std::string& id = next_value("--worker-id");
+      if (id.empty() ||
+          id.find_first_not_of("abcdefghijklmnopqrstuvwxyz"
+                               "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_") !=
+              std::string::npos) {
+        throw UsageError("--worker-id must be non-empty [A-Za-z0-9_-], got '" +
+                         id + "'");
+      }
+      flags.worker_id = id;
     } else if (!arg.empty() && arg.front() == '-') {
       throw UsageError("unknown flag '" + arg + "'");
     } else {
@@ -298,7 +415,12 @@ int cmd_sweep(const CommonFlags& flags) {
   }
   reject_unsupported(flags, "sweep", /*allow_threads=*/true,
                      /*allow_shard=*/true, /*allow_output=*/true,
-                     /*allow_progress=*/true);
+                     /*allow_progress=*/true, /*allow_lint_flags=*/false,
+                     /*allow_lanes=*/false, /*allow_store=*/true);
+  if (flags.resume && !flags.store_dir) {
+    throw UsageError("--resume requires --store DIR (there is nothing to "
+                     "resume from without a store)");
+  }
   const std::string& path = flags.positional.front();
   const Json doc = Json::parse(read_file(path));
   const serdes::sweep::SweepSpec sweep =
@@ -318,12 +440,127 @@ int cmd_sweep(const CommonFlags& flags) {
   // grids) — no pre-validation here, so the full-grid check runs once.
   serdes::sweep::SweepReport report;
   try {
-    report = serdes::sweep::SweepRunner(options).run(sweep);
+    if (flags.store_dir) {
+      serdes::sweep::ResultStore store(*flags.store_dir);
+      for (const auto& warning : store.warnings()) {
+        std::cerr << "store: " << warning << "\n";
+      }
+      serdes::sweep::StoreRunStats stats;
+      report = serdes::sweep::run_sweep_with_store(
+          serdes::sweep::SweepRunner(options), sweep, store, &stats);
+      if (flags.progress) {
+        std::cerr << "store: computed " << stats.computed << " of "
+                  << stats.total << " scenarios (" << stats.cached
+                  << " cached";
+        if (stats.quarantined > 0) {
+          std::cerr << ", " << stats.quarantined << " quarantined";
+        }
+        std::cerr << ")\n";
+        if (stats.computed == 0) {
+          std::cerr << "store: warm — computed 0 scenarios\n";
+        }
+      }
+    } else {
+      report = serdes::sweep::SweepRunner(options).run(sweep);
+    }
   } catch (const std::invalid_argument& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
   write_output(flags.out_path,
                serdes::sweep::to_json(report).dump(flags.compact ? -1 : 2));
+  return 0;
+}
+
+int cmd_sweep_coordinator(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "sweep-coordinator expects exactly one sweep file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "sweep-coordinator", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/true,
+                     /*allow_progress=*/true, /*allow_lint_flags=*/false,
+                     /*allow_lanes=*/false, /*allow_store=*/true,
+                     /*allow_coordinator_flags=*/true);
+  if (!flags.store_dir) {
+    throw UsageError("sweep-coordinator requires --store DIR");
+  }
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  const serdes::sweep::SweepSpec sweep =
+      serdes::sweep::SweepSpec::from_json(doc);
+
+  serdes::sweep::CoordinatorOptions options;
+  options.clock = real_clock();
+  if (flags.task_size) options.task_size = *flags.task_size;
+  if (flags.lease_timeout_ms) options.lease_timeout_ms = *flags.lease_timeout_ms;
+  if (flags.backoff_base_ms) options.backoff_base_ms = *flags.backoff_base_ms;
+  if (flags.backoff_cap_ms) options.backoff_cap_ms = *flags.backoff_cap_ms;
+  if (flags.max_attempts) options.max_attempts = *flags.max_attempts;
+  if (flags.progress) {
+    options.on_event = [](const std::string& message) {
+      std::cerr << "coordinator: " << message << "\n";
+    };
+  }
+  const std::uint64_t poll =
+      flags.poll_ms.value_or(std::max<std::uint64_t>(
+          50, std::min<std::uint64_t>(500, options.lease_timeout_ms / 4)));
+
+  serdes::sweep::Coordinator coordinator(sweep, *flags.store_dir,
+                                         options);
+  coordinator.start();
+  const auto clock = real_clock();
+  while (!coordinator.step()) clock.sleep_ms(poll);
+
+  serdes::sweep::StoreRunStats stats;
+  const serdes::sweep::SweepReport report = coordinator.report(&stats);
+  if (flags.progress) {
+    std::cerr << "coordinator: " << stats.cached << " cells in store";
+    if (stats.quarantined > 0) {
+      std::cerr << ", " << stats.quarantined << " quarantined";
+    }
+    std::cerr << "\n";
+  }
+  write_output(flags.out_path,
+               serdes::sweep::to_json(report).dump(flags.compact ? -1 : 2));
+  return 0;
+}
+
+int cmd_sweep_worker(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "sweep-worker expects exactly one sweep file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "sweep-worker", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/false,
+                     /*allow_progress=*/true, /*allow_lint_flags=*/false,
+                     /*allow_lanes=*/false, /*allow_store=*/true,
+                     /*allow_coordinator_flags=*/false,
+                     /*allow_worker_flags=*/true);
+  if (!flags.store_dir) {
+    throw UsageError("sweep-worker requires --store DIR");
+  }
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  const serdes::sweep::SweepSpec sweep =
+      serdes::sweep::SweepSpec::from_json(doc);
+
+  serdes::sweep::WorkerOptions options;
+  options.clock = real_clock();
+  options.worker_id = flags.worker_id.value_or("w0");
+  if (flags.heartbeat_ms) options.heartbeat_ms = *flags.heartbeat_ms;
+  if (flags.poll_ms) options.idle_poll_ms = *flags.poll_ms;
+  if (flags.progress) {
+    const std::string id = options.worker_id;
+    options.on_scenario = [id](const serdes::sweep::ScenarioResult& row) {
+      std::cerr << id << ": [" << row.index << "] " << row.name
+                << ": ber=" << row.ber << (row.aligned ? "" : " (unaligned)")
+                << "\n";
+    };
+  }
+
+  serdes::sweep::Worker worker(sweep, *flags.store_dir, options);
+  const std::uint64_t computed = worker.run();
+  std::cerr << options.worker_id << ": computed " << computed << " cells\n";
   return 0;
 }
 
@@ -455,6 +692,8 @@ int main(int argc, char** argv) {
     if (command == "run") return cmd_run(flags);
     if (command == "stat") return cmd_stat(flags);
     if (command == "sweep") return cmd_sweep(flags);
+    if (command == "sweep-coordinator") return cmd_sweep_coordinator(flags);
+    if (command == "sweep-worker") return cmd_sweep_worker(flags);
     if (command == "validate") return cmd_validate(flags);
     if (command == "lint") return cmd_lint(flags);
     if (command == "list-channels") return cmd_list_channels(flags);
@@ -465,6 +704,12 @@ int main(int argc, char** argv) {
     return usage(std::cerr, 2);
   } catch (const UsageError& e) {
     std::cerr << "serdes_cli " << command << ": " << e.what() << "\n";
+    return 2;
+  } catch (const serdes::util::FileError& e) {
+    // An unwritable --out/--store path is an invocation problem, not a
+    // simulation failure: name the path, exit with the usage status.
+    std::cerr << "serdes_cli " << command << ": cannot write " << e.path()
+              << " — " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "serdes_cli " << command << ": " << e.what() << "\n";
