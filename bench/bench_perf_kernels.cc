@@ -36,8 +36,10 @@
 #include "flow/power.h"
 #include "flow/rtlgen.h"
 #include "flow/sta.h"
+#include "api/bus_spec.h"
 #include "pipe/lane_block.h"
 #include "pipe/lane_stages.h"
+#include "pipe/pam_stages.h"
 #include "pipe/stages.h"
 #include "util/fs.h"
 #include "util/prbs.h"
@@ -259,6 +261,33 @@ void bench_stage_kernels(std::vector<BenchResult>& results) {
       pipe::SamplerCdrSink sink(sc);
       pipe::Block in;
       in.samples().assign(block, 0.9);
+      for (std::size_t i = 0; i < nsamp; i += block) {
+        in.set_start_index(i);
+        sink.consume(in.view());
+      }
+      sink.finish();
+    });
+  }
+
+  {
+    // The PAM4 terminal sink: three slicers + gray decode + dual-rail CDR
+    // per sampling instant, against the symbol clock (bit_rate / 2).  The
+    // constant input sits inside the upper sub-eye so all three slicers
+    // run their comparison path.
+    pipe::PamSamplerCdrSink::Config pc;
+    pc.symbol_rate = util::hertz(cfg.bit_rate.value() / 2.0);
+    pc.oversampling = cfg.cdr.oversampling;
+    pc.jitter.random_rms = cfg.rx_random_jitter;
+    pc.threshold_low = 0.6;
+    pc.threshold_mid = 0.9;
+    pc.threshold_high = 1.2;
+    pc.total_samples = nsamp;
+    pc.dt = cfg.sample_period();
+    pc.block_samples = block;
+    run_bench(results, "stage_pam4_slicer_sample", nsamp, [&] {
+      pipe::PamSamplerCdrSink sink(pc);
+      pipe::Block in;
+      in.samples().assign(block, 1.1);
       for (std::size_t i = 0; i < nsamp; i += block) {
         in.set_start_index(i);
         sink.consume(in.view());
@@ -497,6 +526,37 @@ int main(int argc, char** argv) {
     const api::Simulator sim;
     run_bench(results, "stat_engine_paper_default", 1, [&] {
       volatile double ber = sim.run(spec).stat->min_ber;
+      (void)ber;
+    });
+  }
+
+  // Four PAM4 lanes with tri-diagonal FEXT/NEXT, stat analysis only:
+  // per-lane composite-channel pulse extraction plus crosstalk folded in
+  // as bounded interference PDFs, per-eye PAM4 margins and bathtubs.
+  // Items = lane scenarios.  Backs the bus rows of the CI scenario
+  // matrix ("analysis": "stat" / "both" bus specs).
+  {
+    api::BusSpec bus;
+    bus.name = "bench_bus";
+    bus.lanes = 4;
+    bus.base = api::LinkBuilder()
+                   .channel(api::ChannelSpec::flat(4.0))
+                   .modulation("pam4")
+                   .noise_rms(0.005)
+                   .analysis("stat")
+                   .build_spec();
+    bus.coupling.assign(4, std::vector<double>(4, 0.0));
+    bus.next_coupling.assign(4, std::vector<double>(4, 0.0));
+    for (int v = 0; v < 4; ++v) {
+      for (int a : {v - 1, v + 1}) {
+        if (a < 0 || a >= 4) continue;
+        bus.coupling[v][a] = 0.03;
+        bus.next_coupling[v][a] = 0.01;
+      }
+    }
+    const api::Simulator sim;
+    run_bench(results, "stat_engine_bus4_pam4", 4, [&] {
+      volatile double ber = sim.run_bus(bus, 1).lanes[0].stat->min_ber;
       (void)ber;
     });
   }

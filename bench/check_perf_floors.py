@@ -40,6 +40,8 @@ EXCLUDE = ("deep_ber_streaming_bit", "deep_ber_batch_bit")
 # gate failure, not drift).
 REQUIRED = (
     "stat_engine_paper_default",
+    "stat_engine_bus4_pam4",
+    "stage_pam4_slicer_sample",
     "full_link_run_bit",
     "simulator_run_batch8_lanes_bit",
     "stage_awgn_lanes8_sample",

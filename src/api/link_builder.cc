@@ -21,6 +21,11 @@ LinkBuilder& LinkBuilder::samples_per_ui(int samples) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::modulation(std::string m) {
+  spec_.modulation = std::move(m);
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::channel(ChannelSpec ch) {
   spec_.channel = std::move(ch);
   return *this;

@@ -36,6 +36,8 @@ class LinkBuilder {
   LinkBuilder& name(std::string n);
   LinkBuilder& bit_rate(util::Hertz rate);
   LinkBuilder& samples_per_ui(int samples);
+  /// Line code: "nrz" (default) or "pam4" (see LinkSpec::modulation).
+  LinkBuilder& modulation(std::string m);
 
   LinkBuilder& channel(ChannelSpec ch);
   LinkBuilder& flat_channel(util::Decibel loss);

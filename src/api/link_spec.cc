@@ -79,6 +79,21 @@ LinkSpec::Issue validate_channel(const ChannelSpec& ch, const std::string& path,
 LinkSpec::Issue LinkSpec::first_issue() const {
   if (bit_rate_hz <= 0.0) return {"bit_rate_hz", "must be positive"};
   if (samples_per_ui < 2) return {"samples_per_ui", "must be at least 2"};
+  if (modulation != "nrz" && modulation != "pam4") {
+    return {"modulation", "must be one of 'nrz', 'pam4'"};
+  }
+  if (modulation == "pam4") {
+    if (!streaming) {
+      return {"streaming", "pam4 requires the streaming execution path"};
+    }
+    if (tx_ffe_deemphasis != 0.0) {
+      return {"tx_ffe_deemphasis",
+              "the 2-level TX FFE is incompatible with pam4"};
+    }
+    if (preamble_bits % 2 != 0) {
+      return {"preamble_bits", "must be even under pam4 (2 bits per symbol)"};
+    }
+  }
   if (auto issue = validate_channel(channel, "channel", 0); !issue.ok()) {
     return issue;
   }
@@ -147,6 +162,9 @@ core::LinkConfig LinkSpec::to_link_config() const {
   core::LinkConfig cfg = core::LinkConfig::paper_default();
   cfg.bit_rate = util::Hertz{bit_rate_hz};
   cfg.samples_per_ui = samples_per_ui;
+  cfg.modulation = modulation == "pam4"
+                       ? core::LinkConfig::Modulation::kPam4
+                       : core::LinkConfig::Modulation::kNrz;
 
   cfg.channel_noise_rms = noise_rms_v;
   cfg.noise_reference_bandwidth = util::Hertz{noise_reference_bandwidth_hz};

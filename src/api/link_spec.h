@@ -67,6 +67,14 @@ struct LinkSpec {
   double bit_rate_hz = 2e9;
   int samples_per_ui = 16;
 
+  // ---- Modulation ----
+  /// Line code: "nrz" (default, 1 bit/UI — the paper's datapath) or
+  /// "pam4" (2 gray-mapped bits per UI through a 4-level TX source and a
+  /// tri-threshold sampler; the symbol rate is bit_rate_hz / 2).  PAM4
+  /// requires the streaming execution path and is incompatible with the
+  /// 2-level TX FFE (`tx_ffe_deemphasis` must stay 0).
+  std::string modulation = "nrz";
+
   // ---- Channel ----
   ChannelSpec channel{};
 

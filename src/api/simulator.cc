@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "api/bus_spec.h"
 #include "api/channel_factory.h"
 #include "api/spec_json.h"
 #include "core/ber.h"
@@ -19,7 +20,10 @@
 namespace serdes::api {
 
 bool Simulator::tile_eligible(const LinkSpec& spec) {
-  return spec.lane_batch > 1 && spec.streaming && spec.analysis == "mc";
+  // PAM4 runs the dedicated slicer/CDR sink, which the SoA lane tiles do
+  // not model — PAM4 lanes always take the scalar path.
+  return spec.lane_batch > 1 && spec.streaming && spec.analysis == "mc" &&
+         spec.modulation == "nrz";
 }
 
 std::string Simulator::tile_key(const LinkSpec& spec) {
@@ -42,11 +46,17 @@ std::uint64_t Simulator::derive_lane_seed(std::uint64_t base_seed,
 }
 
 RunReport Simulator::run(const LinkSpec& spec) const {
+  return run_impl(spec, {});
+}
+
+RunReport Simulator::run_impl(
+    const LinkSpec& spec, const std::vector<core::XtalkPath>& xtalk) const {
   RunReport report;
   report.spec = spec;
   report.confidence_level = options_.confidence_level;
 
   core::LinkConfig cfg = spec.to_link_config();
+  cfg.xtalk = xtalk;
 
   // Statistical analysis first: it is cheap (no bit stream), and a
   // "stat"-only run returns here without ever building the MC datapath's
@@ -85,8 +95,12 @@ RunReport Simulator::run(const LinkSpec& spec) const {
         report.cdr_decision_phase = r.rx.cdr_decision_phase;
         report.cdr_phase_updates = r.rx.cdr_phase_updates;
         report.rx_swing_pp = r.rx_swing_pp;
-        report.decision_threshold = link.receiver().decision_threshold();
-        const core::EyeAnalyzer eye(cfg.bit_rate, options_.eye_bins_per_ui);
+        report.decision_threshold = r.decision_threshold;
+        // The eye is folded per line UI: the symbol period under PAM4.
+        const core::EyeAnalyzer eye(
+            util::hertz(cfg.bit_rate.value() /
+                        static_cast<double>(cfg.bits_per_ui())),
+            options_.eye_bins_per_ui);
         report.eye = eye.analyze(r.rx.restored, report.decision_threshold);
         if (spec.capture_waveforms) {
           report.tx_out = r.tx_out;
@@ -306,6 +320,105 @@ std::vector<RunReport> Simulator::run_batch(const std::vector<LinkSpec>& specs,
 
   if (first_error) std::rethrow_exception(first_error);
   return reports;
+}
+
+namespace {
+
+/// Crosstalk paths seen by victim lane `v`: for every aggressor lane
+/// a != v, a FEXT path (through the victim's channel) from `coupling` and
+/// a NEXT path (direct) from `next_coupling`, zero gains dropped.  The
+/// aggressor's stream is the shared framed PRBS pattern delayed by the
+/// lane distance |v - a| UIs — a deterministic skew that decorrelates
+/// aggressor symbols from the victim's without extra pattern state.
+std::vector<core::XtalkPath> xtalk_for_lane(const BusSpec& spec,
+                                            std::size_t v) {
+  std::vector<core::XtalkPath> paths;
+  const auto n = static_cast<std::size_t>(spec.lanes);
+  for (std::size_t a = 0; a < n; ++a) {
+    if (a == v) continue;  // self-coupling is a lint finding, never run
+    const int delay = static_cast<int>(v > a ? v - a : a - v);
+    if (!spec.coupling.empty() && spec.coupling[v][a] != 0.0) {
+      core::XtalkPath p;
+      p.gain = spec.coupling[v][a];
+      p.through_channel = true;
+      p.delay_ui = delay;
+      paths.push_back(p);
+    }
+    if (!spec.next_coupling.empty() && spec.next_coupling[v][a] != 0.0) {
+      core::XtalkPath p;
+      p.gain = spec.next_coupling[v][a];
+      p.through_channel = false;
+      p.delay_ui = delay;
+      paths.push_back(p);
+    }
+  }
+  return paths;
+}
+
+}  // namespace
+
+BusReport Simulator::run_bus(const BusSpec& spec, int n_threads) const {
+  spec.validate_or_throw();
+  const std::vector<LinkSpec> lanes = spec.expand();
+
+  BusReport report;
+  report.name = spec.name;
+  report.coupling = spec.coupling;
+  report.next_coupling = spec.next_coupling;
+
+  if (!spec.has_coupling()) {
+    // No crosstalk: the bus IS N independent lanes — take the batched
+    // path (tiling and all) so reports are byte-identical to run_batch.
+    report.lanes = run_batch(lanes, n_threads);
+    return report;
+  }
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    (void)ChannelFactory::instance().create(lanes[i].channel,
+                                            lanes[i].to_link_config());
+  }
+
+  report.lanes.resize(lanes.size());
+  unsigned workers = n_threads > 0
+                         ? static_cast<unsigned>(n_threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(lanes.size()));
+
+  std::atomic<std::size_t> next_lane{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next_lane.fetch_add(1);
+      if (i >= lanes.size()) return;
+      try {
+        LinkSpec lane_spec = lanes[i];
+        if (options_.derive_lane_seeds) {
+          lane_spec.seed = derive_lane_seed(lane_spec.seed, i);
+        }
+        report.lanes[i] = run_impl(lane_spec, xtalk_for_lane(spec, i));
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return report;
 }
 
 }  // namespace serdes::api

@@ -21,8 +21,16 @@
 
 namespace serdes::api {
 
+struct BusSpec;    // api/bus_spec.h
+struct BusReport;  // api/bus_spec.h
+
 /// Structured outcome of one lane.
 struct RunReport {
+  /// Report schema version.  Version 2 added `schema_version` itself plus
+  /// the bus/PAM4 sections (BusReport, StatReport per-eye margins); a
+  /// report parsed from JSON without the key reads back as version 1.
+  int schema_version = 2;
+
   /// The spec that produced this report (seed shows the derived per-lane
   /// value when the report came from run_batch).
   LinkSpec spec;
@@ -117,6 +125,16 @@ class Simulator {
   [[nodiscard]] std::vector<RunReport> run_lane_tile(
       const std::vector<LinkSpec>& lane_specs) const;
 
+  /// Runs an N-lane bus (see api/bus_spec.h).  A zero-coupling bus routes
+  /// through run_batch — per-lane reports byte-identical to standalone
+  /// runs, lane tiling included.  Nonzero coupling takes the scalar
+  /// crosstalk path: each victim lane's stream gains the configured
+  /// FEXT/NEXT aggressor injections (MC) and bounded-interference ISI
+  /// terms (stat), with seeds derived exactly as run_batch derives them,
+  /// so toggling coupling never reshuffles lane noise.
+  [[nodiscard]] BusReport run_bus(const BusSpec& spec,
+                                  int n_threads = 0) const;
+
   /// Deterministic per-lane seed: one splitmix64 step over
   /// base ^ (0x9e3779b97f4a7c15 * (lane + 1)).
   [[nodiscard]] static std::uint64_t derive_lane_seed(std::uint64_t base_seed,
@@ -134,6 +152,12 @@ class Simulator {
   [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  /// run() with crosstalk paths injected into the lowered LinkConfig —
+  /// the per-victim-lane primitive behind run_bus (both the MC datapath
+  /// and the stat engine read LinkConfig::xtalk).
+  [[nodiscard]] RunReport run_impl(
+      const LinkSpec& spec, const std::vector<core::XtalkPath>& xtalk) const;
+
   Options options_{};
 };
 

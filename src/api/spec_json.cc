@@ -171,6 +171,8 @@ void apply_link_field(LinkSpec& spec, std::string_view field,
     spec.bit_rate_hz = get_double(value, path);
   } else if (field == "samples_per_ui") {
     spec.samples_per_ui = get_int32(value, path);
+  } else if (field == "modulation") {
+    spec.modulation = get_string(value, path);
   } else if (field == "channel") {
     spec.channel = channel_spec_from_json(value, path);
   } else if (field == "noise_rms_v") {
@@ -273,6 +275,7 @@ Json to_json(const LinkSpec& spec) {
   j.set("name", spec.name);
   j.set("bit_rate_hz", spec.bit_rate_hz);
   j.set("samples_per_ui", spec.samples_per_ui);
+  j.set("modulation", spec.modulation);
   j.set("channel", to_json(spec.channel));
   j.set("noise_rms_v", spec.noise_rms_v);
   j.set("noise_reference_bandwidth_hz", spec.noise_reference_bandwidth_hz);
@@ -324,6 +327,19 @@ Json to_json(const stat::StatReport& report) {
   j.set("timing_margin_ui", report.timing_margin_ui);
   j.set("eye_height_v", report.eye_height_v);
   j.set("voltage_margin_v", report.voltage_margin_v);
+  // PAM4 per-eye margins (schema version 2): serialized only when
+  // non-empty, so NRZ reports keep their version-1 bytes.
+  if (!report.pam4_eye_height_v.empty()) {
+    const auto number_array = [](const std::vector<double>& values) {
+      Json arr = Json::array();
+      for (const double v : values) arr.push_back(v);
+      return arr;
+    };
+    j.set("pam4_eye_height_v", number_array(report.pam4_eye_height_v));
+    j.set("pam4_voltage_margin_v",
+          number_array(report.pam4_voltage_margin_v));
+    j.set("pam4_eye_ber", number_array(report.pam4_eye_ber));
+  }
   j.set("cross_checked", report.cross_checked);
   j.set("mc_ber", report.mc_ber);
   j.set("band_low", report.band_low);
@@ -364,6 +380,12 @@ stat::StatReport stat_report_from_json(const Json& json,
       report.eye_height_v = get_double(value, p);
     } else if (key == "voltage_margin_v") {
       report.voltage_margin_v = get_double(value, p);
+    } else if (key == "pam4_eye_height_v") {
+      report.pam4_eye_height_v = get_double_array(value, p);
+    } else if (key == "pam4_voltage_margin_v") {
+      report.pam4_voltage_margin_v = get_double_array(value, p);
+    } else if (key == "pam4_eye_ber") {
+      report.pam4_eye_ber = get_double_array(value, p);
     } else if (key == "cross_checked") {
       report.cross_checked = get_bool(value, p);
     } else if (key == "mc_ber") {
@@ -383,6 +405,7 @@ stat::StatReport stat_report_from_json(const Json& json,
 
 Json to_json(const RunReport& report) {
   Json j = Json::object();
+  j.set("schema_version", report.schema_version);
   j.set("spec", to_json(report.spec));
   j.set("aligned", report.aligned);
   j.set("bits", report.bits);
@@ -408,9 +431,12 @@ Json to_json(const RunReport& report) {
 RunReport run_report_from_json(const Json& json, const std::string& path) {
   if (!json.is_object()) fail(path, "expected run report object");
   RunReport report;
+  report.schema_version = 1;  // absent means version 1
   for (const auto& [key, value] : json.as_object()) {
     const std::string p = path + "." + key;
-    if (key == "spec") {
+    if (key == "schema_version") {
+      report.schema_version = get_int32(value, p);
+    } else if (key == "spec") {
       report.spec = link_spec_from_json(value, p);
     } else if (key == "aligned") {
       report.aligned = get_bool(value, p);

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "analog/driver.h"
 #include "analog/rfi.h"
@@ -15,11 +16,39 @@
 
 namespace serdes::core {
 
+/// One crosstalk aggressor path into a victim lane's receive stream: a
+/// gain-scaled copy of the aggressor's TX levels, delayed by an integer
+/// number of UIs, optionally filtered through the victim's own channel
+/// (FEXT — the coupled energy travels the full line) or injected directly
+/// (NEXT — near-end coupling bypasses the line).  The contribution lands
+/// after the victim's channel and before the receiver-input AWGN, so the
+/// receiver equalizes signal + crosstalk together, exactly as hardware
+/// would see it.
+struct XtalkPath {
+  double gain = 0.0;
+  bool through_channel = true;
+  /// Launch delay of the aggressor stream relative to the victim, in UIs.
+  int delay_ui = 0;
+};
+
 struct LinkConfig {
   // ---- Rate / sampling ----
   util::Hertz bit_rate = util::gigahertz(2.0);
   /// Analog waveform samples per unit interval (resolution of the link sim).
   int samples_per_ui = 16;
+
+  // ---- Modulation ----
+  /// Line code of the serial stream.  kNrz is the paper's datapath; kPam4
+  /// carries 2 gray-mapped bits per UI through a 4-level TX source and a
+  /// tri-threshold sampler (the nonlinear RFI/restoring stages are
+  /// bypassed — PAM4 runs channel -> AWGN -> CTLE -> sampler).
+  enum class Modulation { kNrz, kPam4 };
+  Modulation modulation = Modulation::kNrz;
+
+  /// Bits carried per unit interval (1 for NRZ, 2 for PAM4).
+  [[nodiscard]] int bits_per_ui() const {
+    return modulation == Modulation::kPam4 ? 2 : 1;
+  }
 
   // ---- Transmitter ----
   analog::DriverDesign driver{};
@@ -121,9 +150,21 @@ struct LinkConfig {
   /// FFT segmentation), so the exact direct kernels stay the default.
   bool dsp = false;
 
-  /// Unit interval.
+  // ---- Crosstalk ----
+  /// Aggressor paths folded into this lane's receive stream (bus victims
+  /// only; empty for an isolated link).  Paths are applied in order, after
+  /// the victim channel and before the AWGN, by the streaming datapath.
+  std::vector<XtalkPath> xtalk;
+
+  /// PAM4 only: when false the sampler keeps just the middle threshold
+  /// (the LSB slicers are disabled and LSBs decode as 0) — the degenerate
+  /// configuration that reduces PAM4 to NRZ over symbols {0, 3}.
+  bool pam4_extra_thresholds = true;
+
+  /// Unit interval (symbol period: bits_per_ui() bits long under PAM4).
   [[nodiscard]] util::Second unit_interval() const {
-    return util::period(bit_rate);
+    return util::period(util::hertz(bit_rate.value() /
+                                    static_cast<double>(bits_per_ui())));
   }
   /// Analog sample period.
   [[nodiscard]] util::Second sample_period() const {

@@ -24,6 +24,9 @@ struct LinkResult {
   /// Peak-to-peak swing at the receiver input (always populated, even when
   /// waveform capture is off).
   double rx_swing_pp = 0.0;
+  /// Decision threshold the sampler(s) ran at: the restoring-stage midpoint
+  /// under NRZ, the calibrated middle slicer threshold under PAM4.
+  double decision_threshold = 0.0;
   ReceiveResult rx;
   /// TX output and channel output waveforms (for plotting / eye analysis).
   /// Empty when `LinkConfig::capture_waveforms` is false.
@@ -78,6 +81,12 @@ class SerDesLink {
                                      std::uint64_t noise_run_seed);
   [[nodiscard]] LinkResult run_streaming(
       const std::vector<std::uint8_t>& payload, std::uint64_t noise_run_seed);
+  [[nodiscard]] LinkResult run_streaming_pam4(
+      const std::vector<std::uint8_t>& payload, std::uint64_t noise_run_seed);
+  /// True when any configured crosstalk path has a nonzero gain (zero-gain
+  /// paths are dropped so a zero-coupling bus lane stays byte-identical to
+  /// a standalone link).
+  [[nodiscard]] bool has_xtalk() const;
   void finalize(const std::vector<std::uint8_t>& payload, LinkResult& result) {
     finalize_result(config_, payload, result);
   }

@@ -44,6 +44,17 @@ bool OversamplingCdr::majority_at(std::uint64_t center) const {
   return ones * 2 > 2 * g + 1;
 }
 
+bool OversamplingCdr::aux_majority_at(std::uint64_t center) const {
+  const int g = config_.glitch_filter_radius;
+  int ones = 0;
+  const auto size = static_cast<std::uint64_t>(aux_ring_.size());
+  for (int off = -g; off <= g; ++off) {
+    const std::uint64_t idx = center + static_cast<std::uint64_t>(off);
+    ones += aux_ring_[idx % size];
+  }
+  return ones * 2 > 2 * g + 1;
+}
+
 void OversamplingCdr::evaluate_window() {
   ++windows_;
   const auto n = static_cast<std::size_t>(config_.oversampling);

@@ -70,12 +70,55 @@ class OversamplingCdr {
     }
   }
 
+  /// Dual-rail push for PAM4: `sample` is the middle-threshold (MSB)
+  /// comparator output — it alone drives edge detection and phase picks,
+  /// exactly like push() — while `aux` carries the decoded LSB rail, which
+  /// rides along through its own ring and gets the same glitch-filter
+  /// majority vote at each decision instant.  Recovered LSBs appear in
+  /// aux_recovered(), index-aligned with recovered().  push() and push2()
+  /// must not be mixed on one instance.
+  void push2(bool sample, bool aux) {
+    if (aux_ring_.empty()) aux_ring_.assign(ring_.size(), 0);
+    ring_[ring_pos_] = sample ? 1 : 0;
+    aux_ring_[ring_pos_] = aux ? 1 : 0;
+
+    if (count_ > 0 && sample != last_sample_) {
+      ++votes_[phase_pos_];
+      ++edges_;
+    }
+    last_sample_ = sample;
+
+    const auto g = static_cast<std::uint64_t>(config_.glitch_filter_radius);
+    if (count_ >= g) {
+      const std::uint64_t center = count_ - g;
+      if (center == next_decision_) {
+        recovered_.push_back(majority_at(center) ? 1 : 0);
+        aux_recovered_.push_back(aux_majority_at(center) ? 1 : 0);
+        next_decision_ += static_cast<std::uint64_t>(config_.oversampling);
+      }
+    }
+
+    ++count_;
+    if (++ring_pos_ == ring_.size()) ring_pos_ = 0;
+    if (++phase_pos_ == votes_.size()) phase_pos_ = 0;
+    if (--window_countdown_ == 0) {
+      window_countdown_ = static_cast<std::uint64_t>(config_.oversampling) *
+                          static_cast<std::uint64_t>(config_.window_uis);
+      evaluate_window();
+    }
+  }
+
   /// Batch helper: pushes all samples and returns the recovered bits.
   [[nodiscard]] std::vector<std::uint8_t> recover(
       const std::vector<std::uint8_t>& samples);
 
   [[nodiscard]] const std::vector<std::uint8_t>& recovered() const {
     return recovered_;
+  }
+
+  /// LSB rail recovered by push2(), index-aligned with recovered().
+  [[nodiscard]] const std::vector<std::uint8_t>& aux_recovered() const {
+    return aux_recovered_;
   }
 
   /// Current decision phase (0 .. oversampling-1).
@@ -92,10 +135,12 @@ class OversamplingCdr {
  private:
   void evaluate_window();
   [[nodiscard]] bool majority_at(std::uint64_t center) const;
+  [[nodiscard]] bool aux_majority_at(std::uint64_t center) const;
 
   CdrConfig config_;
   std::vector<std::uint32_t> votes_;     // edge votes per phase bin
   std::vector<std::uint8_t> ring_;       // recent raw samples
+  std::vector<std::uint8_t> aux_ring_;   // LSB rail (push2 only; else empty)
   std::uint64_t count_ = 0;              // samples consumed
   std::size_t ring_pos_ = 0;             // == count_ % ring_.size()
   std::size_t phase_pos_ = 0;            // == count_ % oversampling
@@ -113,6 +158,7 @@ class OversamplingCdr {
   std::uint64_t windows_ = 0;
   std::uint64_t edges_ = 0;
   std::vector<std::uint8_t> recovered_;
+  std::vector<std::uint8_t> aux_recovered_;
 };
 
 }  // namespace serdes::digital

@@ -5,6 +5,7 @@
 #include <optional>
 #include <utility>
 
+#include "api/bus_spec.h"
 #include "api/spec_json.h"
 #include "util/math.h"
 
@@ -257,12 +258,13 @@ void check_ineffective_field(const api::LinkSpec& spec,
          "never runs and the target is never read",
          "use analysis \"stat\" or \"both\", or drop stat_target_ber");
   }
-  if (spec.lane_batch > 1 && (spec.analysis != "mc" || !spec.streaming)) {
+  if (spec.lane_batch > 1 && (spec.analysis != "mc" || !spec.streaming ||
+                              spec.modulation == "pam4")) {
     emit(out, info, prefix + ".lane_batch",
-         "lane_batch is set but lane tiling needs streaming Monte Carlo "
-         "execution (streaming = true, analysis \"mc\"), so every lane runs "
-         "the scalar path anyway",
-         "enable streaming with analysis \"mc\", or drop lane_batch");
+         "lane_batch is set but lane tiling needs streaming NRZ Monte Carlo "
+         "execution (streaming = true, analysis \"mc\", modulation \"nrz\"), "
+         "so every lane runs the scalar path anyway",
+         "enable streaming NRZ with analysis \"mc\", or drop lane_batch");
   }
 }
 
@@ -278,6 +280,85 @@ void check_chunk_exceeds_payload(const api::LinkSpec& spec,
            ") exceeds payload_bits (" + std::to_string(spec.payload_bits) +
            "): the run is one short chunk and fresh-noise chunking is inert",
        "set chunk_bits <= payload_bits (or raise the payload)");
+}
+
+void check_pam4_insufficient_swing(const api::LinkSpec& spec,
+                                   const std::string& prefix,
+                                   const Linter::Options& opt,
+                                   const RuleInfo& info,
+                                   std::vector<Finding>& out) {
+  if (spec.modulation != "pam4" || spec.noise_rms_v <= 0.0) return;
+  // The NRZ zero-ISI bound, with the amplitude split into three stacked
+  // sub-eyes: each eye spans a third of the dc-attenuated swing, so the
+  // slicer sees a sixth of it against the full noise sigma.
+  const double amplitude = 0.5 * opt.nominal_swing_v *
+                           std::pow(10.0, -estimated_dc_loss_db(spec.channel) /
+                                              20.0);
+  const double eye_third = amplitude / 3.0;
+  const double q_available = eye_third / spec.noise_rms_v;
+  const double q_required = util::q_inverse(spec.stat_target_ber);
+  if (q_available >= q_required) return;
+  emit(out, info, prefix + ".modulation",
+       "pam4 splits the " + num(amplitude) +
+           " V zero-ISI amplitude into three " + num(eye_third) +
+           " V sub-eyes — Q = " + num(q_available) + " against " +
+           num(spec.noise_rms_v) + " V rms noise, but BER " +
+           num(spec.stat_target_ber) + " needs Q >= " + num(q_required),
+       "lower the channel loss / noise_rms_v, relax stat_target_ber, or "
+       "keep nrz at this operating point");
+}
+
+// ---- Bus-level rules -------------------------------------------------
+
+std::string matrix_cell(const char* field, std::size_t row, std::size_t col) {
+  return "$." + std::string(field) + "[" + std::to_string(row) + "][" +
+         std::to_string(col) + "]";
+}
+
+void check_coupling_asymmetry(const api::BusSpec& bus,
+                              const Linter::Options& opt, const RuleInfo& info,
+                              std::vector<Finding>& out) {
+  (void)opt;
+  const auto scan = [&](const std::vector<std::vector<double>>& m,
+                        const char* field) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      for (std::size_t j = i + 1; j < m[i].size(); ++j) {
+        if (j >= m.size() || i >= m[j].size()) continue;  // shape lints apart
+        if (m[i][j] == m[j][i]) continue;
+        emit(out, info, matrix_cell(field, j, i),
+             std::string(field) + "[" + std::to_string(i) + "][" +
+                 std::to_string(j) + "] = " + num(m[i][j]) + " but " + field +
+                 "[" + std::to_string(j) + "][" + std::to_string(i) + "] = " +
+                 num(m[j][i]) +
+                 " — crosstalk between one physical lane pair is reciprocal, "
+                 "so direction-dependent gains usually encode a typo",
+             "mirror the off-diagonal terms (or keep the asymmetry only if "
+             "the geometry really is one-directional)");
+      }
+    }
+  };
+  scan(bus.coupling, "coupling");
+  scan(bus.next_coupling, "next_coupling");
+}
+
+void check_self_coupling(const api::BusSpec& bus, const Linter::Options& opt,
+                         const RuleInfo& info, std::vector<Finding>& out) {
+  (void)opt;
+  const auto scan = [&](const std::vector<std::vector<double>>& m,
+                        const char* field) {
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (i >= m[i].size() || m[i][i] == 0.0) continue;
+      emit(out, info, matrix_cell(field, i, i),
+           "lane " + std::to_string(i) + " lists itself as an aggressor (" +
+               field + " diagonal = " + num(m[i][i]) +
+               "); a lane cannot aggress itself, so the runtime skips the "
+               "diagonal and the value is never read",
+           "zero the diagonal — per-lane impairments belong in the lane's "
+           "own channel / noise fields");
+    }
+  };
+  scan(bus.coupling, "coupling");
+  scan(bus.next_coupling, "next_coupling");
 }
 
 // ---- Grid-level rules ------------------------------------------------
@@ -427,11 +508,14 @@ using LinkCheck = void (*)(const api::LinkSpec&, const std::string&,
                            std::vector<Finding>&);
 using SweepCheck = void (*)(const sweep::SweepSpec&, const Linter::Options&,
                             const RuleInfo&, std::vector<Finding>&);
+using BusCheck = void (*)(const api::BusSpec&, const Linter::Options&,
+                          const RuleInfo&, std::vector<Finding>&);
 
 struct RuleDef {
   RuleInfo info;
   LinkCheck link = nullptr;
   SweepCheck sweep = nullptr;
+  BusCheck bus = nullptr;
 };
 
 const std::vector<RuleDef>& rule_defs() {
@@ -493,6 +577,18 @@ const std::vector<RuleDef>& rule_defs() {
         "derive_seeds off: two grid cells share one result-store key",
         /*sweep_only=*/true},
        nullptr, &check_store_key_collision},
+      {{"pam4-insufficient-swing", Severity::kWarning,
+        "pam4 sub-eyes structurally too small for the noise budget at "
+        "stat_target_ber"},
+       &check_pam4_insufficient_swing, nullptr},
+      {{"coupling-matrix-asymmetry", Severity::kWarning,
+        "FEXT/NEXT gain between one lane pair differs by direction",
+        /*sweep_only=*/false, /*bus_only=*/true},
+       nullptr, nullptr, &check_coupling_asymmetry},
+      {{"self-coupling", Severity::kWarning,
+        "nonzero coupling-matrix diagonal — a lane cannot aggress itself",
+        /*sweep_only=*/false, /*bus_only=*/true},
+       nullptr, nullptr, &check_self_coupling},
   };
   return kRules;
 }
@@ -556,8 +652,46 @@ LintReport Linter::lint(const sweep::SweepSpec& sweep) const {
   return report;
 }
 
+LintReport Linter::lint(const api::BusSpec& bus) const {
+  LintReport report;
+  report.subject = bus.name;
+  report.kind = "bus";
+  // Base-spec findings whose anchor every lane's override overwrites would
+  // blame a value no lane sees; any lane still reading the base value keeps
+  // the finding, so suppression needs the override on *all* lanes.  With
+  // fewer override objects than lanes the uncovered lanes read the base.
+  const LintReport base = lint(bus.base, "$.base");
+  for (const auto& finding : base.findings) {
+    bool overridden_everywhere =
+        bus.overrides.size() >= static_cast<std::size_t>(bus.lanes) &&
+        bus.lanes > 0;
+    if (overridden_everywhere) {
+      for (int lane = 0; lane < bus.lanes; ++lane) {
+        const Json& ov = bus.overrides[static_cast<std::size_t>(lane)];
+        bool covered = false;
+        if (ov.is_object()) {
+          for (const auto& [key, value] : ov.as_object()) {
+            (void)value;
+            covered |= paths_overlap(finding.path, "$.base." + key);
+          }
+        }
+        if (!covered) {
+          overridden_everywhere = false;
+          break;
+        }
+      }
+    }
+    if (!overridden_everywhere) report.findings.push_back(finding);
+  }
+  for (const auto& def : rule_defs()) {
+    if (def.bus) def.bus(bus, options_, def.info, report.findings);
+  }
+  return report;
+}
+
 Json to_json(const LintReport& report) {
   Json j = Json::object();
+  j.set("schema_version", report.schema_version);
   j.set("subject", report.subject);
   j.set("kind", report.kind);
   Json counts = Json::object();
@@ -585,15 +719,19 @@ Json to_json(const LintReport& report) {
 LintReport lint_report_from_json(const Json& json, const std::string& path) {
   if (!json.is_object()) util::fail_at(path, "expected lint report object");
   LintReport report;
+  report.schema_version = 1;  // absent means version 1
   const Json* counts = nullptr;
   for (const auto& [key, value] : json.as_object()) {
     const std::string p = path + "." + key;
-    if (key == "subject") {
+    if (key == "schema_version") {
+      report.schema_version = static_cast<int>(util::get_int(value, p));
+    } else if (key == "subject") {
       report.subject = util::get_string(value, p);
     } else if (key == "kind") {
       report.kind = util::get_string(value, p);
-      if (report.kind != "link" && report.kind != "sweep") {
-        util::fail_at(p, "kind must be 'link' or 'sweep'");
+      if (report.kind != "link" && report.kind != "sweep" &&
+          report.kind != "bus") {
+        util::fail_at(p, "kind must be 'link', 'sweep' or 'bus'");
       }
     } else if (key == "counts") {
       if (!value.is_object()) util::fail_at(p, "expected counts object");

@@ -30,6 +30,10 @@
 #include "sweep/sweep_spec.h"
 #include "util/json.h"
 
+namespace serdes::api {
+struct BusSpec;  // api/bus_spec.h
+}  // namespace serdes::api
+
 namespace serdes::lint {
 
 /// Finding severity, ordered so "at least warning" style gates are
@@ -54,9 +58,13 @@ struct Finding {
 };
 
 struct LintReport {
-  /// Name of the linted spec / sweep.
+  /// Report schema version (shared contract with api::RunReport: version 2
+  /// added the key itself plus the "bus" kind; absent on read means 1).
+  int schema_version = 2;
+
+  /// Name of the linted spec / sweep / bus.
   std::string subject;
-  /// "link" or "sweep".
+  /// "link", "sweep" or "bus".
   std::string kind;
   /// Registry order, then field order within a rule — deterministic.
   std::vector<Finding> findings;
@@ -68,12 +76,14 @@ struct LintReport {
 };
 
 /// Registry entry for one rule.  `sweep_only` marks grid-level rules
-/// (axes / seeds) that never fire on a standalone LinkSpec.
+/// (axes / seeds) that never fire on a standalone LinkSpec; `bus_only`
+/// marks coupling-matrix rules that need a BusSpec.
 struct RuleInfo {
   std::string id;
   Severity severity;
   std::string summary;
   bool sweep_only = false;
+  bool bus_only = false;
 };
 
 /// Every rule the linter can emit, in emission order.  The README rule
@@ -122,6 +132,12 @@ class Linter {
   /// on members an axis overwrites are suppressed — the axis, not the
   /// base value, decides what each scenario sees.
   [[nodiscard]] LintReport lint(const sweep::SweepSpec& sweep) const;
+
+  /// Lints a bus: coupling-matrix rules plus the spec-level rules over
+  /// `base` (anchored at "$.base").  Base findings on members a per-lane
+  /// override overwrites are suppressed — the override, not the base
+  /// value, decides what that lane sees.
+  [[nodiscard]] LintReport lint(const api::BusSpec& bus) const;
 
   [[nodiscard]] const Options& options() const { return options_; }
 

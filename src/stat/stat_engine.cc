@@ -242,7 +242,7 @@ std::vector<double> run_linear_chain(const core::LinkConfig& cfg,
                                      const channel::Channel& channel,
                                      util::Hertz rfi_bandwidth,
                                      util::Hertz restore_bandwidth,
-                                     std::vector<double> levels,
+                                     bool rx_poles, std::vector<double> levels,
                                      util::Second rise_time) {
   pipe::LevelPulseSource source(std::move(levels), cfg.unit_interval(),
                                 cfg.samples_per_ui, rise_time,
@@ -267,9 +267,17 @@ std::vector<double> run_linear_chain(const core::LinkConfig& cfg,
     const pipe::BlockView processed = pipeline.process(blk.view());
     const std::size_t base = out.size();
     out.resize(base + processed.size);
-    rfi_pole.process_block(processed.data, out.data() + base, processed.size);
-    restore_pole.process_block(out.data() + base, out.data() + base,
-                               processed.size);
+    if (rx_poles) {
+      rfi_pole.process_block(processed.data, out.data() + base,
+                             processed.size);
+      restore_pole.process_block(out.data() + base, out.data() + base,
+                                 processed.size);
+    } else {
+      // PAM4: the slicers read the CTLE output directly — no RFI or
+      // restoring stage in the datapath, so no output poles here either.
+      std::copy(processed.data, processed.data + processed.size,
+                out.data() + base);
+    }
   }
   return out;
 }
@@ -278,7 +286,7 @@ std::vector<double> run_linear_chain(const core::LinkConfig& cfg,
 /// pole): sum of squared discrete impulse-response samples, accumulated
 /// until the tail is negligible.
 double noise_power_gain(const core::LinkConfig& cfg, util::Hertz rfi_bandwidth,
-                        util::Hertz restore_bandwidth) {
+                        util::Hertz restore_bandwidth, bool rx_poles) {
   const bool use_ctle = cfg.rx_ctle_boost.value() > 0.0;
   std::unique_ptr<pipe::CtleStage> ctle;
   if (use_ctle) {
@@ -302,8 +310,12 @@ double noise_power_gain(const core::LinkConfig& cfg, util::Hertz rfi_bandwidth,
       data = out.view().data;
     }
     std::vector<double> filtered(kBlock);
-    pole.process_block(data, filtered.data(), kBlock);
-    restore_pole.process_block(filtered.data(), filtered.data(), kBlock);
+    if (rx_poles) {
+      pole.process_block(data, filtered.data(), kBlock);
+      restore_pole.process_block(filtered.data(), filtered.data(), kBlock);
+    } else {
+      std::copy(data, data + kBlock, filtered.data());
+    }
     double block_sum = 0.0;
     for (const double g : filtered) block_sum += g * g;
     total += block_sum;
@@ -396,6 +408,13 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   const analog::RestoringInverter& restoring = rx.restoring();
   const util::Second rise = tx.driver().output_rise_time();
 
+  // PAM4 drops the RFI/restoring nonlinearities from the datapath: three
+  // mean-relative slicers read the CTLE output.  The same pulse-response
+  // machinery applies; only the RX poles, the threshold mapping, and the
+  // per-cursor interference PDF change.
+  const bool pam4 = cfg.modulation == core::LinkConfig::Modulation::kPam4;
+  const bool rx_poles = !pam4;
+
   // ---- 1. Single-bit pulse response through the linear front half -------
   // Superposition: the TX shaper is affine in the per-bit launch levels and
   // the channel / CTLE / RFI-pole stages are LTI, so response(one bit) -
@@ -420,8 +439,8 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
       one_levels[kPreUis] = vdd;
     }
     pulse = run_linear_chain(cfg, channel, rfi.bandwidth(),
-                             restoring.bandwidth(), std::move(one_levels),
-                             rise);
+                             restoring.bandwidth(), rx_poles,
+                             std::move(one_levels), rise);
     if (cfg.tx_ffe_deemphasis != 0.0) {
       // The FFE's mid-rail offset makes the all-zero response nonzero;
       // subtracting it leaves exactly one bit's contribution.  (The
@@ -429,8 +448,8 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
       // cancels out of the mean-relative decision variable.)
       const std::vector<double> base =
           run_linear_chain(cfg, channel, rfi.bandwidth(),
-                           restoring.bandwidth(), std::move(zero_levels),
-                           rise);
+                           restoring.bandwidth(), rx_poles,
+                           std::move(zero_levels), rise);
       for (std::size_t i = 0; i < pulse.size() && i < base.size(); ++i) {
         pulse[i] -= base[i];
       }
@@ -457,38 +476,73 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   }
 
   // ---- 2. Linear-domain slicer threshold and noise sigma ----------------
-  // The RFI saturating VTC and the restoring inverter are memoryless and
-  // monotone, so the sampler's decision maps back to a single threshold at
-  // the linear point: the channel-referred deviation from the stream mean
-  // at which restore(saturate(v)) crosses the decision threshold.
-  const double decision_threshold = rx.decision_threshold();
-  const auto chain = [&](double v) {
-    return restoring.restore_level(rfi.saturate(v));
-  };
-  const double vdd = cfg.driver.vdd.value();
-  const auto v_th_opt = util::bisect(
-      [&](double v) { return chain(v) - decision_threshold; }, -vdd, vdd,
-      1e-15);
-  if (!v_th_opt) {
-    throw std::invalid_argument(
-        "StatAnalyzer: front-end transfer curve never crosses the decision "
-        "threshold");
+  // NRZ: the RFI saturating VTC and the restoring inverter are memoryless
+  // and monotone, so the sampler's decision maps back to a single threshold
+  // at the linear point: the channel-referred deviation from the stream
+  // mean at which restore(saturate(v)) crosses the decision threshold.
+  // PAM4: the slicers are calibrated to the stream statistics themselves
+  // (middle threshold at the mean), so the mean-relative threshold is 0 and
+  // the sampler noise maps back at unit slope.
+  double v_th = 0.0;
+  double sampler_sigma_lin = cfg.sampler.input_noise_rms;
+  if (!pam4) {
+    const double decision_threshold = rx.decision_threshold();
+    const auto chain = [&](double v) {
+      return restoring.restore_level(rfi.saturate(v));
+    };
+    const double vdd = cfg.driver.vdd.value();
+    const auto v_th_opt = util::bisect(
+        [&](double v) { return chain(v) - decision_threshold; }, -vdd, vdd,
+        1e-15);
+    if (!v_th_opt) {
+      throw std::invalid_argument(
+          "StatAnalyzer: front-end transfer curve never crosses the decision "
+          "threshold");
+    }
+    v_th = *v_th_opt;
+    // Sampler input-referred noise, mapped back through the static gain of
+    // the saturating chain at the threshold.
+    const double slope_h = 1e-6;
+    const double chain_slope =
+        (chain(v_th + slope_h) - chain(v_th - slope_h)) / (2.0 * slope_h);
+    sampler_sigma_lin =
+        chain_slope > 0.0 ? cfg.sampler.input_noise_rms / chain_slope : 0.0;
   }
-  const double v_th = *v_th_opt;
 
   const double sigma0 = core::per_sample_noise_sigma(cfg);
   const double chain_gain_sq =
-      noise_power_gain(cfg, rfi.bandwidth(), restoring.bandwidth());
-  // Sampler input-referred noise, mapped back through the static gain of
-  // the saturating chain at the threshold.
-  const double slope_h = 1e-6;
-  const double chain_slope =
-      (chain(v_th + slope_h) - chain(v_th - slope_h)) / (2.0 * slope_h);
-  const double sampler_sigma_lin =
-      chain_slope > 0.0 ? cfg.sampler.input_noise_rms / chain_slope : 0.0;
+      noise_power_gain(cfg, rfi.bandwidth(), restoring.bandwidth(), rx_poles);
   const double sigma =
       std::sqrt(sigma0 * sigma0 * chain_gain_sq +
                 sampler_sigma_lin * sampler_sigma_lin);
+
+  // ---- 2b. Crosstalk aggressor pulse responses --------------------------
+  // A FEXT aggressor runs through the victim's own channel + RX chain, so
+  // its pulse is just the victim pulse scaled by the coupling gain.  A
+  // NEXT aggressor skips the channel: one extra pulse extraction through a
+  // 0 dB flat channel (shared by every NEXT path).  UI delays permute the
+  // cursor indices without changing the set, so they drop out of the
+  // statistical model.
+  std::vector<double> next_pulse;
+  bool any_fext = false;
+  bool any_next = false;
+  for (const core::XtalkPath& x : cfg.xtalk) {
+    if (x.gain == 0.0) continue;
+    (x.through_channel ? any_fext : any_next) = true;
+  }
+  if (any_next) {
+    const std::size_t nbits =
+        static_cast<std::size_t>(pulse.size()) /
+            static_cast<std::size_t>(spu) +
+        2;
+    std::vector<double> one_levels(nbits, 0.0);
+    constexpr int kPreUisNext = 8;
+    one_levels[kPreUisNext] = cfg.driver.vdd.value();
+    const channel::FlatChannel flat{util::decibels(0.0)};
+    next_pulse = run_linear_chain(cfg, flat, rfi.bandwidth(),
+                                  restoring.bandwidth(), rx_poles,
+                                  std::move(one_levels), rise);
+  }
 
   // ---- 3. Per-phase cursor decomposition and tail statistics ------------
   StatReport report;
@@ -500,15 +554,40 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   const int total_uis = static_cast<int>(pulse.size()) / spu + 1;
   double pulse_sum = 0.0;
   for (const double v : pulse) pulse_sum += v;
+  double next_pulse_sum = 0.0;
+  for (const double v : next_pulse) next_pulse_sum += v;
   // AC-coupling estimate of the stream mean (deviation from the all-zero
-  // baseline): half the pulse's DC content per UI.
-  const double mean_off = 0.5 * pulse_sum / static_cast<double>(spu);
+  // baseline): half the pulse's DC content per UI — the victim's own plus
+  // every aggressor path's scaled DC (the slicer calibration sees the
+  // composite stream's mean).
+  double mean_off = 0.5 * pulse_sum / static_cast<double>(spu);
+  for (const core::XtalkPath& x : cfg.xtalk) {
+    if (x.gain == 0.0) continue;
+    mean_off += 0.5 * x.gain * (x.through_channel ? pulse_sum : next_pulse_sum) /
+                static_cast<double>(spu);
+  }
+  const int next_total_uis =
+      next_pulse.empty() ? 0 : static_cast<int>(next_pulse.size()) / spu + 1;
 
   std::vector<double> raw_ber(static_cast<std::size_t>(n_phases), 0.5);
   report.contour_high_v.assign(static_cast<std::size_t>(n_phases), 0.0);
   report.contour_low_v.assign(static_cast<std::size_t>(n_phases), 0.0);
   std::vector<double> phase_main(static_cast<std::size_t>(n_phases), 0.0);
   std::vector<int> phase_isi_count(static_cast<std::size_t>(n_phases), 0);
+  // PAM4 per-sub-eye traces (lower / middle / upper), per phase.
+  std::vector<std::vector<double>> eye_ber(
+      3, std::vector<double>(static_cast<std::size_t>(n_phases), 0.5));
+  std::vector<std::vector<double>> eye_high(
+      3, std::vector<double>(static_cast<std::size_t>(n_phases), 0.0));
+  std::vector<std::vector<double>> eye_low(
+      3, std::vector<double>(static_cast<std::size_t>(n_phases), 0.0));
+
+  // Gray-code bit cost of deciding s' when s was sent, in bits (out of the
+  // 2 a symbol carries): levels 0..3 map to (0,0) (0,1) (1,1) (1,0).
+  static constexpr int kGrayHamming[4][4] = {{0, 1, 2, 1},
+                                             {1, 0, 1, 2},
+                                             {2, 1, 0, 1},
+                                             {1, 2, 1, 0}};
 
   std::vector<double> cursors;
   std::vector<double> isi;
@@ -516,6 +595,7 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
     const double off = (static_cast<double>(b) + 0.5) / n_phases;
     cursors.clear();
     double sum_all = 0.0;
+    double l1_all = 0.0;
     double h0 = 0.0;
     int main_idx = -1;
     for (int m = 0; m < total_uis; ++m) {
@@ -523,6 +603,7 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
           pulse_at(pulse, (static_cast<double>(m) + off) * spu);
       cursors.push_back(c);
       sum_all += c;
+      l1_all += std::fabs(c);
       if (c > h0) {
         h0 = c;
         main_idx = m;
@@ -538,17 +619,98 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
         isi.push_back(cursors[static_cast<std::size_t>(m)]);
       }
     }
-    const IsiMixture mix = IsiMixture::build(isi, options_.mixture);
-    const double offset = 0.5 * sum_all - mean_off - v_th;
-    raw_ber[static_cast<std::size_t>(b)] =
-        slicer_error_probability(h0, mix, offset, sigma);
-    report.contour_high_v[static_cast<std::size_t>(b)] =
-        offset + 0.5 * h0 + mix.lower_quantile(options_.target_ber, sigma);
-    report.contour_low_v[static_cast<std::size_t>(b)] =
-        offset - 0.5 * h0 + mix.upper_quantile(options_.target_ber, sigma);
+    // Crosstalk enters the mixture as bounded interference: every
+    // aggressor cursor — its peak included, since aggressor data is
+    // independent of the victim's decision — is one more ISI tap.
+    for (const core::XtalkPath& x : cfg.xtalk) {
+      if (x.gain == 0.0) continue;
+      const std::vector<double>& agg = x.through_channel ? pulse : next_pulse;
+      const int agg_uis = x.through_channel ? total_uis : next_total_uis;
+      for (int m = 0; m < agg_uis; ++m) {
+        const double c =
+            x.gain * pulse_at(agg, (static_cast<double>(m) + off) * spu);
+        sum_all += c;
+        l1_all += std::fabs(c);
+        if (std::fabs(c) > options_.isi_epsilon * h0) isi.push_back(c);
+      }
+    }
+    const int isi_count = static_cast<int>(isi.size());
+
+    if (!pam4) {
+      const IsiMixture mix = IsiMixture::build(isi, options_.mixture);
+      const double offset = 0.5 * sum_all - mean_off - v_th;
+      raw_ber[static_cast<std::size_t>(b)] =
+          slicer_error_probability(h0, mix, offset, sigma);
+      report.contour_high_v[static_cast<std::size_t>(b)] =
+          offset + 0.5 * h0 + mix.lower_quantile(options_.target_ber, sigma);
+      report.contour_low_v[static_cast<std::size_t>(b)] =
+          offset - 0.5 * h0 + mix.upper_quantile(options_.target_ber, sigma);
+    } else {
+      // PAM4: each interfering cursor takes four equiprobable values
+      // {-c/2, -c/6, +c/6, +c/2} — the sum of two independent binary
+      // components +/-(c/3) and +/-(c/6), so the binary mixture machinery
+      // applies to an expanded cursor list (full amplitudes 2c/3 and c/3;
+      // build() halves them).
+      std::vector<double> expanded;
+      expanded.reserve(isi.size() * 2);
+      for (const double c : isi) {
+        expanded.push_back(2.0 * c / 3.0);
+        expanded.push_back(c / 3.0);
+      }
+      const IsiMixture mix = IsiMixture::build(expanded, options_.mixture);
+      // The MC slicers calibrate on the clean composite stream: middle
+      // threshold at the range midpoint (= half the cursor sum — the
+      // all-3s ceiling plus the all-0s floor, halved), outer thresholds
+      // a third of the clean range away, and that range is the L1 norm
+      // of the composite cursor set.  Relative to the midpoint, symbol s
+      // contributes d_s * h0 through the main cursor, d_s in {-1/2,
+      // -1/6, +1/6, +1/2}, and every interferer is in the mixture — so
+      // the model's shift is identically zero.
+      const double shift = 0.0;
+      const double spacing = l1_all / 3.0;
+      const double d[4] = {-0.5, -1.0 / 6.0, 1.0 / 6.0, 0.5};
+      const double t[3] = {-spacing, 0.0, spacing};
+      double region[4][4];  // [sent][decided]
+      for (int s = 0; s < 4; ++s) {
+        const double mu = d[s] * h0 + shift;
+        const double f0 = mix.lower_tail(t[0] - mu, sigma);
+        const double f1 = mix.lower_tail(t[1] - mu, sigma);
+        const double f2 = mix.lower_tail(t[2] - mu, sigma);
+        region[s][0] = f0;
+        region[s][1] = std::max(0.0, f1 - f0);
+        region[s][2] = std::max(0.0, f2 - f1);
+        region[s][3] = std::max(0.0, 1.0 - f2);
+      }
+      double ber = 0.0;
+      for (int s = 0; s < 4; ++s) {
+        for (int r = 0; r < 4; ++r) {
+          ber += 0.25 * region[s][r] *
+                 static_cast<double>(kGrayHamming[s][r]) / 2.0;
+        }
+      }
+      raw_ber[static_cast<std::size_t>(b)] = std::min(0.5, ber);
+      // Per-sub-eye surfaces: sub-eye k separates symbol k (below the
+      // boundary t[k]) from symbol k+1 (above it).
+      for (int k = 0; k < 3; ++k) {
+        const double mu_lo = d[k] * h0 + shift;
+        const double mu_hi = d[k + 1] * h0 + shift;
+        eye_ber[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)] =
+            0.5 * (mix.upper_tail(t[k] - mu_lo, sigma) +
+                   mix.lower_tail(t[k] - mu_hi, sigma));
+        eye_high[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)] =
+            mu_hi + mix.lower_quantile(options_.target_ber, sigma);
+        eye_low[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)] =
+            mu_lo + mix.upper_quantile(options_.target_ber, sigma);
+      }
+      // The report's scalar contours track the middle sub-eye (the NRZ
+      // analogue: the boundary at the calibrated midpoint).
+      report.contour_high_v[static_cast<std::size_t>(b)] =
+          eye_high[1][static_cast<std::size_t>(b)];
+      report.contour_low_v[static_cast<std::size_t>(b)] =
+          eye_low[1][static_cast<std::size_t>(b)];
+    }
     phase_main[static_cast<std::size_t>(b)] = h0;
-    phase_isi_count[static_cast<std::size_t>(b)] =
-        static_cast<int>(isi.size());
+    phase_isi_count[static_cast<std::size_t>(b)] = isi_count;
   }
 
   // ---- 4. Jitter folding and margins ------------------------------------
@@ -584,6 +746,43 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   report.voltage_margin_v =
       std::min(report.contour_high_v[static_cast<std::size_t>(best)],
                -report.contour_low_v[static_cast<std::size_t>(best)]);
+
+  if (pam4) {
+    // Per-sub-eye margins at the best phase (lower, middle, upper), with
+    // the sub-eye's own jitter-folded slicer error probability.  The
+    // scalar eye_height/voltage_margin above already track the middle
+    // sub-eye's contours; tighten them to the worst sub-eye so the scalar
+    // summary stays the binding margin.
+    const double h0 = phase_main[static_cast<std::size_t>(best)];
+    const double t[3] = {-h0 / 3.0, 0.0, h0 / 3.0};
+    report.pam4_eye_height_v.assign(3, 0.0);
+    report.pam4_voltage_margin_v.assign(3, 0.0);
+    report.pam4_eye_ber.assign(3, 0.5);
+    for (int k = 0; k < 3; ++k) {
+      const double high =
+          eye_high[static_cast<std::size_t>(k)][static_cast<std::size_t>(best)];
+      const double low =
+          eye_low[static_cast<std::size_t>(k)][static_cast<std::size_t>(best)];
+      report.pam4_eye_height_v[static_cast<std::size_t>(k)] = high - low;
+      report.pam4_voltage_margin_v[static_cast<std::size_t>(k)] =
+          std::min(high - t[k], t[k] - low);
+      double acc = 0.0;
+      for (int r = -reach; r <= reach; ++r) {
+        const int src = ((best + r) % n_phases + n_phases) % n_phases;
+        acc += kernel[static_cast<std::size_t>(r + reach)] *
+               eye_ber[static_cast<std::size_t>(k)]
+                      [static_cast<std::size_t>(src)];
+      }
+      report.pam4_eye_ber[static_cast<std::size_t>(k)] = acc;
+    }
+    report.eye_height_v =
+        std::min({report.pam4_eye_height_v[0], report.pam4_eye_height_v[1],
+                  report.pam4_eye_height_v[2]});
+    report.voltage_margin_v =
+        std::min({report.pam4_voltage_margin_v[0],
+                  report.pam4_voltage_margin_v[1],
+                  report.pam4_voltage_margin_v[2]});
+  }
 
   if (report.min_ber <= options_.target_ber) {
     int open = 1;

@@ -60,6 +60,15 @@ struct StatReport {
   /// when the eye is closed at `target_ber`.
   double voltage_margin_v = 0.0;
 
+  // ---- PAM4 per-eye margins (empty under NRZ) ----
+  /// For PAM4 scenarios, one entry per sub-eye (lower, middle, upper) at
+  /// the best sampling phase: the contour opening, the symmetric voltage
+  /// margin, and the sub-eye's own slicer error probability.  Serialized
+  /// only when non-empty (schema version 2), so NRZ reports are unchanged.
+  std::vector<double> pam4_eye_height_v;
+  std::vector<double> pam4_voltage_margin_v;
+  std::vector<double> pam4_eye_ber;
+
   // ---- MC cross-check (filled for analysis = "both") ----
   bool cross_checked = false;
   /// The Monte Carlo BER this report was checked against.

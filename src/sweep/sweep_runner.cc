@@ -501,6 +501,7 @@ SweepReport merge_shard_rows(const std::vector<SweepReport>& shards) {
 
 Json to_json(const SweepReport& report) {
   Json j = Json::object();
+  j.set("schema_version", report.schema_version);
   j.set("sweep", report.sweep_name);
 
   Json grid = Json::object();

@@ -84,6 +84,10 @@ struct SurfaceStats {
 };
 
 struct SweepReport {
+  /// Report schema version (see api::RunReport::schema_version — the
+  /// contract is shared: version 2 added the key itself; absent means 1).
+  int schema_version = 2;
+
   std::string sweep_name;
   std::uint64_t grid_total = 0;
   Shard shard{};

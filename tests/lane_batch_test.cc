@@ -217,6 +217,12 @@ TEST(LaneBatch, TileEligibilityRequiresStreamingMonteCarlo) {
   spec.analysis = "mc";
   spec.lane_batch = 1;
   EXPECT_FALSE(Simulator::tile_eligible(spec));
+  // PAM4 runs on the scalar streaming path — the SoA tile kernels are
+  // two-level; a pam4 spec must never group into a tile.
+  spec.lane_batch = 8;
+  spec.modulation = "pam4";
+  spec.tx_ffe_deemphasis = 0.0;
+  EXPECT_FALSE(Simulator::tile_eligible(spec));
 }
 
 TEST(LaneBatch, TileKeyNeutralizesNameAndSeedOnly) {

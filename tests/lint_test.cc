@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/bus_spec.h"
 #include "api/spec_json.h"
 #include "lint/lint.h"
 #include "sweep/sweep_spec.h"
@@ -100,11 +101,14 @@ TEST(LintRules, DefaultSpecAndShippedSpecsAreClean) {
                               "specs")) {
     if (entry.path().extension() != ".json") continue;
     if (entry.path().filename() == "lint_demo.json") continue;
+    if (entry.path().filename() == "lint_demo_bus.json") continue;
     const Json doc = Json::parse(read_file(entry.path()));
     const LintReport report =
         doc.find("axes") != nullptr
             ? linter.lint(sweep::SweepSpec::from_json(doc))
-            : linter.lint(api::link_spec_from_json(doc));
+            : api::looks_like_bus_spec(doc)
+                  ? linter.lint(api::bus_spec_from_json(doc))
+                  : linter.lint(api::link_spec_from_json(doc));
     EXPECT_TRUE(report.clean())
         << entry.path().filename() << " must lint clean:\n"
         << lint::to_json(report).dump(2);
@@ -343,6 +347,84 @@ TEST(LintRules, AxisOverwritesSuppressBaseFindings) {
   sweep.axes.push_back({"dsp", {Json(true), Json(false)}});
   const LintReport report = Linter().lint(sweep);
   for (const auto& f : report.findings) EXPECT_NE(f.rule, "dsp-inert");
+}
+
+// ---- Bus-level rules -------------------------------------------------
+
+api::BusSpec clean_bus(int lanes) {
+  api::BusSpec bus;
+  bus.name = "lintbus";
+  bus.lanes = lanes;
+  bus.base = api::LinkSpec{};  // default spec lints clean
+  return bus;
+}
+
+TEST(LintRules, Pam4InsufficientSwing) {
+  api::LinkSpec spec;
+  spec.modulation = "pam4";
+  spec.channel = api::ChannelSpec::flat(40.0);
+  spec.noise_rms_v = 0.01;
+  expect_finding(Linter().lint(spec), "pam4-insufficient-swing",
+                 "$.modulation", Severity::kWarning);
+  // Same noise budget carries nrz at this loss — the rule is
+  // modulation-gated, not a general noise rule.
+  spec.modulation = "nrz";
+  expect_no_finding(Linter().lint(spec), "pam4-insufficient-swing");
+  // And pam4 with real headroom is clean.
+  spec.modulation = "pam4";
+  spec.channel = api::ChannelSpec::flat(4.0);
+  spec.noise_rms_v = 0.001;
+  EXPECT_TRUE(Linter().lint(spec).clean());
+}
+
+TEST(LintRules, CouplingMatrixAsymmetry) {
+  api::BusSpec bus = clean_bus(2);
+  bus.coupling = {{0.0, 0.05}, {0.0, 0.0}};
+  const LintReport report = Linter().lint(bus);
+  EXPECT_EQ(report.kind, "bus");
+  EXPECT_EQ(report.subject, "lintbus");
+  expect_finding(report, "coupling-matrix-asymmetry", "$.coupling[1][0]",
+                 Severity::kWarning);
+
+  // Mirroring the off-diagonal terms silences it.
+  bus.coupling[1][0] = 0.05;
+  EXPECT_TRUE(Linter().lint(bus).clean());
+
+  // next_coupling is scanned under its own anchor.
+  bus.next_coupling = {{0.0, 0.01}, {0.02, 0.0}};
+  expect_finding(Linter().lint(bus), "coupling-matrix-asymmetry",
+                 "$.next_coupling[1][0]", Severity::kWarning);
+}
+
+TEST(LintRules, SelfCoupling) {
+  api::BusSpec bus = clean_bus(2);
+  bus.coupling = {{0.1, 0.0}, {0.0, 0.0}};
+  expect_finding(Linter().lint(bus), "self-coupling", "$.coupling[0][0]",
+                 Severity::kWarning);
+  bus.coupling[0][0] = 0.0;
+  bus.next_coupling = {{0.0, 0.0}, {0.0, 0.02}};
+  expect_finding(Linter().lint(bus), "self-coupling", "$.next_coupling[1][1]",
+                 Severity::kWarning);
+}
+
+TEST(LintRules, LaneOverridesSuppressBaseFindings) {
+  api::BusSpec bus = clean_bus(2);
+  bus.base.analysis = "both";
+  bus.base.payload_bits = 2048;
+  bus.base.chunk_bits = 2048;
+  expect_finding(Linter().lint(bus), "underpowered-cross-check",
+                 "$.base.payload_bits", Severity::kWarning);
+  // Once EVERY lane overrides the member, the base value no longer
+  // decides what any lane sees — the finding is suppressed.
+  bus.overrides = {
+      Json::object({{"payload_bits", Json(std::uint64_t{1} << 20)}}),
+      Json::object({{"payload_bits", Json(std::uint64_t{1} << 20)}}),
+  };
+  expect_no_finding(Linter().lint(bus), "underpowered-cross-check");
+  // A partial override (one lane still inherits the base) keeps it.
+  bus.overrides[1] = Json::object({});
+  expect_finding(Linter().lint(bus), "underpowered-cross-check",
+                 "$.base.payload_bits", Severity::kWarning);
 }
 
 // ---- Structural estimates --------------------------------------------

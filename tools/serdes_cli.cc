@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/bus_spec.h"
 #include "api/channel_factory.h"
 #include "api/spec_json.h"
 #include "lint/lint.h"
@@ -49,11 +50,16 @@ int usage(std::ostream& out, int exit_code) {
   out << R"(serdes_cli — JSON-driven SerDes scenario engine
 
 usage:
-  serdes_cli run <spec.json> [--lanes N] [--out FILE] [--compact]
+  serdes_cli run <spec.json> [--lanes N] [--threads N] [--out FILE]
+                 [--compact]
       Run one link scenario (a LinkSpec file) and print its RunReport.
       --lanes N (1..64) runs N lanes of the scenario as one SoA lane
       tile (each lane gets its derived per-lane seed) and prints a JSON
       array of N RunReports; --lanes 1 keeps the single-report output.
+      A bus file (a BusSpec: "lanes"/"base", optional FEXT/NEXT
+      "coupling"/"next_coupling" matrices) runs every lane — with the
+      crosstalk injections when coupling is nonzero — and prints the
+      BusReport; --threads bounds the lanes in flight.
 
   serdes_cli stat <spec.json> [--out FILE] [--compact]
       Statistical (StatEye-style) analysis of one LinkSpec: analytical
@@ -94,8 +100,9 @@ usage:
       rows it had not yet committed.
 
   serdes_cli validate <file.json> [...]
-      Check spec files (LinkSpec, or SweepSpec when an "axes" key is
-      present).  Problems are reported with their JSON path.
+      Check spec files (SweepSpec when an "axes" key is present, BusSpec
+      when "lanes"/"base" are, LinkSpec otherwise).  Problems are
+      reported with their JSON path.
 
   serdes_cli lint <file.json> [...] [--deny SEVERITY] [--out FILE]
                   [--compact]
@@ -349,12 +356,34 @@ int cmd_run(const CommonFlags& flags) {
     std::cerr << "run expects exactly one spec file\n";
     return 2;
   }
-  reject_unsupported(flags, "run", /*allow_threads=*/false,
+  reject_unsupported(flags, "run", /*allow_threads=*/true,
                      /*allow_shard=*/false, /*allow_output=*/true,
                      /*allow_progress=*/false, /*allow_lint_flags=*/false,
                      /*allow_lanes=*/true);
   const std::string& path = flags.positional.front();
   const Json doc = Json::parse(read_file(path));
+  if (serdes::api::looks_like_bus_spec(doc)) {
+    if (flags.lanes != 0) {
+      throw UsageError("--lanes applies to link specs; a bus file carries "
+                       "its own lane count");
+    }
+    serdes::api::BusSpec bus;
+    try {
+      bus = serdes::api::bus_spec_from_json(doc);
+      bus.validate_or_throw();
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+    const serdes::api::BusReport report =
+        serdes::api::Simulator().run_bus(bus, flags.threads);
+    write_output(flags.out_path,
+                 serdes::api::to_json(report).dump(flags.compact ? -1 : 2));
+    return 0;
+  }
+  if (flags.threads != 0) {
+    throw UsageError("--threads applies to bus files; link scenarios are "
+                     "single-lane (use --lanes for a tile)");
+  }
   serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
   if (flags.lanes > 1) spec.lane_batch = flags.lanes;
   if (auto err = serdes::api::validate_spec_with_paths(spec); !err.empty()) {
@@ -393,6 +422,11 @@ int cmd_stat(const CommonFlags& flags) {
                      /*allow_progress=*/false);
   const std::string& path = flags.positional.front();
   const Json doc = Json::parse(read_file(path));
+  if (serdes::api::looks_like_bus_spec(doc)) {
+    throw std::runtime_error(
+        path + ": stat expects a LinkSpec; run bus files (per-lane stat "
+               "included via \"analysis\") with 'serdes_cli run'");
+  }
   serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
   // Validate the spec as written first — a typo like "botth" must fail
   // with its field path, not be silently coerced into a stat-only run.
@@ -576,7 +610,8 @@ int cmd_validate(const CommonFlags& flags) {
   for (const std::string& path : flags.positional) {
     try {
       const Json doc = Json::parse(read_file(path));
-      // A sweep file declares axes; anything else is a single LinkSpec.
+      // A sweep file declares axes, a bus file lanes/base; anything else
+      // is a single LinkSpec.
       if (doc.is_object() && doc.find("axes") != nullptr) {
         const auto sweep = serdes::sweep::SweepSpec::from_json(doc);
         if (auto err = sweep.validate(); !err.empty()) {
@@ -584,6 +619,13 @@ int cmd_validate(const CommonFlags& flags) {
         }
         std::cout << path << ": OK — sweep '" << sweep.name << "', "
                   << sweep.scenario_count() << " scenarios\n";
+      } else if (serdes::api::looks_like_bus_spec(doc)) {
+        const auto bus = serdes::api::bus_spec_from_json(doc);
+        if (auto err = bus.validate(); !err.empty()) {
+          throw std::runtime_error(err);
+        }
+        std::cout << path << ": OK — bus '" << bus.name << "', " << bus.lanes
+                  << " lane(s)\n";
       } else {
         const auto spec = serdes::api::link_spec_from_json(doc);
         if (auto err = serdes::api::validate_spec_with_paths(spec);
@@ -611,7 +653,8 @@ int cmd_lint(const CommonFlags& flags) {
     }
     for (const auto& rule : serdes::lint::rules()) {
       std::cout << rule.id << "  [" << serdes::lint::to_string(rule.severity)
-                << (rule.sweep_only ? ", sweep-only" : "") << "]  "
+                << (rule.sweep_only ? ", sweep-only" : "")
+                << (rule.bus_only ? ", bus-only" : "") << "]  "
                 << rule.summary << "\n";
     }
     return 0;
@@ -629,15 +672,27 @@ int cmd_lint(const CommonFlags& flags) {
   for (const std::string& path : flags.positional) {
     const Json doc = Json::parse(read_file(path));
     serdes::lint::LintReport report;
-    // A sweep file declares axes; anything else is a single LinkSpec.
-    // Lint presumes a runnable spec, so validation failures stay hard
-    // errors exactly as `validate` reports them.
+    // A sweep file declares axes, a bus file lanes/base; anything else
+    // is a single LinkSpec.  Lint presumes a runnable spec, so
+    // validation failures stay hard errors exactly as `validate`
+    // reports them.
     if (doc.is_object() && doc.find("axes") != nullptr) {
       const auto sweep = serdes::sweep::SweepSpec::from_json(doc);
       if (auto err = sweep.validate(); !err.empty()) {
         throw std::runtime_error(path + ": " + err);
       }
       report = linter.lint(sweep);
+    } else if (serdes::api::looks_like_bus_spec(doc)) {
+      serdes::api::BusSpec bus;
+      try {
+        bus = serdes::api::bus_spec_from_json(doc);
+      } catch (const JsonError& e) {
+        throw std::runtime_error(path + ": " + e.what());
+      }
+      if (auto err = bus.validate(); !err.empty()) {
+        throw std::runtime_error(path + ": " + err);
+      }
+      report = linter.lint(bus);
     } else {
       const auto spec = serdes::api::link_spec_from_json(doc);
       if (auto err = serdes::api::validate_spec_with_paths(spec);
