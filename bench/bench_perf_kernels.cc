@@ -37,6 +37,7 @@
 #include "flow/rtlgen.h"
 #include "flow/sta.h"
 #include "api/bus_spec.h"
+#include "opt/optimizer.h"
 #include "pipe/lane_block.h"
 #include "pipe/lane_stages.h"
 #include "pipe/pam_stages.h"
@@ -527,6 +528,36 @@ int main(int argc, char** argv) {
     run_bench(results, "stat_engine_paper_default", 1, [&] {
       volatile double ber = sim.run(spec).stat->min_ber;
       (void)ber;
+    });
+  }
+
+  // Same engine with a 3-tap DFE on an ISI channel: the residual
+  // post-cursor cancellation and the error-propagation burst factor run
+  // per phase bin on top of the plain bathtub.  Items = scenarios.
+  // Backs the trained/DFE stat scenarios (examples/specs/trained_ci.json).
+  {
+    api::LinkSpec spec = api::LinkBuilder()
+                             .channel(api::ChannelSpec::fir({0.8, 0.15, 0.05}))
+                             .noise_rms(0.002)
+                             .dfe({0.01, 0.005, 0.002})
+                             .analysis("stat")
+                             .build_spec();
+    const api::Simulator sim;
+    run_bench(results, "stat_engine_dfe_sample", 1, [&] {
+      volatile double ber = sim.run(spec).stat->min_ber;
+      (void)ber;
+    });
+  }
+
+  // The full `serdes_cli optimize` path on the paper operating point:
+  // baseline stat evaluation (which already meets the 1e-15 target, so
+  // the descent short-circuits) plus the winner's 2^16-bit Monte Carlo
+  // cross-check.  Items = optimize calls.
+  {
+    const api::LinkSpec spec = api::LinkSpec::paper_default();
+    run_bench(results, "optimize_paper_default", 1, [&] {
+      volatile bool met = opt::optimize(spec).met;
+      (void)met;
     });
   }
 

@@ -41,6 +41,8 @@ EXCLUDE = ("deep_ber_streaming_bit", "deep_ber_batch_bit")
 REQUIRED = (
     "stat_engine_paper_default",
     "stat_engine_bus4_pam4",
+    "stat_engine_dfe_sample",
+    "optimize_paper_default",
     "stage_pam4_slicer_sample",
     "full_link_run_bit",
     "simulator_run_batch8_lanes_bit",

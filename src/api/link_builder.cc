@@ -99,6 +99,21 @@ LinkBuilder& LinkBuilder::rx_ctle(util::Decibel boost, util::Hertz pole) {
   return *this;
 }
 
+LinkBuilder& LinkBuilder::dfe(std::vector<double> taps) {
+  spec_.dfe_taps = std::move(taps);
+  return *this;
+}
+
+LinkBuilder& LinkBuilder::eq(std::string mode) {
+  spec_.eq = std::move(mode);
+  return *this;
+}
+
+LinkBuilder& LinkBuilder::training_uis(int uis) {
+  spec_.training_uis = uis;
+  return *this;
+}
+
 LinkBuilder& LinkBuilder::preamble_bits(int bits) {
   spec_.preamble_bits = bits;
   return *this;

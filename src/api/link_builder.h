@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "api/link_spec.h"
 #include "core/link.h"
@@ -58,6 +59,14 @@ class LinkBuilder {
   LinkBuilder& tx_ffe_deemphasis(double alpha);
   LinkBuilder& rx_ctle(util::Decibel boost,
                        util::Hertz pole = util::megahertz(700.0));
+  /// DFE post-cursor taps in volts at the sampler's summing node (tap k
+  /// feeds back the decision from k+1 UIs ago); empty disables the DFE.
+  LinkBuilder& dfe(std::vector<double> taps);
+  /// Equalizer adaptation: "fixed" (default) or "trained" (sign-sign LMS
+  /// over a training preamble; see LinkSpec::eq).
+  LinkBuilder& eq(std::string mode);
+  /// Training preamble length in UIs for eq("trained").
+  LinkBuilder& training_uis(int uis);
 
   LinkBuilder& preamble_bits(int bits);
   LinkBuilder& prbs(util::PrbsOrder order);

@@ -127,6 +127,30 @@ LinkSpec::Issue LinkSpec::first_issue() const {
   if (rx_ctle_boost_db > 0.0 && rx_ctle_pole_hz <= 0.0) {
     return {"rx_ctle_pole_hz", "must be positive when the CTLE is enabled"};
   }
+  if (dfe_taps.size() > 8) {
+    return {"dfe_taps", "at most 8 post-cursor taps are supported"};
+  }
+  for (std::size_t i = 0; i < dfe_taps.size(); ++i) {
+    const double tap = dfe_taps[i];
+    if (!(tap > -1.8) || !(tap < 1.8)) {
+      return {"dfe_taps[" + std::to_string(i) + "]",
+              "must be a finite voltage within the 1.8 V supply"};
+    }
+  }
+  if (!dfe_taps.empty() && !streaming) {
+    return {"streaming", "the DFE requires the streaming execution path"};
+  }
+  if (eq != "fixed" && eq != "trained") {
+    return {"eq", "must be one of 'fixed', 'trained'"};
+  }
+  if (eq == "trained") {
+    if (!streaming) {
+      return {"streaming", "eq 'trained' requires the streaming path"};
+    }
+    if (training_uis < 256 || training_uis > (1 << 20)) {
+      return {"training_uis", "must be in [256, 1048576]"};
+    }
+  }
   if (preamble_bits < 8) return {"preamble_bits", "must be at least 8"};
   if (payload_bits == 0) return {"payload_bits", "must be positive"};
   if (chunk_bits == 0) return {"chunk_bits", "must be positive"};
@@ -182,6 +206,7 @@ core::LinkConfig LinkSpec::to_link_config() const {
   cfg.tx_ffe_deemphasis = tx_ffe_deemphasis;
   cfg.rx_ctle_boost = util::Decibel{rx_ctle_boost_db};
   cfg.rx_ctle_pole = util::Hertz{rx_ctle_pole_hz};
+  cfg.dfe_taps = dfe_taps;
 
   cfg.framing.preamble_bits = preamble_bits;
   cfg.prbs_order = prbs_order;

@@ -97,6 +97,22 @@ struct LinkSpec {
   double tx_ffe_deemphasis = 0.0;
   double rx_ctle_boost_db = 0.0;
   double rx_ctle_pole_hz = 700e6;
+  /// Decision-feedback equalizer: post-cursor tap weights (volts at the
+  /// sampler's summing node — the restored domain for NRZ, the CTLE
+  /// output for PAM4).  Tap k is fed back from the decision k UIs ago;
+  /// empty disables the DFE.  Requires the streaming execution path.
+  std::vector<double> dfe_taps;
+  /// Equalizer adaptation mode: "fixed" (default — the knobs above are
+  /// used as written) or "trained" (a sign-sign LMS training preamble of
+  /// `training_uis` known symbols adapts the DFE taps — and, when they
+  /// saturate or the tail demands it, the TX FFE / CTLE knobs — before
+  /// the payload runs; the knobs above become initial values and the
+  /// converged settings are reported in RunReport.training).  Training
+  /// is deterministic given the seed and runs per lane in batches.
+  std::string eq = "fixed";
+  /// Length of the "trained" training preamble in UIs (ignored under
+  /// eq = "fixed").
+  int training_uis = 4096;
 
   // ---- Framing / payload ----
   int preamble_bits = 256;

@@ -22,8 +22,11 @@ namespace serdes::api {
 bool Simulator::tile_eligible(const LinkSpec& spec) {
   // PAM4 runs the dedicated slicer/CDR sink, which the SoA lane tiles do
   // not model — PAM4 lanes always take the scalar path.
+  // Trained lanes are excluded as well: each lane trains its own EQ from
+  // its derived seed, so tiles could no longer share one instruction
+  // stream over identical physics.
   return spec.lane_batch > 1 && spec.streaming && spec.analysis == "mc" &&
-         spec.modulation == "nrz";
+         spec.modulation == "nrz" && spec.eq != "trained";
 }
 
 std::string Simulator::tile_key(const LinkSpec& spec) {
@@ -57,6 +60,24 @@ RunReport Simulator::run_impl(
 
   core::LinkConfig cfg = spec.to_link_config();
   cfg.xtalk = xtalk;
+
+  // Link training first: eq "trained" replays a deterministic preamble
+  // and rewrites the executed EQ settings (DFE taps, FFE, CTLE) before
+  // either engine runs, so stat and MC see the same trained link.  The
+  // report's spec keeps the authored values; the converged settings land
+  // in report.training.
+  if (spec.eq == "trained") {
+    const auto train_channel =
+        ChannelFactory::instance().create(spec.channel, cfg);
+    const std::size_t n_taps =
+        spec.dfe_taps.empty() ? 3 : spec.dfe_taps.size();
+    core::TrainingResult trained = core::train_equalizer(
+        cfg, *train_channel, spec.training_uis, n_taps);
+    cfg.dfe_taps = trained.dfe_taps;
+    cfg.tx_ffe_deemphasis = trained.tx_ffe_deemphasis;
+    cfg.rx_ctle_boost = util::decibels(trained.rx_ctle_boost_db);
+    report.training = std::move(trained);
+  }
 
   // Statistical analysis first: it is cheap (no bit stream), and a
   // "stat"-only run returns here without ever building the MC datapath's

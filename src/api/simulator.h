@@ -16,6 +16,7 @@
 
 #include "analog/waveform.h"
 #include "api/link_spec.h"
+#include "core/eq_training.h"
 #include "core/eye.h"
 #include "stat/stat_report.h"
 
@@ -29,7 +30,10 @@ struct RunReport {
   /// Report schema version.  Version 2 added `schema_version` itself plus
   /// the bus/PAM4 sections (BusReport, StatReport per-eye margins); a
   /// report parsed from JSON without the key reads back as version 1.
-  int schema_version = 2;
+  /// Version 3 added the DFE / link-training surface: LinkSpec `dfe_taps`
+  /// / `eq` / `training_uis`, the `training` section below, and the
+  /// StatReport DFE model fields.
+  int schema_version = 3;
 
   /// The spec that produced this report (seed shows the derived per-lane
   /// value when the report came from run_batch).
@@ -58,6 +62,11 @@ struct RunReport {
   /// cross-check fields record whether the MC BER above landed inside the
   /// engine's predicted band.  For "stat" runs the MC fields stay zeroed.
   std::optional<stat::StatReport> stat;
+
+  // ---- Link training (when spec.eq is "trained") ----
+  /// Converged equalizer settings the run actually executed with.  The
+  /// spec above keeps the authored (pre-training) values.
+  std::optional<core::TrainingResult> training;
 
   // ---- Waveforms (only when spec.capture_waveforms) ----
   analog::Waveform tx_out;

@@ -203,6 +203,12 @@ void apply_link_field(LinkSpec& spec, std::string_view field,
     spec.rx_ctle_boost_db = get_double(value, path);
   } else if (field == "rx_ctle_pole_hz") {
     spec.rx_ctle_pole_hz = get_double(value, path);
+  } else if (field == "dfe_taps") {
+    spec.dfe_taps = get_double_array(value, path);
+  } else if (field == "eq") {
+    spec.eq = get_string(value, path);
+  } else if (field == "training_uis") {
+    spec.training_uis = get_int32(value, path);
   } else if (field == "preamble_bits") {
     spec.preamble_bits = get_int32(value, path);
   } else if (field == "prbs_order") {
@@ -291,6 +297,11 @@ Json to_json(const LinkSpec& spec) {
   j.set("tx_ffe_deemphasis", spec.tx_ffe_deemphasis);
   j.set("rx_ctle_boost_db", spec.rx_ctle_boost_db);
   j.set("rx_ctle_pole_hz", spec.rx_ctle_pole_hz);
+  Json dfe = Json::array();
+  for (const double t : spec.dfe_taps) dfe.push_back(t);
+  j.set("dfe_taps", std::move(dfe));
+  j.set("eq", spec.eq);
+  j.set("training_uis", spec.training_uis);
   j.set("preamble_bits", spec.preamble_bits);
   j.set("prbs_order", static_cast<int>(spec.prbs_order));
   j.set("payload_bits", spec.payload_bits);
@@ -340,6 +351,14 @@ Json to_json(const stat::StatReport& report) {
           number_array(report.pam4_voltage_margin_v));
     j.set("pam4_eye_ber", number_array(report.pam4_eye_ber));
   }
+  // DFE model parameters (schema version 3): serialized only when the
+  // analysis cancelled post-cursors, so DFE-free reports keep their bytes.
+  if (!report.dfe_taps_applied.empty()) {
+    Json taps = Json::array();
+    for (const double t : report.dfe_taps_applied) taps.push_back(t);
+    j.set("dfe_taps_applied", std::move(taps));
+    j.set("dfe_burst_factor", report.dfe_burst_factor);
+  }
   j.set("cross_checked", report.cross_checked);
   j.set("mc_ber", report.mc_ber);
   j.set("band_low", report.band_low);
@@ -386,6 +405,10 @@ stat::StatReport stat_report_from_json(const Json& json,
       report.pam4_voltage_margin_v = get_double_array(value, p);
     } else if (key == "pam4_eye_ber") {
       report.pam4_eye_ber = get_double_array(value, p);
+    } else if (key == "dfe_taps_applied") {
+      report.dfe_taps_applied = get_double_array(value, p);
+    } else if (key == "dfe_burst_factor") {
+      report.dfe_burst_factor = get_double(value, p);
     } else if (key == "cross_checked") {
       report.cross_checked = get_bool(value, p);
     } else if (key == "mc_ber") {
@@ -425,6 +448,21 @@ Json to_json(const RunReport& report) {
   eye.set("best_phase_ui", report.eye.best_phase_ui);
   j.set("eye", std::move(eye));
   if (report.stat) j.set("stat", to_json(*report.stat));
+  // Link-training outcome: serialized only for trained runs, so fixed-EQ
+  // reports keep their pre-training bytes.
+  if (report.training) {
+    const core::TrainingResult& t = *report.training;
+    Json tj = Json::object();
+    Json taps = Json::array();
+    for (const double tap : t.dfe_taps) taps.push_back(tap);
+    tj.set("dfe_taps", std::move(taps));
+    tj.set("tx_ffe_deemphasis", t.tx_ffe_deemphasis);
+    tj.set("rx_ctle_boost_db", t.rx_ctle_boost_db);
+    tj.set("amplitude", t.amplitude);
+    tj.set("training_uis", t.training_uis);
+    tj.set("passes", t.passes);
+    j.set("training", std::move(tj));
+  }
   return j;
 }
 
@@ -478,8 +516,104 @@ RunReport run_report_from_json(const Json& json, const std::string& path) {
       }
     } else if (key == "stat") {
       report.stat = stat_report_from_json(value, p);
+    } else if (key == "training") {
+      if (!value.is_object()) fail(p, "expected training object");
+      core::TrainingResult t;
+      for (const auto& [tkey, tvalue] : value.as_object()) {
+        const std::string tp = p + "." + tkey;
+        if (tkey == "dfe_taps") {
+          t.dfe_taps = get_double_array(tvalue, tp);
+        } else if (tkey == "tx_ffe_deemphasis") {
+          t.tx_ffe_deemphasis = get_double(tvalue, tp);
+        } else if (tkey == "rx_ctle_boost_db") {
+          t.rx_ctle_boost_db = get_double(tvalue, tp);
+        } else if (tkey == "amplitude") {
+          t.amplitude = get_double(tvalue, tp);
+        } else if (tkey == "training_uis") {
+          t.training_uis = get_int32(tvalue, tp);
+        } else if (tkey == "passes") {
+          t.passes = get_int32(tvalue, tp);
+        } else {
+          fail(tp, "unknown training field '" + tkey + "'");
+        }
+      }
+      report.training = std::move(t);
     } else {
       fail(p, "unknown RunReport field '" + key + "'");
+    }
+  }
+  return report;
+}
+
+Json to_json(const opt::OptimizeReport& report) {
+  Json j = Json::object();
+  j.set("schema_version", report.schema_version);
+  j.set("spec", to_json(report.spec));
+  j.set("target_ber", report.target_ber);
+  j.set("baseline_min_ber", report.baseline_min_ber);
+  j.set("baseline_met", report.baseline_met);
+  Json taps = Json::array();
+  for (const double t : report.dfe_taps) taps.push_back(t);
+  j.set("dfe_taps", std::move(taps));
+  j.set("tx_ffe_deemphasis", report.tx_ffe_deemphasis);
+  j.set("rx_ctle_boost_db", report.rx_ctle_boost_db);
+  j.set("winner_min_ber", report.winner_min_ber);
+  j.set("winner_voltage_margin_v", report.winner_voltage_margin_v);
+  j.set("met", report.met);
+  j.set("evaluations", report.evaluations);
+  j.set("passes", report.passes);
+  j.set("cross_checked", report.cross_checked);
+  j.set("mc_bits", report.mc_bits);
+  j.set("mc_errors", report.mc_errors);
+  j.set("mc_ber", report.mc_ber);
+  j.set("mc_consistent", report.mc_consistent);
+  return j;
+}
+
+opt::OptimizeReport optimize_report_from_json(const Json& json,
+                                              const std::string& path) {
+  if (!json.is_object()) fail(path, "expected optimize report object");
+  opt::OptimizeReport report;
+  for (const auto& [key, value] : json.as_object()) {
+    const std::string p = path + "." + key;
+    if (key == "schema_version") {
+      report.schema_version = get_int32(value, p);
+    } else if (key == "spec") {
+      report.spec = link_spec_from_json(value, p);
+    } else if (key == "target_ber") {
+      report.target_ber = get_double(value, p);
+    } else if (key == "baseline_min_ber") {
+      report.baseline_min_ber = get_double(value, p);
+    } else if (key == "baseline_met") {
+      report.baseline_met = get_bool(value, p);
+    } else if (key == "dfe_taps") {
+      report.dfe_taps = get_double_array(value, p);
+    } else if (key == "tx_ffe_deemphasis") {
+      report.tx_ffe_deemphasis = get_double(value, p);
+    } else if (key == "rx_ctle_boost_db") {
+      report.rx_ctle_boost_db = get_double(value, p);
+    } else if (key == "winner_min_ber") {
+      report.winner_min_ber = get_double(value, p);
+    } else if (key == "winner_voltage_margin_v") {
+      report.winner_voltage_margin_v = get_double(value, p);
+    } else if (key == "met") {
+      report.met = get_bool(value, p);
+    } else if (key == "evaluations") {
+      report.evaluations = get_int32(value, p);
+    } else if (key == "passes") {
+      report.passes = get_int32(value, p);
+    } else if (key == "cross_checked") {
+      report.cross_checked = get_bool(value, p);
+    } else if (key == "mc_bits") {
+      report.mc_bits = get_uint(value, p);
+    } else if (key == "mc_errors") {
+      report.mc_errors = get_uint(value, p);
+    } else if (key == "mc_ber") {
+      report.mc_ber = get_double(value, p);
+    } else if (key == "mc_consistent") {
+      report.mc_consistent = get_bool(value, p);
+    } else {
+      fail(p, "unknown OptimizeReport field '" + key + "'");
     }
   }
   return report;

@@ -18,6 +18,7 @@
 
 #include "api/link_spec.h"
 #include "api/simulator.h"
+#include "opt/optimizer.h"
 #include "stat/stat_report.h"
 #include "util/json.h"
 
@@ -40,6 +41,11 @@ namespace serdes::api {
 /// are for sweeps and CI artifacts, not bulk sample storage).
 [[nodiscard]] util::Json to_json(const RunReport& report);
 
+/// Serializes an optimizer outcome (baseline, winner knobs, search
+/// accounting, MC cross-check verdict).  Deterministic like every other
+/// report serialization — the optimize golden test pins the bytes.
+[[nodiscard]] util::Json to_json(const opt::OptimizeReport& report);
+
 /// Parsers: `path` is the JSON path of `json` within its document, used
 /// to prefix error messages.  Throw util::JsonError.
 [[nodiscard]] ChannelSpec channel_spec_from_json(
@@ -50,6 +56,8 @@ namespace serdes::api {
                                              const std::string& path = "$");
 [[nodiscard]] stat::StatReport stat_report_from_json(
     const util::Json& json, const std::string& path = "$.stat");
+[[nodiscard]] opt::OptimizeReport optimize_report_from_json(
+    const util::Json& json, const std::string& path = "$");
 
 /// Applies one field to a spec — the shared primitive behind whole-spec
 /// parsing and sweep-axis application.  `field` may be a top-level

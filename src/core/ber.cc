@@ -46,8 +46,14 @@ BerMeasurement measure_ber(
   BerMeasurement m;
   m.confidence_level = confidence_level;
   util::PrbsGenerator prbs(order);
-  while (m.bits < total_bits) {
-    const std::uint64_t n = std::min(chunk_bits, total_bits - m.bits);
+  // Footage is tracked by bits *sent*, not bits compared: an aligned chunk
+  // may compare slightly fewer bits than it carried (the CDR pipeline's
+  // tail allowance), and a residual micro-chunk re-run for that deficit
+  // could never align — it would poison the whole measurement.
+  std::uint64_t sent = 0;
+  while (sent < total_bits) {
+    const std::uint64_t n = std::min(chunk_bits, total_bits - sent);
+    sent += n;
     const auto payload = prbs.next_bits(static_cast<std::size_t>(n));
     const LinkResult r = link.run(payload);
     if (on_chunk) on_chunk(r);

@@ -92,6 +92,11 @@ struct LinkConfig {
   /// RX CTLE high-frequency boost above `rx_ctle_pole` (0 dB disables).
   util::Decibel rx_ctle_boost = util::decibels(0.0);
   util::Hertz rx_ctle_pole = util::megahertz(700.0);
+  /// Decision-feedback equalizer post-cursor taps, in volts at the
+  /// sampler's summing node (restored domain for NRZ, CTLE output for
+  /// PAM4).  Tap k feeds back the decision from k+1 UIs ago; empty
+  /// disables the DFE.  Streaming execution only.
+  std::vector<double> dfe_taps;
 
   // ---- Framing / payload ----
   digital::FramingConfig framing{};

@@ -1,0 +1,358 @@
+#include "core/eq_training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/equalizer.h"
+#include "core/receiver.h"
+#include "core/transmitter.h"
+#include "pipe/stages.h"
+#include "util/prbs.h"
+
+namespace serdes::core {
+
+namespace {
+
+// Outer coordinate-search passes over the CTLE/FFE knobs; the step sizes
+// halve per pass.
+constexpr int kPasses = 3;
+// Clamp on |tap| as a fraction of the reference amplitude: a feedback tap
+// beyond about half the main cursor means the eye is closed faster than
+// feedback can reopen it — that residue belongs to the CTLE/FFE.
+constexpr double kTapClampFraction = 0.45;
+constexpr double kMaxCtleBoostDb = 12.0;
+constexpr double kMaxFfeAlpha = 0.4;
+
+/// One training replay: streams `levels` through channel -> AWGN -> CTLE
+/// (-> RFI -> restore for NRZ) and returns the chain-output samples.  The
+/// NRZ tail needs the whole-stream DC mean first, so the front half runs
+/// twice — the same two-pass structure as SerDesLink::run_streaming, with
+/// fresh stages per pass so state never leaks between them.
+std::vector<double> run_training_chain(const LinkConfig& cfg,
+                                       channel::Channel& channel,
+                                       const Receiver& rx,
+                                       const std::vector<double>& levels,
+                                       util::Second stream_t0,
+                                       double boost_db,
+                                       std::uint64_t awgn_seed) {
+  const int spu = cfg.samples_per_ui;
+  const util::Second ui = cfg.unit_interval();
+  const Transmitter tx(cfg);
+  const util::Second rise = tx.driver().output_rise_time();
+  const double sigma = per_sample_noise_sigma(cfg);
+  const bool use_ctle = boost_db > 0.0;
+  const bool nrz = cfg.modulation == LinkConfig::Modulation::kNrz;
+  const std::size_t block = std::max<std::size_t>(1, cfg.stream_block_samples);
+
+  const auto make_front = [&](pipe::Pipeline& p) {
+    p.add(std::make_unique<pipe::ChannelStage>(channel.open_stream()));
+    p.add(std::make_unique<pipe::AwgnStage>(sigma, awgn_seed));
+    if (use_ctle) {
+      p.add(std::make_unique<pipe::CtleStage>(util::decibels(boost_db),
+                                              cfg.rx_ctle_pole,
+                                              cfg.sample_period()));
+    }
+  };
+
+  double mean = 0.0;
+  if (nrz) {
+    pipe::LevelPulseSource source(levels, ui, spu, rise, stream_t0, 0.0);
+    pipe::Pipeline front;
+    make_front(front);
+    double sum = 0.0;
+    pipe::Block blk;
+    while (source.produce(blk, block) > 0) {
+      const pipe::BlockView v = front.process(blk.view());
+      for (std::size_t i = 0; i < v.size; ++i) sum += v[i];
+    }
+    const std::uint64_t total = source.total_samples();
+    mean = total > 0 ? sum / static_cast<double>(total) : 0.0;
+  }
+
+  pipe::LevelPulseSource source(levels, ui, spu, rise, stream_t0, 0.0);
+  pipe::Pipeline pipeline;
+  make_front(pipeline);
+  if (nrz) {
+    auto rfi = std::make_unique<pipe::RfiFrontEndStage>(rx.rfi_stage(),
+                                                        cfg.sample_period());
+    rfi->set_mean(mean);
+    pipeline.add(std::move(rfi));
+    pipeline.add(std::make_unique<pipe::RestoringStage>(rx.restoring(),
+                                                        cfg.sample_period()));
+  }
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(source.total_samples()));
+  pipe::Block blk;
+  while (source.produce(blk, block) > 0) {
+    const pipe::BlockView v = pipeline.process(blk.view());
+    samples.insert(samples.end(), v.data, v.data + v.size);
+  }
+  return samples;
+}
+
+/// Best integer-sample alignment of symbol n against y[n*spu + L]: the lag
+/// in [0, 8*spu) maximizing the symbol/sample correlation.  The chain's
+/// group delay (driver, channel, filter poles) stays well inside 8 UIs for
+/// every supported channel model.
+std::size_t align_lag(const std::vector<double>& y,
+                      const std::vector<double>& d, int spu) {
+  const std::size_t max_lag = static_cast<std::size_t>(8 * spu);
+  std::size_t best = 0;
+  double best_corr = -std::numeric_limits<double>::infinity();
+  for (std::size_t lag = 0; lag < max_lag; ++lag) {
+    double corr = 0.0;
+    for (std::size_t n = 8; n + 9 < d.size(); ++n) {
+      const std::size_t idx = n * static_cast<std::size_t>(spu) + lag;
+      if (idx >= y.size()) break;
+      corr += d[n] * y[idx];
+    }
+    if (corr > best_corr) {
+      best_corr = corr;
+      best = lag;
+    }
+  }
+  return best;
+}
+
+struct LmsOutcome {
+  std::vector<double> taps;
+  double amplitude = 0.0;
+  /// Near-worst-case slicer margin (volts): the 5th percentile over the
+  /// converged tail of level_separation - |residual|, where the residual
+  /// is what remains of each sample after the trained model (amplitude,
+  /// DFE-corrected ISI) is subtracted.  The outer coordinate search
+  /// maximizes this — it is exactly the quantity slicer errors eat into.
+  double margin = 0.0;
+};
+
+/// The sign-sign LMS inner loop over one replayed preamble, followed by a
+/// margin-scoring sweep of the converged tail.
+LmsOutcome run_lms(const std::vector<double>& y, const std::vector<double>& d,
+                   int spu, double reference, std::size_t lag,
+                   std::vector<double> taps, bool nrz) {
+  const std::size_t n_taps = taps.size();
+  const std::size_t start = n_taps + 2;
+  const std::size_t n_syms = d.size();
+
+  // Robust amplitude init: mean |x| over the first symbols (the model's
+  // main cursor dominates even before the taps converge).
+  double amp = 0.0;
+  std::size_t amp_count = 0;
+  for (std::size_t n = start; n < n_syms && amp_count < 256; ++n) {
+    const std::size_t idx = n * static_cast<std::size_t>(spu) + lag;
+    if (idx >= y.size()) break;
+    amp += std::fabs(y[idx] - reference);
+    ++amp_count;
+  }
+  amp = amp_count > 0 ? amp / static_cast<double>(amp_count) : 1e-3;
+  amp = std::max(amp, 1e-6);
+
+  // Geometric step decay from 5% to 0.1% of the amplitude across the
+  // preamble: early steps move taps quickly, late steps average noise out.
+  double mu = 0.05 * amp;
+  const double mu_final = 0.001 * amp;
+  const double span =
+      static_cast<double>(n_syms > start ? n_syms - start : 1);
+  const double decay = std::pow(mu_final / mu, 1.0 / span);
+
+  std::vector<double> tap_sum(n_taps, 0.0);
+  std::size_t tail_count = 0;
+  const std::size_t tail_start = start + (n_syms - start) * 3 / 4;
+  const std::size_t half_start = start + (n_syms - start) / 2;
+
+  for (std::size_t n = start; n < n_syms; ++n) {
+    const std::size_t idx = n * static_cast<std::size_t>(spu) + lag;
+    if (idx >= y.size()) break;
+    const double x = y[idx] - reference;
+    double pred = amp * d[n];
+    for (std::size_t k = 0; k < n_taps; ++k) pred += taps[k] * d[n - 1 - k];
+    const double e = x - pred;
+    const double s = e > 0.0 ? 1.0 : (e < 0.0 ? -1.0 : 0.0);
+    const double clamp = kTapClampFraction * amp;
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      taps[k] += mu * s * d[n - 1 - k];
+      taps[k] = std::clamp(taps[k], -clamp, clamp);
+    }
+    amp += 0.5 * mu * s * d[n];
+    amp = std::max(amp, 1e-6);
+    mu *= decay;
+    if (n >= tail_start) {
+      for (std::size_t k = 0; k < n_taps; ++k) tap_sum[k] += taps[k];
+      ++tail_count;
+    }
+  }
+
+  LmsOutcome out;
+  out.taps.resize(n_taps, 0.0);
+  if (tail_count > 0) {
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      out.taps[k] = tap_sum[k] / static_cast<double>(tail_count);
+    }
+  }
+  out.amplitude = amp;
+
+  // Margin scoring with the converged taps.  NRZ slices against one
+  // threshold amp away from each rail; PAM4 levels sit 2*amp/3 apart, so
+  // the slicer margin per symbol is amp/3.
+  const double separation = nrz ? amp : amp / 3.0;
+  std::vector<double> margins;
+  margins.reserve(n_syms - half_start);
+  for (std::size_t n = half_start; n < n_syms; ++n) {
+    const std::size_t idx = n * static_cast<std::size_t>(spu) + lag;
+    if (idx >= y.size()) break;
+    double pred = amp * d[n];
+    for (std::size_t k = 0; k < n_taps; ++k) {
+      pred += out.taps[k] * d[n - 1 - k];
+    }
+    margins.push_back(separation - std::fabs(y[idx] - reference - pred));
+  }
+  if (margins.empty()) {
+    out.margin = 0.0;
+  } else {
+    std::sort(margins.begin(), margins.end());
+    out.margin = margins[margins.size() / 20];  // 5th percentile
+  }
+  return out;
+}
+
+}  // namespace
+
+TrainingResult train_equalizer(const LinkConfig& config,
+                               channel::Channel& channel, int training_uis,
+                               std::size_t n_taps) {
+  if (config.execution != LinkConfig::Execution::kStreaming) {
+    throw std::invalid_argument(
+        "train_equalizer: training replays the streaming chain");
+  }
+  if (training_uis < 64) {
+    throw std::invalid_argument(
+        "train_equalizer: need at least 64 training UIs");
+  }
+  const bool nrz = config.modulation == LinkConfig::Modulation::kNrz;
+  const int spu = config.samples_per_ui;
+  const double vdd = config.driver.vdd.value();
+  const Receiver rx(config);
+  const Transmitter tx(config);
+
+  // Known training symbols: the config's PRBS from its seed state.  NRZ
+  // maps bits onto +/-1; PAM4 gray-maps bit pairs onto the 4 launch levels
+  // exactly like the payload TX (link.cc) and trains in the symbol
+  // convention {-1, -1/3, +1/3, +1}.
+  util::PrbsGenerator prbs(config.prbs_order);
+  const auto n_syms = static_cast<std::size_t>(training_uis);
+  std::vector<double> symbols(n_syms);
+  std::vector<double> pam_levels(nrz ? 0 : n_syms);
+  const std::vector<std::uint8_t> bits =
+      prbs.next_bits(nrz ? n_syms : 2 * n_syms);
+  if (nrz) {
+    for (std::size_t n = 0; n < n_syms; ++n) {
+      symbols[n] = bits[n] ? 1.0 : -1.0;
+    }
+  } else {
+    const double step = vdd / 3.0;
+    for (std::size_t n = 0; n < n_syms; ++n) {
+      const bool msb = bits[2 * n] != 0;
+      const bool lsb = bits[2 * n + 1] != 0;
+      const int symbol = msb ? (lsb ? 2 : 3) : (lsb ? 1 : 0);
+      pam_levels[n] = static_cast<double>(symbol) * step;
+      symbols[n] = (2.0 * static_cast<double>(symbol) - 3.0) / 3.0;
+    }
+  }
+
+  // One full evaluation of a candidate (alpha, boost): replay the chain,
+  // align, train the DFE taps by sign-sign LMS (warm-started), score the
+  // margin.  Every candidate replays against the same AWGN stream
+  // (noise_seed + 500 — disjoint from the payload chunks at +100+counter,
+  // the sampling jitter at +1 and the sampler noise at +2), so margin
+  // comparisons are paired, never noise-vs-noise.
+  const std::uint64_t train_seed = config.noise_seed + 500;
+  const auto evaluate = [&](double alpha, double boost_db,
+                            const std::vector<double>& warm) {
+    std::vector<double> levels;
+    util::Second stream_t0 = tx.driver().total_delay();
+    if (!nrz) {
+      levels = pam_levels;
+    } else if (alpha != 0.0) {
+      const channel::TxFfe ffe =
+          channel::TxFfe::de_emphasis(alpha, config.driver.vdd);
+      levels = ffe.levels(bits);
+      stream_t0 = util::seconds(0.0);
+    } else {
+      levels.resize(n_syms);
+      for (std::size_t n = 0; n < n_syms; ++n) {
+        levels[n] = bits[n] ? vdd : 0.0;
+      }
+    }
+    const std::vector<double> y = run_training_chain(
+        config, channel, rx, levels, stream_t0, boost_db, train_seed);
+    // Reference the symbol deviation is measured against: the sampler
+    // threshold in the restored NRZ domain; the stream mean in the PAM4
+    // CTLE domain (the slicer calibration midpoint converges to it).
+    double reference = rx.decision_threshold();
+    if (!nrz) {
+      double sum = 0.0;
+      for (const double v : y) sum += v;
+      reference = y.empty() ? 0.0 : sum / static_cast<double>(y.size());
+    }
+    const std::size_t lag = align_lag(y, symbols, spu);
+    return run_lms(y, symbols, spu, reference, lag, warm, nrz);
+  };
+
+  double alpha = nrz ? config.tx_ffe_deemphasis : 0.0;
+  double boost_db = config.rx_ctle_boost.value();
+  std::vector<double> taps = config.dfe_taps;
+  taps.resize(n_taps, 0.0);
+
+  // Outer coordinate search: the DFE taps adapt by LMS inside every
+  // evaluation; the CTLE boost and (NRZ) FFE alpha walk by halving steps,
+  // keeping a candidate only when it improves the trained margin.  The
+  // chain's restoring nonlinearity rails away small-signal gradients, so
+  // a measured-margin comparison is the robust adaptation signal here —
+  // the step direction is still decided by the sign of a preamble-averaged
+  // error statistic, in the sign-sign spirit.
+  LmsOutcome best = evaluate(alpha, boost_db, taps);
+  taps = best.taps;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    const double boost_step = 2.0 * std::pow(0.5, pass);
+    for (const double cand :
+         {boost_db + boost_step, boost_db - boost_step}) {
+      const double c = std::clamp(cand, 0.0, kMaxCtleBoostDb);
+      if (c == boost_db) continue;
+      const LmsOutcome r = evaluate(alpha, c, taps);
+      if (r.margin > best.margin) {
+        best = r;
+        boost_db = c;
+        taps = r.taps;
+      }
+    }
+    if (nrz) {
+      const double alpha_step = 0.1 * std::pow(0.5, pass);
+      for (const double cand : {alpha + alpha_step, alpha - alpha_step}) {
+        const double c = std::clamp(cand, 0.0, kMaxFfeAlpha);
+        if (c == alpha) continue;
+        const LmsOutcome r = evaluate(c, boost_db, taps);
+        if (r.margin > best.margin) {
+          best = r;
+          alpha = c;
+          taps = r.taps;
+        }
+      }
+    }
+  }
+
+  TrainingResult result;
+  result.dfe_taps = taps;
+  result.tx_ffe_deemphasis = alpha;
+  result.rx_ctle_boost_db = boost_db;
+  result.amplitude = best.amplitude;
+  result.training_uis = training_uis;
+  result.passes = kPasses;
+  return result;
+}
+
+}  // namespace serdes::core

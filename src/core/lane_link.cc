@@ -174,6 +174,7 @@ void LaneLink::run_chunk(const std::vector<std::uint8_t>& payload,
       util::hertz(config_.sj_freq_ratio * config_.bit_rate.value());
   sink_cfg.sampler = config_.sampler;
   sink_cfg.sampler.threshold = rx_.decision_threshold();
+  sink_cfg.dfe_taps = config_.dfe_taps;
   sink_cfg.cdr = config_.cdr;
   sink_cfg.jitter_seeds = std::move(jitter_seeds);
   sink_cfg.sampler_seeds = std::move(sampler_seeds);
@@ -259,9 +260,11 @@ std::vector<LaneOutcome> LaneLink::measure(std::uint64_t total_bits,
     };
     std::vector<Group> groups;  // insertion-ordered: deterministic sweeps
     for (std::size_t l = 0; l < n_lanes; ++l) {
-      const BerMeasurement& m = out[l].measurement;
-      if (m.bits >= total_bits) continue;
-      const std::uint64_t nb = std::min(chunk_bits, total_bits - m.bits);
+      // Footage by bits *sent* (drawn), matching measure_ber: an aligned
+      // chunk may compare fewer bits than it carried (the CDR tail
+      // allowance), and a residual micro-chunk could never align.
+      if (drawn[l] >= total_bits) continue;
+      const std::uint64_t nb = std::min(chunk_bits, total_bits - drawn[l]);
       Group* group = nullptr;
       for (Group& cand : groups) {
         if (cand.drawn == drawn[l] && cand.bits == nb) {

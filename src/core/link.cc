@@ -83,6 +83,10 @@ LinkResult SerDesLink::run_batch(const std::vector<std::uint8_t>& payload,
         "SerDesLink: crosstalk injection requires the streaming execution "
         "path");
   }
+  if (!config_.dfe_taps.empty()) {
+    throw std::invalid_argument(
+        "SerDesLink: the DFE requires the streaming execution path");
+  }
   LinkResult result;
   result.payload_bits_sent = payload.size();
 
@@ -268,6 +272,7 @@ LinkResult SerDesLink::run_streaming(const std::vector<std::uint8_t>& payload,
   sink_cfg.sampler = config_.sampler;
   sink_cfg.sampler.threshold = rx_.decision_threshold();
   sink_cfg.sampler.seed = config_.noise_seed + 2;
+  sink_cfg.dfe_taps = config_.dfe_taps;
   sink_cfg.cdr = config_.cdr;
   sink_cfg.total_samples = total;
   sink_cfg.stream_t0 = stream_t0;
@@ -467,6 +472,7 @@ LinkResult SerDesLink::run_streaming_pam4(
   sink_cfg.threshold_mid = mid;
   sink_cfg.threshold_high = mid + third;
   sink_cfg.extra_thresholds = config_.pam4_extra_thresholds;
+  sink_cfg.dfe_taps = config_.dfe_taps;
   sink_cfg.cdr = config_.cdr;
   sink_cfg.total_samples = total;
   sink_cfg.stream_t0 = stream_t0;

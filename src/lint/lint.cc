@@ -308,6 +308,31 @@ void check_pam4_insufficient_swing(const api::LinkSpec& spec,
        "keep nrz at this operating point");
 }
 
+void check_trained_eq_with_fixed_knobs(const api::LinkSpec& spec,
+                                       const std::string& prefix,
+                                       const Linter::Options& opt,
+                                       const RuleInfo& info,
+                                       std::vector<Finding>& out) {
+  (void)opt;
+  if (spec.eq != "trained") return;
+  std::vector<std::string> knobs;
+  if (spec.tx_ffe_deemphasis != 0.0) knobs.emplace_back("tx_ffe_deemphasis");
+  if (spec.rx_ctle_boost_db != 0.0) knobs.emplace_back("rx_ctle_boost_db");
+  if (!spec.dfe_taps.empty()) knobs.emplace_back("dfe_taps");
+  if (knobs.empty()) return;
+  std::string listed = knobs.front();
+  for (std::size_t i = 1; i < knobs.size(); ++i) listed += ", " + knobs[i];
+  emit(out, info, prefix + ".eq",
+       "eq \"trained\" adapts the equalizer from the training preamble, so "
+       "the authored " +
+           listed +
+           (knobs.size() == 1 ? " value is" : " values are") +
+           " only the search's starting point — the converged settings in "
+           "RunReport.training are what the payload actually runs with",
+       "drop the fixed EQ knobs (training finds them), or use eq \"fixed\" "
+       "if these exact values must bind");
+}
+
 // ---- Bus-level rules -------------------------------------------------
 
 std::string matrix_cell(const char* field, std::size_t row, std::size_t col) {
@@ -581,6 +606,10 @@ const std::vector<RuleDef>& rule_defs() {
         "pam4 sub-eyes structurally too small for the noise budget at "
         "stat_target_ber"},
        &check_pam4_insufficient_swing, nullptr},
+      {{"trained-eq-with-fixed-knobs", Severity::kWarning,
+        "eq \"trained\" demotes the authored EQ knobs to mere starting "
+        "points"},
+       &check_trained_eq_with_fixed_knobs, nullptr},
       {{"coupling-matrix-asymmetry", Severity::kWarning,
         "FEXT/NEXT gain between one lane pair differs by direction",
         /*sweep_only=*/false, /*bus_only=*/true},

@@ -157,7 +157,10 @@ LaneSamplerCdrSink::LaneSamplerCdrSink(const Config& config)
       dt_(config.dt),
       end_(config.stream_t0 +
            config.dt * static_cast<double>(config.total_samples)),
-      ap_half_(config.sampler.aperture * 0.5) {
+      ap_half_(config.sampler.aperture * 0.5),
+      dfe_on_(!config.dfe_taps.empty()),
+      dfe_taps_(config.dfe_taps),
+      dfe_thr_(config.sampler.threshold) {
   if (nlanes_ == 0 || config.sampler_seeds.size() != nlanes_) {
     throw std::invalid_argument(
         "LaneSamplerCdrSink: jitter/sampler seed vectors must be the same "
@@ -176,6 +179,11 @@ LaneSamplerCdrSink::LaneSamplerCdrSink(const Config& config)
     cdrs_.emplace_back(config.cdr);
   }
   cursors_.resize(nlanes_);
+  if (dfe_on_) {
+    for (LaneCursor& cursor : cursors_) {
+      cursor.dfe_hist.assign(dfe_taps_.size(), 0.0);
+    }
+  }
   // Same window sizing as the scalar sink (see SamplerCdrSink): one block
   // plus the worst-case backward reach of a jittered aperture edge, as a
   // power-of-two entry count so the index wrap stays a mask.
@@ -290,6 +298,15 @@ void LaneSamplerCdrSink::drain_lane(std::size_t lane) {
           cursor.done = true;
           break;
         }
+        if (dfe_on_) {
+          double corr = 0.0;
+          for (std::size_t k = 0; k < dfe_taps_.size(); ++k) {
+            corr += dfe_taps_[k] * cursor.dfe_hist[k];
+          }
+          cursor.dfe_corr = corr;
+          cursor.dfe_fb_phase = cdr.decision_phase();
+          cursor.dfe_fb_decided = false;
+        }
       }
       // Perturb exactly once per instant (scalar drain): the lane's jitter
       // RNG stream advances in the batch sampling order even when an
@@ -305,11 +322,26 @@ void LaneSamplerCdrSink::drain_lane(std::size_t lane) {
         !fetch(lane, cursor, t + ap_half_, &v_after)) {
       break;  // wait for more samples (or the end of the stream)
     }
+    if (dfe_on_) {
+      v -= cursor.dfe_corr;
+      v_before -= cursor.dfe_corr;
+      v_after -= cursor.dfe_corr;
+      if (!cursor.dfe_fb_decided && cursor.phase >= cursor.dfe_fb_phase) {
+        cursor.dfe_fb_w = v > dfe_thr_ ? 1.0 : -1.0;  // pure comparator
+        cursor.dfe_fb_decided = true;
+      }
+    }
     cdr.push(sampler.decide(v, v_before, v_after));
     cursor.pending.reset();
     if (++cursor.phase == clocks_.phases()) {
       cursor.phase = 0;
       ++cursor.ui;
+      if (dfe_on_) {
+        for (std::size_t k = dfe_taps_.size() - 1; k > 0; --k) {
+          cursor.dfe_hist[k] = cursor.dfe_hist[k - 1];
+        }
+        cursor.dfe_hist[0] = cursor.dfe_fb_decided ? cursor.dfe_fb_w : 0.0;
+      }
     }
   }
 }

@@ -155,6 +155,11 @@ class LaneSamplerCdrSink {
     digital::CdrConfig cdr{};
     std::vector<std::uint64_t> jitter_seeds;
     std::vector<std::uint64_t> sampler_seeds;
+    /// DFE post-cursor taps (volts in the sink's input domain), shared
+    /// across lanes; each lane carries its own feedback history so lane l
+    /// stays bit-identical to the scalar sink run over lane l alone.
+    /// Empty disables the feedback path.
+    std::vector<double> dfe_taps;
     /// Stream geometry (known up front: framed bits x samples per UI).
     std::uint64_t total_samples = 0;
     util::Second stream_t0{0.0};
@@ -192,6 +197,14 @@ class LaneSamplerCdrSink {
     int phase = 0;
     std::optional<util::Second> pending;
     bool done = false;
+    // Per-lane DFE feedback state (see SamplerCdrSink): correction latched
+    // at phase 0, decision from a pure comparator at the CDR pick phase,
+    // history shifted at the UI wrap.
+    std::vector<double> dfe_hist;  // w in {+1,-1}, 0 pre-stream
+    double dfe_corr = 0.0;
+    int dfe_fb_phase = 0;
+    bool dfe_fb_decided = false;
+    double dfe_fb_w = 0.0;
   };
 
   void drain_lane(std::size_t lane);
@@ -220,6 +233,10 @@ class LaneSamplerCdrSink {
   std::size_t mask_ = 0;  // entry count - 1
   std::size_t back_samples_ = 0;
   std::uint64_t appended_ = 0;
+
+  bool dfe_on_ = false;
+  std::vector<double> dfe_taps_;
+  double dfe_thr_ = 0.0;  // comparator threshold (the shared sampler's)
 };
 
 }  // namespace serdes::pipe

@@ -75,7 +75,14 @@ PamSamplerCdrSink::PamSamplerCdrSink(const Config& config)
       dt_(config.dt),
       end_(config.stream_t0 +
            config.dt * static_cast<double>(config.total_samples)),
-      ap_half_(config.sampler.aperture * 0.5) {
+      ap_half_(config.sampler.aperture * 0.5),
+      dfe_on_(!config.dfe_taps.empty()),
+      dfe_taps_(config.dfe_taps),
+      dfe_hist_(config.dfe_taps.size(), 0.0) {
+  if (dfe_on_ && !config.extra_thresholds) {
+    throw std::invalid_argument(
+        "PamSamplerCdrSink: the DFE needs the tri-threshold slicers");
+  }
   // Same rolling-window sizing as SamplerCdrSink, against the symbol
   // period (the PAM4 UI).
   const double dt_s = config.dt.value();
@@ -161,6 +168,17 @@ void PamSamplerCdrSink::drain() {
           done_ = true;
           break;
         }
+        if (dfe_on_) {
+          // Per-UI feedback correction, latched before the UI's first
+          // instant (see SamplerCdrSink::drain for the contract).
+          double corr = 0.0;
+          for (std::size_t k = 0; k < dfe_taps_.size(); ++k) {
+            corr += dfe_taps_[k] * dfe_hist_[k];
+          }
+          dfe_corr_ = corr;
+          dfe_fb_phase_ = cdr_.decision_phase();
+          dfe_fb_decided_ = false;
+        }
       }
       pending_ = jitter_.perturb(clocks_.instant(ui_, phase_));
     }
@@ -171,6 +189,23 @@ void PamSamplerCdrSink::drain() {
     if (!fetch(t, &v) || !fetch(t - ap_half_, &v_before) ||
         !fetch(t + ap_half_, &v_after)) {
       break;
+    }
+    if (dfe_on_) {
+      v -= dfe_corr_;
+      v_before -= dfe_corr_;
+      v_after -= dfe_corr_;
+      if (!dfe_fb_decided_ && phase_ >= dfe_fb_phase_) {
+        // Pure tri-threshold comparator on the corrected value (no RNG):
+        // levels 0..3 weigh the feedback as -1, -1/3, +1/3, +1.
+        const bool a_mid = v > sampler_mid_.config().threshold;
+        const bool a_low = v > sampler_low_.config().threshold;
+        const bool a_high = v > sampler_high_.config().threshold;
+        dfe_fb_w_ = a_high ? 1.0
+                    : a_mid ? 1.0 / 3.0
+                    : a_low ? -1.0 / 3.0
+                            : -1.0;
+        dfe_fb_decided_ = true;
+      }
     }
     // Gray decode: MSB = above mid; LSB = between low and high (levels 1
     // and 2 carry LSB=1).  With the extra thresholds disabled the LSB
@@ -187,6 +222,12 @@ void PamSamplerCdrSink::drain() {
     if (++phase_ == clocks_.phases()) {
       phase_ = 0;
       ++ui_;
+      if (dfe_on_) {
+        for (std::size_t k = dfe_taps_.size() - 1; k > 0; --k) {
+          dfe_hist_[k] = dfe_hist_[k - 1];
+        }
+        dfe_hist_[0] = dfe_fb_decided_ ? dfe_fb_w_ : 0.0;
+      }
     }
   }
 }

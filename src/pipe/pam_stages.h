@@ -91,6 +91,11 @@ class PamSamplerCdrSink {
     /// When false only the middle slicer runs and LSBs decode as 0 (the
     /// NRZ-degenerate configuration).
     bool extra_thresholds = true;
+    /// DFE post-cursor taps (volts in the sink's input domain).  The
+    /// feedback symbol is a pure tri-threshold comparator on the corrected
+    /// value, weighted {-1, -1/3, +1/3, +1} for levels 0..3; requires the
+    /// tri-threshold configuration (`extra_thresholds`).  Empty disables.
+    std::vector<double> dfe_taps;
     digital::CdrConfig cdr{};
     std::uint64_t total_samples = 0;
     util::Second stream_t0{0.0};
@@ -143,6 +148,17 @@ class PamSamplerCdrSink {
   int phase_ = 0;
   std::optional<util::Second> pending_;
   bool done_ = false;
+
+  // DFE feedback state, mirroring SamplerCdrSink: per-UI correction
+  // latched at phase 0, symbol weight from a pure tri-comparator at the
+  // CDR's pick phase, history shifted at the UI wrap.
+  bool dfe_on_ = false;
+  std::vector<double> dfe_taps_;
+  std::vector<double> dfe_hist_;  // w in {+1, +1/3, -1/3, -1}, 0 pre-stream
+  double dfe_corr_ = 0.0;
+  int dfe_fb_phase_ = 0;
+  bool dfe_fb_decided_ = false;
+  double dfe_fb_w_ = 0.0;
 };
 
 }  // namespace serdes::pipe

@@ -190,7 +190,11 @@ SamplerCdrSink::SamplerCdrSink(const Config& config)
       dt_(config.dt),
       end_(config.stream_t0 +
            config.dt * static_cast<double>(config.total_samples)),
-      ap_half_(config.sampler.aperture * 0.5) {
+      ap_half_(config.sampler.aperture * 0.5),
+      dfe_on_(!config.dfe_taps.empty()),
+      dfe_taps_(config.dfe_taps),
+      dfe_hist_(config.dfe_taps.size(), 0.0),
+      dfe_thr_(config.sampler.threshold) {
   // The rolling window must span one appended block plus the worst-case
   // backward reach of a jittered aperture edge; anything older can be
   // discarded because instants are evaluated in order, as soon as their
@@ -287,6 +291,18 @@ void SamplerCdrSink::drain() {
           done_ = true;
           break;
         }
+        if (dfe_on_) {
+          // Latch this UI's feedback correction and decision phase before
+          // its first instant is generated; both stay fixed across the
+          // whole UI even when instants straddle block boundaries.
+          double corr = 0.0;
+          for (std::size_t k = 0; k < dfe_taps_.size(); ++k) {
+            corr += dfe_taps_[k] * dfe_hist_[k];
+          }
+          dfe_corr_ = corr;
+          dfe_fb_phase_ = cdr_.decision_phase();
+          dfe_fb_decided_ = false;
+        }
       }
       // Perturb exactly once per instant; the jitter RNG stream therefore
       // advances in the same order as the batch sampling loop even when an
@@ -301,11 +317,29 @@ void SamplerCdrSink::drain() {
         !fetch(t + ap_half_, &v_after)) {
       break;  // wait for more samples (or the end of the stream)
     }
+    if (dfe_on_) {
+      // The per-UI correction shifts the whole summing node, so all three
+      // aperture fetches move together (a zero correction is bit-exact:
+      // v - 0.0 == v) and the metastability crossing product is preserved.
+      v -= dfe_corr_;
+      v_before -= dfe_corr_;
+      v_after -= dfe_corr_;
+      if (!dfe_fb_decided_ && phase_ >= dfe_fb_phase_) {
+        dfe_fb_w_ = v > dfe_thr_ ? 1.0 : -1.0;  // pure comparator, no RNG
+        dfe_fb_decided_ = true;
+      }
+    }
     cdr_.push(sampler_.decide(v, v_before, v_after));
     pending_.reset();
     if (++phase_ == clocks_.phases()) {
       phase_ = 0;
       ++ui_;
+      if (dfe_on_) {
+        for (std::size_t k = dfe_taps_.size() - 1; k > 0; --k) {
+          dfe_hist_[k] = dfe_hist_[k - 1];
+        }
+        dfe_hist_[0] = dfe_fb_decided_ ? dfe_fb_w_ : 0.0;
+      }
     }
   }
 }

@@ -199,6 +199,11 @@ class SamplerCdrSink {
     channel::JitterModel::Config jitter{};
     analog::DffSampler::Config sampler{};
     digital::CdrConfig cdr{};
+    /// DFE post-cursor taps (volts in the sink's input domain).  Tap k
+    /// is weighted by the feedback decision from k+1 UIs ago; empty
+    /// disables the feedback path entirely (and all-zero taps are
+    /// bit-identical to it — the correction is exactly 0.0).
+    std::vector<double> dfe_taps;
     /// Stream geometry (known up front: framed bits x samples per UI).
     std::uint64_t total_samples = 0;
     util::Second stream_t0{0.0};
@@ -253,6 +258,24 @@ class SamplerCdrSink {
   int phase_ = 0;
   std::optional<util::Second> pending_;
   bool done_ = false;
+
+  // ---- Decision-feedback equalizer state -----------------------------------
+  // The correction for UI n is latched once, when the UI's first instant
+  // is generated: c_n = sum_k taps[k] * w_{n-1-k}, a per-UI step function
+  // subtracted from every fetched value of the UI (all three aperture
+  // fetches of every phase), so the glitch-filter votes see one
+  // consistent summing-node waveform.  The feedback decision w_n comes
+  // from a pure comparator (no RNG draw — the sampler's noise/metastable
+  // streams stay untouched) at the CDR's current pick phase, and enters
+  // the history at the UI wrap: strictly causal.
+  bool dfe_on_ = false;
+  std::vector<double> dfe_taps_;
+  std::vector<double> dfe_hist_;  // w_{n-1}, w_{n-2}, ... in {+1,-1}, 0 pre-stream
+  double dfe_thr_ = 0.0;          // comparator threshold (sampler's)
+  double dfe_corr_ = 0.0;
+  int dfe_fb_phase_ = 0;
+  bool dfe_fb_decided_ = false;
+  double dfe_fb_w_ = 0.0;
 };
 
 }  // namespace serdes::pipe

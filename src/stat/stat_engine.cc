@@ -134,7 +134,8 @@ double IsiMixture::upper_tail(double x, double sigma) const {
   for (std::size_t i = lo; i < hi; ++i) {
     sum += prob_[i] * util::q_function((x - value_[i]) / sigma);
   }
-  return sum;
+  // The prefix sums carry ~1e-16 of rounding; a tail is a probability.
+  return std::clamp(sum, 0.0, 1.0);
 }
 
 double IsiMixture::lower_tail(double x, double sigma) const {
@@ -153,7 +154,7 @@ double IsiMixture::lower_tail(double x, double sigma) const {
   for (std::size_t i = lo; i < hi; ++i) {
     sum += prob_[i] * util::q_function((value_[i] - x) / sigma);
   }
-  return sum;
+  return std::clamp(sum, 0.0, 1.0);
 }
 
 double IsiMixture::upper_quantile(double p, double sigma) const {
@@ -485,6 +486,7 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   // the sampler noise maps back at unit slope.
   double v_th = 0.0;
   double sampler_sigma_lin = cfg.sampler.input_noise_rms;
+  double chain_slope = 1.0;
   if (!pam4) {
     const double decision_threshold = rx.decision_threshold();
     const auto chain = [&](double v) {
@@ -503,7 +505,7 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
     // Sampler input-referred noise, mapped back through the static gain of
     // the saturating chain at the threshold.
     const double slope_h = 1e-6;
-    const double chain_slope =
+    chain_slope =
         (chain(v_th + slope_h) - chain(v_th - slope_h)) / (2.0 * slope_h);
     sampler_sigma_lin =
         chain_slope > 0.0 ? cfg.sampler.input_noise_rms / chain_slope : 0.0;
@@ -515,6 +517,20 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   const double sigma =
       std::sqrt(sigma0 * sigma0 * chain_gain_sq +
                 sampler_sigma_lin * sampler_sigma_lin);
+
+  // ---- 2a. DFE feedback taps, mapped to the linear decision point -------
+  // The MC sink subtracts tap k times the previous decision from the
+  // sampled value — NRZ in the restored domain (divide by the chain slope
+  // to channel-refer, exactly like the sampler noise above), PAM4 directly
+  // in the slicer (CTLE) domain.  With correct feedback the subtraction
+  // cancels post-cursor ISI: cursor main+1+k keeps its DC half but its
+  // data-dependent +/- amplitude shrinks from c to c - 2*t_lin.
+  std::vector<double> dfe_lin;
+  if (!cfg.dfe_taps.empty()) {
+    dfe_lin.reserve(cfg.dfe_taps.size());
+    const double back_map = (!pam4 && chain_slope > 0.0) ? chain_slope : 1.0;
+    for (const double t : cfg.dfe_taps) dfe_lin.push_back(t / back_map);
+  }
 
   // ---- 2b. Crosstalk aggressor pulse responses --------------------------
   // A FEXT aggressor runs through the victim's own channel + RX chain, so
@@ -574,6 +590,7 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   report.contour_low_v.assign(static_cast<std::size_t>(n_phases), 0.0);
   std::vector<double> phase_main(static_cast<std::size_t>(n_phases), 0.0);
   std::vector<int> phase_isi_count(static_cast<std::size_t>(n_phases), 0);
+  std::vector<double> phase_burst(static_cast<std::size_t>(n_phases), 1.0);
   // PAM4 per-sub-eye traces (lower / middle / upper), per phase.
   std::vector<std::vector<double>> eye_ber(
       3, std::vector<double>(static_cast<std::size_t>(n_phases), 0.5));
@@ -611,6 +628,40 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
     }
     if (main_idx < 0 || h0 <= 0.0) continue;  // dead eye: BER 0.5
 
+    // DFE residual cancellation: tap k feeds back the decision of symbol
+    // n-1-k, i.e. the cursor at main+1+k.  Only the data-dependent +/-
+    // amplitude shrinks — the cursor's DC half (already in sum_all / the
+    // slicer calibration range) is untouched, because the subtracted
+    // feedback term has zero mean over equiprobable data.
+    for (std::size_t k = 0; k < dfe_lin.size(); ++k) {
+      const std::size_t idx =
+          static_cast<std::size_t>(main_idx) + 1 + k;
+      if (idx < cursors.size()) cursors[idx] -= 2.0 * dfe_lin[k];
+    }
+
+    // Expected follow-on errors per error: a wrong feedback decision
+    // flips tap k's correction, shifting the next decision by the full
+    // feedback swing.  q sums the per-tap conditional error probabilities
+    // against the residual mixture; the bathtub picks up the geometric
+    // burst-length factor 1 / (1 - q).
+    const auto dfe_burst_factor = [&](const IsiMixture& mixture,
+                                      double eye_main, double base_offset,
+                                      double swing_scale) {
+      double q = 0.0;
+      for (const double t : dfe_lin) {
+        const double s = swing_scale * std::fabs(t);
+        if (s <= 0.0) continue;
+        q += 0.5 * (slicer_error_probability(eye_main, mixture,
+                                             base_offset + s, sigma) +
+                    slicer_error_probability(eye_main, mixture,
+                                             base_offset - s, sigma));
+      }
+      // Clamp from below too: deep-eye tail sums can go ~1e-16 negative
+      // from prefix-sum rounding, and a burst factor must never shrink
+      // the BER.
+      return 1.0 / (1.0 - std::clamp(q, 0.0, 0.5));
+    };
+
     isi.clear();
     for (int m = 0; m < static_cast<int>(cursors.size()); ++m) {
       if (m == main_idx) continue;
@@ -641,6 +692,12 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
       const double offset = 0.5 * sum_all - mean_off - v_th;
       raw_ber[static_cast<std::size_t>(b)] =
           slicer_error_probability(h0, mix, offset, sigma);
+      if (!dfe_lin.empty()) {
+        const double f = dfe_burst_factor(mix, h0, offset, 2.0);
+        phase_burst[static_cast<std::size_t>(b)] = f;
+        raw_ber[static_cast<std::size_t>(b)] =
+            std::min(0.5, raw_ber[static_cast<std::size_t>(b)] * f);
+      }
       report.contour_high_v[static_cast<std::size_t>(b)] =
           offset + 0.5 * h0 + mix.lower_quantile(options_.target_ber, sigma);
       report.contour_low_v[static_cast<std::size_t>(b)] =
@@ -689,6 +746,16 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
         }
       }
       raw_ber[static_cast<std::size_t>(b)] = std::min(0.5, ber);
+      if (!dfe_lin.empty()) {
+        // Adjacent-level feedback errors dominate PAM4: the symbol weight
+        // moves by 2/3, so a wrong decision shifts the next sample by 2/3
+        // of the tap.  The middle sub-eye (level spacing h0/3) stands in
+        // for the conditional re-error probability of all three.
+        const double f = dfe_burst_factor(mix, h0 / 3.0, 0.0, 2.0 / 3.0);
+        phase_burst[static_cast<std::size_t>(b)] = f;
+        raw_ber[static_cast<std::size_t>(b)] =
+            std::min(0.5, raw_ber[static_cast<std::size_t>(b)] * f);
+      }
       // Per-sub-eye surfaces: sub-eye k separates symbol k (below the
       // boundary t[k]) from symbol k+1 (above it).
       for (int k = 0; k < 3; ++k) {
@@ -741,6 +808,10 @@ StatReport StatAnalyzer::analyze(const core::LinkConfig& cfg,
   report.min_ber = report.bathtub_ber[static_cast<std::size_t>(best)];
   report.main_cursor_v = phase_main[static_cast<std::size_t>(best)];
   report.isi_cursors = phase_isi_count[static_cast<std::size_t>(best)];
+  if (!dfe_lin.empty()) {
+    report.dfe_taps_applied = dfe_lin;
+    report.dfe_burst_factor = phase_burst[static_cast<std::size_t>(best)];
+  }
   report.eye_height_v = report.contour_high_v[static_cast<std::size_t>(best)] -
                         report.contour_low_v[static_cast<std::size_t>(best)];
   report.voltage_margin_v =
@@ -880,7 +951,14 @@ void StatAnalyzer::cross_check(StatReport& report, std::uint64_t bits,
       hi = std::max(hi, bt[static_cast<std::size_t>(b)]);
     }
   }
-  const double s = slack > 1.0 ? slack : 1.0;
+  double s = slack > 1.0 ? slack : 1.0;
+  // DFE feedback is outside the linear model's accuracy contract: the MC
+  // sink's slicer can mis-feed during CDR settling and per-chunk warm-up
+  // (zero history), and real bursts cluster instead of thinning like the
+  // geometric factor assumes.  Double the slack both ways for trained /
+  // DFE-equipped links.
+  const bool dfe = !report.dfe_taps_applied.empty();
+  if (dfe) s *= 2.0;
   report.band_low = lo / s;
   report.band_high = std::min(0.5, hi * s);
 
@@ -892,8 +970,10 @@ void StatAnalyzer::cross_check(StatReport& report, std::uint64_t bits,
   (void)ignored_lo;
   // Floor of a couple of stray errors: sub-1e-4 effects the linear model
   // does not carry (sampler metastability at transitions, AC-coupling
-  // transients) must not flag an otherwise-clean deep-BER run.
-  k_hi = std::max<std::uint64_t>(k_hi, 2);
+  // transients) must not flag an otherwise-clean deep-BER run.  DFE links
+  // additionally tolerate one warm-up burst per feedback tap.
+  k_hi = std::max<std::uint64_t>(
+      k_hi, dfe ? 2 + 2 * report.dfe_taps_applied.size() : 2);
   report.consistent = errors >= k_lo && errors <= k_hi;
 }
 

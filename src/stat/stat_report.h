@@ -69,6 +69,20 @@ struct StatReport {
   std::vector<double> pam4_voltage_margin_v;
   std::vector<double> pam4_eye_ber;
 
+  // ---- DFE (non-empty when the config carries feedback taps) ----
+  /// Linear-domain (channel-referred) feedback taps the analysis cancelled
+  /// post-cursor ISI with: tap k halves into the +/- residual of cursor
+  /// main+1+k.  NRZ taps are authored in the restored domain and map back
+  /// through the front-end chain slope; PAM4 taps are already in the
+  /// slicer (CTLE) domain.  Serialized only when non-empty (schema
+  /// version 3), so DFE-free reports keep their earlier bytes.
+  std::vector<double> dfe_taps_applied;
+  /// Error-propagation multiplier folded into the bathtub at the best
+  /// phase: 1 / (1 - q) with q the expected follow-on errors per error
+  /// (a wrong feedback decision doubles the corresponding tap's ISI for
+  /// the next symbols).  1.0 when no DFE.
+  double dfe_burst_factor = 1.0;
+
   // ---- MC cross-check (filled for analysis = "both") ----
   bool cross_checked = false;
   /// The Monte Carlo BER this report was checked against.

@@ -484,11 +484,13 @@ TEST(SchemaVersion, AbsentMeansVersionOne) {
   spec.chunk_bits = 256;
 
   const RunReport run = sim.run(spec);
-  EXPECT_EQ(run.schema_version, 2);
+  // RunReport moved to version 3 (DFE / link-training surface); the
+  // bus and lint envelopes themselves are still version 2.
+  EXPECT_EQ(run.schema_version, 3);
   const util::Json run_json = to_json(run);
   ASSERT_NE(run_json.find("schema_version"), nullptr);
-  EXPECT_EQ(run_json.find("schema_version")->as_int(), 2);
-  EXPECT_EQ(run_report_from_json(run_json).schema_version, 2);
+  EXPECT_EQ(run_json.find("schema_version")->as_int(), 3);
+  EXPECT_EQ(run_report_from_json(run_json).schema_version, 3);
   EXPECT_EQ(run_report_from_json(without_key(run_json, "schema_version"))
                 .schema_version,
             1);

@@ -87,7 +87,7 @@ TEST(LintRules, RegistryIdsAreUniqueAndStable) {
     EXPECT_FALSE(info.summary.empty()) << info.id;
   }
   // Growing the registry is fine; silently dropping a rule is not.
-  EXPECT_GE(lint::rules().size(), 16u);
+  EXPECT_GE(lint::rules().size(), 20u);
 }
 
 TEST(LintRules, DefaultSpecAndShippedSpecsAreClean) {
@@ -244,6 +244,34 @@ TEST(LintRules, ChunkExceedsPayload) {
   spec.payload_bits = 4096;
   expect_finding(Linter().lint(spec), "chunk-exceeds-payload", "$.chunk_bits",
                  Severity::kInfo);
+}
+
+TEST(LintRules, TrainedEqWithFixedKnobs) {
+  api::LinkSpec spec;
+  spec.eq = "trained";
+  spec.rx_ctle_boost_db = 3.0;
+  expect_finding(Linter().lint(spec), "trained-eq-with-fixed-knobs", "$.eq",
+                 Severity::kWarning);
+  // Every demoted knob trips the rule on its own.
+  spec = api::LinkSpec{};
+  spec.eq = "trained";
+  spec.tx_ffe_deemphasis = 0.2;
+  expect_finding(Linter().lint(spec), "trained-eq-with-fixed-knobs", "$.eq",
+                 Severity::kWarning);
+  spec = api::LinkSpec{};
+  spec.eq = "trained";
+  spec.dfe_taps = {0.05};
+  expect_finding(Linter().lint(spec), "trained-eq-with-fixed-knobs", "$.eq",
+                 Severity::kWarning);
+  // Trained with no fixed EQ knobs is the supported shape — clean.
+  spec = api::LinkSpec{};
+  spec.eq = "trained";
+  EXPECT_TRUE(Linter().lint(spec).clean());
+  // And fixed knobs under eq "fixed" bind for real — no finding.
+  spec = api::LinkSpec{};
+  spec.rx_ctle_boost_db = 3.0;
+  spec.dfe_taps = {0.05};
+  expect_no_finding(Linter().lint(spec), "trained-eq-with-fixed-knobs");
 }
 
 // ---- Defect corpus: grid-level rules ---------------------------------

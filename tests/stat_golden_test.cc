@@ -114,6 +114,14 @@ TEST(StatGolden, StatCiRunReport) {
                                              "specs" / "stat_ci.json"));
 }
 
+TEST(StatGolden, TrainedCiRunReport) {
+  // The eq "trained" scenario: SS-LMS preamble training, the converged
+  // EQ in RunReport.training, and the stat engine's DFE model (residual
+  // cancellation + burst factor) all pin in one report.
+  check_golden("trained_ci", render_link_report(source_dir() / "examples" /
+                                                "specs" / "trained_ci.json"));
+}
+
 TEST(StatGolden, LossSweepReport) {
   check_golden("loss_sweep", render_sweep_report(source_dir() / "examples" /
                                                  "specs" / "loss_sweep.json"));

@@ -27,6 +27,7 @@
 #include "api/channel_factory.h"
 #include "api/spec_json.h"
 #include "lint/lint.h"
+#include "opt/optimizer.h"
 #include "sweep/farm.h"
 #include "sweep/result_store.h"
 #include "sweep/sweep_runner.h"
@@ -67,6 +68,15 @@ usage:
       1e-15) and timing/voltage margins — no bit stream, milliseconds
       per scenario.  A spec with "analysis": "both" additionally runs
       Monte Carlo and cross-checks it against the prediction band.
+
+  serdes_cli optimize <spec.json> [--out FILE] [--compact]
+      Closed-loop equalizer design for one LinkSpec: coordinate descent
+      over the TX FFE / RX CTLE / DFE knobs with the statistical engine
+      as the objective oracle (target = the spec's stat_target_ber),
+      then one Monte Carlo cross-check of the winner against the stat
+      prediction band.  Prints the OptimizeReport (baseline, winner
+      knobs, search accounting, cross-check verdict).  Exit 1 when the
+      winner misses the target or its cross-check fails.
 
   serdes_cli sweep <sweep.json> [--threads N] [--shard K/N] [--out FILE]
                    [--compact] [--progress] [--store DIR] [--resume]
@@ -442,6 +452,32 @@ int cmd_stat(const CommonFlags& flags) {
   return 0;
 }
 
+int cmd_optimize(const CommonFlags& flags) {
+  if (flags.positional.size() != 1) {
+    std::cerr << "optimize expects exactly one spec file\n";
+    return 2;
+  }
+  reject_unsupported(flags, "optimize", /*allow_threads=*/false,
+                     /*allow_shard=*/false, /*allow_output=*/true,
+                     /*allow_progress=*/false);
+  const std::string& path = flags.positional.front();
+  const Json doc = Json::parse(read_file(path));
+  if (serdes::api::looks_like_bus_spec(doc)) {
+    throw std::runtime_error(path +
+                             ": optimize expects a LinkSpec, not a bus file");
+  }
+  const serdes::api::LinkSpec spec = serdes::api::link_spec_from_json(doc);
+  if (auto err = serdes::api::validate_spec_with_paths(spec); !err.empty()) {
+    throw std::runtime_error(path + ": " + err);
+  }
+  const serdes::opt::OptimizeReport report = serdes::opt::optimize(spec);
+  write_output(flags.out_path,
+               serdes::api::to_json(report).dump(flags.compact ? -1 : 2));
+  // Exit contract: the design must meet the target AND survive its own
+  // Monte Carlo cross-examination.
+  return (report.met && report.mc_consistent) ? 0 : 1;
+}
+
 int cmd_sweep(const CommonFlags& flags) {
   if (flags.positional.size() != 1) {
     std::cerr << "sweep expects exactly one sweep file\n";
@@ -746,6 +782,7 @@ int main(int argc, char** argv) {
     const CommonFlags flags = parse_flags(rest);
     if (command == "run") return cmd_run(flags);
     if (command == "stat") return cmd_stat(flags);
+    if (command == "optimize") return cmd_optimize(flags);
     if (command == "sweep") return cmd_sweep(flags);
     if (command == "sweep-coordinator") return cmd_sweep_coordinator(flags);
     if (command == "sweep-worker") return cmd_sweep_worker(flags);
